@@ -1,0 +1,212 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro/meso benchmarks: one Test.make per experiment
+   (E1..E8, DESIGN.md §4), each timing one representative simulation of that
+   experiment's workload, plus substrate micro-benchmarks (engine, receive
+   log, PRNG). Reported as nanoseconds per run via OLS on the monotonic
+   clock.
+
+   Part 2 — the full experiment tables (the paper's reproduced
+   tables/figures), exactly what bin/ssba_experiments.exe prints, so one
+   `dune exec bench/main.exe` regenerates both the timings and the results
+   recorded in EXPERIMENTS.md. *)
+
+open Bechamel
+open Toolkit
+module Core = Ssba_core
+module H = Ssba_harness
+module Params = Ssba_core.Params
+
+(* ----- representative workloads, one per experiment --------------------- *)
+
+let run_correct_general ~n ~seed () =
+  let params = Params.default n in
+  let sc =
+    H.Scenario.default ~name:"bench" ~seed
+      ~proposals:[ { H.Scenario.g = 0; v = "m"; at = 0.05 } ]
+      ~horizon:(0.05 +. (2.0 *. params.Params.delta_agr))
+      params
+  in
+  let res = H.Runner.run sc in
+  assert (List.length res.H.Runner.returns = n)
+
+let e1 () = run_correct_general ~n:7 ~seed:1 ()
+
+let e2 () =
+  let params = Params.default 7 in
+  let sc =
+    H.Scenario.default ~name:"bench" ~seed:2
+      ~roles:
+        [
+          ( 0,
+            H.Scenario.Byzantine
+              (Ssba_adversary.Strategies.two_faced_general ~v1:"a" ~v2:"b" ~at:0.05) );
+        ]
+      ~horizon:(0.05 +. (2.0 *. params.Params.delta_agr))
+      params
+  in
+  ignore (H.Runner.run sc)
+
+let e3_msgdriven () =
+  let params = Params.default 7 in
+  let sc =
+    H.Scenario.default ~name:"bench" ~seed:3 ~clocks:H.Scenario.Perfect
+      ~delay:(Ssba_net.Delay.fixed (0.05 *. params.Params.delta))
+      ~proposals:[ { H.Scenario.g = 0; v = "m"; at = 0.05 } ]
+      ~horizon:(0.05 +. (2.0 *. params.Params.delta_agr))
+      params
+  in
+  ignore (H.Runner.run sc)
+
+let e3_tps_baseline () =
+  let n = 7 in
+  let params = Params.default n in
+  let engine = Ssba_sim.Engine.create () in
+  let net =
+    Ssba_net.Network.create ~engine ~n
+      ~delay:(Ssba_net.Delay.fixed (0.05 *. params.Params.delta))
+      ~rng:(Ssba_sim.Rng.create 3) ()
+  in
+  let nodes =
+    List.init n (fun id ->
+        Ssba_baseline.Tps_agree.create ~id ~params ~clock:Ssba_sim.Clock.perfect
+          ~engine ~net ~g:0 ~t_start:0.05)
+  in
+  Ssba_sim.Engine.schedule engine ~at:0.05 (fun () ->
+      Ssba_baseline.Tps_agree.propose (List.hd nodes) "m");
+  ignore (Ssba_sim.Engine.run ~until:1.0 engine)
+
+let e4 () =
+  let params = Params.default 7 in
+  let t_p = params.Params.delta_stb in
+  let sc =
+    H.Scenario.default ~name:"bench" ~seed:4
+      ~events:[ H.Scenario.Scramble { at = 0.0; values = [ "x"; "y" ]; net_garbage = 150 } ]
+      ~proposals:[ { H.Scenario.g = 0; v = "m"; at = t_p } ]
+      ~horizon:(t_p +. (2.0 *. params.Params.delta_agr))
+      params
+  in
+  ignore (H.Runner.run sc)
+
+let e5 () = run_correct_general ~n:13 ~seed:5 ()
+
+let e6 () =
+  let n = 10 in
+  let params = Params.default n in
+  let eps = 0.1 *. params.Params.d in
+  let engine = Ssba_sim.Engine.create () in
+  let net =
+    Ssba_net.Network.create ~engine ~n ~delay:(Ssba_net.Delay.fixed eps)
+      ~rng:(Ssba_sim.Rng.create 6) ()
+  in
+  let colluders = [ 0; 1 ] in
+  List.init n (fun i -> i)
+  |> List.iter (fun id ->
+         if not (List.mem id colluders) then
+           ignore
+             (Core.Node.create ~id ~params ~clock:Ssba_sim.Clock.perfect ~engine
+                ~net ()));
+  let st =
+    Ssba_adversary.Round_stretcher.make ~engine ~net ~params ~colluders ~v:"evil"
+      ~t0:0.05 ~eps ()
+  in
+  Ssba_adversary.Round_stretcher.launch st;
+  ignore (Ssba_sim.Engine.run ~until:(0.05 +. (2.0 *. params.Params.delta_agr)) engine)
+
+let e7 () = run_correct_general ~n:16 ~seed:7 ()
+
+let e8 () =
+  let n = 7 in
+  let params = Params.default n in
+  let engine = Ssba_sim.Engine.create () in
+  let rng = Ssba_sim.Rng.create 8 in
+  let net =
+    Ssba_net.Network.create ~engine ~n
+      ~delay:(Ssba_net.Delay.uniform ~lo:(0.1 *. params.Params.delta) ~hi:params.Params.delta)
+      ~rng:(Ssba_sim.Rng.split rng) ()
+  in
+  let layers =
+    List.init n (fun id ->
+        let node =
+          Core.Node.create ~id ~params ~clock:Ssba_sim.Clock.perfect ~engine ~net ()
+        in
+        Ssba_pulse.Pulse_sync.create ~node
+          ~cycle_len:(1.2 *. Ssba_pulse.Pulse_sync.min_cycle params)
+          ())
+  in
+  List.iter Ssba_pulse.Pulse_sync.start layers;
+  ignore (Ssba_sim.Engine.run ~until:0.6 engine)
+
+(* ----- substrate micro-benchmarks --------------------------------------- *)
+
+let engine_throughput () =
+  let e = Ssba_sim.Engine.create () in
+  for i = 0 to 999 do
+    Ssba_sim.Engine.schedule e ~at:(float_of_int i *. 1e-6) (fun () -> ())
+  done;
+  ignore (Ssba_sim.Engine.run e)
+
+let recv_log_queries () =
+  let l = Core.Recv_log.create () in
+  for s = 0 to 30 do
+    Core.Recv_log.note l ~sender:s ~at:(float_of_int s *. 0.001)
+  done;
+  for _ = 0 to 99 do
+    ignore (Core.Recv_log.count_in_window l ~now:0.031 ~width:0.002);
+    ignore (Core.Recv_log.shortest_window l ~now:0.031 ~count:11)
+  done
+
+let rng_stream () =
+  let r = Ssba_sim.Rng.create 1 in
+  for _ = 0 to 9999 do
+    ignore (Ssba_sim.Rng.float r 1.0)
+  done
+
+let tests =
+  Test.make_grouped ~name:"ssba"
+    [
+      Test.make ~name:"e1_validity (n=7 agreement)" (Staged.stage e1);
+      Test.make ~name:"e2_agreement (two-faced general)" (Staged.stage e2);
+      Test.make ~name:"e3_msgdriven (fast network)" (Staged.stage e3_msgdriven);
+      Test.make ~name:"e3_tps_baseline (time-driven)" (Staged.stage e3_tps_baseline);
+      Test.make ~name:"e4_convergence (scramble+recover)" (Staged.stage e4);
+      Test.make ~name:"e5_timeliness (n=13 agreement)" (Staged.stage e5);
+      Test.make ~name:"e6_early_stop (round stretcher)" (Staged.stage e6);
+      Test.make ~name:"e7_msg_complexity (n=16 agreement)" (Staged.stage e7);
+      Test.make ~name:"e8_pulse (3 cycles)" (Staged.stage e8);
+      Test.make ~name:"engine 1k events" (Staged.stage engine_throughput);
+      Test.make ~name:"recv_log 200 window queries" (Staged.stage recv_log_queries);
+      Test.make ~name:"rng 10k floats" (Staged.stage rng_stream);
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let tbl = H.Table.create [ "benchmark"; "time/run" ] in
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, result) ->
+         let cell =
+           match Analyze.OLS.estimates result with
+           | Some [ est ] ->
+               if est > 1e6 then Printf.sprintf "%8.3f ms" (est /. 1e6)
+               else Printf.sprintf "%8.3f us" (est /. 1e3)
+           | _ -> "n/a"
+         in
+         H.Table.add_row tbl [ name; cell ]);
+  H.Table.print tbl
+
+let () =
+  print_endline "## Bechamel benchmarks (one per experiment + substrates)";
+  print_endline "";
+  benchmark ();
+  print_endline "";
+  print_endline "## Experiment tables (paper reproduction, see EXPERIMENTS.md)";
+  Ssba_harness.Experiments.run_all ()

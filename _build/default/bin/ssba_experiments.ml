@@ -1,0 +1,37 @@
+(* Regenerate the experiment tables of EXPERIMENTS.md (DESIGN.md §4).
+
+   With no arguments, runs every experiment; otherwise runs the named ones
+   (e1..e8). *)
+
+let experiments =
+  [
+    ("e1", "validity under a correct General", fun () -> Ssba_harness.Experiments.e1_validity ());
+    ("e2", "agreement under Byzantine attack", fun () -> Ssba_harness.Experiments.e2_agreement ());
+    ("e3", "message-driven vs time-driven", fun () -> Ssba_harness.Experiments.e3_msgdriven ());
+    ("e4", "convergence from scrambled states", fun () -> Ssba_harness.Experiments.e4_convergence ());
+    ("e5", "timeliness bounds", fun () -> Ssba_harness.Experiments.e5_timeliness ());
+    ("e6", "O(f') termination", fun () -> Ssba_harness.Experiments.e6_early_stop ());
+    ("e7", "message complexity", fun () -> Ssba_harness.Experiments.e7_msg_complexity ());
+    ("e8", "pulse synchronization", fun () -> Ssba_harness.Experiments.e8_pulse ());
+    ("e9", "primitive-level properties", fun () -> Ssba_harness.Experiments.e9_invariants ());
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map (fun (name, _, _) -> name) experiments
+  in
+  let unknown =
+    List.filter (fun n -> not (List.exists (fun (m, _, _) -> m = n) experiments)) requested
+  in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\navailable:\n" (String.concat " " unknown);
+    List.iter (fun (n, d, _) -> Printf.eprintf "  %s  %s\n" n d) experiments;
+    exit 1
+  end;
+  List.iter
+    (fun name ->
+      let _, _, run = List.find (fun (m, _, _) -> m = name) experiments in
+      run ())
+    requested

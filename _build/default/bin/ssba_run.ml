@@ -1,0 +1,172 @@
+(* ssba-run: run one ss-Byz-Agree scenario from the command line.
+
+     ssba-run --n 7 --general 0 --value hello
+     ssba-run --n 10 --attack two-faced --trace
+     ssba-run --n 7 --scramble --propose-at 0.6 --general 2
+
+   Prints every return, the agreement/validity verdicts and the message
+   statistics; --trace dumps the full event trace. *)
+
+open Cmdliner
+module H = Ssba_harness
+module Core = Ssba_core
+
+let attacks =
+  [
+    ("none", `None);
+    ("silent", `Silent);
+    ("spam", `Spam);
+    ("two-faced", `Two_faced);
+    ("stagger", `Stagger);
+    ("partial", `Partial);
+    ("equivocators", `Equivocators);
+    ("mimics", `Mimics);
+  ]
+
+let run n seed general value attack scramble propose_at horizon trace_flag realtime =
+  let params = Core.Params.default n in
+  (match Core.Params.validate params with
+  | Ok () -> ()
+  | Error e ->
+      prerr_endline e;
+      exit 1);
+  let d = params.Core.Params.d in
+  let module S = Ssba_adversary.Strategies in
+  let f = params.Core.Params.f in
+  let byz strategy = H.Scenario.Byzantine strategy in
+  let roles, proposals =
+    match attack with
+    | `None -> ([], [ { H.Scenario.g = general; v = value; at = propose_at } ])
+    | `Silent -> ([ (general, byz S.silent) ], [])
+    | `Spam ->
+        ( List.init f (fun i ->
+              (n - 1 - i, byz (S.spam ~period:(5.0 *. d) ~values:[ value; "noise" ]))),
+          [ { H.Scenario.g = general; v = value; at = propose_at } ] )
+    | `Two_faced ->
+        ([ (general, byz (S.two_faced_general ~v1:value ~v2:(value ^ "'") ~at:propose_at)) ], [])
+    | `Stagger ->
+        ([ (general, byz (S.stagger_general ~v:value ~at:propose_at ~gap:(3.0 *. d))) ], [])
+    | `Partial ->
+        ( [
+            ( general,
+              byz
+                (S.partial_general ~v:value ~at:propose_at
+                   ~targets:(List.init (n - f) (fun i -> (general + 1 + i) mod n))) );
+          ],
+          [] )
+    | `Equivocators ->
+        ( List.init f (fun i -> (n - 1 - i, byz (S.equivocator ~v1:value ~v2:(value ^ "'")))),
+          [ { H.Scenario.g = general; v = value; at = propose_at } ] )
+    | `Mimics ->
+        ( List.init f (fun i -> (n - 1 - i, byz (S.mimic ~delay:(2.0 *. d)))),
+          [ { H.Scenario.g = general; v = value; at = propose_at } ] )
+  in
+  let events =
+    if scramble then
+      [ H.Scenario.Scramble { at = 0.0; values = [ value; "x"; "y" ]; net_garbage = 100 } ]
+    else []
+  in
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None -> propose_at +. (4.0 *. params.Core.Params.delta_agr)
+  in
+  let sc =
+    H.Scenario.default ~name:"cli" ~seed ~roles ~proposals ~events ~horizon
+      ~record_trace:trace_flag params
+  in
+  (match realtime with
+  | None -> ()
+  | Some speed ->
+      Fmt.pr "(running in real time at %gx; virtual horizon %.3fs)@." speed horizon);
+  let res =
+    match realtime with
+    | None -> H.Runner.run sc
+    | Some speed -> H.Runner.run_paced ~speed sc
+  in
+  Fmt.pr "@[<v>params: %a@]@." Core.Params.pp params;
+  Fmt.pr "returns (%d):@." (List.length res.H.Runner.returns);
+  List.iter
+    (fun r -> Fmt.pr "  %a@." Core.Types.pp_return r)
+    res.H.Runner.returns;
+  List.iter
+    (fun (e : H.Metrics.episode) ->
+      (match H.Checks.agreement ~correct:res.H.Runner.correct e with
+      | H.Checks.Unanimous v ->
+          Fmt.pr "episode G=%d: unanimous %S (skew %.2fd, anchors %.2fd apart)@."
+            e.H.Metrics.g v
+            (H.Metrics.decision_skew res e /. d)
+            (H.Metrics.anchor_skew res e /. d)
+      | H.Checks.All_aborted -> Fmt.pr "episode G=%d: all aborted@." e.H.Metrics.g
+      | H.Checks.All_silent -> ()
+      | H.Checks.Violated why -> Fmt.pr "episode G=%d: VIOLATED: %s@." e.H.Metrics.g why))
+    (H.Metrics.episodes res);
+  (match H.Checks.pairwise_agreement res with
+  | [] -> Fmt.pr "pairwise agreement: holds@."
+  | vs -> List.iter (fun v -> Fmt.pr "pairwise agreement VIOLATION: %s@." v) vs);
+  Fmt.pr "messages sent: %d@." res.H.Runner.messages_sent;
+  List.iter
+    (fun (k, c) -> Fmt.pr "  %-10s %d@." k c)
+    res.H.Runner.messages_by_kind;
+  if trace_flag then begin
+    Fmt.pr "@.trace:@.";
+    Fmt.pr "%a@." Ssba_sim.Trace.pp res.H.Runner.trace
+  end
+
+let n_arg =
+  Arg.(value & opt int 7 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let general_arg =
+  Arg.(value & opt int 0 & info [ "general"; "g" ] ~doc:"The General's node id.")
+
+let value_arg =
+  Arg.(value & opt string "hello" & info [ "value"; "v" ] ~doc:"The value to agree on.")
+
+let attack_arg =
+  Arg.(
+    value
+    & opt (enum attacks) `None
+    & info [ "attack" ] ~doc:"Byzantine attack: $(docv)."
+        ~docv:(String.concat "|" (List.map fst attacks)))
+
+let scramble_arg =
+  Arg.(
+    value & flag
+    & info [ "scramble" ]
+        ~doc:"Corrupt all node state and inject network garbage at time 0.")
+
+let propose_at_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "propose-at" ] ~doc:"Real time of the General's initiation.")
+
+let horizon_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "horizon" ] ~doc:"Simulation end time (default: propose-at + 4 Dagr).")
+
+let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the event trace.")
+
+let realtime_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "realtime" ]
+        ~doc:
+          "Pace the simulation against the wall clock at $(docv) virtual \
+           seconds per wall second (e.g. 0.01 slows a millisecond-scale \
+           agreement down to human speed)."
+        ~docv:"SPEED")
+
+let cmd =
+  let doc = "run one self-stabilizing Byzantine agreement scenario" in
+  Cmd.v
+    (Cmd.info "ssba-run" ~doc)
+    Term.(
+      const run $ n_arg $ seed_arg $ general_arg $ value_arg $ attack_arg
+      $ scramble_arg $ propose_at_arg $ horizon_arg $ trace_arg $ realtime_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/byzantine_general.ml: Fmt List Ssba_adversary Ssba_core Ssba_harness

@@ -1,0 +1,1 @@
+examples/interactive_consistency.ml: Array Fmt List Printf Ssba_adversary Ssba_core Ssba_net Ssba_sim String

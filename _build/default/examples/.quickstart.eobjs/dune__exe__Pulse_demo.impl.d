@@ -1,0 +1,1 @@
+examples/pulse_demo.ml: Float Fmt List Option Ssba_core Ssba_net Ssba_pulse Ssba_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt List Ssba_core Ssba_net Ssba_sim

@@ -1,0 +1,1 @@
+examples/recurrent_agreement.ml: Array Fmt Hashtbl List Option Printf Ssba_core Ssba_net Ssba_sim

@@ -1,0 +1,1 @@
+examples/recurrent_agreement.mli:

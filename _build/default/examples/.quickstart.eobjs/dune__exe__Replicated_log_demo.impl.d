@@ -1,0 +1,1 @@
+examples/replicated_log_demo.ml: Fmt List Printf Ssba_apps Ssba_core Ssba_net Ssba_sim

@@ -1,0 +1,1 @@
+examples/transient_recovery.ml: Fmt List Ssba_core Ssba_harness

@@ -1,0 +1,1 @@
+lib/adversary/behavior.mli: Ssba_core Ssba_net Ssba_sim

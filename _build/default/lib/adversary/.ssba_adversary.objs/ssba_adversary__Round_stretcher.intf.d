@@ -1,0 +1,1 @@
+lib/adversary/round_stretcher.mli: Ssba_core Ssba_net Ssba_sim

@@ -1,0 +1,1 @@
+lib/adversary/strategies.ml: Behavior Hashtbl Ssba_core Ssba_net Ssba_sim

@@ -1,0 +1,1 @@
+lib/adversary/strategies.mli: Behavior Ssba_core

@@ -1,0 +1,140 @@
+(* Concrete Byzantine strategies.
+
+   Each strategy exercises an attack class the paper's proofs have to defeat:
+
+   - [silent]             crash/omission faults: contributes nothing.
+   - [spam]               floods random protocol messages; tests decay,
+                          memory bounds and that garbage cannot forge quorums.
+   - [mimic]              re-sends whatever it hears under its own identity
+                          after a delay; tests replay resistance (old
+                          messages must not re-trigger agreements).
+   - [two_faced_general]  tries to drive two different values through
+                          Initiator-Accept by splitting the node set;
+                          Uniqueness [IA-4] must prevent divergent accepts.
+   - [stagger_general]    spreads the Initiator message over a long window
+                          so correct nodes invoke at very different times;
+                          the freshness guards of block K must keep anchors
+                          within bounds or produce no accept at all.
+   - [partial_general]    initiates towards a subset only; the Relay property
+                          [IA-3] must either bring everyone to the same value
+                          or nobody to any.
+   - [equivocator]        participates in Initiator-Accept with different
+                          values towards different halves.
+   - [flip_flop]          alternates silence and spam in bursts, modelling an
+                          intermittently faulty node. *)
+
+open Ssba_core.Types
+module B = Behavior
+
+let silent = B.make ~name:"silent" (fun env -> B.on_message env (fun _ -> ()))
+
+let spam ~period ~values =
+  B.make ~name:"spam" (fun env ->
+      B.on_message env (fun _ -> ());
+      B.every env ~period (fun () ->
+          B.send_all env (B.random_message env ~values)))
+
+(* Each distinct payload is re-sent at most once: without the cap, two mimics
+   (or a mimic and an equivocator) amplify each other's output exponentially. *)
+let mimic ~delay =
+  B.make ~name:"mimic" (fun env ->
+      let seen : (message, unit) Hashtbl.t = Hashtbl.create 64 in
+      B.on_message env (fun m ->
+          let payload = m.Ssba_net.Msg.payload in
+          match payload with
+          | Initiator _ -> ()  (* cannot forge another General's identity *)
+          | Ia _ | Mb _ ->
+              if not (Hashtbl.mem seen payload) then begin
+                Hashtbl.replace seen payload ();
+                B.after env ~delay (fun () -> B.send_all env payload)
+              end))
+
+let halves env =
+  let n = env.B.params.Ssba_core.Params.n in
+  let rec split acc_even acc_odd i =
+    if i < 0 then (acc_even, acc_odd)
+    else if i mod 2 = 0 then split (i :: acc_even) acc_odd (i - 1)
+    else split acc_even (i :: acc_odd) (i - 1)
+  in
+  split [] [] (n - 1)
+
+let two_faced_general ~v1 ~v2 ~at =
+  B.make ~name:"two-faced-general" (fun env ->
+      B.on_message env (fun _ -> ());
+      let g = env.B.self in
+      let d = env.B.params.Ssba_core.Params.d in
+      B.at env ~time:at (fun () ->
+          let evens, odds = halves env in
+          B.send_to env ~dsts:evens (Initiator { g; v = v1 });
+          B.send_to env ~dsts:odds (Initiator { g; v = v2 });
+          (* Push both values through the support/approve/ready stages. *)
+          B.after env ~delay:(0.5 *. d) (fun () ->
+              B.send_to env ~dsts:evens (Ia { kind = Support; g; v = v1 });
+              B.send_to env ~dsts:odds (Ia { kind = Support; g; v = v2 }));
+          B.after env ~delay:(1.5 *. d) (fun () ->
+              B.send_all env (Ia { kind = Approve; g; v = v1 });
+              B.send_all env (Ia { kind = Approve; g; v = v2 }));
+          B.after env ~delay:(2.5 *. d) (fun () ->
+              B.send_all env (Ia { kind = Ready; g; v = v1 });
+              B.send_all env (Ia { kind = Ready; g; v = v2 }))))
+
+let stagger_general ~v ~at ~gap =
+  B.make ~name:"stagger-general" (fun env ->
+      B.on_message env (fun _ -> ());
+      let g = env.B.self in
+      let n = env.B.params.Ssba_core.Params.n in
+      for dst = 0 to n - 1 do
+        B.at env ~time:(at +. (float_of_int dst *. gap)) (fun () ->
+            B.send env ~dst (Initiator { g; v }))
+      done)
+
+let partial_general ~v ~at ~targets =
+  B.make ~name:"partial-general" (fun env ->
+      B.on_message env (fun _ -> ());
+      let g = env.B.self in
+      B.at env ~time:at (fun () ->
+          B.send_to env ~dsts:targets (Initiator { g; v });
+          (* The faulty General still supports its own value towards its
+             targets, like a correct participant would. *)
+          let d = env.B.params.Ssba_core.Params.d in
+          B.after env ~delay:(0.5 *. d) (fun () ->
+              B.send_to env ~dsts:targets (Ia { kind = Support; g; v }))))
+
+(* A Byzantine *participant* (not General): echoes support/approve/ready for
+   value [v1] to one half and [v2] to the other, for any General it hears
+   about — rate-limited to one burst per General per d, so colluding
+   equivocators cannot amplify each other without bound. *)
+let equivocator ~v1 ~v2 =
+  B.make ~name:"equivocator" (fun env ->
+      let last_burst : (general, float) Hashtbl.t = Hashtbl.create 8 in
+      B.on_message env (fun m ->
+          match m.Ssba_net.Msg.payload with
+          | Initiator { g; _ } | Ia { g; _ } ->
+              let now = Ssba_sim.Engine.now env.B.engine in
+              let d = env.B.params.Ssba_core.Params.d in
+              let recent =
+                match Hashtbl.find_opt last_burst g with
+                | Some t -> now -. t < d
+                | None -> false
+              in
+              if not recent then begin
+                Hashtbl.replace last_burst g now;
+                let evens, odds = halves env in
+                B.send_to env ~dsts:evens (Ia { kind = Support; g; v = v1 });
+                B.send_to env ~dsts:odds (Ia { kind = Support; g; v = v2 });
+                B.send_to env ~dsts:evens (Ia { kind = Approve; g; v = v1 });
+                B.send_to env ~dsts:odds (Ia { kind = Approve; g; v = v2 });
+                B.send_to env ~dsts:evens (Ia { kind = Ready; g; v = v1 });
+                B.send_to env ~dsts:odds (Ia { kind = Ready; g; v = v2 })
+              end
+          | Mb _ -> ()))
+
+let flip_flop ~period ~values =
+  B.make ~name:"flip-flop" (fun env ->
+      B.on_message env (fun _ -> ());
+      let noisy = ref false in
+      B.every env ~period (fun () -> noisy := not !noisy);
+      B.every env
+        ~period:(period /. 8.0)
+        (fun () ->
+          if !noisy then B.send_all env (B.random_message env ~values)))

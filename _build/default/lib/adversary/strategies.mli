@@ -1,0 +1,37 @@
+(** Concrete Byzantine strategies, each exercising an attack class the
+    paper's proofs defend against. All are rate-limited so colluding
+    adversaries cannot amplify each other without bound. *)
+
+open Ssba_core.Types
+
+(** Pure crash/omission: contributes nothing. *)
+val silent : Behavior.t
+
+(** Flood random protocol messages over [values] every [period]; tests
+    decay, memory bounds and quorum unforgeability. *)
+val spam : period:float -> values:value list -> Behavior.t
+
+(** Re-send everything heard under its own identity after [delay], each
+    distinct payload once (replay attack). *)
+val mimic : delay:float -> Behavior.t
+
+(** A faulty General sending value [v1] to the even nodes and [v2] to the
+    odd ones at time [at], then pushing both through support/approve/ready;
+    Uniqueness [IA-4] must prevent divergent accepts. *)
+val two_faced_general : v1:value -> v2:value -> at:float -> Behavior.t
+
+(** A faulty General spreading its initiation over [gap] per node; the
+    block-K freshness guards must keep anchors tight or kill the run. *)
+val stagger_general : v:value -> at:float -> gap:float -> Behavior.t
+
+(** A faulty General initiating towards [targets] only; the Relay property
+    [IA-3] must bring every correct node to the same outcome. *)
+val partial_general : v:value -> at:float -> targets:node_id list -> Behavior.t
+
+(** A Byzantine participant echoing support/approve/ready for [v1] to one
+    half and [v2] to the other, for any General it hears about. *)
+val equivocator : v1:value -> v2:value -> Behavior.t
+
+(** Alternates silence and spam in bursts of [period]: an intermittently
+    faulty node. *)
+val flip_flop : period:float -> values:value list -> Behavior.t

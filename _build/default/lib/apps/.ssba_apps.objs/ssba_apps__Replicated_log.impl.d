@@ -1,0 +1,1 @@
+lib/apps/replicated_log.ml: List Printf Ssba_core Ssba_pulse Ssba_sim String

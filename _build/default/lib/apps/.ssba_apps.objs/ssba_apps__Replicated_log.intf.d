@@ -1,0 +1,1 @@
+lib/apps/replicated_log.mli: Ssba_core

@@ -1,0 +1,164 @@
+(* Total-order replicated log (state machine replication) atop recurrent
+   ss-Byz-Agree.
+
+   The Byzantine Generals problem was introduced as the core of fault-
+   tolerant state machine replication; this module closes the loop by
+   building an SMR log from the paper's protocol, exercising its recurrent /
+   rotating-General mode like Ssba_pulse does for pulses:
+
+   - the log is a sequence of numbered slots, filled strictly in order;
+   - slot i is normally proposed by its owner, node (i mod n), with the
+     command at the head of its local submission queue (or a no-op); the
+     agreement value encodes slot, proposer and command;
+   - a timeout ladder identical to the pulse layer's lets node (i + j) mod n
+     take the slot over after cycle + j * patience on its own clock, so
+     silent or Byzantine owners cannot stall the log;
+   - a node commits slot i when it decides the slot's agreement. Per-slot
+     Agreement (Theorem 3) makes the committed value identical at every
+     correct node, and the in-order slot discipline turns that into an
+     identical command sequence — total-order broadcast.
+
+   Commands are not retried automatically across slots: a submission whose
+   slot was taken over by the ladder stays queued and rides the node's next
+   owned or taken-over slot. *)
+
+open Ssba_core.Types
+module Node = Ssba_core.Node
+module Params = Ssba_core.Params
+
+type entry = {
+  slot : int;
+  proposer : node_id;  (* as encoded in the decided value *)
+  cmd : value;
+  tau : float;  (* local commit time *)
+  rt : float;  (* simulator real time of the commit *)
+}
+
+type t = {
+  node : Node.t;
+  cycle_len : float;
+  patience : float;
+  mutable next_slot : int;
+  mutable log : entry list;  (* newest first *)
+  mutable queue : value list;  (* local submissions, oldest first *)
+  mutable on_commit : entry -> unit;
+  mutable epoch : int;  (* invalidates stale ladders *)
+}
+
+let noop = "noop"
+
+let value_of ~slot ~proposer cmd = Printf.sprintf "slot-%d:%d:%s" slot proposer cmd
+
+(* Parse "slot-<i>:<proposer>:<cmd>"; commands may contain ':'. *)
+let parse v =
+  match String.index_opt v ':' with
+  | Some c1 when String.length v > 5 && String.sub v 0 5 = "slot-" -> (
+      let slot_s = String.sub v 5 (c1 - 5) in
+      match String.index_from_opt v (c1 + 1) ':' with
+      | Some c2 -> (
+          let prop_s = String.sub v (c1 + 1) (c2 - c1 - 1) in
+          let cmd = String.sub v (c2 + 1) (String.length v - c2 - 1) in
+          match (int_of_string_opt slot_s, int_of_string_opt prop_s) with
+          | Some slot, Some proposer when slot >= 0 && proposer >= 0 ->
+              Some (slot, proposer, cmd)
+          | _ -> None)
+      | None -> None)
+  | _ -> None
+
+let log t = List.rev t.log
+
+(* The committed command sequence, no-ops removed. *)
+let commands t =
+  List.filter_map
+    (fun e -> if String.equal e.cmd noop then None else Some e.cmd)
+    (log t)
+
+let next_slot t = t.next_slot
+let pending t = List.length t.queue
+let set_on_commit t f = t.on_commit <- f
+let min_cycle = Ssba_pulse.Pulse_sync.min_cycle
+
+let submit t cmd =
+  if String.contains cmd '\n' then invalid_arg "Replicated_log.submit: newline";
+  t.queue <- t.queue @ [ cmd ]
+
+(* Propose slot [i] with our queue head (committing pops it only on commit,
+   so a lost proposal keeps the command queued). *)
+let propose_slot t i =
+  let cmd = match t.queue with c :: _ -> c | [] -> noop in
+  match
+    Node.propose t.node (value_of ~slot:i ~proposer:(Node.id t.node) cmd)
+  with
+  | Ok () -> ()
+  | Error _ -> ()  (* rate-limited/busy; the ladder retries *)
+
+(* Takeover ladder for slot [i], exactly like the pulse layer's: candidate j
+   (node (i + j) mod n) fires after cycle + j * patience on its own clock. *)
+let arm_ladder t i =
+  let epoch = t.epoch in
+  let n = (Node.params t.node).Params.n in
+  let after_local dl f =
+    Ssba_sim.Engine.schedule_after (Node.engine t.node)
+      ~delay:(Ssba_sim.Clock.real_of_local_duration (Node.clock t.node) dl)
+      f
+  in
+  for j = 0 to n - 1 do
+    if (i + j) mod n = Node.id t.node then
+      after_local
+        (t.cycle_len +. (float_of_int j *. t.patience))
+        (fun () -> if t.epoch = epoch && t.next_slot <= i then propose_slot t i)
+  done
+
+let commit t ~slot ~proposer ~cmd ~tau ~rt =
+  let e = { slot; proposer; cmd; tau; rt } in
+  t.log <- e :: t.log;
+  t.next_slot <- slot + 1;
+  t.epoch <- t.epoch + 1;
+  (* our command was committed: release it from the queue *)
+  (if proposer = Node.id t.node then
+     match t.queue with
+     | head :: tl when String.equal head cmd -> t.queue <- tl
+     | _ -> ());
+  t.on_commit e;
+  arm_ladder t (slot + 1)
+
+let handle_return t (r : return_info) =
+  match r.outcome with
+  | Aborted -> ()
+  | Decided v -> (
+      match parse v with
+      | Some (slot, proposer, cmd) when slot >= t.next_slot ->
+          (* slots strictly in order: a decision can only be for the slot
+             every correct node is currently waiting on (proposals for later
+             slots cannot form before this one commits) *)
+          commit t ~slot ~proposer ~cmd ~tau:r.tau_ret ~rt:r.rt_ret
+      | Some _ | None -> ())
+
+let create ~node ~cycle_len ?patience () =
+  let params = Node.params node in
+  if cycle_len < min_cycle params then
+    invalid_arg "Replicated_log.create: cycle_len below the safe floor";
+  let patience =
+    match patience with
+    | Some p -> p
+    | None -> params.Params.delta_agr +. (20.0 *. params.Params.d)
+  in
+  let t =
+    {
+      node;
+      cycle_len;
+      patience;
+      next_slot = 0;
+      log = [];
+      queue = [];
+      on_commit = (fun _ -> ());
+      epoch = 0;
+    }
+  in
+  Node.subscribe node (fun r -> handle_return t r);
+  t
+
+(* Bootstrap: slot 0's owner proposes right away; ladders cover the rest. *)
+let start t =
+  if (Node.params t.node).Params.n > 0 && Node.id t.node = 0 then propose_slot t 0;
+  arm_ladder t 0

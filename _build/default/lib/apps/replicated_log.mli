@@ -1,0 +1,55 @@
+(** Total-order replicated log (state machine replication) atop recurrent
+    ss-Byz-Agree — the application the Byzantine Generals problem was
+    introduced for.
+
+    Slots are filled strictly in order: slot [i] is proposed by node
+    [i mod n], with a timeout ladder letting the next nodes take over a
+    silent or Byzantine owner's slot. Per-slot Agreement makes the committed
+    value identical at every correct node; the in-order discipline turns
+    that into an identical command sequence at every correct node. *)
+
+open Ssba_core.Types
+
+type entry = {
+  slot : int;
+  proposer : node_id;  (** as encoded in the decided value *)
+  cmd : value;
+  tau : float;  (** local commit time *)
+  rt : float;  (** simulator real time of the commit *)
+}
+
+type t
+
+(** [create ~node ~cycle_len ()] attaches a log replica to a protocol node.
+    [cycle_len] is the per-slot local-time budget; raises
+    [Invalid_argument] below {!min_cycle}. [patience] is the takeover
+    timeout per skipped owner (default [Delta_agr + 20d]). *)
+val create : node:Ssba_core.Node.t -> cycle_len:float -> ?patience:float -> unit -> t
+
+(** Safe floor for [cycle_len] given the protocol constants. *)
+val min_cycle : Ssba_core.Params.t -> float
+
+(** Begin filling slots (slot 0 is owned by node 0). *)
+val start : t -> unit
+
+(** Queue a command for this node's next owned (or taken-over) slot. Raises
+    [Invalid_argument] on embedded newlines. *)
+val submit : t -> value -> unit
+
+(** Committed entries in slot order. *)
+val log : t -> entry list
+
+(** The committed command sequence (no-ops removed) — identical at every
+    correct node. *)
+val commands : t -> value list
+
+(** The slot this replica is currently waiting on. *)
+val next_slot : t -> int
+
+(** Locally queued, not-yet-committed submissions. *)
+val pending : t -> int
+
+val set_on_commit : t -> (entry -> unit) -> unit
+
+(** The filler command used for slots whose owner had nothing to propose. *)
+val noop : value

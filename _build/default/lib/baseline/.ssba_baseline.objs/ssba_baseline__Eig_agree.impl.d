@@ -1,0 +1,1 @@
+lib/baseline/eig_agree.ml: Hashtbl List Option Ssba_core Ssba_net Ssba_sim

@@ -1,0 +1,1 @@
+lib/baseline/eig_agree.mli: Ssba_core Ssba_net Ssba_sim

@@ -1,0 +1,1 @@
+lib/baseline/tps_agree.ml: Fmt Hashtbl List Ssba_core Ssba_net Ssba_sim String

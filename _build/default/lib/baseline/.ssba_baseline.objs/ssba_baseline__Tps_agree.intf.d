@@ -1,0 +1,1 @@
+lib/baseline/tps_agree.mli: Ssba_core Ssba_net Ssba_sim

@@ -1,0 +1,47 @@
+(** Second baseline: Exponential Information Gathering Byzantine agreement
+    with oral messages (Pease–Shostak–Lamport lineage, the paper's [13]):
+    synchronous, time-driven, always [f+1] rounds of length [Phi], with a
+    [Theta(n^f)]-entry information tree relayed every round. Runs over its
+    own payload type on a private network instance. *)
+
+open Ssba_core.Types
+
+(** Wire format, exposed so tests and adversaries can craft raw messages. *)
+type payload =
+  | Value of value  (** the General's round-0 value *)
+  | Relay of (node_id list * value) list  (** (path, stored value) batch *)
+
+type t
+
+(** [create ~id ~params ~clock ~engine ~net ~g ~t_start] builds one EIG node
+    for the agreement led by General [g], with round boundaries at common
+    local times [t_start + b * Phi], and registers it as the network handler
+    for [id]. *)
+val create :
+  id:node_id ->
+  params:Ssba_core.Params.t ->
+  clock:Ssba_sim.Clock.t ->
+  engine:Ssba_sim.Engine.t ->
+  net:payload Ssba_net.Network.t ->
+  g:general ->
+  t_start:float ->
+  t
+
+(** The General sends its value (round 0). Raises if [id <> g]. *)
+val propose : t -> value -> unit
+
+(** The decided value, once boundary [f+1] has resolved the tree. A missing
+    or equivocating General resolves to the default value {!default_value}
+    (consistently at all correct nodes). *)
+val decided : t -> value option
+
+val set_on_decide : t -> (value -> tau:float -> unit) -> unit
+
+(** The default ("bottom") value used on majority ties and absences. *)
+val default_value : value
+
+(** Number of stored tree entries (for the message/memory comparison). *)
+val tree_size : t -> int
+
+(** Current local-clock reading. *)
+val local_time : t -> float

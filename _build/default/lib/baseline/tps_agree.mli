@@ -1,0 +1,33 @@
+(** Time-driven baseline: Toueg–Perry–Srikanth Fast Distributed Agreement
+    (the paper's [14]), with lock-step phases of length [Phi] anchored at a
+    common, pre-synchronized start time. Send/accept rules fire only at phase
+    boundaries, so latency is quantized to whole phases regardless of actual
+    network speed — the comparator for the message-driven claim (E3). *)
+
+open Ssba_core.Types
+
+type t
+
+(** [create ~id ~params ~clock ~engine ~net ~g ~t_start] builds one baseline
+    node for the agreement led by General [g], with phase 0 at common local
+    time [t_start], and registers it as the network handler for [id]. *)
+val create :
+  id:node_id ->
+  params:Ssba_core.Params.t ->
+  clock:Ssba_sim.Clock.t ->
+  engine:Ssba_sim.Engine.t ->
+  net:message Ssba_net.Network.t ->
+  g:general ->
+  t_start:float ->
+  t
+
+(** The General broadcasts its value at phase 0. Raises if [id <> g]. *)
+val propose : t -> value -> unit
+
+(** The return, once the node stopped: outcome and local return time. *)
+val returned : t -> (outcome * float) option
+
+val set_on_return : t -> (outcome -> tau_ret:float -> unit) -> unit
+
+(** Current local-clock reading. *)
+val local_time : t -> float

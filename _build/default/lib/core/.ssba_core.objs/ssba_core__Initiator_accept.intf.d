@@ -1,0 +1,1 @@
+lib/core/initiator_accept.mli: Ssba_sim Types

@@ -1,0 +1,1 @@
+lib/core/msgd_broadcast.mli: Ssba_sim Types

@@ -1,0 +1,1 @@
+lib/core/node.ml: Hashtbl Initiator_accept List Params Printf Ss_byz_agree Ssba_net Ssba_sim Types

@@ -1,0 +1,1 @@
+lib/core/node.mli: Params Ss_byz_agree Ssba_net Ssba_sim Types

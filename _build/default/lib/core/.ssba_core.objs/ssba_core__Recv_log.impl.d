@@ -1,0 +1,1 @@
+lib/core/recv_log.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/ss_byz_agree.mli: Initiator_accept Msgd_broadcast Ssba_sim Types

@@ -1,0 +1,59 @@
+(** The [Initiator-Accept] primitive (paper Figure 2, §4).
+
+    One instance per (node, General). Makes all correct nodes associate a
+    bounded-skew local-time anchor [tau_g] with the General's initiation and
+    converge on a single candidate value, from any initial state. Satisfies
+    properties [IA-1]–[IA-4] once the system is stable. *)
+
+open Types
+
+type t
+
+(** Timestamps of the current invocation's key steps, used by a General to
+    implement the [IG3] sending-validity criterion. *)
+type invocation_report = {
+  invoked_at : float option;  (** block K executed (this node invoked) *)
+  l4_at : float option;  (** first approve sent after invocation *)
+  m4_at : float option;  (** first ready sent after invocation *)
+  n4_at : float option;  (** I-accept after invocation *)
+}
+
+val create : ctx:ctx -> g:general -> t
+
+(** Set the I-accept callback [(value, tau_g)]. *)
+val set_on_accept : t -> (value -> tau_g:float -> unit) -> unit
+
+(** Block K: handle the General's [(Initiator, G, m)] message. *)
+val handle_initiator : t -> value -> unit
+
+(** Handle a support/approve/ready arrival, then evaluate blocks L–N. *)
+val handle_message : t -> kind:ia_kind -> sender:node_id -> v:value -> unit
+
+(** Figure 2's cleanup block; the node runs it every [d]. *)
+val cleanup : t -> unit
+
+(** Drop all received primitive messages (the General does this before
+    initiating); rate-limiting variables survive. *)
+val forget_messages : t -> unit
+
+(** Full per-agreement reset (3d after the agreement returns); the
+    rate-limiting variables [last(G)], [last(G,m)] and send times survive. *)
+val reset : t -> unit
+
+(** The I-accept issued in this execution, as [(value, tau_g, tau_accept)]. *)
+val accepted : t -> (value * float * float) option
+
+(** Current live recording time for a value, applying freshness. *)
+val i_value : t -> value -> float option
+
+(** Whether [ready_{G,m}] is currently set and unexpired. *)
+val ready_flag_fresh : t -> value -> bool
+
+val invocation_report : t -> invocation_report
+
+(** Whether (G,m) messages are inside the 3d post-accept ignore window. *)
+val ignoring : t -> value -> bool
+
+(** Transient-fault injection: overwrite variables with random garbage drawn
+    around the current local time (past and future). *)
+val scramble : Ssba_sim.Rng.t -> values:value list -> t -> unit

@@ -1,0 +1,241 @@
+(* The msgd-broadcast primitive (paper Figure 3, §5).
+
+   A message-driven Reliable Broadcast in the style of Toueg, Perry &
+   Srikanth's authenticated-broadcast simulation. One instance runs per
+   (node, agreement instance); within it, state is kept per broadcast triplet
+   (p, m, k) — broadcaster, value, round tag.
+
+   The crucial difference from the original synchronous primitive: round
+   deadlines [tau_g + (2k + c) * Phi] are upper bounds only. Conditions are
+   re-evaluated on every arrival, so when the network is fast the primitive
+   completes in a few d rather than a few Phi (experiment E3 measures this).
+
+   Blocks, transcribed from the figure (executed only once the anchor tau_g
+   is defined; messages are logged regardless and re-evaluated when the
+   anchor appears):
+     V  — the broadcaster p sends (init, p, m, k) to all;
+     W  — by tau_g + 2k*Phi: init received from p itself => send echo;
+     X  — by tau_g + (2k+1)*Phi: n-2f echoes => send init'; n-f => accept;
+     Y  — by tau_g + (2k+2)*Phi: n-2f init' => p joins broadcasters;
+          n-f init' => send echo';
+     Z  — untimed: n-2f echo' => relay echo'; n-f echo' => accept (once);
+     cleanup — decay anything older than (2f+3)*Phi. *)
+
+open Types
+
+type trip = {
+  mutable init_from_p : float option;  (* arrival of (init,...) actually from p *)
+  echo : Recv_log.t;
+  init2 : Recv_log.t;
+  echo2 : Recv_log.t;
+  mutable sent_echo : bool;
+  mutable sent_init2 : bool;
+  mutable sent_echo2 : bool;
+  mutable accepted_at : float option;
+  mutable last_activity : float;
+}
+
+type t = {
+  g : general;
+  ctx : ctx;
+  trips : (node_id * value * int, trip) Hashtbl.t;
+  broadcasters : (node_id, float) Hashtbl.t;  (* node -> local time added *)
+  mutable tau_g : float option;
+  mutable on_accept : p:node_id -> v:value -> k:int -> unit;
+  mutable on_broadcaster : node_id -> unit;
+}
+
+let create ~ctx ~g =
+  {
+    g;
+    ctx;
+    trips = Hashtbl.create 8;
+    broadcasters = Hashtbl.create 8;
+    tau_g = None;
+    on_accept = (fun ~p:_ ~v:_ ~k:_ -> ());
+    on_broadcaster = (fun _ -> ());
+  }
+
+let set_on_accept t f = t.on_accept <- f
+let set_on_broadcaster t f = t.on_broadcaster <- f
+
+let now t = t.ctx.local_time ()
+let prm t = t.ctx.params
+
+let trip_of t key =
+  match Hashtbl.find_opt t.trips key with
+  | Some tr -> tr
+  | None ->
+      let tr =
+        {
+          init_from_p = None;
+          echo = Recv_log.create ();
+          init2 = Recv_log.create ();
+          echo2 = Recv_log.create ();
+          sent_echo = false;
+          sent_init2 = false;
+          sent_echo2 = false;
+          accepted_at = None;
+          last_activity = now t;
+        }
+      in
+      Hashtbl.replace t.trips key tr;
+      tr
+
+let broadcaster_count t = Hashtbl.length t.broadcasters
+let broadcasters t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.broadcasters [] |> List.sort compare
+
+let send t kind ~p ~v ~k = t.ctx.send_all (Mb { kind; p; g = t.g; v; k })
+
+let do_accept t (p, v, k) tr =
+  tr.accepted_at <- Some (now t);
+  t.ctx.trace ~kind:"mb-accept"
+    ~detail:(Printf.sprintf "G=%d p=%d v=%S k=%d" t.g p v k);
+  t.on_accept ~p ~v ~k
+
+(* Evaluate blocks W–Z for one triplet; no-op until the anchor is known. *)
+let eval t ((p, v, k) as key) tr =
+  match t.tau_g with
+  | None -> ()
+  | Some tg ->
+      let tau = now t in
+      let pm = prm t in
+      let phi = pm.Params.phi in
+      let n_f = Params.quorum pm in
+      let n_2f = Params.weak_quorum pm in
+      let deadline c = tg +. (float_of_int ((2 * k) + c) *. phi) in
+      (* W *)
+      if tau <= deadline 0 && tr.init_from_p <> None && not tr.sent_echo then begin
+        tr.sent_echo <- true;
+        send t Echo ~p ~v ~k
+      end;
+      (* X *)
+      if tau <= deadline 1 then begin
+        if Recv_log.count tr.echo >= n_2f && not tr.sent_init2 then begin
+          tr.sent_init2 <- true;
+          send t Init2 ~p ~v ~k
+        end;
+        if Recv_log.count tr.echo >= n_f && tr.accepted_at = None then
+          do_accept t key tr
+      end;
+      (* Y *)
+      if tau <= deadline 2 then begin
+        if Recv_log.count tr.init2 >= n_2f && not (Hashtbl.mem t.broadcasters p)
+        then begin
+          Hashtbl.replace t.broadcasters p tau;
+          t.ctx.trace ~kind:"mb-broadcaster"
+            ~detail:(Printf.sprintf "G=%d p=%d (total %d)" t.g p (broadcaster_count t));
+          t.on_broadcaster p
+        end;
+        if Recv_log.count tr.init2 >= n_f && not tr.sent_echo2 then begin
+          tr.sent_echo2 <- true;
+          send t Echo2 ~p ~v ~k
+        end
+      end;
+      (* Z *)
+      if Recv_log.count tr.echo2 >= n_2f && not tr.sent_echo2 then begin
+        tr.sent_echo2 <- true;
+        send t Echo2 ~p ~v ~k
+      end;
+      if Recv_log.count tr.echo2 >= n_f && tr.accepted_at = None then
+        do_accept t key tr
+
+(* Block V: this node broadcasts (p = self). *)
+let broadcast t ~v ~k = send t Init ~p:t.ctx.self ~v ~k
+
+(* Anchor management: set on I-accept, then replay all logged triplets. *)
+let set_anchor t tau_g =
+  t.tau_g <- Some tau_g;
+  Hashtbl.iter (fun key tr -> eval t key tr) t.trips
+
+let anchor t = t.tau_g
+
+let handle_message t ~sender ~kind ~p ~v ~k =
+  (* Round tags outside [1, f+1] cannot be used by any correct node (blocks R
+     and S only broadcast with k in that range); drop them so Byzantine spam
+     cannot inflate memory. *)
+  if k >= 1 && k <= (prm t).Params.f + 1 then begin
+    let tau = now t in
+    let tr = trip_of t (p, v, k) in
+    tr.last_activity <- tau;
+    (match kind with
+    | Init -> if sender = p && tr.init_from_p = None then tr.init_from_p <- Some tau
+    | Echo -> Recv_log.note tr.echo ~sender ~at:tau
+    | Init2 -> Recv_log.note tr.init2 ~sender ~at:tau
+    | Echo2 -> Recv_log.note tr.echo2 ~sender ~at:tau);
+    eval t (p, v, k) tr
+  end
+
+(* Figure 3's cleanup: decay anything older than (2f+3) * Phi. *)
+let cleanup t =
+  let tau = now t in
+  let pm = prm t in
+  let horizon = tau -. (float_of_int ((2 * pm.Params.f) + 3) *. pm.Params.phi) in
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun key tr ->
+      Recv_log.sanitize tr.echo ~now:tau;
+      Recv_log.sanitize tr.init2 ~now:tau;
+      Recv_log.sanitize tr.echo2 ~now:tau;
+      Recv_log.decay tr.echo ~horizon;
+      Recv_log.decay tr.init2 ~horizon;
+      Recv_log.decay tr.echo2 ~horizon;
+      (match tr.init_from_p with
+      | Some at when at > tau || at < horizon -> tr.init_from_p <- None
+      | Some _ | None -> ());
+      (match tr.accepted_at with
+      | Some at when at > tau -> tr.accepted_at <- None
+      | Some _ | None -> ());
+      if
+        tr.last_activity < horizon || tr.last_activity > tau
+      then doomed := key :: !doomed)
+    t.trips;
+  List.iter (Hashtbl.remove t.trips) !doomed;
+  let stale =
+    Hashtbl.fold
+      (fun p at acc -> if at > tau || at < horizon then p :: acc else acc)
+      t.broadcasters []
+  in
+  List.iter (Hashtbl.remove t.broadcasters) stale;
+  match t.tau_g with
+  | Some tg when tg > tau -> t.tau_g <- None  (* corrupt future anchor *)
+  | Some _ | None -> ()
+
+let reset t =
+  Hashtbl.reset t.trips;
+  Hashtbl.reset t.broadcasters;
+  t.tau_g <- None
+
+(* Transient-fault injection. *)
+let scramble rng ~values t =
+  let tau = now t in
+  let pm = prm t in
+  let n = pm.Params.n in
+  let span = 3.0 *. float_of_int ((2 * pm.Params.f) + 3) *. pm.Params.phi in
+  let rtime () = tau +. Ssba_sim.Rng.float_in_range rng ~lo:(-.span) ~hi:pm.Params.phi in
+  let ntrips = Ssba_sim.Rng.int rng 6 in
+  for _ = 1 to ntrips do
+    let p = Ssba_sim.Rng.int rng n in
+    let v = Ssba_sim.Rng.pick_list rng values in
+    let k = 1 + Ssba_sim.Rng.int rng (pm.Params.f + 1) in
+    let tr = trip_of t (p, v, k) in
+    if Ssba_sim.Rng.bool rng then tr.init_from_p <- Some (rtime ());
+    for _ = 1 to Ssba_sim.Rng.int rng (n + 1) do
+      Recv_log.corrupt tr.echo ~sender:(Ssba_sim.Rng.int rng n) ~at:(rtime ())
+    done;
+    for _ = 1 to Ssba_sim.Rng.int rng (n + 1) do
+      Recv_log.corrupt tr.init2 ~sender:(Ssba_sim.Rng.int rng n) ~at:(rtime ())
+    done;
+    for _ = 1 to Ssba_sim.Rng.int rng (n + 1) do
+      Recv_log.corrupt tr.echo2 ~sender:(Ssba_sim.Rng.int rng n) ~at:(rtime ())
+    done;
+    tr.sent_echo <- Ssba_sim.Rng.bool rng;
+    tr.sent_init2 <- Ssba_sim.Rng.bool rng;
+    tr.sent_echo2 <- Ssba_sim.Rng.bool rng;
+    if Ssba_sim.Rng.bool rng then tr.accepted_at <- Some (rtime ())
+  done;
+  for _ = 1 to Ssba_sim.Rng.int rng (pm.Params.f + 1) do
+    Hashtbl.replace t.broadcasters (Ssba_sim.Rng.int rng n) (rtime ())
+  done;
+  if Ssba_sim.Rng.bool rng then t.tau_g <- Some (rtime ())

@@ -1,0 +1,250 @@
+(* Node glue: wires the protocol state machines to the engine, clock and
+   network, multiplexes per-General agreement instances, and implements the
+   General-side Sending Validity Criteria [IG1]–[IG3] of §3/§4.
+
+   Everything protocol-visible runs in local time; this module owns the
+   conversion (timers are local durations turned into real delays through the
+   node's drift rate). *)
+
+open Types
+module Engine = Ssba_sim.Engine
+module Clock = Ssba_sim.Clock
+
+type net = message Ssba_net.Network.t
+
+type t = {
+  id : node_id;
+  params : Params.t;
+  clock : Clock.t;
+  engine : Engine.t;
+  net : net;
+  channels : int;
+      (* concurrent-invocation support (paper footnote 9): logical General
+         ids range over [0, n * channels); logical g maps to physical node
+         g mod n, and the Sending Validity Criteria are enforced per logical
+         General, which is exactly how the paper says the rate limits can be
+         circumvented safely *)
+  instances : (general, Ss_byz_agree.t) Hashtbl.t;  (* keyed by logical id *)
+  mutable returns : return_info list;  (* newest first *)
+  mutable subscribers : (return_info -> unit) list;
+  mutable observers : (general -> Ss_byz_agree.observation -> unit) list;
+  (* General-side state for the Sending Validity Criteria, per logical id: *)
+  last_init_at : (general, float) Hashtbl.t;  (* IG1 *)
+  last_value_init_at : (general * value, float) Hashtbl.t;  (* IG2 *)
+  blocked_until : (general, float) Hashtbl.t;  (* IG3 *)
+  mutable cleanup_running : bool;
+}
+
+let id t = t.id
+let params t = t.params
+let clock t = t.clock
+let engine t = t.engine
+let local_time t = Clock.read t.clock ~now:(Engine.now t.engine)
+let instance_count t = Hashtbl.length t.instances
+let returns t = List.rev t.returns
+let subscribe t f = t.subscribers <- f :: t.subscribers
+let subscribe_observations t f = t.observers <- f :: t.observers
+
+let ctx_of t =
+  {
+    params = t.params;
+    self = t.id;
+    local_time = (fun () -> local_time t);
+    send_all = (fun msg -> Ssba_net.Network.broadcast t.net ~src:t.id msg);
+    after_local =
+      (fun dl f ->
+        Engine.schedule_after t.engine ~delay:(Clock.real_of_local_duration t.clock dl) f);
+    trace =
+      (fun ~kind ~detail -> Engine.record t.engine ~node:t.id ~kind ~detail);
+  }
+
+let instance t g =
+  match Hashtbl.find_opt t.instances g with
+  | Some inst -> inst
+  | None ->
+      let inst = Ss_byz_agree.create ~ctx:(ctx_of t) ~g in
+      Ss_byz_agree.set_on_return inst (fun outcome ~tau_g ~tau_ret ->
+          let r =
+            {
+              node = t.id;
+              g;
+              outcome;
+              tau_g;
+              tau_ret;
+              rt_ret = Engine.now t.engine;
+            }
+          in
+          t.returns <- r :: t.returns;
+          List.iter (fun f -> f r) t.subscribers);
+      Ss_byz_agree.set_observer inst (fun obs ->
+          List.iter (fun f -> f g obs) t.observers);
+      Hashtbl.replace t.instances g inst;
+      inst
+
+(* The physical node behind a logical General id. *)
+let physical t g = g mod t.params.Params.n
+
+let handle_envelope t (env : message Ssba_net.Msg.t) =
+  let sender = env.Ssba_net.Msg.src in
+  let msg = env.Ssba_net.Msg.payload in
+  let g =
+    match msg with
+    | Initiator { g; _ } -> g
+    | Ia { g; _ } -> g
+    | Mb { g; _ } -> g
+  in
+  (* Out-of-range (logical) General ids can only be garbage. Initiator
+     authentication is against the physical node behind the logical id. *)
+  if g >= 0 && g < t.params.Params.n * t.channels then
+    match msg with
+    | Initiator _ when sender <> physical t g -> ()
+    | Initiator _ | Ia _ | Mb _ ->
+        Ss_byz_agree.handle_message (instance t g) ~sender msg
+
+(* Periodic cleanup at granularity d (local), per Figures 1–3. *)
+let start_cleanup t =
+  if not t.cleanup_running then begin
+    t.cleanup_running <- true;
+    let d = t.params.Params.d in
+    let rec tick () =
+      Hashtbl.iter (fun _ inst -> Ss_byz_agree.cleanup inst) t.instances;
+      Engine.schedule_after t.engine
+        ~delay:(Clock.real_of_local_duration t.clock d)
+        tick
+    in
+    tick ()
+  end
+
+let create ?(channels = 1) ~id ~params ~clock ~engine ~net () =
+  if channels < 1 then invalid_arg "Node.create: channels must be >= 1";
+  let t =
+    {
+      id;
+      params;
+      clock;
+      engine;
+      net;
+      channels;
+      instances = Hashtbl.create 4;
+      returns = [];
+      subscribers = [];
+      observers = [];
+      last_init_at = Hashtbl.create 4;
+      last_value_init_at = Hashtbl.create 4;
+      blocked_until = Hashtbl.create 4;
+      cleanup_running = false;
+    }
+  in
+  Ssba_net.Network.set_handler net id (fun env -> handle_envelope t env);
+  start_cleanup t;
+  t
+
+(* ----- the General role ------------------------------------------------ *)
+
+type propose_error =
+  | Too_soon  (* IG1: within Delta_0 of the previous initiation *)
+  | Value_too_soon  (* IG2: within Delta_v of initiating the same value *)
+  | Blocked  (* IG3: within Delta_reset of a noticed failure *)
+  | Busy  (* own agreement instance still running *)
+
+let string_of_propose_error = function
+  | Too_soon -> "IG1: within Delta_0 of the previous initiation"
+  | Value_too_soon -> "IG2: within Delta_v of initiating the same value"
+  | Blocked -> "IG3: quiet period after a noticed failure"
+  | Busy -> "previous agreement instance still active"
+
+(* IG3 watchdog: §4 declares an invocation failed when the General's own
+   L4 / M4 / N4 did not complete within 2d / 3d / 4d of its invocation. We
+   check 7d (local) after the proposal — enough for the self-addressed
+   Initiator message plus the 4d N4 deadline — and impose the Delta_reset
+   quiet period on failure. *)
+let watch_own_invocation t ~logical =
+  let d = t.params.Params.d in
+  let inst = instance t logical in
+  let ia = Ss_byz_agree.initiator_accept inst in
+  (ctx_of t).after_local (7.0 *. d) (fun () ->
+      let rep = Initiator_accept.invocation_report ia in
+      let within bound = function
+        | Some at -> (
+            match rep.Initiator_accept.invoked_at with
+            | Some inv -> at -. inv <= bound *. d
+            | None -> false)
+        | None -> false
+      in
+      let ok =
+        rep.Initiator_accept.invoked_at <> None
+        && within 2.0 rep.Initiator_accept.l4_at
+        && within 3.0 rep.Initiator_accept.m4_at
+        && within 4.0 rep.Initiator_accept.n4_at
+      in
+      if not ok then begin
+        let tau = local_time t in
+        Hashtbl.replace t.blocked_until logical (tau +. t.params.Params.delta_reset);
+        Engine.record t.engine ~node:t.id ~kind:"ig3-failure"
+          ~detail:(Printf.sprintf "logical G=%d quiet for Dreset" logical)
+      end)
+
+let propose ?(channel = 0) t v =
+  if channel < 0 || channel >= t.channels then
+    invalid_arg "Node.propose: channel out of range";
+  let logical = (channel * t.params.Params.n) + t.id in
+  let tau = local_time t in
+  let ig1_violation =
+    match Hashtbl.find_opt t.last_init_at logical with
+    | Some s -> tau -. s < t.params.Params.delta_0
+    | None -> false
+  in
+  let ig2_violation =
+    match Hashtbl.find_opt t.last_value_init_at (logical, v) with
+    | Some s -> tau -. s < t.params.Params.delta_v
+    | None -> false
+  in
+  let blocked =
+    match Hashtbl.find_opt t.blocked_until logical with
+    | Some until -> tau < until
+    | None -> false
+  in
+  if blocked then Error Blocked
+  else if ig1_violation then Error Too_soon
+  else if ig2_violation then Error Value_too_soon
+  else if Ss_byz_agree.state (instance t logical) <> Ss_byz_agree.Idle then
+    Error Busy
+  else begin
+    (* Before initiating, the General removes all previously received
+       messages associated with previous invocations with him as General. *)
+    Initiator_accept.forget_messages
+      (Ss_byz_agree.initiator_accept (instance t logical));
+    Hashtbl.replace t.last_init_at logical tau;
+    Hashtbl.replace t.last_value_init_at (logical, v) tau;
+    Engine.record t.engine ~node:t.id ~kind:"propose"
+      ~detail:(Printf.sprintf "%S (logical G=%d)" v logical);
+    (* Block Q0: send (Initiator, G, m) to all — the General invokes via its
+       own self-addressed copy, like every other node. *)
+    Ssba_net.Network.broadcast t.net ~src:t.id (Initiator { g = logical; v });
+    watch_own_invocation t ~logical;
+    Ok ()
+  end
+
+(* ----- fault injection -------------------------------------------------- *)
+
+(* Corrupt every existing instance, and conjure instances for [extra]
+   additional random Generals so that pre-existing garbage about agreements
+   nobody started is also represented. *)
+let scramble rng ~values ?(extra = 2) t =
+  let n = t.params.Params.n in
+  for _ = 1 to extra do
+    ignore (instance t (Ssba_sim.Rng.int rng (n * t.channels)))
+  done;
+  Hashtbl.iter (fun _ inst -> Ss_byz_agree.scramble rng ~values inst) t.instances;
+  (* The General-side bookkeeping is state like any other. *)
+  let tau = local_time t in
+  if Ssba_sim.Rng.bool rng then
+    Hashtbl.replace t.last_init_at
+      (Ssba_sim.Rng.int rng (n * t.channels))
+      (tau
+      +. Ssba_sim.Rng.float_in_range rng ~lo:(-2.0 *. t.params.Params.delta_v)
+           ~hi:t.params.Params.delta_0);
+  if Ssba_sim.Rng.bool rng then
+    Hashtbl.replace t.blocked_until
+      (Ssba_sim.Rng.int rng (n * t.channels))
+      (tau +. Ssba_sim.Rng.float_in_range rng ~lo:(-1.0) ~hi:t.params.Params.delta_reset)

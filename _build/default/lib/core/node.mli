@@ -1,0 +1,76 @@
+(** Node glue: wires the protocol state machines to the engine, clock and
+    network, multiplexes per-General agreement instances, and implements the
+    General-side Sending Validity Criteria [IG1]–[IG3]. *)
+
+open Types
+
+type t
+type net = message Ssba_net.Network.t
+
+type propose_error =
+  | Too_soon  (** [IG1]: within [Delta_0] of the previous initiation *)
+  | Value_too_soon  (** [IG2]: within [Delta_v] of initiating the same value *)
+  | Blocked  (** [IG3]: within [Delta_reset] of a noticed failure *)
+  | Busy  (** own agreement instance still active *)
+
+val string_of_propose_error : propose_error -> string
+
+(** Create a node and register it as the network handler for [id]. Starts
+    the periodic (every [d]) cleanup tick.
+
+    [channels] (default 1) enables the paper's footnote-9 extension:
+    concurrent invocations by one General are differentiated by an index.
+    Logical General ids range over [0, n * channels); logical [g] is owned by
+    physical node [g mod n], and the Sending Validity Criteria are enforced
+    per logical General. *)
+val create :
+  ?channels:int ->
+  id:node_id ->
+  params:Params.t ->
+  clock:Ssba_sim.Clock.t ->
+  engine:Ssba_sim.Engine.t ->
+  net:net ->
+  unit ->
+  t
+
+val id : t -> node_id
+val params : t -> Params.t
+val clock : t -> Ssba_sim.Clock.t
+val engine : t -> Ssba_sim.Engine.t
+
+(** Current local-clock reading. *)
+val local_time : t -> float
+
+(** Act as the General: initiate agreement on [v] (block Q0), enforcing the
+    Sending Validity Criteria and arming the [IG3] self-watchdog. [channel]
+    (default 0) selects the concurrent-invocation index; the agreement runs
+    under logical General id [channel * n + id]. Raises [Invalid_argument] if
+    the channel is out of range. *)
+val propose : ?channel:int -> t -> value -> (unit, propose_error) result
+
+(** The per-General agreement instance (created on demand); the argument is
+    a logical General id. *)
+val instance : t -> general -> Ss_byz_agree.t
+
+(** The physical node behind a logical General id ([g mod n]). *)
+val physical : t -> general -> node_id
+
+(** Number of live per-General agreement instances (bounded by
+    [n * channels], the memory-bound soak tests rely on this). *)
+val instance_count : t -> int
+
+(** All values returned by this node's agreement instances, oldest first. *)
+val returns : t -> return_info list
+
+(** Be notified of every future return. *)
+val subscribe : t -> (return_info -> unit) -> unit
+
+(** Be notified of fine-grained protocol events (I-accepts, msgd-broadcast
+    accepts, own decision broadcasts, broadcaster detections) across all of
+    this node's agreement instances, tagged with the General. *)
+val subscribe_observations :
+  t -> (general -> Ss_byz_agree.observation -> unit) -> unit
+
+(** Transient-fault injection: corrupt every instance (plus [extra] conjured
+    ones) and the General-side bookkeeping. *)
+val scramble : Ssba_sim.Rng.t -> values:value list -> ?extra:int -> t -> unit

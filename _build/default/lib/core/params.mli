@@ -1,0 +1,45 @@
+(** Protocol constants (paper §2 and §3).
+
+    All durations derive from [d = (delta + pi)(1 + rho)], the bound on the
+    local-time lapse from a correct send to every correct node having
+    processed the message. *)
+
+type t = {
+  n : int;  (** number of nodes *)
+  f : int;  (** bound on concurrent permanent Byzantine faults; [n > 3f] *)
+  delta : float;  (** max message delay while the network is correct *)
+  pi : float;  (** max processing time *)
+  rho : float;  (** clock drift bound *)
+  d : float;  (** [(delta + pi)(1 + rho)] *)
+  tau_skew : float;  (** [6d] — bound between correct nodes' tau^G anchors *)
+  phi : float;  (** [tau_skew + 2d] — duration of one phase *)
+  delta_agr : float;  (** [(2f+1) Phi] — bound on running the agreement *)
+  delta_0 : float;  (** [13d] — min initiation spacing, any value *)
+  delta_rmv : float;  (** [Delta_agr + Delta_0] — decay horizon *)
+  delta_v : float;  (** [15d + 2 Delta_rmv] — min spacing, same value *)
+  delta_node : float;  (** [Delta_v + Delta_agr] — non-faulty -> correct *)
+  delta_reset : float;  (** [20d + 4 Delta_rmv] — General quiet period *)
+  delta_stb : float;  (** [2 Delta_reset] — stabilization time *)
+}
+
+(** Build the full constant cascade from the base quantities.
+    Raises [Invalid_argument] on nonsensical inputs. *)
+val make : n:int -> f:int -> delta:float -> pi:float -> rho:float -> t
+
+(** Largest [f] with [n > 3f]. *)
+val max_faults : int -> int
+
+(** [default n] uses [f = max_faults n], millisecond-scale delays and a small
+    drift, overridable per argument. *)
+val default : ?f:int -> ?delta:float -> ?pi:float -> ?rho:float -> int -> t
+
+(** Check the [n > 3f] resilience condition. *)
+val validate : t -> (unit, string) result
+
+(** [n - f]: the strong threshold used by the primitives. *)
+val quorum : t -> int
+
+(** [n - 2f]: the weak threshold (guarantees at least one correct sender). *)
+val weak_quorum : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+(* Timestamped per-sender receive log.
+
+   Each Initiator-Accept / msgd-broadcast message class keeps one log per
+   (General, value[, round]) key. The primitives only ever ask questions of
+   the form "did >= k distinct senders deliver this message within the local
+   window [tau - alpha, tau]?", so it suffices to remember, per sender, the
+   most recent arrival time: re-sends refresh the entry, and older arrivals
+   can never enlarge a suffix window's sender count.
+
+   The log also implements the paper's decay rules: entries older than a
+   horizon are removed, and entries with "clearly wrong" (future) timestamps
+   — which only a transient fault can produce — are dropped by [sanitize]. *)
+
+type t = { arrivals : (int, float) Hashtbl.t }
+
+let create () = { arrivals = Hashtbl.create 8 }
+
+let note t ~sender ~at =
+  match Hashtbl.find_opt t.arrivals sender with
+  | Some prev when prev >= at -> ()
+  | _ -> Hashtbl.replace t.arrivals sender at
+
+let count t = Hashtbl.length t.arrivals
+
+let senders t = Hashtbl.fold (fun s _ acc -> s :: acc) t.arrivals [] |> List.sort compare
+
+(* Senders whose latest arrival lies in [now - width, now]. *)
+let count_in_window t ~now ~width =
+  Hashtbl.fold
+    (fun _ at acc -> if at <= now && at >= now -. width then acc + 1 else acc)
+    t.arrivals 0
+
+(* Smallest alpha such that >= count distinct senders arrived in
+   [now - alpha, now]; [None] if fewer than [count] arrivals exist at all. *)
+let shortest_window t ~now ~count =
+  if count <= 0 then Some 0.0
+  else begin
+    let times =
+      Hashtbl.fold (fun _ at acc -> if at <= now then at :: acc else acc) t.arrivals []
+      |> List.sort (fun a b -> compare b a) (* descending *)
+    in
+    match List.nth_opt times (count - 1) with
+    | None -> None
+    | Some kth -> Some (now -. kth)
+  end
+
+let latest t =
+  Hashtbl.fold
+    (fun _ at acc -> match acc with Some m when m >= at -> acc | _ -> Some at)
+    t.arrivals None
+
+let remove_if t pred =
+  let doomed = Hashtbl.fold (fun s at acc -> if pred s at then s :: acc else acc) t.arrivals [] in
+  List.iter (Hashtbl.remove t.arrivals) doomed
+
+(* Drop entries that arrived before [horizon]. *)
+let decay t ~horizon = remove_if t (fun _ at -> at < horizon)
+
+(* Drop entries with impossible (future) timestamps — transient-fault residue. *)
+let sanitize t ~now = remove_if t (fun _ at -> at > now)
+
+let clear t = Hashtbl.reset t.arrivals
+
+let is_empty t = Hashtbl.length t.arrivals = 0
+
+(* Fault injection: plant an arbitrary entry, bypassing the monotonicity of
+   [note]. Used only by the transient-fault scrambler. *)
+let corrupt t ~sender ~at = Hashtbl.replace t.arrivals sender at

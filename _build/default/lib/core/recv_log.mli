@@ -1,0 +1,42 @@
+(** Timestamped per-sender receive log with sliding-window queries.
+
+    Stores the most recent arrival local-time per sender for one message
+    class, supporting the primitives' "[>= k] distinct senders within
+    [\[tau - alpha, tau\]]" conditions and the paper's decay rules. *)
+
+type t
+
+val create : unit -> t
+
+(** Record an arrival; keeps the per-sender maximum, so replayed older
+    messages never rewind an entry. *)
+val note : t -> sender:int -> at:float -> unit
+
+(** Number of distinct senders currently logged. *)
+val count : t -> int
+
+(** Distinct senders, sorted. *)
+val senders : t -> int list
+
+(** Senders whose latest arrival lies in [\[now - width, now\]]. *)
+val count_in_window : t -> now:float -> width:float -> int
+
+(** Smallest [alpha] such that at least [count] distinct senders arrived in
+    [\[now - alpha, now\]], or [None] if there are fewer than [count]
+    (non-future) arrivals. *)
+val shortest_window : t -> now:float -> count:int -> float option
+
+(** Most recent arrival time, if any. *)
+val latest : t -> float option
+
+(** Drop entries that arrived before [horizon]. *)
+val decay : t -> horizon:float -> unit
+
+(** Drop entries with future timestamps (transient-fault residue). *)
+val sanitize : t -> now:float -> unit
+
+val clear : t -> unit
+val is_empty : t -> bool
+
+(** Fault injection only: plant an arbitrary entry. *)
+val corrupt : t -> sender:int -> at:float -> unit

@@ -1,0 +1,1 @@
+lib/harness/checks.ml: Float Fmt Hashtbl List Metrics Option Printf Runner Scenario Ssba_core String

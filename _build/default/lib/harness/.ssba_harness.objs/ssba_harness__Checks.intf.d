@@ -1,0 +1,1 @@
+lib/harness/checks.mli: Format Metrics Runner Ssba_core

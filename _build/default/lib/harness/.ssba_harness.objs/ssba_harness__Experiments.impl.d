@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Checks Float Hashtbl Invariants List Metrics Option Printf Runner Scenario Ssba_adversary Ssba_baseline Ssba_core Ssba_net Ssba_pulse Ssba_sim String Table

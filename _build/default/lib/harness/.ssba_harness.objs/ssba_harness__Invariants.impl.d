@@ -1,0 +1,1 @@
+lib/harness/invariants.ml: Array Float Hashtbl List Metrics Option Printf Runner Scenario Ssba_core Ssba_sim String

@@ -1,0 +1,1 @@
+lib/harness/invariants.mli: Runner Ssba_core

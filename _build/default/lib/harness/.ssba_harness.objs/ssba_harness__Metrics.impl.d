@@ -1,0 +1,1 @@
+lib/harness/metrics.ml: Array Float Hashtbl List Option Runner Scenario Ssba_core Ssba_sim

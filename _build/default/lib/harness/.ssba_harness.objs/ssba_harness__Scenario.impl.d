@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: List Ssba_adversary Ssba_core Ssba_net

@@ -1,0 +1,210 @@
+(* Property oracles.
+
+   Each oracle checks one of the paper's stated properties over an episode of
+   a run and reports a verdict plus the measured quantity, so the experiment
+   tables can print paper-bound vs measured side by side. Bounds are checked
+   with a small relative tolerance for float arithmetic. *)
+
+open Ssba_core.Types
+
+type verdict = { ok : bool; measured : float; bound : float; label : string }
+
+let tol = 1.0 +. 1e-9
+
+let make label ~measured ~bound = { ok = measured <= bound *. tol; measured; bound; label }
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%-28s %s measured %.6f vs bound %.6f" v.label
+    (if v.ok then "OK  " else "FAIL")
+    v.measured v.bound
+
+(* Agreement: if any correct node decides (G, m), every correct node decides
+   the same (G, m) — nobody aborts and nobody stays silent. *)
+type agreement_result =
+  | All_silent  (* nobody returned anything: a non-event, allowed *)
+  | All_aborted
+  | Unanimous of value
+  | Violated of string
+
+let agreement ~(correct : node_id list) (e : Metrics.episode) =
+  let decided = Metrics.decided e in
+  let aborted = Metrics.aborted e in
+  match (decided, aborted) with
+  | [], [] -> All_silent
+  | [], _ -> All_aborted
+  | (_, v0) :: _, _ ->
+      let values =
+        List.sort_uniq compare (List.map snd decided)
+      in
+      if List.length values > 1 then
+        Violated
+          (Printf.sprintf "divergent decisions: %s"
+             (String.concat ", " values))
+      else if aborted <> [] then
+        Violated
+          (Printf.sprintf "%d correct node(s) aborted while others decided %S"
+             (List.length aborted) v0)
+      else begin
+        let deciders = List.map (fun (r, _) -> r.node) decided in
+        let missing =
+          List.filter (fun id -> not (List.mem id deciders)) correct
+        in
+        if missing = [] then Unanimous v0
+        else
+          Violated
+            (Printf.sprintf "correct node(s) %s never returned while others decided %S"
+               (String.concat "," (List.map string_of_int missing))
+               v0)
+      end
+
+let agreement_holds ~correct e =
+  match agreement ~correct e with
+  | All_silent | All_aborted | Unanimous _ -> true
+  | Violated _ -> false
+
+(* Validity: a correct General's value is decided by every correct node. *)
+let validity ~correct ~v e =
+  match agreement ~correct e with
+  | Unanimous v' -> String.equal v v'
+  | All_silent | All_aborted | Violated _ -> false
+
+(* Timeliness 1 (agreement skews), with rt conversion via the run's clocks. *)
+let timeliness_1a res e =
+  let d = (res.Runner.scenario).Scenario.params.Ssba_core.Params.d in
+  make "1a decision skew <= 3d" ~measured:(Metrics.decision_skew res e) ~bound:(3.0 *. d)
+
+let timeliness_1b res e =
+  let d = (res.Runner.scenario).Scenario.params.Ssba_core.Params.d in
+  make "1b anchor skew <= 6d" ~measured:(Metrics.anchor_skew res e) ~bound:(6.0 *. d)
+
+let timeliness_1d res e =
+  let params = (res.Runner.scenario).Scenario.params in
+  (* rt(tau_g) <= rt(tau) and tau - tau_g <= Delta_agr, per node. *)
+  let anchored_ok =
+    List.for_all (fun r -> r.tau_g <= r.tau_ret) e.Metrics.returns
+  in
+  let v =
+    make "1d running time <= Dagr" ~measured:(Metrics.max_running_time e)
+      ~bound:params.Ssba_core.Params.delta_agr
+  in
+  { v with ok = v.ok && anchored_ok }
+
+(* Timeliness 2 (validity window): decisions within [t0 - d, t0 + 4d] of a
+   correct General's proposal at t0 — and anchors no earlier than t0 - d. *)
+let timeliness_2 res ~proposed_at e =
+  let d = (res.Runner.scenario).Scenario.params.Ssba_core.Params.d in
+  let latest = Metrics.last_return e -. proposed_at in
+  let anchors =
+    List.map (fun r -> Metrics.rt_of res ~id:r.node r.tau_g) e.Metrics.returns
+  in
+  let earliest_anchor = Metrics.minimum anchors -. proposed_at in
+  let v = make "2 decision <= t0+4d" ~measured:latest ~bound:(4.0 *. d) in
+  { v with ok = v.ok && earliest_anchor >= -.d *. tol }
+
+(* Timeliness 3 (termination): every correct node that anchored terminates
+   within Delta_agr (+7d when not invoked explicitly). *)
+let timeliness_3 res e =
+  let params = (res.Runner.scenario).Scenario.params in
+  let d = params.Ssba_core.Params.d in
+  make "3 termination <= Dagr+7d" ~measured:(Metrics.max_running_time e)
+    ~bound:(params.Ssba_core.Params.delta_agr +. (7.0 *. d))
+
+(* Unforgeability (IA-2 shape): with no correct invocation there must be no
+   decided value anywhere. *)
+let no_decision (res : Runner.result) =
+  List.for_all (fun r -> r.outcome = Aborted) res.Runner.returns
+
+(* Pairwise agreement oracle, sound under Byzantine Generals that initiate
+   continuously (where time-clustering returns into episodes is ambiguous).
+   It checks exactly what the paper's properties promise:
+
+   - [IA-4a]: two correct decisions whose anchors rt(tau_g) are within 4d
+     must carry the same value;
+   - Agreement + [IA-3]: if a correct node decides, every correct node
+     returns the same value with an anchor within 6d.
+
+   Decisions within [settle] of the horizon are skipped as "still in flight"
+   (their counterparts may be truncated by the end of the run), and decisions
+   before [after] are skipped entirely — pass the stabilization time when the
+   run begins from a scrambled state, since the paper's properties only hold
+   once the system is stable (transient garbage can forge local quorums and
+   produce briefly divergent returns before it decays). Returns a list of
+   violation descriptions; empty means agreement holds. *)
+let pairwise_agreement ?settle ?(after = 0.0) (res : Runner.result) =
+  let params = (res.Runner.scenario).Scenario.params in
+  let d = params.Ssba_core.Params.d in
+  let settle =
+    match settle with
+    | Some s -> s
+    | None -> params.Ssba_core.Params.delta_agr +. (10.0 *. d)
+  in
+  let cutoff = (res.Runner.scenario).Scenario.horizon -. settle in
+  let anchor_rt (r : return_info) = Metrics.rt_of res ~id:r.node r.tau_g in
+  let violations = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let by_g = Hashtbl.create 8 in
+  List.iter
+    (fun (r : return_info) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_g r.g) in
+      Hashtbl.replace by_g r.g (r :: cur))
+    res.Runner.returns;
+  Hashtbl.iter
+    (fun g (returns : return_info list) ->
+      let decided =
+        List.filter
+          (fun r -> (match r.outcome with Decided _ -> true | Aborted -> false)
+                    && r.rt_ret <= cutoff && r.rt_ret >= after)
+          returns
+      in
+      (* IA-4a: close anchors, equal values. *)
+      List.iter
+        (fun r1 ->
+          List.iter
+            (fun r2 ->
+              match (r1.outcome, r2.outcome) with
+              | Decided v1, Decided v2
+                when Float.abs (anchor_rt r1 -. anchor_rt r2) <= 4.0 *. d
+                     && not (String.equal v1 v2) ->
+                  complain
+                    "G=%d: nodes %d/%d decided %S vs %S with anchors %.2fd apart"
+                    g r1.node r2.node v1 v2
+                    (Float.abs (anchor_rt r1 -. anchor_rt r2) /. d)
+              | (Decided _ | Aborted), _ -> ())
+            decided)
+        decided;
+      (* Agreement/relay: a decision must be echoed by every correct node. *)
+      List.iter
+        (fun r ->
+          let v = match r.outcome with Decided v -> v | Aborted -> assert false in
+          List.iter
+            (fun q ->
+              if q <> r.node then
+                let near =
+                  List.filter
+                    (fun (r' : return_info) ->
+                      r'.node = q
+                      && Float.abs (anchor_rt r' -. anchor_rt r) <= (6.0 *. d) +. 1e-9)
+                    returns
+                in
+                match near with
+                | [] ->
+                    complain
+                      "G=%d: node %d decided %S but correct node %d has no return nearby"
+                      g r.node v q
+                | _ ->
+                    if
+                      not
+                        (List.exists
+                           (fun r' ->
+                             match r'.outcome with
+                             | Decided v' -> String.equal v v'
+                             | Aborted -> false)
+                           near)
+                    then
+                      complain
+                        "G=%d: node %d decided %S but correct node %d aborted/diverged"
+                        g r.node v q)
+            res.Runner.correct)
+        decided)
+    by_g;
+  List.rev !violations

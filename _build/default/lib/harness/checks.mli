@@ -1,0 +1,56 @@
+(** Property oracles for the paper's stated guarantees. Each oracle reports a
+    verdict plus the measured quantity, so experiment tables can print
+    paper-bound vs measured side by side. *)
+
+open Ssba_core.Types
+
+type verdict = { ok : bool; measured : float; bound : float; label : string }
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** Episode-level Agreement classification. *)
+type agreement_result =
+  | All_silent  (** nobody returned anything: a legal non-event *)
+  | All_aborted
+  | Unanimous of value
+  | Violated of string
+
+(** Theorem 3's Agreement over one episode: if any correct node decides,
+    every correct node must decide the same value. *)
+val agreement : correct:node_id list -> Metrics.episode -> agreement_result
+
+val agreement_holds : correct:node_id list -> Metrics.episode -> bool
+
+(** Validity: every correct node decided exactly [v]. *)
+val validity : correct:node_id list -> v:value -> Metrics.episode -> bool
+
+(** Timeliness 1a: decision skew <= 3d. *)
+val timeliness_1a : Runner.result -> Metrics.episode -> verdict
+
+(** Timeliness 1b: anchor skew <= 6d. *)
+val timeliness_1b : Runner.result -> Metrics.episode -> verdict
+
+(** Timeliness 1d: rt(tau_g) <= rt(tau) and running time <= Delta_agr. *)
+val timeliness_1d : Runner.result -> Metrics.episode -> verdict
+
+(** Timeliness 2: decisions within [t0 - d, t0 + 4d] of a correct General's
+    proposal, anchors no earlier than t0 - d. *)
+val timeliness_2 : Runner.result -> proposed_at:float -> Metrics.episode -> verdict
+
+(** Timeliness 3: termination within Delta_agr + 7d. *)
+val timeliness_3 : Runner.result -> Metrics.episode -> verdict
+
+(** Unforgeability shape: no decided value anywhere in the run. *)
+val no_decision : Runner.result -> bool
+
+(** Pairwise agreement oracle, sound under Byzantine Generals that initiate
+    continuously (episode clustering is ambiguous there). Checks IA-4a
+    (decided values with anchors within 4d must match) and the relay
+    consequence (a decision must be echoed, with an anchor within 6d, by
+    every correct node). [settle] skips decisions too close to the horizon
+    (default [Delta_agr + 10d]); [after] skips decisions before that real
+    time — pass the stabilization time for scrambled-start runs, since the
+    paper's properties only hold once the system is stable. Returns
+    violation descriptions; empty means agreement holds. *)
+val pairwise_agreement :
+  ?settle:float -> ?after:float -> Runner.result -> string list

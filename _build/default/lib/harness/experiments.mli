@@ -1,0 +1,40 @@
+(** The experiment suite (DESIGN.md §4 / EXPERIMENTS.md): one function per
+    reproduced table or figure. Each prints its table to stdout; all runs are
+    deterministic in their (default) seeds. *)
+
+(** E1 — Validity under a correct General (Thm 3, Timeliness 2): sweep [ns]
+    with [f] crash-silent slots; report unanimity, latency, skew and the
+    paper's 4d window. *)
+val e1_validity : ?ns:int list -> ?seeds:int list -> unit -> unit
+
+(** E2 — Agreement under Byzantine Generals/participants: six attack casts,
+    checked with the pairwise oracle. *)
+val e2_agreement : ?ns:int list -> ?seeds:int list -> unit -> unit
+
+(** E3 — Message-driven vs time-driven latency across actual-delay ratios,
+    against the TPS'87 and EIG baselines. *)
+val e3_msgdriven : ?ratios:float list -> ?n:int -> ?seeds:int list -> unit -> unit
+
+(** E4 — Convergence from scrambled states: success rate of proposals at
+    fractions of [Delta_stb] (Corollary 5). *)
+val e4_convergence : ?n:int -> ?runs:int -> ?fractions:float list -> unit -> unit
+
+(** E5 — Timeliness: measured maxima vs the paper bounds. *)
+val e5_timeliness : ?ns:int list -> ?seeds:int list -> unit -> unit
+
+(** E6 — Termination vs actual faults f' under the round-stretcher
+    adversary: linear (2f'+5) Phi, capped by block U. *)
+val e6_early_stop : ?n:int -> ?fprimes:int list option -> unit -> unit
+
+(** E7 — Message complexity per agreement (Theta(n^2) per broadcast, n
+    broadcasts in the fast path). *)
+val e7_msg_complexity : ?ns:int list -> unit -> unit
+
+(** E8 — Pulse synchronization atop recurrent agreement: per-cycle skews. *)
+val e8_pulse : ?n:int -> ?cycles:int -> ?byzantine:int -> unit -> unit
+
+(** E9 — Primitive-level IA/TPS properties audited from observed events. *)
+val e9_invariants : ?ns:int list -> ?seeds:int list -> unit -> unit
+
+(** Run E1 through E9 in order. *)
+val run_all : unit -> unit

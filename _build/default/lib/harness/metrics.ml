@@ -1,0 +1,105 @@
+(* Measurements over run results.
+
+   The paper's bounds are phrased over rt(tau) — the real time at which a
+   node's clock read tau. The runner exposes every node's clock, so local
+   anchors and return times are converted back to simulator real time
+   before skews are computed. *)
+
+open Ssba_core.Types
+module Clock = Ssba_sim.Clock
+
+(* One agreement episode: the returns of the correct nodes for one General,
+   clustered in time (recurrent agreements by the same General are split when
+   consecutive returns are further apart than Delta_agr). *)
+type episode = { g : general; returns : return_info list }
+
+let episodes (res : Runner.result) =
+  let params = (res.Runner.scenario).Scenario.params in
+  let by_g = Hashtbl.create 8 in
+  List.iter
+    (fun (r : return_info) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_g r.g) in
+      Hashtbl.replace by_g r.g (r :: cur))
+    res.Runner.returns;
+  Hashtbl.fold
+    (fun g rs acc ->
+      let rs = List.sort (fun a b -> compare a.rt_ret b.rt_ret) rs in
+      let gap = params.Ssba_core.Params.delta_agr in
+      let rec cluster cur acc = function
+        | [] -> List.rev (List.rev cur :: acc)
+        | r :: tl -> (
+            match cur with
+            | [] -> cluster [ r ] acc tl
+            | prev :: _ when r.rt_ret -. prev.rt_ret > gap ->
+                cluster [ r ] (List.rev cur :: acc) tl
+            | _ -> cluster (r :: cur) acc tl)
+      in
+      match rs with
+      | [] -> acc
+      | _ ->
+          List.map (fun returns -> { g; returns }) (cluster [] [] rs) @ acc)
+    by_g []
+  |> List.sort (fun a b ->
+         compare
+           (List.map (fun r -> r.rt_ret) a.returns)
+           (List.map (fun r -> r.rt_ret) b.returns))
+
+let decided e =
+  List.filter_map
+    (fun r -> match r.outcome with Decided v -> Some (r, v) | Aborted -> None)
+    e.returns
+
+let aborted e =
+  List.filter (fun r -> r.outcome = Aborted) e.returns
+
+(* Real time at which node [id]'s clock read [tau]. *)
+let rt_of (res : Runner.result) ~id tau =
+  Clock.real_time_of_reading res.Runner.clocks.(id) tau
+
+let span = function
+  | [] -> 0.0
+  | x :: tl ->
+      let lo = List.fold_left Float.min x tl in
+      let hi = List.fold_left Float.max x tl in
+      hi -. lo
+
+(* Max pairwise |rt(tau_q) - rt(tau_q')| over the episode's return times. *)
+let decision_skew (_res : Runner.result) e =
+  span (List.map (fun r -> r.rt_ret) e.returns)
+
+(* Max pairwise anchor skew |rt(tau_g_q) - rt(tau_g_q')|. *)
+let anchor_skew (res : Runner.result) e =
+  span (List.map (fun r -> rt_of res ~id:r.node r.tau_g) e.returns)
+
+(* Worst per-node local running time tau_ret - tau_g. *)
+let max_running_time e =
+  List.fold_left (fun acc r -> Float.max acc (r.tau_ret -. r.tau_g)) 0.0 e.returns
+
+(* Latency of the episode relative to a proposal real time. *)
+let latency ~proposed_at e =
+  List.fold_left (fun acc r -> Float.max acc (r.rt_ret -. proposed_at)) 0.0 e.returns
+
+let first_return e =
+  List.fold_left (fun acc r -> Float.min acc r.rt_ret) infinity e.returns
+
+let last_return e =
+  List.fold_left (fun acc r -> Float.max acc r.rt_ret) neg_infinity e.returns
+
+(* Simple statistics helpers for sweeps. *)
+let mean = function
+  | [] -> nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let maximum = function [] -> nan | x :: tl -> List.fold_left Float.max x tl
+let minimum = function [] -> nan | x :: tl -> List.fold_left Float.min x tl
+
+let percentile p l =
+  match List.sort compare l with
+  | [] -> nan
+  | sorted ->
+      let m = List.length sorted in
+      let idx =
+        int_of_float (Float.round (p *. float_of_int (m - 1)))
+        |> max 0 |> min (m - 1)
+      in
+      List.nth sorted idx

@@ -1,0 +1,52 @@
+(** Measurements over run results. The paper's bounds are phrased over
+    rt(tau); local anchors and return times are converted back to simulator
+    real time through the run's clocks before skews are computed. *)
+
+open Ssba_core.Types
+
+type episode = { g : general; returns : return_info list }
+(** One agreement episode: the correct nodes' returns for one General,
+    clustered in time (recurrent agreements split when consecutive returns
+    are further apart than [Delta_agr]). *)
+
+(** All episodes of a run, in time order. *)
+val episodes : Runner.result -> episode list
+
+(** The episode's decided returns, paired with their values. *)
+val decided : episode -> (return_info * value) list
+
+(** The episode's aborted returns. *)
+val aborted : episode -> return_info list
+
+(** Real time at which node [id]'s clock read [tau]. *)
+val rt_of : Runner.result -> id:node_id -> float -> float
+
+(** Max minus min of a float list (0 for empty lists). *)
+val span : float list -> float
+
+(** Max pairwise |rt(tau_q) - rt(tau_q')| over the episode's return times
+    (Timeliness 1a's measured quantity). *)
+val decision_skew : Runner.result -> episode -> float
+
+(** Max pairwise anchor skew |rt(tau_g_q) - rt(tau_g_q')| (Timeliness 1b). *)
+val anchor_skew : Runner.result -> episode -> float
+
+(** Worst per-node local running time tau_ret - tau_g (Timeliness 1d/3). *)
+val max_running_time : episode -> float
+
+(** Worst rt_ret - proposed_at over the episode (Timeliness 2's window). *)
+val latency : proposed_at:float -> episode -> float
+
+(** Earliest / latest real return time of the episode. *)
+val first_return : episode -> float
+
+val last_return : episode -> float
+
+(** Statistics helpers for sweeps ([nan] on empty input). *)
+val mean : float list -> float
+
+val maximum : float list -> float
+val minimum : float list -> float
+
+(** [percentile p l] for [p] in [0, 1] (nearest-rank). *)
+val percentile : float -> float list -> float

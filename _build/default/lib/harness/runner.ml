@@ -1,0 +1,177 @@
+(* Scenario interpreter: builds the engine, network, correct nodes and
+   Byzantine behaviours, applies the event schedule, runs to the horizon and
+   packages everything the metrics/checks layers need. *)
+
+open Ssba_core.Types
+module Rng = Ssba_sim.Rng
+module Engine = Ssba_sim.Engine
+module Clock = Ssba_sim.Clock
+module Trace = Ssba_sim.Trace
+module Network = Ssba_net.Network
+module Node = Ssba_core.Node
+module Params = Ssba_core.Params
+
+type observation = {
+  obs_node : node_id;
+  obs_g : general;
+  obs : Ssba_core.Ss_byz_agree.observation;
+  obs_rt : float;  (* engine real time at which the event fired *)
+}
+
+type result = {
+  scenario : Scenario.t;
+  returns : return_info list;  (* correct-node returns, in rt order *)
+  observations : observation list;  (* chronological; empty unless enabled *)
+  correct : node_id list;
+  clocks : Clock.t array;  (* indexed by node id; Byzantine entries too *)
+  nodes : (node_id * Node.t) list;  (* the correct protocol nodes *)
+  proposal_results : (Scenario.proposal * (unit, Node.propose_error) Stdlib.result) list;
+  engine_stats : Engine.stats;
+  messages_sent : int;
+  messages_by_kind : (string * int) list;
+  trace : Trace.t;
+}
+
+let build_clock rng = function
+  | Scenario.Perfect -> Clock.perfect
+  | Scenario.Drifting { rho; max_offset } -> Clock.random rng ~rho ~max_offset
+
+(* Forged in-flight garbage for the incoherent period: random protocol
+   messages claiming random senders, delivered over the next ~Delta_rmv. *)
+let inject_garbage ~rng ~params ~net ~values ~count =
+  let n = params.Params.n in
+  for _ = 1 to count do
+    let claimed_src = Rng.int rng n in
+    let dst = Rng.int rng n in
+    let g = Rng.int rng n in
+    let v = Rng.pick_list rng values in
+    let payload =
+      match Rng.int rng 8 with
+      | 0 -> Initiator { g; v }
+      | 1 -> Ia { kind = Support; g; v }
+      | 2 -> Ia { kind = Approve; g; v }
+      | 3 -> Ia { kind = Ready; g; v }
+      | c ->
+          let kind = match c with 4 -> Init | 5 -> Echo | 6 -> Init2 | _ -> Echo2 in
+          Mb { kind; p = Rng.int rng n; g; v; k = 1 + Rng.int rng (max 1 (params.Params.f + 1)) }
+    in
+    let delay = Rng.float rng params.Params.delta_rmv in
+    Network.inject_forged net ~claimed_src ~dst ~delay payload
+  done
+
+let run_with ~execute (sc : Scenario.t) =
+  let params = sc.Scenario.params in
+  let n = params.Params.n in
+  let root = Rng.create sc.Scenario.seed in
+  let net_rng = Rng.split root in
+  let clock_rng = Rng.split root in
+  let adv_rng = Rng.split root in
+  let scramble_rng = Rng.split root in
+  let trace = Trace.create ~enabled:sc.Scenario.record_trace () in
+  let engine = Engine.create ~trace () in
+  let net =
+    Network.create ~engine ~n ~delay:sc.Scenario.delay ~rng:net_rng
+      ~kind_of:kind_of_message ()
+  in
+  let clocks = Array.init n (fun _ -> build_clock clock_rng sc.Scenario.clocks) in
+  (* Correct nodes first, then Byzantine behaviours (which overwrite the
+     network handler for their id). *)
+  let nodes = ref [] in
+  let returns = ref [] in
+  let observations = ref [] in
+  for id = 0 to n - 1 do
+    match Scenario.role_of sc id with
+    | Scenario.Correct ->
+        let node =
+          Node.create ~id ~params ~clock:clocks.(id) ~engine ~net ()
+        in
+        Node.subscribe node (fun r -> returns := r :: !returns);
+        if sc.Scenario.record_observations then
+          Node.subscribe_observations node (fun g obs ->
+              observations :=
+                { obs_node = id; obs_g = g; obs; obs_rt = Engine.now engine }
+                :: !observations);
+        nodes := (id, node) :: !nodes
+    | Scenario.Byzantine _ -> ()
+  done;
+  let nodes = List.rev !nodes in
+  for id = 0 to n - 1 do
+    match Scenario.role_of sc id with
+    | Scenario.Correct -> ()
+    | Scenario.Byzantine b ->
+        Ssba_adversary.Behavior.install b
+          {
+            Ssba_adversary.Behavior.self = id;
+            params;
+            engine;
+            rng = Rng.split adv_rng;
+            net;
+            clock = clocks.(id);
+          }
+  done;
+  (* Event schedule. *)
+  List.iter
+    (fun ev ->
+      match ev with
+      | Scenario.Crash { node; at } ->
+          Engine.schedule engine ~at (fun () -> Network.set_muted net node true)
+      | Scenario.Recover { node; at } ->
+          Engine.schedule engine ~at (fun () -> Network.set_muted net node false)
+      | Scenario.Scramble { at; values; net_garbage } ->
+          Engine.schedule engine ~at (fun () ->
+              List.iter
+                (fun (_, node) -> Node.scramble scramble_rng ~values node)
+                nodes;
+              inject_garbage ~rng:scramble_rng ~params ~net ~values
+                ~count:net_garbage;
+              Engine.record engine ~node:(-1) ~kind:"scramble"
+                ~detail:(Printf.sprintf "%d garbage messages" net_garbage))
+      | Scenario.Drop_prob { at; p } ->
+          Engine.schedule engine ~at (fun () -> Network.set_drop_prob net p)
+      | Scenario.Partition { at; blocked = ga, gb } ->
+          Engine.schedule engine ~at (fun () ->
+              Network.set_partition net
+                (Some
+                   (fun ~src ~dst ->
+                     (List.mem src ga && List.mem dst gb)
+                     || (List.mem src gb && List.mem dst ga))))
+      | Scenario.Heal { at } ->
+          Engine.schedule engine ~at (fun () ->
+              Network.set_partition net None;
+              Network.set_drop_prob net 0.0))
+    sc.Scenario.events;
+  (* Proposals by correct Generals. *)
+  let proposal_results = ref [] in
+  List.iter
+    (fun (p : Scenario.proposal) ->
+      match List.assoc_opt p.Scenario.g nodes with
+      | None ->
+          proposal_results := (p, Stdlib.Error Node.Busy) :: !proposal_results
+      | Some node ->
+          Engine.schedule engine ~at:p.Scenario.at (fun () ->
+              let r = Node.propose node p.Scenario.v in
+              proposal_results := (p, r) :: !proposal_results))
+    sc.Scenario.proposals;
+  let engine_stats = execute ~until:sc.Scenario.horizon engine in
+  {
+    scenario = sc;
+    returns =
+      List.sort (fun a b -> compare a.rt_ret b.rt_ret) !returns;
+    observations = List.rev !observations;
+    correct = Scenario.correct_ids sc;
+    clocks;
+    nodes;
+    proposal_results = List.rev !proposal_results;
+    engine_stats;
+    messages_sent = Network.messages_sent net;
+    messages_by_kind = Network.sent_by_kind net;
+    trace;
+  }
+
+let run sc = run_with ~execute:(fun ~until engine -> Engine.run ~until engine) sc
+
+(* Same run, paced against the wall clock (live-demo mode). *)
+let run_paced ?(speed = 1.0) sc =
+  run_with
+    ~execute:(fun ~until engine -> Engine.run_realtime ~speed ~until engine)
+    sc

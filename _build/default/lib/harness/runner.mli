@@ -1,0 +1,35 @@
+(** Scenario interpreter: build the simulation, apply the event schedule, run
+    to the horizon, and package everything the metrics and property layers
+    need. A run is a pure function of its scenario (including the seed). *)
+
+open Ssba_core.Types
+
+type observation = {
+  obs_node : node_id;
+  obs_g : general;  (** the (logical) General whose instance fired the event *)
+  obs : Ssba_core.Ss_byz_agree.observation;
+  obs_rt : float;  (** engine real time at which the event fired *)
+}
+
+type result = {
+  scenario : Scenario.t;
+  returns : return_info list;  (** correct-node returns, in rt order *)
+  observations : observation list;
+      (** chronological; empty unless [record_observations] was set *)
+  correct : node_id list;
+  clocks : Ssba_sim.Clock.t array;  (** per node id, Byzantine slots included *)
+  nodes : (node_id * Ssba_core.Node.t) list;  (** the correct protocol nodes *)
+  proposal_results :
+    (Scenario.proposal * (unit, Ssba_core.Node.propose_error) Stdlib.result) list;
+  engine_stats : Ssba_sim.Engine.stats;
+  messages_sent : int;
+  messages_by_kind : (string * int) list;
+  trace : Ssba_sim.Trace.t;
+}
+
+(** Run a scenario to its horizon. *)
+val run : Scenario.t -> result
+
+(** Same run, paced against the wall clock at [speed] virtual seconds per
+    wall second (live-demo mode); results are identical to {!run}. *)
+val run_paced : ?speed:float -> Scenario.t -> result

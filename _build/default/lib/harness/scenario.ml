@@ -1,0 +1,82 @@
+(* Scenario descriptions.
+
+   A scenario is a declarative recipe for one simulation: the protocol
+   constants, clock and delay models, which node ids run the correct protocol
+   and which run a Byzantine behaviour, the proposals correct Generals make,
+   and a schedule of environment events (crashes, recoveries, transient-fault
+   scrambles, network faults). The runner interprets it deterministically
+   from the seed. *)
+
+open Ssba_core.Types
+
+type role = Correct | Byzantine of Ssba_adversary.Behavior.t
+
+type event =
+  | Crash of { node : node_id; at : float }  (* mute a node's sends *)
+  | Recover of { node : node_id; at : float }
+  | Scramble of { at : float; values : value list; net_garbage : int }
+      (* corrupt all correct-node state + inject forged in-flight garbage *)
+  | Drop_prob of { at : float; p : float }  (* lossy network (incoherence) *)
+  | Partition of { at : float; blocked : node_id list * node_id list }
+      (* block messages between the two groups *)
+  | Heal of { at : float }  (* lift partition and drops *)
+
+type proposal = { g : node_id; v : value; at : float }
+
+type clocks =
+  | Perfect
+  | Drifting of { rho : float; max_offset : float }
+
+type t = {
+  name : string;
+  params : Ssba_core.Params.t;
+  seed : int;
+  delay : Ssba_net.Delay.t;
+  clocks : clocks;
+  roles : (node_id * role) list;  (* unlisted ids default to Correct *)
+  proposals : proposal list;
+  events : event list;
+  horizon : float;  (* stop the engine at this real time *)
+  record_trace : bool;
+  record_observations : bool;
+      (* collect fine-grained protocol events for the invariant monitor *)
+}
+
+let role_of t id =
+  match List.assoc_opt id t.roles with Some r -> r | None -> Correct
+
+let correct_ids t =
+  List.filter
+    (fun id -> match role_of t id with Correct -> true | Byzantine _ -> false)
+    (List.init t.params.Ssba_core.Params.n (fun i -> i))
+
+let byzantine_ids t =
+  List.filter
+    (fun id -> match role_of t id with Correct -> false | Byzantine _ -> true)
+    (List.init t.params.Ssba_core.Params.n (fun i -> i))
+
+(* A sensible default: random delays within the bound, small drift. *)
+let default ?(name = "scenario") ?(seed = 1) ?(horizon = 5.0) ?(record_trace = false)
+    ?(record_observations = false) ?delay
+    ?(clocks = Drifting { rho = 1e-4; max_offset = 0.1 }) ?(roles = [])
+    ?(proposals = []) ?(events = []) params =
+  let delay =
+    match delay with
+    | Some d -> d
+    | None ->
+        Ssba_net.Delay.uniform ~lo:(0.05 *. params.Ssba_core.Params.delta)
+          ~hi:params.Ssba_core.Params.delta
+  in
+  {
+    name;
+    params;
+    seed;
+    delay;
+    clocks;
+    roles;
+    proposals;
+    events;
+    horizon;
+    record_trace;
+    record_observations;
+  }

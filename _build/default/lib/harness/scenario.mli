@@ -1,0 +1,70 @@
+(** Declarative scenario descriptions.
+
+    A scenario is a recipe for one simulation: protocol constants, clock and
+    delay models, the Byzantine cast, the proposals correct Generals make and
+    a schedule of environment events. {!Runner.run} interprets it
+    deterministically from the seed. *)
+
+open Ssba_core.Types
+
+type role = Correct | Byzantine of Ssba_adversary.Behavior.t
+
+type event =
+  | Crash of { node : node_id; at : float }
+      (** mute the node's sends from real time [at] *)
+  | Recover of { node : node_id; at : float }
+  | Scramble of { at : float; values : value list; net_garbage : int }
+      (** transient fault: corrupt all correct-node protocol state and put
+          [net_garbage] forged messages in flight, drawn over [values] *)
+  | Drop_prob of { at : float; p : float }
+      (** make the network lossy (incoherent period) *)
+  | Partition of { at : float; blocked : node_id list * node_id list }
+      (** block messages between the two groups *)
+  | Heal of { at : float }  (** lift partition and drops *)
+
+type proposal = { g : node_id; v : value; at : float }
+(** A correct General [g] proposes [v] at real time [at]. *)
+
+type clocks =
+  | Perfect  (** all clocks read real time *)
+  | Drifting of { rho : float; max_offset : float }
+      (** per-node random rate in [1 ± rho] and offset in [± max_offset] *)
+
+type t = {
+  name : string;
+  params : Ssba_core.Params.t;
+  seed : int;
+  delay : Ssba_net.Delay.t;
+  clocks : clocks;
+  roles : (node_id * role) list;  (** unlisted ids default to [Correct] *)
+  proposals : proposal list;
+  events : event list;
+  horizon : float;  (** stop the engine at this real time *)
+  record_trace : bool;
+  record_observations : bool;
+      (** collect fine-grained protocol events for {!Invariants} *)
+}
+
+val role_of : t -> node_id -> role
+
+(** Ids running the correct protocol, ascending. *)
+val correct_ids : t -> node_id list
+
+(** Ids running a Byzantine behaviour, ascending. *)
+val byzantine_ids : t -> node_id list
+
+(** Build a scenario with sensible defaults: random delays within the bound,
+    small drift, no faults, 5 s horizon, nothing recorded. *)
+val default :
+  ?name:string ->
+  ?seed:int ->
+  ?horizon:float ->
+  ?record_trace:bool ->
+  ?record_observations:bool ->
+  ?delay:Ssba_net.Delay.t ->
+  ?clocks:clocks ->
+  ?roles:(node_id * role) list ->
+  ?proposals:proposal list ->
+  ?events:event list ->
+  Ssba_core.Params.t ->
+  t

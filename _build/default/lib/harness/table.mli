@@ -1,0 +1,29 @@
+(** Aligned plain-text tables for experiment output. *)
+
+type t
+
+val create : string list -> t
+
+(** Append a row (printed in insertion order). *)
+val add_row : t -> string list -> unit
+
+(** [addf t "%d|%s" ...] appends a row from a ['|']-separated format. *)
+val addf : t -> ('a, unit, string, unit) format4 -> 'a
+
+(** Render with auto-sized columns, header separator and trailing newline. *)
+val render : t -> string
+
+val print : t -> unit
+
+(** Numeric cell helpers. *)
+val f3 : float -> string
+
+val f6 : float -> string
+
+(** Seconds rendered as milliseconds. *)
+val ms : float -> string
+
+(** A duration rendered in units of [d], e.g. ["2.00d"]. *)
+val in_d : d:float -> float -> string
+
+val yn : bool -> string

@@ -1,0 +1,1 @@
+lib/net/delay.mli: Ssba_sim

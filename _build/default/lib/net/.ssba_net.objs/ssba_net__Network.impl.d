@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Delay Hashtbl List Msg Option Ssba_sim

@@ -1,0 +1,1 @@
+lib/net/network.mli: Delay Msg Ssba_sim

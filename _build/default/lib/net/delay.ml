@@ -1,0 +1,42 @@
+(* Message-delay policies.
+
+   The bounded-delay model (paper §2) only requires every message between
+   correct nodes to arrive within delta real-time units once the network is
+   non-faulty. Within that bound the adversary may choose per-message delays;
+   the policies below let scenarios exercise the interesting corners:
+   uniformly fast networks (the message-driven speedup of experiment E3),
+   worst-case-lagging links, asymmetric links, and arbitrary custom
+   schedules. *)
+
+type t =
+  | Fixed of float
+  | Uniform of { lo : float; hi : float }
+  | Bimodal of { fast : float; slow : float; slow_prob : float }
+      (* mostly-fast links with occasional worst-case stragglers *)
+  | Per_link of (src:int -> dst:int -> float)
+  | Custom of (rng:Ssba_sim.Rng.t -> src:int -> dst:int -> now:float -> float)
+
+let fixed d =
+  if d < 0.0 then invalid_arg "Delay.fixed: negative delay";
+  Fixed d
+
+let uniform ~lo ~hi =
+  if lo < 0.0 || hi < lo then invalid_arg "Delay.uniform: bad range";
+  Uniform { lo; hi }
+
+let bimodal ~fast ~slow ~slow_prob =
+  if fast < 0.0 || slow < fast || slow_prob < 0.0 || slow_prob > 1.0 then
+    invalid_arg "Delay.bimodal: bad parameters";
+  Bimodal { fast; slow; slow_prob }
+
+let per_link f = Per_link f
+let custom f = Custom f
+
+let draw t ~rng ~src ~dst ~now =
+  match t with
+  | Fixed d -> d
+  | Uniform { lo; hi } -> Ssba_sim.Rng.float_in_range rng ~lo ~hi
+  | Bimodal { fast; slow; slow_prob } ->
+      if Ssba_sim.Rng.float rng 1.0 < slow_prob then slow else fast
+  | Per_link f -> f ~src ~dst
+  | Custom f -> f ~rng ~src ~dst ~now

@@ -1,0 +1,24 @@
+(** Message-delay policies for the bounded-delay network (paper §2).
+
+    Once the network is correct every message between correct nodes arrives
+    within [delta]; within that bound the adversary schedules delays. *)
+
+type t
+
+(** Every message takes exactly the given delay. *)
+val fixed : float -> t
+
+(** Per-message delay uniform in [\[lo, hi\]]. *)
+val uniform : lo:float -> hi:float -> t
+
+(** Each message is [fast] with probability [1 - slow_prob], else [slow]. *)
+val bimodal : fast:float -> slow:float -> slow_prob:float -> t
+
+(** Deterministic per-link delay. *)
+val per_link : (src:int -> dst:int -> float) -> t
+
+(** Fully custom schedule. *)
+val custom : (rng:Ssba_sim.Rng.t -> src:int -> dst:int -> now:float -> float) -> t
+
+(** Draw the delay for one message. *)
+val draw : t -> rng:Ssba_sim.Rng.t -> src:int -> dst:int -> now:float -> float

@@ -1,0 +1,25 @@
+(* Message envelopes.
+
+   The paper's network (§2, Definition 2) authenticates the sender identity
+   and content of every delivered message. The envelope therefore carries a
+   [src] stamped by the network itself — protocol code and Byzantine nodes
+   alike cannot forge it. The [forged] flag exists only so the transient-fault
+   injector can model the *incoherent* period, during which the network may
+   deliver arbitrary garbage; property checks never trust forged envelopes. *)
+
+type 'a t = {
+  src : int;
+  dst : int;
+  sent_at : float;  (* real time at which the send was issued *)
+  forged : bool;  (* true only for incoherent-period garbage *)
+  payload : 'a;
+}
+
+let make ~src ~dst ~sent_at payload =
+  { src; dst; sent_at; forged = false; payload }
+
+let forge ~claimed_src ~dst ~sent_at payload =
+  { src = claimed_src; dst; sent_at; forged = true; payload }
+
+let pp pp_payload ppf m =
+  Fmt.pf ppf "%d->%d%s %a" m.src m.dst (if m.forged then "(forged)" else "") pp_payload m.payload

@@ -1,0 +1,22 @@
+(** Message envelopes with authenticated sender identity (paper §2, Def. 2).
+
+    [src] is stamped by the network itself; protocol code and Byzantine nodes
+    cannot forge it. The [forged] flag exists only for the incoherent-period
+    garbage the transient-fault injector delivers. *)
+
+type 'a t = {
+  src : int;
+  dst : int;
+  sent_at : float;  (** real time at which the send was issued *)
+  forged : bool;  (** true only for incoherent-period garbage *)
+  payload : 'a;
+}
+
+(** An authentic envelope. *)
+val make : src:int -> dst:int -> sent_at:float -> 'a -> 'a t
+
+(** A forged envelope (fault injection only). *)
+val forge : claimed_src:int -> dst:int -> sent_at:float -> 'a -> 'a t
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,132 @@
+(* Bounded-delay authenticated point-to-point network (paper §2, Def. 2).
+
+   Delivery is realized by scheduling closures on the engine. While the
+   network is *correct* every send is delivered within the configured delay
+   policy and the sender identity is authentic. Scenario code can make the
+   network *faulty* (the incoherent period preceding stabilization) by
+   setting a drop probability, partitioning links, or injecting forged
+   garbage; experiments then lift the faults and measure convergence. *)
+
+module Rng = Ssba_sim.Rng
+module Engine = Ssba_sim.Engine
+
+type 'a handler = 'a Msg.t -> unit
+
+type 'a t = {
+  engine : Engine.t;
+  n : int;
+  rng : Rng.t;
+  mutable delay : Delay.t;
+  mutable handlers : 'a handler option array;
+  mutable drop_prob : float;  (* applied only while the network is faulty-capable *)
+  mutable blocked : (src:int -> dst:int -> bool) option;  (* partition predicate *)
+  muted : (int, unit) Hashtbl.t;  (* crashed senders: sends silently dropped *)
+  mutable delay_override : ('a Msg.t -> float option) option;
+      (* adversary-chosen delivery delay for selected messages; the paper's
+         model lets a faulty sender's messages be arbitrarily late (masked as
+         part of the f faults) *)
+  kind_of : ('a -> string) option;  (* classifier for per-kind statistics *)
+  sent_by_kind : (string, int) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create ?(drop_prob = 0.0) ?kind_of ~engine ~n ~delay ~rng () =
+  if n <= 0 then invalid_arg "Network.create: n must be positive";
+  {
+    engine;
+    n;
+    rng;
+    delay;
+    handlers = Array.make n None;
+    drop_prob;
+    blocked = None;
+    muted = Hashtbl.create 4;
+    delay_override = None;
+    kind_of;
+    sent_by_kind = Hashtbl.create 16;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let size t = t.n
+let set_handler t node h = t.handlers.(node) <- Some h
+let clear_handler t node = t.handlers.(node) <- None
+let set_delay t delay = t.delay <- delay
+let set_drop_prob t p = t.drop_prob <- p
+let set_partition t pred = t.blocked <- pred
+
+let set_muted t node muted =
+  if muted then Hashtbl.replace t.muted node () else Hashtbl.remove t.muted node
+
+let is_muted t node = Hashtbl.mem t.muted node
+let set_delay_override t f = t.delay_override <- f
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+
+let sent_by_kind t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sent_by_kind []
+  |> List.sort compare
+
+let reset_counters t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  Hashtbl.reset t.sent_by_kind
+
+let count_kind t payload =
+  match t.kind_of with
+  | None -> ()
+  | Some f ->
+      let k = f payload in
+      Hashtbl.replace t.sent_by_kind k (1 + Option.value ~default:0 (Hashtbl.find_opt t.sent_by_kind k))
+
+let deliver t (m : 'a Msg.t) =
+  match t.handlers.(m.Msg.dst) with
+  | None -> ()
+  | Some h ->
+      t.delivered <- t.delivered + 1;
+      h m
+
+let schedule_delivery t (m : 'a Msg.t) ~delay =
+  Engine.schedule_after t.engine ~delay (fun () -> deliver t m)
+
+let send t ~src ~dst payload =
+  if dst < 0 || dst >= t.n then invalid_arg "Network.send: bad destination";
+  t.sent <- t.sent + 1;
+  count_kind t payload;
+  let blocked =
+    Hashtbl.mem t.muted src
+    || (match t.blocked with None -> false | Some pred -> pred ~src ~dst)
+  in
+  let dropped = blocked || (t.drop_prob > 0.0 && Rng.float t.rng 1.0 < t.drop_prob) in
+  if dropped then t.dropped <- t.dropped + 1
+  else begin
+    let now = Engine.now t.engine in
+    let m = Msg.make ~src ~dst ~sent_at:now payload in
+    let delay =
+      match t.delay_override with
+      | Some f -> (
+          match f m with
+          | Some delay -> delay
+          | None -> Delay.draw t.delay ~rng:t.rng ~src ~dst ~now)
+      | None -> Delay.draw t.delay ~rng:t.rng ~src ~dst ~now
+    in
+    schedule_delivery t m ~delay
+  end
+
+let broadcast t ~src payload =
+  for dst = 0 to t.n - 1 do
+    send t ~src ~dst payload
+  done
+
+(* Incoherent-period garbage: deliver a message claiming to come from
+   [claimed_src] after [delay]. Used by the transient-fault injector only. *)
+let inject_forged t ~claimed_src ~dst ~delay payload =
+  let now = Engine.now t.engine in
+  let m = Msg.forge ~claimed_src ~dst ~sent_at:now payload in
+  schedule_delivery t m ~delay

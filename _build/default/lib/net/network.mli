@@ -1,0 +1,64 @@
+(** Bounded-delay authenticated point-to-point network (paper §2, Def. 2).
+
+    While correct, every send is delivered within the configured delay policy
+    and sender identity is authentic. Faults for the incoherent period —
+    drops, partitions, forged garbage — are driven by scenario code. *)
+
+type 'a t
+type 'a handler = 'a Msg.t -> unit
+
+val create :
+  ?drop_prob:float ->
+  ?kind_of:('a -> string) ->
+  engine:Ssba_sim.Engine.t ->
+  n:int ->
+  delay:Delay.t ->
+  rng:Ssba_sim.Rng.t ->
+  unit ->
+  'a t
+
+(** Number of nodes. *)
+val size : 'a t -> int
+
+val set_handler : 'a t -> int -> 'a handler -> unit
+val clear_handler : 'a t -> int -> unit
+val set_delay : 'a t -> Delay.t -> unit
+
+(** Probability that a send is silently lost (incoherent period only;
+    set back to 0 when the network becomes correct). *)
+val set_drop_prob : 'a t -> float -> unit
+
+(** Block links for which the predicate holds ([None] lifts the partition). *)
+val set_partition : 'a t -> (src:int -> dst:int -> bool) option -> unit
+
+(** Mute (crash) or unmute a sender: all its sends are silently dropped. *)
+val set_muted : 'a t -> int -> bool -> unit
+
+val is_muted : 'a t -> int -> bool
+
+(** Per-message adversarial delivery delay: when the callback returns
+    [Some d], it replaces the policy-drawn delay. The paper's model allows a
+    {e faulty} sender's messages to be arbitrarily late (masked as part of
+    the [f] faults); scenario code must only target faulty senders once the
+    system is meant to be coherent. *)
+val set_delay_override : 'a t -> ('a Msg.t -> float option) option -> unit
+
+(** [send t ~src ~dst payload] delivers [payload] to [dst] after a
+    policy-drawn delay, with authentic [src]. *)
+val send : 'a t -> src:int -> dst:int -> 'a -> unit
+
+(** Send to every node, including [src] itself. *)
+val broadcast : 'a t -> src:int -> 'a -> unit
+
+(** Deliver a message with a forged sender identity after [delay]
+    (transient-fault injection only). *)
+val inject_forged : 'a t -> claimed_src:int -> dst:int -> delay:float -> 'a -> unit
+
+val messages_sent : 'a t -> int
+val messages_delivered : 'a t -> int
+val messages_dropped : 'a t -> int
+
+(** Per-kind send counts (requires [kind_of] at creation), sorted by kind. *)
+val sent_by_kind : 'a t -> (string * int) list
+
+val reset_counters : 'a t -> unit

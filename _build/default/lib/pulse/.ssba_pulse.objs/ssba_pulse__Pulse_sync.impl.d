@@ -1,0 +1,1 @@
+lib/pulse/pulse_sync.ml: List Printf Ssba_core Ssba_sim String

@@ -1,0 +1,1 @@
+lib/pulse/pulse_sync.mli: Ssba_core

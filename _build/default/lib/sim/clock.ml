@@ -1,0 +1,36 @@
+(* Drifting hardware clocks (paper §2, Definition 1, Bounded Drift).
+
+   A non-faulty node's physical timer advances at a constant rate within
+   [1 - rho, 1 + rho] of real time, from an arbitrary offset:
+
+     local(t) = offset + rate * t
+
+   The offset is arbitrary because transient faults may leave local clocks
+   arbitrarily far apart; only *intervals* of local time are meaningful to
+   the protocol, matching the paper's use of rt(tau). *)
+
+type t = { offset : float; rate : float }
+
+let create ~offset ~rate =
+  if rate <= 0.0 then invalid_arg "Clock.create: rate must be positive";
+  { offset; rate }
+
+let perfect = { offset = 0.0; rate = 1.0 }
+
+let random rng ~rho ~max_offset =
+  if rho < 0.0 || rho >= 1.0 then invalid_arg "Clock.random: rho out of range";
+  let rate = Rng.float_in_range rng ~lo:(1.0 -. rho) ~hi:(1.0 +. rho) in
+  let offset = Rng.float_in_range rng ~lo:(-.max_offset) ~hi:max_offset in
+  { offset; rate }
+
+let read t ~now = t.offset +. (t.rate *. now)
+
+let rate t = t.rate
+let offset t = t.offset
+
+(* A local-time duration [dl] elapses over real duration [dl / rate]. *)
+let real_of_local_duration t dl = dl /. t.rate
+let local_of_real_duration t dr = dr *. t.rate
+
+(* Real time at which the clock will read [tau]; inverse of [read]. *)
+let real_time_of_reading t tau = (tau -. t.offset) /. t.rate

@@ -1,0 +1,34 @@
+(** Drifting hardware clocks (paper §2, Definition 1).
+
+    A clock maps simulator real time to a node-local reading
+    [local(t) = offset + rate * t] with [rate] within [1 ± rho]. Only
+    local-time {e intervals} are protocol-meaningful; offsets are arbitrary,
+    as after a transient fault. *)
+
+type t
+
+(** [create ~offset ~rate] builds a clock. Raises [Invalid_argument] if
+    [rate <= 0]. *)
+val create : offset:float -> rate:float -> t
+
+(** Zero offset, unit rate. *)
+val perfect : t
+
+(** [random rng ~rho ~max_offset] draws a rate uniform in [1 ± rho] and an
+    offset uniform in [± max_offset]. *)
+val random : Rng.t -> rho:float -> max_offset:float -> t
+
+(** [read t ~now] is the local reading at real time [now]. *)
+val read : t -> now:float -> float
+
+val rate : t -> float
+val offset : t -> float
+
+(** Real duration over which [dl] local-time units elapse. *)
+val real_of_local_duration : t -> float -> float
+
+(** Local duration that elapses over [dr] real-time units. *)
+val local_of_real_duration : t -> float -> float
+
+(** Real time at which the clock reads the given value (inverse of {!read}). *)
+val real_time_of_reading : t -> float -> float

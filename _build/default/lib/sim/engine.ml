@@ -1,0 +1,115 @@
+(* Discrete-event simulation engine.
+
+   The engine owns virtual real time and a priority queue of thunks. Every
+   other substrate (network delivery, node timers, fault injection schedules)
+   is expressed as a scheduled closure, which keeps the engine agnostic of
+   message and protocol types. Events at equal times run in scheduling order
+   (a monotone sequence number breaks ties), so runs are fully deterministic. *)
+
+type event = { at : float; seq : int; run : unit -> unit }
+
+type stats = {
+  events_processed : int;
+  end_time : float;
+  queue_exhausted : bool;  (* false when stopped by [until], [max_events] or [stop] *)
+}
+
+type t = {
+  mutable now : float;
+  queue : event Heap.t;
+  mutable seq : int;
+  trace : Trace.t;
+  mutable stopped : bool;
+}
+
+let compare_event a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?trace () =
+  let trace = match trace with Some tr -> tr | None -> Trace.create ~enabled:false () in
+  { now = 0.0; queue = Heap.create compare_event; seq = 0; trace; stopped = false }
+
+let now t = t.now
+let trace t = t.trace
+let pending t = Heap.size t.queue
+
+let schedule t ~at run =
+  (* Scheduling in the past would break causality; clamp to the present so a
+     zero-delay event still runs after the current one. *)
+  let at = if at < t.now then t.now else at in
+  Heap.push t.queue { at; seq = t.seq; run };
+  t.seq <- t.seq + 1
+
+let schedule_after t ~delay run =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.now +. delay) run
+
+let stop t = t.stopped <- true
+
+let record t ~node ~kind ~detail =
+  Trace.record t.trace ~time:t.now ~node ~kind ~detail
+
+(* Real-time pacing: process events exactly like [run], but sleep until each
+   event's virtual time, mapped onto the wall clock at [speed] virtual
+   seconds per wall second. Turns any deterministic scenario into a live
+   demo; determinism of the *results* is unaffected because only the pacing,
+   never the order, depends on the wall clock. *)
+let run_realtime ?(speed = 1.0) ?(until = infinity) ?(max_events = max_int) t =
+  if speed <= 0.0 then invalid_arg "Engine.run_realtime: speed must be positive";
+  let epoch_wall = Unix.gettimeofday () in
+  let epoch_virtual = t.now in
+  t.stopped <- false;
+  let processed = ref 0 in
+  let exhausted = ref false in
+  let continue = ref true in
+  while !continue do
+    if t.stopped || !processed >= max_events then continue := false
+    else
+      match Heap.peek t.queue with
+      | None ->
+          exhausted := true;
+          continue := false
+      | Some ev when ev.at > until ->
+          t.now <- until;
+          continue := false
+      | Some _ -> (
+          match Heap.pop t.queue with
+          | None -> assert false
+          | Some ev ->
+              let wall_target =
+                epoch_wall +. ((ev.at -. epoch_virtual) /. speed)
+              in
+              let lag = wall_target -. Unix.gettimeofday () in
+              if lag > 0.0 then Unix.sleepf lag;
+              t.now <- ev.at;
+              incr processed;
+              ev.run ())
+  done;
+  { events_processed = !processed; end_time = t.now; queue_exhausted = !exhausted }
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  t.stopped <- false;
+  let processed = ref 0 in
+  let exhausted = ref false in
+  let continue = ref true in
+  while !continue do
+    if t.stopped || !processed >= max_events then continue := false
+    else
+      match Heap.peek t.queue with
+      | None ->
+          exhausted := true;
+          continue := false
+      | Some ev when ev.at > until ->
+          (* Leave future events queued; advance time to the horizon. *)
+          t.now <- until;
+          continue := false
+      | Some _ -> (
+          match Heap.pop t.queue with
+          | None -> assert false
+          | Some ev ->
+              t.now <- ev.at;
+              incr processed;
+              ev.run ())
+  done;
+  { events_processed = !processed; end_time = t.now; queue_exhausted = !exhausted }

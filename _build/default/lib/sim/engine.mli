@@ -1,0 +1,51 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns virtual real time and a queue of scheduled closures.
+    Events at equal times run in scheduling order, so a given scenario always
+    produces the same run. *)
+
+type t
+
+type stats = {
+  events_processed : int;
+  end_time : float;
+  queue_exhausted : bool;
+      (** [true] when the run ended because no events remained; [false] when
+          stopped by [until], [max_events] or {!stop}. *)
+}
+
+(** [create ?trace ()] builds an engine at time 0. Without [trace], an
+    internal disabled trace is used. *)
+val create : ?trace:Trace.t -> unit -> t
+
+(** Current virtual real time. *)
+val now : t -> float
+
+val trace : t -> Trace.t
+
+(** Number of queued events. *)
+val pending : t -> int
+
+(** [schedule t ~at f] runs [f] at virtual time [at] (clamped to the
+    present if in the past). *)
+val schedule : t -> at:float -> (unit -> unit) -> unit
+
+(** [schedule_after t ~delay f] runs [f] after [delay] (must be >= 0). *)
+val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+
+(** Abort the current {!run} after the event being processed. *)
+val stop : t -> unit
+
+(** Record a trace entry at the current time. *)
+val record : t -> node:int -> kind:string -> detail:string -> unit
+
+(** [run ?until ?max_events t] processes queued events in time order until
+    the queue empties, time would exceed [until], [max_events] events ran, or
+    {!stop} is called. *)
+val run : ?until:float -> ?max_events:int -> t -> stats
+
+(** Like {!run}, but paced against the wall clock at [speed] virtual seconds
+    per wall second (default 1.0): each event waits until its virtual time.
+    Event order — and therefore every result — is identical to {!run}; only
+    the pacing differs. Useful for live demos of a scenario. *)
+val run_realtime : ?speed:float -> ?until:float -> ?max_events:int -> t -> stats

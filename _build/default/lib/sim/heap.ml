@@ -1,0 +1,89 @@
+(* Array-backed binary min-heap.
+
+   The engine's event queue is the hot path of every simulation, so the heap
+   is imperative: a growable array with sift-up/sift-down. Ordering is given
+   by a comparison function fixed at creation.
+
+   The backing array stays empty until the first push and is then seeded with
+   that element (vacated slots are overwritten with a live element rather
+   than a dummy), so no unsafe placeholder values are ever manufactured —
+   this matters because ['a] could be [float], whose arrays are flat. *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  capacity : int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) cmp =
+  { cmp; capacity = max capacity 1; data = [||]; size = 0 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) t.data.(0) in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t x =
+  if Array.length t.data = 0 then t.data <- Array.make t.capacity x
+  else if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* overwrite the vacated slot with a live element so stale references
+         are not retained *)
+      t.data.(t.size) <- t.data.(0);
+      sift_down t 0
+    end
+    else t.data <- [||];
+    Some top
+  end
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0
+
+(* Drain a copy so [t] is unchanged; result is in ascending order. *)
+let to_list t =
+  let copy = { cmp = t.cmp; capacity = t.capacity; data = Array.copy t.data; size = t.size } in
+  let rec loop acc =
+    match pop copy with None -> List.rev acc | Some x -> loop (x :: acc)
+  in
+  loop []

@@ -1,0 +1,26 @@
+(** Imperative array-backed binary min-heap, used as the engine's event queue.
+
+    The element ordering is fixed at creation time by a comparison function;
+    ties are resolved by that function, so callers wanting FIFO behaviour for
+    equal keys must include a sequence number in the element. *)
+
+type 'a t
+
+(** [create ?capacity cmp] builds an empty heap ordered by [cmp]. *)
+val create : ?capacity:int -> ('a -> 'a -> int) -> 'a t
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+(** Smallest element, without removing it. *)
+val peek : 'a t -> 'a option
+
+(** Remove and return the smallest element. *)
+val pop : 'a t -> 'a option
+
+(** Remove all elements. *)
+val clear : 'a t -> unit
+
+(** All elements in ascending order; the heap is unchanged. O(n log n). *)
+val to_list : 'a t -> 'a list

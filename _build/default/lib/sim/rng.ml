@@ -1,0 +1,73 @@
+(* Deterministic splittable PRNG.
+
+   The generator is splitmix64 (Steele, Lea & Flood, OOPSLA'14): a 64-bit
+   counter advanced by a Weyl constant and finalized with an avalanching mix.
+   It is fast, has a guaranteed period of 2^64, and — crucially for the
+   simulator — supports cheap *splitting*, so every component (network delays,
+   each adversary, the state scrambler) owns an independent stream derived
+   from one root seed. Identical seeds therefore yield identical runs. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let split t =
+  let s = next_int64 t in
+  { state = mix64 s }
+
+let copy t = { state = t.state }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  if bound < 0.0 then invalid_arg "Rng.float: bound must be non-negative";
+  let u = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (u /. 9007199254740992.0 (* 2^53 *))
+
+let float_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.float_in_range: hi < lo";
+  lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  let a = Array.copy arr in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let subset t ~k arr =
+  if k < 0 || k > Array.length arr then invalid_arg "Rng.subset";
+  Array.sub (shuffle t arr) 0 k

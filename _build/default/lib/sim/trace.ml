@@ -1,0 +1,49 @@
+(* Structured run traces.
+
+   Components record (real-time, node, kind, detail) entries; tests and the
+   CLI filter and pretty-print them. Recording can be disabled wholesale for
+   large benchmark runs, where the trace would dominate memory. *)
+
+type entry = {
+  time : float;  (* simulator real time *)
+  node : int;  (* -1 for system/network events *)
+  kind : string;
+  detail : string;
+}
+
+type t = { mutable entries : entry list; mutable enabled : bool; mutable count : int }
+
+let create ?(enabled = true) () = { entries = []; enabled; count = 0 }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+
+let record t ~time ~node ~kind ~detail =
+  if t.enabled then begin
+    t.entries <- { time; node; kind; detail } :: t.entries;
+    t.count <- t.count + 1
+  end
+
+let clear t =
+  t.entries <- [];
+  t.count <- 0
+
+let count t = t.count
+
+(* Entries in chronological order. *)
+let to_list t = List.rev t.entries
+
+let filter ?node ?kind t =
+  let keep e =
+    (match node with None -> true | Some n -> e.node = n)
+    && match kind with None -> true | Some k -> e.kind = k
+  in
+  List.filter keep (to_list t)
+
+let pp_entry ppf e =
+  if e.node < 0 then Fmt.pf ppf "[%10.6f]  <sys>  %-12s %s" e.time e.kind e.detail
+  else Fmt.pf ppf "[%10.6f]  n%-4d  %-12s %s" e.time e.node e.kind e.detail
+
+let pp ppf t =
+  List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) (to_list t)

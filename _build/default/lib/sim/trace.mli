@@ -1,0 +1,31 @@
+(** Structured run traces: timestamped, per-node, kind-tagged entries. *)
+
+type entry = {
+  time : float;  (** simulator real time *)
+  node : int;  (** -1 for system/network events *)
+  kind : string;
+  detail : string;
+}
+
+type t
+
+(** [create ?enabled ()] builds a trace; disabled traces drop all records. *)
+val create : ?enabled:bool -> unit -> t
+
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+val record : t -> time:float -> node:int -> kind:string -> detail:string -> unit
+val clear : t -> unit
+
+(** Number of entries recorded since the last [clear]. *)
+val count : t -> int
+
+(** Entries in chronological order. *)
+val to_list : t -> entry list
+
+(** Chronological entries matching the given node and/or kind. *)
+val filter : ?node:int -> ?kind:string -> t -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Float List Node Params QCheck_alcotest Random Ssba_core Ssba_net Ssba_sim String Types

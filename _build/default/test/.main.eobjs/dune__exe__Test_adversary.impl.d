@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Float Helpers List Node Params Ssba_adversary Ssba_core Ssba_harness Ssba_net Ssba_sim Types

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Cluster Float Helpers List Node Params Ssba_baseline Ssba_core Ssba_net Ssba_sim Types

@@ -1,0 +1,1 @@
+test/test_channels.ml: Alcotest Array Cluster Helpers List Node Params Ssba_core Ssba_net Ssba_sim Types

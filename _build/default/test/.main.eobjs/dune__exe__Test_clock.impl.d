@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Float Helpers QCheck Ssba_sim

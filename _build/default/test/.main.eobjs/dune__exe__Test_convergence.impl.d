@@ -1,0 +1,1 @@
+test/test_convergence.ml: Helpers List Params QCheck Ssba_adversary Ssba_core Ssba_harness Types

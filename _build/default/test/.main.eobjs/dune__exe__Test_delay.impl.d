@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Fmt Helpers Ssba_net Ssba_sim String

@@ -1,0 +1,1 @@
+test/test_eig.ml: Alcotest Array Float Helpers List Params Ssba_baseline Ssba_core Ssba_net Ssba_sim

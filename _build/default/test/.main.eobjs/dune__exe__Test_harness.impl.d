@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float Helpers List Params Ssba_core Ssba_harness String Types

@@ -1,0 +1,1 @@
+test/test_heap.ml: Helpers List QCheck Ssba_sim

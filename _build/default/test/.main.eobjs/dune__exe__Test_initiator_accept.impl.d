@@ -1,0 +1,1 @@
+test/test_initiator_accept.ml: Alcotest Fake Helpers Initiator_accept List Option Params Ssba_core Ssba_sim Types

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Helpers List Params QCheck Ss_byz_agree Ssba_adversary Ssba_core Ssba_harness String

@@ -1,0 +1,1 @@
+test/test_msgd_broadcast.ml: Fake Helpers List Msgd_broadcast Params Ssba_core Types

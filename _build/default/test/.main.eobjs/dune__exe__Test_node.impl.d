@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Cluster Helpers List Node Params Ssba_core Ssba_net Ssba_sim Types

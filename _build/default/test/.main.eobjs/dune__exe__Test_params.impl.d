@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Helpers QCheck Ssba_core

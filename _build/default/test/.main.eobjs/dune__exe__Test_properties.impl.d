@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Gen Helpers List Params QCheck Ssba_adversary Ssba_core Ssba_harness Ssba_net Types

@@ -1,0 +1,1 @@
+test/test_pulse.ml: Alcotest Array Cluster Float Helpers List Node Option Params Printf Ssba_core Ssba_pulse Ssba_sim

@@ -1,0 +1,1 @@
+test/test_recv_log.ml: Alcotest Gen Helpers List QCheck Ssba_core

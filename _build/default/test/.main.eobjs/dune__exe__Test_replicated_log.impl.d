@@ -1,0 +1,1 @@
+test/test_replicated_log.ml: Alcotest Cluster Helpers List Printf Ssba_apps String

@@ -1,0 +1,1 @@
+test/test_scramble.ml: Array Cluster Helpers List Node Params Ss_byz_agree Ssba_core Ssba_harness Ssba_sim Types

@@ -1,0 +1,1 @@
+test/test_separation.ml: Alcotest Fake Helpers Initiator_accept List Params Ssba_core Types

@@ -1,0 +1,1 @@
+test/test_soak.ml: Cluster Helpers List Node Params Printf Ssba_adversary Ssba_core Ssba_harness Ssba_sim Types

@@ -1,0 +1,1 @@
+test/test_ss_byz_agree.ml: Alcotest Cluster Fake Float Helpers Initiator_accept List Msgd_broadcast Node Params Ss_byz_agree Ssba_core Ssba_net Ssba_sim String Types

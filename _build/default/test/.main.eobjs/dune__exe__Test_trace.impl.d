@@ -1,0 +1,1 @@
+test/test_trace.ml: Fmt Helpers List Ssba_sim String

@@ -1,0 +1,145 @@
+(* Shared test utilities.
+
+   [Fake] provides a synthetic execution context for unit-testing the
+   protocol state machines in isolation: a controllable local clock, a log of
+   sent messages, and a timer queue fired by [advance]. [Cluster] builds a
+   complete small simulation for integration tests. *)
+
+open Ssba_core
+
+module Fake = struct
+  type t = {
+    mutable now : float;
+    mutable sent : (float * Types.message) list;  (* newest first *)
+    mutable timers : (float * (unit -> unit)) list;
+    params : Params.t;
+  }
+
+  let make ?(self = 0) ?(now = 100.0) params =
+    let t = { now; sent = []; timers = []; params } in
+    let ctx =
+      {
+        Types.params;
+        self;
+        local_time = (fun () -> t.now);
+        send_all = (fun m -> t.sent <- (t.now, m) :: t.sent);
+        after_local =
+          (fun dl f ->
+            if dl < 0.0 then invalid_arg "fake after_local: negative";
+            t.timers <- (t.now +. dl, f) :: t.timers);
+        trace = (fun ~kind:_ ~detail:_ -> ());
+      }
+    in
+    (t, ctx)
+
+  (* Advance local time by [dl], firing due timers in order. *)
+  let advance t dl =
+    let target = t.now +. dl in
+    let rec loop () =
+      let due =
+        List.filter (fun (at, _) -> at <= target) t.timers
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      match due with
+      | [] -> ()
+      | (at, f) :: _ ->
+          t.timers <- List.filter (fun (at', f') -> not (at' == at && f' == f)) t.timers;
+          t.now <- at;
+          f ();
+          loop ()
+    in
+    loop ();
+    t.now <- target
+
+  let sent_kinds t = List.rev_map (fun (_, m) -> Types.kind_of_message m) t.sent
+  let clear_sent t = t.sent <- []
+
+  let count_kind t kind =
+    List.length (List.filter (fun k -> String.equal k kind) (sent_kinds t))
+end
+
+module Cluster = struct
+  type t = {
+    params : Params.t;
+    engine : Ssba_sim.Engine.t;
+    net : Types.message Ssba_net.Network.t;
+    nodes : Node.t option array;  (* [None] for skipped (non-correct) slots *)
+    clocks : Ssba_sim.Clock.t array;
+    returns : Types.return_info list ref;
+  }
+
+  (* [make ~n ()] builds n correct nodes over a uniform-delay network.
+     [skip] ids get no node (their slots stay silent or are taken over by
+     adversaries installed afterwards). *)
+  let make ?(seed = 42) ?(skip = []) ?(delay = `Uniform) ?(clock = `Drifting) ~n ()
+      =
+    let params = Params.default n in
+    let engine = Ssba_sim.Engine.create () in
+    let rng = Ssba_sim.Rng.create seed in
+    let delay =
+      match delay with
+      | `Uniform ->
+          Ssba_net.Delay.uniform ~lo:(0.05 *. params.Params.delta)
+            ~hi:params.Params.delta
+      | `Fixed x -> Ssba_net.Delay.fixed x
+    in
+    let net =
+      Ssba_net.Network.create ~engine ~n ~delay ~rng:(Ssba_sim.Rng.split rng)
+        ~kind_of:Types.kind_of_message ()
+    in
+    let clocks =
+      Array.init n (fun _ ->
+          match clock with
+          | `Perfect -> Ssba_sim.Clock.perfect
+          | `Drifting ->
+              Ssba_sim.Clock.random (Ssba_sim.Rng.split rng)
+                ~rho:params.Params.rho ~max_offset:0.2)
+    in
+    let returns = ref [] in
+    let nodes =
+      Array.init n (fun id ->
+          if List.mem id skip then None
+          else begin
+            let node =
+              Node.create ~id ~params ~clock:clocks.(id) ~engine ~net ()
+            in
+            Node.subscribe node (fun r -> returns := r :: !returns);
+            Some node
+          end)
+    in
+    { params; engine; net; nodes; clocks; returns }
+
+  let node t id =
+    match t.nodes.(id) with
+    | Some n -> n
+    | None -> Alcotest.failf "cluster: node %d was skipped" id
+
+  let run ?(until = 2.0) t = ignore (Ssba_sim.Engine.run ~until t.engine)
+
+  let returns t =
+    List.sort
+      (fun (a : Types.return_info) b -> compare a.Types.rt_ret b.Types.rt_ret)
+      !(t.returns)
+
+  let decided_values t =
+    List.filter_map
+      (fun (r : Types.return_info) ->
+        match r.Types.outcome with Types.Decided v -> Some v | Types.Aborted -> None)
+      (returns t)
+end
+
+(* Alcotest shorthands. *)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9f, got %.9f" msg expected actual
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+(* Deterministic qcheck wrapper: a fixed RNG per property so `dune runtest`
+   is reproducible run to run (qcheck otherwise self-seeds). *)
+let qcheck t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xBA5E; 42 |]) t

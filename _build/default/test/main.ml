@@ -1,0 +1,32 @@
+(* Test entry point: one Alcotest run aggregating every module's suite. *)
+
+let () =
+  Alcotest.run "ssba"
+    [
+      ("rng", Test_rng.suite);
+      ("heap", Test_heap.suite);
+      ("clock", Test_clock.suite);
+      ("engine", Test_engine.suite);
+      ("trace", Test_trace.suite);
+      ("net", Test_net.suite);
+      ("delay", Test_delay.suite);
+      ("recv-log", Test_recv_log.suite);
+      ("params", Test_params.suite);
+      ("initiator-accept", Test_initiator_accept.suite);
+      ("msgd-broadcast", Test_msgd_broadcast.suite);
+      ("ss-byz-agree", Test_ss_byz_agree.suite);
+      ("node", Test_node.suite);
+      ("scramble", Test_scramble.suite);
+      ("adversary", Test_adversary.suite);
+      ("baseline", Test_baseline.suite);
+      ("pulse", Test_pulse.suite);
+      ("harness", Test_harness.suite);
+      ("properties", Test_properties.suite);
+      ("convergence", Test_convergence.suite);
+      ("invariants", Test_invariants.suite);
+      ("eig", Test_eig.suite);
+      ("channels", Test_channels.suite);
+      ("separation", Test_separation.suite);
+      ("replicated-log", Test_replicated_log.suite);
+      ("soak", Test_soak.suite);
+    ]

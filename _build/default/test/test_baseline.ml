@@ -1,0 +1,131 @@
+(* Tests for the TPS'87 time-driven baseline. *)
+
+open Helpers
+open Ssba_core
+module Tps = Ssba_baseline.Tps_agree
+module Engine = Ssba_sim.Engine
+module Net = Ssba_net.Network
+
+let mk ?(n = 7) ?(g = 0) ?(delay = 0.0001) ?(seed = 1) () =
+  let params = Params.default n in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~n ~delay:(Ssba_net.Delay.fixed delay)
+      ~rng:(Ssba_sim.Rng.create seed) ()
+  in
+  let t_start = 0.1 in
+  let returns = ref [] in
+  let nodes =
+    Array.init n (fun id ->
+        let b =
+          Tps.create ~id ~params ~clock:Ssba_sim.Clock.perfect ~engine ~net ~g
+            ~t_start
+        in
+        Tps.set_on_return b (fun outcome ~tau_ret ->
+            returns := (id, outcome, tau_ret) :: !returns);
+        b)
+  in
+  (params, engine, net, nodes, returns, t_start)
+
+let test_validity () =
+  let params, engine, _, nodes, returns, t_start = mk () in
+  Engine.schedule engine ~at:t_start (fun () -> Tps.propose nodes.(0) "v");
+  ignore (Engine.run ~until:2.0 engine);
+  check_int "all return" 7 (List.length !returns);
+  List.iter
+    (fun (_, o, tau) ->
+      check_bool "decided v" true (o = Types.Decided "v");
+      (* time-driven: the decision lands exactly at the phase-2 boundary *)
+      check_float ~eps:1e-9 "decision at phase 2" (t_start +. (2.0 *. params.Params.phi)) tau)
+    !returns
+
+let test_latency_insensitive_to_delay () =
+  (* the defining property of the baseline: latency is pinned to phase
+     boundaries whether the network is 100x faster or not *)
+  let lat delay =
+    let _, engine, _, nodes, returns, t_start = mk ~delay () in
+    Engine.schedule engine ~at:t_start (fun () -> Tps.propose nodes.(0) "v");
+    ignore (Engine.run ~until:2.0 engine);
+    List.fold_left (fun acc (_, _, tau) -> Float.max acc (tau -. t_start)) 0.0 !returns
+  in
+  check_float ~eps:1e-9 "same latency at delta/100 and delta" (lat 0.00001) (lat 0.001)
+
+let test_silent_general_aborts () =
+  let params, engine, _, _, returns, t_start = mk () in
+  (* nobody proposes: every node must abort by the final boundary *)
+  ignore (Engine.run ~until:2.0 engine);
+  check_int "all abort" 7 (List.length !returns);
+  List.iter (fun (_, o, _) -> check_bool "aborted" true (o = Types.Aborted)) !returns;
+  List.iter
+    (fun (_, _, tau) ->
+      check_bool "by the 2f+3 boundary" true
+        (tau -. t_start
+        <= (float_of_int ((2 * params.Params.f) + 3) *. params.Params.phi) +. 1e-9))
+    !returns
+
+let test_crashed_minority_ok () =
+  let params, engine, net, nodes, returns, t_start = mk ~n:7 () in
+  (* crash f = 2 non-General nodes before the run: quorums still reachable *)
+  Net.set_muted net 5 true;
+  Net.set_muted net 6 true;
+  ignore params;
+  Engine.schedule engine ~at:t_start (fun () -> Tps.propose nodes.(0) "v");
+  ignore (Engine.run ~until:2.0 engine);
+  let decided = List.filter (fun (_, o, _) -> o = Types.Decided "v") !returns in
+  (* the two muted nodes still *receive*, so they decide too; what matters is
+     every live node decides the value *)
+  check_bool "at least n - f decide" true (List.length decided >= 5)
+
+let test_crashed_majority_aborts () =
+  let _, engine, net, nodes, returns, t_start = mk ~n:7 () in
+  for i = 2 to 6 do
+    Net.set_muted net i true
+  done;
+  Engine.schedule engine ~at:t_start (fun () -> Tps.propose nodes.(0) "v");
+  ignore (Engine.run ~until:2.0 engine);
+  List.iter
+    (fun (_, o, _) -> check_bool "no decision without quorums" true (o = Types.Aborted))
+    !returns
+
+let test_propose_requires_general () =
+  let _, _, _, nodes, _, _ = mk () in
+  match Tps.propose nodes.(1) "v" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "non-General propose accepted"
+
+let test_message_driven_beats_time_driven () =
+  (* the E3 headline, as a regression test: on a fast network the
+     message-driven protocol decides at least 3x sooner *)
+  let n = 7 in
+  let params = Params.default n in
+  let fast = 0.05 *. params.Params.delta in
+  (* baseline *)
+  let _, engine, _, nodes, returns, t_start = mk ~delay:fast () in
+  Engine.schedule engine ~at:t_start (fun () -> Tps.propose nodes.(0) "v");
+  ignore (Engine.run ~until:2.0 engine);
+  let tps_lat =
+    List.fold_left (fun acc (_, _, tau) -> Float.max acc (tau -. t_start)) 0.0 !returns
+  in
+  (* message-driven *)
+  let c = Cluster.make ~n ~delay:(`Fixed fast) ~clock:`Perfect () in
+  Ssba_sim.Engine.schedule c.Cluster.engine ~at:0.1 (fun () ->
+      ignore (Node.propose (Cluster.node c 0) "v"));
+  Cluster.run c;
+  let ss_lat =
+    List.fold_left
+      (fun acc (r : Types.return_info) -> Float.max acc (r.Types.rt_ret -. 0.1))
+      0.0 (Cluster.returns c)
+  in
+  check_bool "message-driven at least 3x faster on a fast network" true
+    (tps_lat > 3.0 *. ss_lat)
+
+let suite =
+  [
+    case "validity at phase 2" test_validity;
+    case "latency pinned to phases" test_latency_insensitive_to_delay;
+    case "silent General aborts" test_silent_general_aborts;
+    case "crashed minority ok" test_crashed_minority_ok;
+    case "crashed majority aborts" test_crashed_majority_aborts;
+    case "propose requires the General" test_propose_requires_general;
+    case "message-driven beats time-driven" test_message_driven_beats_time_driven;
+  ]

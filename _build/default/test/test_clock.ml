@@ -1,0 +1,84 @@
+(* Tests for drifting clocks. *)
+
+open Helpers
+module Clock = Ssba_sim.Clock
+module Rng = Ssba_sim.Rng
+
+let test_perfect () =
+  check_float "perfect reads real time" 3.25 (Clock.read Clock.perfect ~now:3.25);
+  check_float "rate 1" 1.0 (Clock.rate Clock.perfect);
+  check_float "offset 0" 0.0 (Clock.offset Clock.perfect)
+
+let test_linear () =
+  let c = Clock.create ~offset:10.0 ~rate:2.0 in
+  check_float "read" 16.0 (Clock.read c ~now:3.0);
+  check_float "local duration of real" 4.0 (Clock.local_of_real_duration c 2.0);
+  check_float "real duration of local" 2.0 (Clock.real_of_local_duration c 4.0)
+
+let test_inverse () =
+  let c = Clock.create ~offset:(-5.0) ~rate:1.5 in
+  let tau = Clock.read c ~now:7.0 in
+  check_float "real_time_of_reading inverts read" 7.0
+    (Clock.real_time_of_reading c tau)
+
+let test_negative_offset () =
+  let c = Clock.create ~offset:(-100.0) ~rate:1.0 in
+  check_float "negative local time is fine" (-98.0) (Clock.read c ~now:2.0)
+
+let test_bad_rate () =
+  Alcotest.check_raises "zero rate rejected"
+    (Invalid_argument "Clock.create: rate must be positive") (fun () ->
+      ignore (Clock.create ~offset:0.0 ~rate:0.0))
+
+let test_random_within_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 100 do
+    let c = Clock.random rng ~rho:0.01 ~max_offset:5.0 in
+    check_bool "rate within 1 +- rho" true
+      (Clock.rate c >= 0.99 && Clock.rate c <= 1.01);
+    check_bool "offset within +- 5" true
+      (Clock.offset c >= -5.0 && Clock.offset c <= 5.0)
+  done
+
+let test_drift_bound_property () =
+  (* Definition 1: (1 - rho)(v - u) <= tau(v) - tau(u) <= (1 + rho)(v - u). *)
+  let rng = Rng.create 8 in
+  for _ = 1 to 50 do
+    let rho = 0.001 in
+    let c = Clock.random rng ~rho ~max_offset:100.0 in
+    let u = Rng.float rng 50.0 in
+    let v = u +. Rng.float rng 50.0 in
+    let dl = Clock.read c ~now:v -. Clock.read c ~now:u in
+    check_bool "drift bound holds" true
+      (dl >= (1.0 -. rho) *. (v -. u) -. 1e-9
+      && dl <= (1.0 +. rho) *. (v -. u) +. 1e-9)
+  done
+
+(* qcheck: round trips between local and real durations. *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"clock duration round trip" ~count:300
+    QCheck.(triple (float_range (-10.0) 10.0) (float_range 0.5 2.0) (float_range 0.0 100.0))
+    (fun (offset, rate, dl) ->
+      let c = Clock.create ~offset ~rate in
+      Float.abs (Clock.local_of_real_duration c (Clock.real_of_local_duration c dl) -. dl)
+      < 1e-6)
+
+let prop_reading_roundtrip =
+  QCheck.Test.make ~name:"clock reading round trip" ~count:300
+    QCheck.(triple (float_range (-10.0) 10.0) (float_range 0.5 2.0) (float_range 0.0 1000.0))
+    (fun (offset, rate, now) ->
+      let c = Clock.create ~offset ~rate in
+      Float.abs (Clock.real_time_of_reading c (Clock.read c ~now) -. now) < 1e-6)
+
+let suite =
+  [
+    case "perfect" test_perfect;
+    case "linear" test_linear;
+    case "inverse" test_inverse;
+    case "negative offset" test_negative_offset;
+    case "bad rate" test_bad_rate;
+    case "random within bounds" test_random_within_bounds;
+    case "drift bound (Definition 1)" test_drift_bound_property;
+    Helpers.qcheck prop_roundtrip;
+    Helpers.qcheck prop_reading_roundtrip;
+  ]

@@ -1,0 +1,92 @@
+(* Tests for the delay policies and message envelopes. *)
+
+open Helpers
+module Delay = Ssba_net.Delay
+module Msg = Ssba_net.Msg
+module Rng = Ssba_sim.Rng
+
+let draw policy ~src ~dst =
+  Delay.draw policy ~rng:(Rng.create 1) ~src ~dst ~now:0.0
+
+let test_fixed () =
+  check_float "fixed" 0.25 (draw (Delay.fixed 0.25) ~src:0 ~dst:1);
+  match Delay.fixed (-1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative fixed delay accepted"
+
+let test_uniform () =
+  let policy = Delay.uniform ~lo:0.1 ~hi:0.2 in
+  let rng = Rng.create 2 in
+  for _ = 1 to 500 do
+    let x = Delay.draw policy ~rng ~src:0 ~dst:1 ~now:0.0 in
+    check_bool "within range" true (x >= 0.1 && x < 0.2)
+  done;
+  match Delay.uniform ~lo:0.2 ~hi:0.1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inverted range accepted"
+
+let test_bimodal () =
+  let policy = Delay.bimodal ~fast:0.01 ~slow:0.1 ~slow_prob:0.3 in
+  let rng = Rng.create 3 in
+  let slow = ref 0 in
+  for _ = 1 to 1000 do
+    let x = Delay.draw policy ~rng ~src:0 ~dst:1 ~now:0.0 in
+    check_bool "one of the two modes" true (x = 0.01 || x = 0.1);
+    if x = 0.1 then incr slow
+  done;
+  check_bool "slow fraction near 30%" true (!slow > 200 && !slow < 400);
+  (match Delay.bimodal ~fast:0.2 ~slow:0.1 ~slow_prob:0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "slow < fast accepted");
+  match Delay.bimodal ~fast:0.1 ~slow:0.2 ~slow_prob:1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "probability > 1 accepted"
+
+let test_per_link () =
+  let policy =
+    Delay.per_link (fun ~src ~dst -> float_of_int ((10 * src) + dst) /. 1000.0)
+  in
+  check_float "link 2->3" 0.023 (draw policy ~src:2 ~dst:3);
+  check_float "link 0->1" 0.001 (draw policy ~src:0 ~dst:1)
+
+let test_custom () =
+  (* a custom schedule can depend on the current time *)
+  let policy = Delay.custom (fun ~rng:_ ~src:_ ~dst:_ ~now -> if now < 1.0 then 0.5 else 0.01) in
+  check_float "early" 0.5 (Delay.draw policy ~rng:(Rng.create 1) ~src:0 ~dst:0 ~now:0.0);
+  check_float "late" 0.01 (Delay.draw policy ~rng:(Rng.create 1) ~src:0 ~dst:0 ~now:2.0)
+
+let test_msg_make () =
+  let m = Msg.make ~src:1 ~dst:2 ~sent_at:0.5 "payload" in
+  check_int "src" 1 m.Msg.src;
+  check_int "dst" 2 m.Msg.dst;
+  check_float "sent_at" 0.5 m.Msg.sent_at;
+  check_bool "not forged" false m.Msg.forged;
+  check_str "payload" "payload" m.Msg.payload
+
+let test_msg_forge () =
+  let m = Msg.forge ~claimed_src:9 ~dst:2 ~sent_at:0.5 "x" in
+  check_int "claimed src" 9 m.Msg.src;
+  check_bool "flagged forged" true m.Msg.forged
+
+let test_msg_pp () =
+  let m = Msg.forge ~claimed_src:9 ~dst:2 ~sent_at:0.5 "x" in
+  let s = Fmt.str "%a" (Msg.pp Fmt.string) m in
+  check_bool "mentions forged" true
+    (String.length s > 0
+    &&
+    let rec has i =
+      i + 8 <= String.length s && (String.sub s i 8 = "(forged)" || has (i + 1))
+    in
+    has 0)
+
+let suite =
+  [
+    case "fixed" test_fixed;
+    case "uniform" test_uniform;
+    case "bimodal" test_bimodal;
+    case "per-link" test_per_link;
+    case "custom" test_custom;
+    case "msg make" test_msg_make;
+    case "msg forge" test_msg_forge;
+    case "msg pp" test_msg_pp;
+  ]

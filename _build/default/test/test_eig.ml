@@ -1,0 +1,139 @@
+(* Tests for the EIG oral-messages baseline. *)
+
+open Helpers
+open Ssba_core
+module Eig = Ssba_baseline.Eig_agree
+module Engine = Ssba_sim.Engine
+module Net = Ssba_net.Network
+
+let mk ?(n = 7) ?(g = 0) ?(delay = 0.0001) ?(seed = 1) () =
+  let params = Params.default n in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~n ~delay:(Ssba_net.Delay.fixed delay)
+      ~rng:(Ssba_sim.Rng.create seed) ()
+  in
+  let t_start = 0.1 in
+  let decisions = ref [] in
+  let nodes =
+    Array.init n (fun id ->
+        let e =
+          Eig.create ~id ~params ~clock:Ssba_sim.Clock.perfect ~engine ~net ~g
+            ~t_start
+        in
+        Eig.set_on_decide e (fun v ~tau -> decisions := (id, v, tau) :: !decisions);
+        e)
+  in
+  (params, engine, net, nodes, decisions, t_start)
+
+let test_validity () =
+  let params, engine, _, nodes, decisions, t_start = mk () in
+  Engine.schedule engine ~at:t_start (fun () -> Eig.propose nodes.(0) "v");
+  ignore (Engine.run ~until:2.0 engine);
+  check_int "all decide" 7 (List.length !decisions);
+  List.iter
+    (fun (_, v, tau) ->
+      check_str "the General's value" "v" v;
+      (* decision exactly at boundary f+1 *)
+      check_float ~eps:1e-9 "at (f+1) Phi"
+        (t_start +. (float_of_int (params.Params.f + 1) *. params.Params.phi))
+        tau)
+    !decisions
+
+let test_latency_time_driven () =
+  let lat delay =
+    let _, engine, _, nodes, decisions, t_start = mk ~delay () in
+    Engine.schedule engine ~at:t_start (fun () -> Eig.propose nodes.(0) "v");
+    ignore (Engine.run ~until:2.0 engine);
+    List.fold_left (fun acc (_, _, tau) -> Float.max acc (tau -. t_start)) 0.0 !decisions
+  in
+  check_float ~eps:1e-9 "latency pinned to (f+1) Phi regardless of delay"
+    (lat 0.00001) (lat 0.0009)
+
+let test_silent_general_defaults () =
+  let _, engine, _, _, decisions, _ = mk () in
+  ignore (Engine.run ~until:2.0 engine);
+  check_int "all decide" 7 (List.length !decisions);
+  List.iter
+    (fun (_, v, _) -> check_str "default value" Eig.default_value v)
+    !decisions
+
+let test_crashed_participants () =
+  let _, engine, net, nodes, decisions, t_start = mk () in
+  Net.set_muted net 5 true;
+  Net.set_muted net 6 true;
+  Engine.schedule engine ~at:t_start (fun () -> Eig.propose nodes.(0) "v");
+  ignore (Engine.run ~until:2.0 engine);
+  let correct = List.filter (fun (id, _, _) -> id < 5) !decisions in
+  check_int "five live nodes decide" 5 (List.length correct);
+  List.iter (fun (_, v, _) -> check_str "General's value" "v" v) correct
+
+let test_two_faced_general_agrees () =
+  (* The General raw-sends different Values to the two halves and then
+     relays equivocating level-1 batches; EIG's majority resolution must
+     still produce identical decisions at all correct nodes (f = 2 budget,
+     one actual fault). Node 0's own decision is excluded — it is faulty. *)
+  let _, engine, net, _, decisions, t_start = mk () in
+  Engine.schedule engine ~at:t_start (fun () ->
+      for dst = 0 to 6 do
+        Net.send net ~src:0 ~dst (Eig.Value (if dst mod 2 = 0 then "a" else "b"))
+      done);
+  ignore (Engine.run ~until:2.0 engine);
+  let correct = List.filter (fun (id, _, _) -> id <> 0) !decisions in
+  check_int "six correct decisions" 6 (List.length correct);
+  let values = List.sort_uniq compare (List.map (fun (_, v, _) -> v) correct) in
+  check_int "identical decisions despite equivocation" 1 (List.length values)
+
+let test_relay_path_discipline () =
+  (* forged relays: wrong root, sender inside the path, duplicated ids and
+     over-long paths must all be rejected (tree stays minimal) *)
+  let _, engine, net, nodes, _, t_start = mk () in
+  Engine.schedule engine ~at:t_start (fun () -> Eig.propose nodes.(0) "v");
+  Engine.schedule engine ~at:(t_start +. 0.001) (fun () ->
+      Net.broadcast net ~src:6
+        (Eig.Relay
+           [
+             ([ 1 ], "wrong-root");
+             ([ 0; 6 ], "sender-in-path");
+             ([ 0; 0 ], "dup-ids");
+             ([ 0; 1; 2; 3 ], "too-long");
+           ]));
+  ignore (Engine.run ~until:2.0 engine);
+  (* tree sizes: 1 (root) + 6 (depth 2) + 30 (depth 3) per node at n=7, f=2;
+     none of the forged paths may appear *)
+  Array.iter
+    (fun e -> check_bool "tree bounded" true (Eig.tree_size e <= 1 + 6 + 30))
+    nodes;
+  (* and correctness is unaffected *)
+  Array.iter
+    (fun e -> check_bool "still decides v" true (Eig.decided e = Some "v"))
+    nodes
+
+let test_propose_requires_general () =
+  let _, _, _, nodes, _, _ = mk () in
+  match Eig.propose nodes.(3) "v" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "non-General propose accepted"
+
+let test_always_slower_than_tps () =
+  (* comparison sanity for E3b: EIG decides at (f+1) Phi > TPS's 2 Phi *)
+  let params, engine, _, nodes, decisions, t_start = mk () in
+  Engine.schedule engine ~at:t_start (fun () -> Eig.propose nodes.(0) "v");
+  ignore (Engine.run ~until:2.0 engine);
+  List.iter
+    (fun (_, _, tau) ->
+      check_bool "decision after TPS's phase-2 boundary" true
+        (tau -. t_start > 2.0 *. params.Params.phi))
+    !decisions
+
+let suite =
+  [
+    case "validity at (f+1) Phi" test_validity;
+    case "latency pinned to phases" test_latency_time_driven;
+    case "silent General defaults consistently" test_silent_general_defaults;
+    case "crashed participants tolerated" test_crashed_participants;
+    case "two-faced General: agreement" test_two_faced_general_agrees;
+    case "relay path discipline" test_relay_path_discipline;
+    case "propose requires the General" test_propose_requires_general;
+    case "slower than TPS (E3b sanity)" test_always_slower_than_tps;
+  ]

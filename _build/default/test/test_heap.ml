@@ -1,0 +1,119 @@
+(* Tests for the binary min-heap. *)
+
+open Helpers
+module Heap = Ssba_sim.Heap
+
+let mk () = Heap.create compare
+
+let test_empty () =
+  let h = mk () in
+  check_bool "is_empty" true (Heap.is_empty h);
+  check_int "size" 0 (Heap.size h);
+  check_bool "peek none" true (Heap.peek h = None);
+  check_bool "pop none" true (Heap.pop h = None)
+
+let test_push_pop_sorted () =
+  let h = mk () in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check_bool "ascending order" true
+    (drain [] = List.sort compare [ 5; 1; 4; 1; 3; 9; 2 ])
+
+let test_peek_stable () =
+  let h = mk () in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  check_bool "peek = min" true (Heap.peek h = Some 1);
+  check_int "peek does not remove" 3 (Heap.size h)
+
+let test_interleaved () =
+  let h = mk () in
+  Heap.push h 10;
+  Heap.push h 5;
+  check_bool "pop 5" true (Heap.pop h = Some 5);
+  Heap.push h 1;
+  Heap.push h 7;
+  check_bool "pop 1" true (Heap.pop h = Some 1);
+  check_bool "pop 7" true (Heap.pop h = Some 7);
+  check_bool "pop 10" true (Heap.pop h = Some 10);
+  check_bool "empty again" true (Heap.is_empty h)
+
+let test_growth () =
+  let h = Heap.create ~capacity:2 compare in
+  for i = 1000 downto 1 do
+    Heap.push h i
+  done;
+  check_int "size after growth" 1000 (Heap.size h);
+  check_bool "min correct" true (Heap.peek h = Some 1)
+
+let test_clear () =
+  let h = mk () in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h);
+  Heap.push h 42;
+  check_bool "usable after clear" true (Heap.pop h = Some 42)
+
+let test_to_list () =
+  let h = mk () in
+  List.iter (Heap.push h) [ 4; 2; 8; 6 ];
+  check_bool "to_list ascending" true (Heap.to_list h = [ 2; 4; 6; 8 ]);
+  check_int "heap unchanged" 4 (Heap.size h);
+  check_bool "still pops min" true (Heap.pop h = Some 2)
+
+let test_custom_order () =
+  let h = Heap.create (fun a b -> compare b a) in
+  List.iter (Heap.push h) [ 1; 3; 2 ];
+  check_bool "max-heap via flipped compare" true (Heap.pop h = Some 3)
+
+let test_float_elements () =
+  (* floats have flat arrays in OCaml; the heap must not manufacture dummy
+     values for them *)
+  let h = Heap.create compare in
+  List.iter (Heap.push h) [ 3.5; 1.25; 2.0; -4.0 ];
+  check_bool "float min" true (Heap.pop h = Some (-4.0));
+  check_bool "float order" true (Heap.to_list h = [ 1.25; 2.0; 3.5 ]);
+  Heap.clear h;
+  Heap.push h 9.0;
+  check_bool "usable after clear" true (Heap.pop h = Some 9.0)
+
+let test_tie_break_with_seq () =
+  (* The engine relies on (time, seq) elements giving FIFO for equal times. *)
+  let h = Heap.create compare in
+  List.iter (Heap.push h) [ (1.0, 0); (1.0, 1); (0.5, 2); (1.0, 3) ];
+  check_bool "order" true
+    (Heap.to_list h = [ (0.5, 2); (1.0, 0); (1.0, 1); (1.0, 3) ])
+
+(* qcheck: heap-sort of an arbitrary list equals List.sort. *)
+let prop_heapsort =
+  QCheck.Test.make ~name:"heap sort matches List.sort" ~count:300
+    QCheck.(list int)
+    (fun l ->
+      let h = Heap.create compare in
+      List.iter (Heap.push h) l;
+      Heap.to_list h = List.sort compare l)
+
+let prop_size =
+  QCheck.Test.make ~name:"heap size tracks pushes" ~count:300
+    QCheck.(list small_int)
+    (fun l ->
+      let h = Heap.create compare in
+      List.iter (Heap.push h) l;
+      Heap.size h = List.length l)
+
+let suite =
+  [
+    case "empty" test_empty;
+    case "push/pop sorted" test_push_pop_sorted;
+    case "peek" test_peek_stable;
+    case "interleaved" test_interleaved;
+    case "growth" test_growth;
+    case "clear" test_clear;
+    case "to_list" test_to_list;
+    case "custom order" test_custom_order;
+    case "float elements" test_float_elements;
+    case "tie-break with seq" test_tie_break_with_seq;
+    Helpers.qcheck prop_heapsort;
+    Helpers.qcheck prop_size;
+  ]

@@ -1,0 +1,275 @@
+(* Unit tests for the Initiator-Accept primitive (paper Figure 2), driven
+   through a fake context: we feed messages by hand and observe sends,
+   state and the I-accept callback.
+
+   Parameters: n = 7, f = 2, so the strong quorum is 5 and the weak one 3. *)
+
+open Helpers
+open Ssba_core
+module Ia = Initiator_accept
+
+let params = Params.default 7
+let d = params.Params.d
+
+type h = {
+  fake : Fake.t;
+  ia : Ia.t;
+  accepted : (Types.value * float) option ref;
+}
+
+let mk ?(g = 0) () =
+  let fake, ctx = Fake.make params in
+  let ia = Ia.create ~ctx ~g in
+  let accepted = ref None in
+  Ia.set_on_accept ia (fun v ~tau_g -> accepted := Some (v, tau_g));
+  { fake; ia; accepted }
+
+let support h ~sender v = Ia.handle_message h.ia ~kind:Types.Support ~sender ~v
+let approve h ~sender v = Ia.handle_message h.ia ~kind:Types.Approve ~sender ~v
+let ready h ~sender v = Ia.handle_message h.ia ~kind:Types.Ready ~sender ~v
+
+(* Drive the full pipeline to the I-accept for value [v]: 5 supports,
+   5 approves, 5 readys, each batch spread over ~0.1d. *)
+let drive_accept ?(senders = [ 1; 2; 3; 4; 5 ]) h v =
+  List.iter (fun s -> support h ~sender:s v) senders;
+  Fake.advance h.fake (0.2 *. d);
+  List.iter (fun s -> approve h ~sender:s v) senders;
+  Fake.advance h.fake (0.2 *. d);
+  List.iter (fun s -> ready h ~sender:s v) senders
+
+let test_block_k_sends_support () =
+  let h = mk () in
+  Ia.handle_initiator h.ia "m";
+  check_int "support sent" 1 (Fake.count_kind h.fake "support");
+  match Ia.i_value h.ia "m" with
+  | Some r -> check_float "recording time = tau - d" (h.fake.Fake.now -. d) r
+  | None -> Alcotest.fail "i_values not set by K2"
+
+let test_k1_blocks_second_value () =
+  let h = mk () in
+  Ia.handle_initiator h.ia "m1";
+  Fake.advance h.fake (2.0 *. d);
+  Ia.handle_initiator h.ia "m2";
+  check_int "no support for the second value while i_values[m1] lives" 1
+    (Fake.count_kind h.fake "support")
+
+let test_k1_blocks_recent_support () =
+  let h = mk () in
+  Ia.handle_initiator h.ia "m";
+  (* same value again immediately: the "sent support within [tau-d, tau]"
+     and last(G,m) guards both bite *)
+  Ia.handle_initiator h.ia "m";
+  check_int "only one support" 1 (Fake.count_kind h.fake "support")
+
+let test_k1_blocks_last_gm_freshness () =
+  let h = mk () in
+  (* L-activity for value "m" (3 supports in a tight window) sets last(G,m)
+     via L2, which must block a later block-K for "m" (Definition 8) *)
+  List.iter (fun s -> support h ~sender:s "m") [ 1; 2; 3 ];
+  check_bool "no accept yet" true (Ia.accepted h.ia = None);
+  Fake.advance h.fake (2.0 *. d);
+  Ia.handle_initiator h.ia "m";
+  check_int "K1 rejected: no support sent" 0 (Fake.count_kind h.fake "support")
+
+let test_l_quorum_sends_approve () =
+  let h = mk () in
+  List.iter (fun s -> support h ~sender:s "m") [ 1; 2; 3; 4 ];
+  check_int "4 < n-f: no approve" 0 (Fake.count_kind h.fake "approve");
+  support h ~sender:5 "m";
+  check_int "5 = n-f supports: approve sent" 1 (Fake.count_kind h.fake "approve")
+
+let test_l3_window_too_wide () =
+  let h = mk () in
+  (* 5 distinct supports, but spread over 3d: never 5 within a 2d window *)
+  List.iteri
+    (fun i s ->
+      support h ~sender:s "m";
+      if i < 4 then Fake.advance h.fake (0.75 *. d))
+    [ 1; 2; 3; 4; 5 ];
+  check_int "no approve from a stretched burst" 0 (Fake.count_kind h.fake "approve")
+
+let test_l1_recording_time () =
+  let h = mk () in
+  (* No invocation: the recording time comes from L2 = now - alpha - 2d. *)
+  support h ~sender:1 "m";
+  Fake.advance h.fake (0.5 *. d);
+  support h ~sender:2 "m";
+  Fake.advance h.fake (0.5 *. d);
+  support h ~sender:3 "m";
+  (match Ia.i_value h.ia "m" with
+  | Some r ->
+      (* alpha = 1d (span of the three), recording = now - 1d - 2d *)
+      check_float ~eps:1e-9 "L2 recording time" (h.fake.Fake.now -. (3.0 *. d)) r
+  | None -> Alcotest.fail "L1/L2 did not fire");
+  (* a later, tighter burst must only move the recording time forward *)
+  Fake.advance h.fake (1.0 *. d);
+  List.iter (fun s -> support h ~sender:s "m") [ 4; 5; 6 ];
+  match Ia.i_value h.ia "m" with
+  | Some r -> check_float "max with newer recording" (h.fake.Fake.now -. (2.0 *. d)) r
+  | None -> Alcotest.fail "recording lost"
+
+let test_m_blocks () =
+  let h = mk () in
+  List.iter (fun s -> approve h ~sender:s "m") [ 1; 2 ];
+  check_bool "2 < n-2f: no ready flag" false (Ia.ready_flag_fresh h.ia "m");
+  approve h ~sender:3 "m";
+  check_bool "3 = n-2f approves: ready flag set (M2)" true
+    (Ia.ready_flag_fresh h.ia "m");
+  check_int "3 < n-f: no ready sent" 0 (Fake.count_kind h.fake "ready");
+  approve h ~sender:4 "m";
+  approve h ~sender:5 "m";
+  check_int "5 approves: ready sent (M4)" 1 (Fake.count_kind h.fake "ready")
+
+let test_n1_amplification () =
+  let h = mk () in
+  (* ready flag via M2 (3 approves), then n-2f readys trigger our own ready
+     even though M3's n-f approve quorum never formed *)
+  List.iter (fun s -> approve h ~sender:s "m") [ 1; 2; 3 ];
+  check_int "no ready yet" 0 (Fake.count_kind h.fake "ready");
+  List.iter (fun s -> ready h ~sender:s "m") [ 1; 2; 3 ];
+  check_int "N2 amplification sent ready" 1 (Fake.count_kind h.fake "ready")
+
+let test_n_requires_ready_flag () =
+  let h = mk () in
+  (* readys without any approve activity must not be amplified or accepted *)
+  List.iter (fun s -> ready h ~sender:s "m") [ 1; 2; 3; 4; 5 ];
+  check_int "no ready sent" 0 (Fake.count_kind h.fake "ready");
+  check_bool "no accept" true (Ia.accepted h.ia = None)
+
+let test_full_accept () =
+  let h = mk () in
+  Ia.handle_initiator h.ia "m";
+  let k2_anchor = Option.get (Ia.i_value h.ia "m") in
+  Fake.advance h.fake (0.3 *. d);
+  drive_accept h "m";
+  (match !(h.accepted) with
+  | Some (v, tau_g) ->
+      check_str "accepted value" "m" v;
+      check_bool "anchor is the K2 recording time or later" true (tau_g >= k2_anchor -. 1e-12)
+  | None -> Alcotest.fail "no I-accept");
+  match Ia.accepted h.ia with
+  | Some (v, _, _) -> check_str "stored accept" "m" v
+  | None -> Alcotest.fail "accepted not recorded"
+
+let test_accept_only_once () =
+  let h = mk () in
+  Ia.handle_initiator h.ia "m";
+  drive_accept h "m";
+  h.accepted := None;
+  (* more readys must not re-trigger N4 *)
+  Fake.advance h.fake (4.0 *. d);
+  List.iter (fun s -> ready h ~sender:s "m") [ 1; 2; 3; 4; 5 ];
+  check_bool "N4 not executed twice" true (!(h.accepted) = None)
+
+let test_ignore_window_after_accept () =
+  let h = mk () in
+  Ia.handle_initiator h.ia "m";
+  drive_accept h "m";
+  check_bool "ignoring (G,m)" true (Ia.ignoring h.ia "m");
+  Fake.advance h.fake (3.5 *. d);
+  check_bool "ignore window over after 3d" false (Ia.ignoring h.ia "m")
+
+let test_accept_sets_last_g_blocking_k () =
+  let h = mk () in
+  Ia.handle_initiator h.ia "m";
+  drive_accept h "m";
+  Fake.clear_sent h.fake;
+  (* last(G) is set by N4; a new initiation within Delta_0 - 6d is refused *)
+  Fake.advance h.fake (4.0 *. d);
+  Ia.handle_initiator h.ia "m2";
+  check_int "K1 blocked by last(G)" 0 (Fake.count_kind h.fake "support");
+  (* after last(G) expires (Delta_0 - 6d = 7d) and cleanup, a new value flows *)
+  Fake.advance h.fake (9.0 *. d);
+  Ia.cleanup h.ia;
+  Ia.reset h.ia;
+  Ia.handle_initiator h.ia "m2";
+  check_int "K1 passes after expiry" 1 (Fake.count_kind h.fake "support")
+
+let test_cleanup_decays_messages () =
+  let h = mk () in
+  List.iter (fun s -> support h ~sender:s "m") [ 1; 2; 3; 4 ];
+  Fake.advance h.fake (params.Params.delta_rmv +. d);
+  Ia.cleanup h.ia;
+  Fake.clear_sent h.fake;
+  (* the decayed supports must not combine with a fresh one into a quorum *)
+  support h ~sender:5 "m";
+  check_int "stale supports gone" 0 (Fake.count_kind h.fake "approve")
+
+let test_cleanup_drops_future_accept () =
+  let h = mk () in
+  let rng = Ssba_sim.Rng.create 3 in
+  Ia.scramble rng ~values:[ "x" ] h.ia;
+  (* whatever garbage was planted, cleanup plus quiet time must clear the
+     accept or leave a consistent one *)
+  Fake.advance h.fake (params.Params.delta_rmv +. (2.0 *. d));
+  Ia.cleanup h.ia;
+  match Ia.accepted h.ia with
+  | None -> ()
+  | Some (_, tau_g, ta) ->
+      check_bool "surviving accept is time-consistent" true
+        (tau_g <= ta && ta <= h.fake.Fake.now)
+
+let test_reset_clears_accept_keeps_rate_limits () =
+  let h = mk () in
+  Ia.handle_initiator h.ia "m";
+  drive_accept h "m";
+  Ia.reset h.ia;
+  check_bool "accept cleared" true (Ia.accepted h.ia = None);
+  Fake.clear_sent h.fake;
+  (* last(G) survives the reset: immediate re-initiation is still refused *)
+  Ia.handle_initiator h.ia "m2";
+  check_int "rate limit survives reset" 0 (Fake.count_kind h.fake "support")
+
+let test_invocation_report () =
+  let h = mk () in
+  Ia.handle_initiator h.ia "m";
+  let rep = Ia.invocation_report h.ia in
+  check_bool "invoked_at set" true (rep.Ia.invoked_at <> None);
+  check_bool "l4 not yet" true (rep.Ia.l4_at = None);
+  drive_accept h "m";
+  let rep = Ia.invocation_report h.ia in
+  check_bool "l4 recorded" true (rep.Ia.l4_at <> None);
+  check_bool "m4 recorded" true (rep.Ia.m4_at <> None);
+  check_bool "n4 recorded" true (rep.Ia.n4_at <> None);
+  let inv = Option.get rep.Ia.invoked_at in
+  check_bool "l4 within 2d" true (Option.get rep.Ia.l4_at -. inv <= 2.0 *. d);
+  check_bool "n4 within 4d" true (Option.get rep.Ia.n4_at -. inv <= 4.0 *. d)
+
+let test_duplicate_sends_suppressed () =
+  let h = mk () in
+  List.iter (fun s -> support h ~sender:s "m") [ 1; 2; 3; 4; 5 ];
+  (* more supports keep the L3 condition true, but the approve was just sent *)
+  List.iter (fun s -> support h ~sender:s "m") [ 6; 1; 2 ];
+  check_int "approve deduplicated" 1 (Fake.count_kind h.fake "approve")
+
+let test_sender_diversity_required () =
+  let h = mk () in
+  (* the same sender reporting five times is one distinct sender *)
+  for _ = 1 to 5 do
+    support h ~sender:1 "m"
+  done;
+  check_int "no quorum from one sender" 0 (Fake.count_kind h.fake "approve")
+
+let suite =
+  [
+    case "block K sends support" test_block_k_sends_support;
+    case "K1 blocks second value" test_k1_blocks_second_value;
+    case "K1 blocks recent support" test_k1_blocks_recent_support;
+    case "K1 last(G,m) freshness" test_k1_blocks_last_gm_freshness;
+    case "L quorum sends approve" test_l_quorum_sends_approve;
+    case "L3 window too wide" test_l3_window_too_wide;
+    case "L1/L2 recording time" test_l1_recording_time;
+    case "M blocks" test_m_blocks;
+    case "N1 amplification" test_n1_amplification;
+    case "N requires ready flag" test_n_requires_ready_flag;
+    case "full accept" test_full_accept;
+    case "accept only once" test_accept_only_once;
+    case "ignore window" test_ignore_window_after_accept;
+    case "last(G) blocks re-initiation" test_accept_sets_last_g_blocking_k;
+    case "cleanup decays messages" test_cleanup_decays_messages;
+    case "cleanup fixes scrambled accept" test_cleanup_drops_future_accept;
+    case "reset semantics" test_reset_clears_accept_keeps_rate_limits;
+    case "invocation report (IG3)" test_invocation_report;
+    case "duplicate sends suppressed" test_duplicate_sends_suppressed;
+    case "sender diversity required" test_sender_diversity_required;
+  ]

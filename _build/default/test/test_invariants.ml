@@ -1,0 +1,182 @@
+(* Tests for the primitive-level invariant monitor (IA-*/TPS-* properties
+   checked from recorded observations). *)
+
+open Helpers
+open Ssba_core
+module H = Ssba_harness
+
+let run ?(n = 7) ?(seed = 41) ?(roles = []) ?(proposals = []) ?(horizon = 1.0) () =
+  let params = Params.default n in
+  let sc =
+    H.Scenario.default ~name:"inv" ~seed ~roles ~proposals ~horizon
+      ~record_observations:true params
+  in
+  H.Runner.run sc
+
+let test_observations_recorded () =
+  let res = run ~proposals:[ { H.Scenario.g = 0; v = "m"; at = 0.05 } ] () in
+  let iaccepts =
+    List.filter
+      (fun (o : H.Runner.observation) ->
+        match o.H.Runner.obs with
+        | Ss_byz_agree.Obs_iaccept _ -> true
+        | _ -> false)
+      res.H.Runner.observations
+  in
+  check_int "one I-accept per node" 7 (List.length iaccepts);
+  let broadcasts =
+    List.filter
+      (fun (o : H.Runner.observation) ->
+        match o.H.Runner.obs with
+        | Ss_byz_agree.Obs_broadcast _ -> true
+        | _ -> false)
+      res.H.Runner.observations
+  in
+  check_int "one decision broadcast per node" 7 (List.length broadcasts)
+
+let test_observations_off_by_default () =
+  let params = Params.default 7 in
+  let sc =
+    H.Scenario.default ~name:"inv" ~seed:41
+      ~proposals:[ { H.Scenario.g = 0; v = "m"; at = 0.05 } ]
+      ~horizon:1.0 params
+  in
+  let res = H.Runner.run sc in
+  check_int "no observations unless requested" 0
+    (List.length res.H.Runner.observations)
+
+let test_ia1_correct_general () =
+  let res = run ~proposals:[ { H.Scenario.g = 0; v = "m"; at = 0.05 } ] () in
+  match H.Invariants.check_ia_1 res ~g:0 ~t0:0.05 with
+  | [] -> ()
+  | vs -> Alcotest.failf "IA-1 violations: %s" (String.concat "; " vs)
+
+let test_ia_tps_clean_run () =
+  let res = run ~proposals:[ { H.Scenario.g = 0; v = "m"; at = 0.05 } ] () in
+  match H.Invariants.check res with
+  | [] -> ()
+  | vs -> Alcotest.failf "violations: %s" (String.concat "; " vs)
+
+let test_invariants_under_attacks () =
+  let params = Params.default 7 in
+  let d = params.Params.d in
+  let module S = Ssba_adversary.Strategies in
+  List.iter
+    (fun (name, roles, proposals) ->
+      let res = run ~seed:42 ~roles ~proposals ~horizon:2.0 () in
+      match H.Invariants.check res with
+      | [] -> ()
+      | vs -> Alcotest.failf "%s: %s" name (String.concat "; " vs))
+    [
+      ( "two-faced",
+        [ (0, H.Scenario.Byzantine (S.two_faced_general ~v1:"a" ~v2:"b" ~at:0.05)) ],
+        [] );
+      ( "partial",
+        [
+          ( 0,
+            H.Scenario.Byzantine
+              (S.partial_general ~v:"a" ~at:0.05 ~targets:[ 1; 2; 3; 4; 5 ]) );
+        ],
+        [] );
+      ( "equivocators",
+        [
+          (5, H.Scenario.Byzantine (S.equivocator ~v1:"a" ~v2:"b"));
+          (6, H.Scenario.Byzantine (S.mimic ~delay:(2.0 *. d)));
+        ],
+        [ { H.Scenario.g = 0; v = "m"; at = 0.05 } ] );
+    ]
+
+let test_invariants_recurrent () =
+  let params = Params.default 7 in
+  let res =
+    run
+      ~proposals:
+        [
+          { H.Scenario.g = 0; v = "a"; at = 0.05 };
+          { H.Scenario.g = 0; v = "b"; at = 0.05 +. (2.0 *. params.Params.delta_0) };
+          { H.Scenario.g = 1; v = "c"; at = 0.06 };
+        ]
+      ~horizon:2.0 ()
+  in
+  match H.Invariants.check res with
+  | [] -> ()
+  | vs -> Alcotest.failf "violations: %s" (String.concat "; " vs)
+
+let test_monitor_detects_forged_divergence () =
+  (* splice a fake I-accept with a conflicting value into the observations
+     and confirm IA-4 trips — guards against the monitor silently passing
+     everything *)
+  let res = run ~proposals:[ { H.Scenario.g = 0; v = "m"; at = 0.05 } ] () in
+  let sample =
+    List.find
+      (fun (o : H.Runner.observation) ->
+        match o.H.Runner.obs with Ss_byz_agree.Obs_iaccept _ -> true | _ -> false)
+      res.H.Runner.observations
+  in
+  let forged =
+    match sample.H.Runner.obs with
+    | Ss_byz_agree.Obs_iaccept { tau_g; tau; _ } ->
+        {
+          sample with
+          H.Runner.obs_node = (sample.H.Runner.obs_node + 1) mod 7;
+          obs = Ss_byz_agree.Obs_iaccept { v = "other"; tau_g; tau };
+        }
+    | _ -> assert false
+  in
+  let res' =
+    { res with H.Runner.observations = forged :: res.H.Runner.observations }
+  in
+  check_bool "forged divergent I-accept detected" true
+    (H.Invariants.check_ia_3_4 res' <> [])
+
+let test_monitor_detects_unforgeability_break () =
+  (* a fabricated mb-accept claiming a correct node that never broadcast *)
+  let res = run ~proposals:[ { H.Scenario.g = 0; v = "m"; at = 0.05 } ] () in
+  let fake =
+    {
+      H.Runner.obs_node = 2;
+      obs_g = 0;
+      obs = Ss_byz_agree.Obs_mb_accept { p = 3; v = "never-sent"; k = 1; tau = 0.1; tau_g = 0.09 };
+      obs_rt = 0.06;
+    }
+  in
+  let res' = { res with H.Runner.observations = fake :: res.H.Runner.observations } in
+  check_bool "TPS-2 forgery detected" true
+    (List.exists
+       (fun s -> String.length s >= 5 && String.sub s 0 5 = "TPS-2")
+       (H.Invariants.check res'))
+
+(* qcheck: invariants hold across random clean and adversarial scenarios. *)
+let prop_invariants_random =
+  QCheck.Test.make ~name:"IA/TPS invariants across random scenarios" ~count:25
+    QCheck.(pair (int_range 0 1000) (int_range 0 3))
+    (fun (seed, cast) ->
+      let params = Params.default 7 in
+      let d = params.Params.d in
+      let module S = Ssba_adversary.Strategies in
+      let roles =
+        match cast with
+        | 0 -> []
+        | 1 -> [ (6, H.Scenario.Byzantine (S.spam ~period:(5.0 *. d) ~values:[ "a" ])) ]
+        | 2 -> [ (6, H.Scenario.Byzantine (S.equivocator ~v1:"a" ~v2:"b")) ]
+        | _ ->
+            [ (0, H.Scenario.Byzantine (S.two_faced_general ~v1:"a" ~v2:"b" ~at:0.05)) ]
+      in
+      let proposals =
+        if cast = 3 then [] else [ { H.Scenario.g = 0; v = "m"; at = 0.05 } ]
+      in
+      let res = run ~seed ~roles ~proposals ~horizon:1.5 () in
+      H.Invariants.check res = [])
+
+let suite =
+  [
+    case "observations recorded" test_observations_recorded;
+    case "observations off by default" test_observations_off_by_default;
+    case "IA-1 under a correct General" test_ia1_correct_general;
+    case "IA/TPS on a clean run" test_ia_tps_clean_run;
+    case "IA/TPS under attacks" test_invariants_under_attacks;
+    case "IA/TPS under recurrent agreements" test_invariants_recurrent;
+    case "monitor detects divergence" test_monitor_detects_forged_divergence;
+    case "monitor detects TPS-2 forgery" test_monitor_detects_unforgeability_break;
+    Helpers.qcheck prop_invariants_random;
+  ]

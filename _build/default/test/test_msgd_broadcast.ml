@@ -1,0 +1,184 @@
+(* Unit tests for the msgd-broadcast primitive (paper Figure 3), driven
+   through a fake context. n = 7, f = 2: strong quorum 5, weak quorum 3. *)
+
+open Helpers
+open Ssba_core
+module Mb = Msgd_broadcast
+
+let params = Params.default 7
+let d = params.Params.d
+let phi = params.Params.phi
+
+type h = {
+  fake : Fake.t;
+  mb : Mb.t;
+  accepts : (int * Types.value * int) list ref;  (* (p, v, k) *)
+}
+
+let mk ?(self = 0) ?(anchor = `Now) () =
+  let fake, ctx = Fake.make ~self params in
+  let mb = Mb.create ~ctx ~g:6 in
+  let accepts = ref [] in
+  Mb.set_on_accept mb (fun ~p ~v ~k -> accepts := (p, v, k) :: !accepts);
+  (match anchor with
+  | `Now -> Mb.set_anchor mb fake.Fake.now
+  | `None -> ());
+  { fake; mb; accepts }
+
+let msg h ~sender kind ~p ~v ~k = Mb.handle_message h.mb ~sender ~kind ~p ~v ~k
+
+let test_init_triggers_echo () =
+  let h = mk () in
+  msg h ~sender:3 Types.Init ~p:3 ~v:"m" ~k:1;
+  check_int "echo sent on init from p" 1 (Fake.count_kind h.fake "echo")
+
+let test_init_authenticated () =
+  let h = mk () in
+  (* an init claiming broadcaster 3 but sent by 4 must be ignored *)
+  msg h ~sender:4 Types.Init ~p:3 ~v:"m" ~k:1;
+  check_int "forged init ignored" 0 (Fake.count_kind h.fake "echo")
+
+let test_echo_quorums () =
+  let h = mk () in
+  List.iter (fun s -> msg h ~sender:s Types.Echo ~p:3 ~v:"m" ~k:1) [ 1; 2 ];
+  check_int "2 < n-2f: no init'" 0 (Fake.count_kind h.fake "init'");
+  msg h ~sender:3 Types.Echo ~p:3 ~v:"m" ~k:1;
+  check_int "3 = n-2f echoes: init' sent" 1 (Fake.count_kind h.fake "init'");
+  check_bool "no accept yet" true (!(h.accepts) = []);
+  List.iter (fun s -> msg h ~sender:s Types.Echo ~p:3 ~v:"m" ~k:1) [ 4; 5 ];
+  check_bool "n-f echoes: accepted via X" true (!(h.accepts) = [ (3, "m", 1) ])
+
+let test_init2_detection_and_echo2 () =
+  let h = mk () in
+  List.iter (fun s -> msg h ~sender:s Types.Init2 ~p:3 ~v:"m" ~k:1) [ 1; 2; 3 ];
+  check_bool "n-2f init': broadcaster detected" true (Mb.broadcasters h.mb = [ 3 ]);
+  check_int "3 < n-f: no echo'" 0 (Fake.count_kind h.fake "echo'");
+  List.iter (fun s -> msg h ~sender:s Types.Init2 ~p:3 ~v:"m" ~k:1) [ 4; 5 ];
+  check_int "n-f init': echo' sent" 1 (Fake.count_kind h.fake "echo'")
+
+let test_echo2_relay_and_accept () =
+  let h = mk () in
+  List.iter (fun s -> msg h ~sender:s Types.Echo2 ~p:3 ~v:"m" ~k:1) [ 1; 2; 3 ];
+  check_int "n-2f echo': relayed" 1 (Fake.count_kind h.fake "echo'");
+  check_bool "not accepted yet" true (!(h.accepts) = []);
+  List.iter (fun s -> msg h ~sender:s Types.Echo2 ~p:3 ~v:"m" ~k:1) [ 4; 5 ];
+  check_bool "n-f echo': accepted via Z" true (!(h.accepts) = [ (3, "m", 1) ])
+
+let test_accept_once () =
+  let h = mk () in
+  List.iter (fun s -> msg h ~sender:s Types.Echo ~p:3 ~v:"m" ~k:1) [ 1; 2; 3; 4; 5 ];
+  List.iter (fun s -> msg h ~sender:s Types.Echo2 ~p:3 ~v:"m" ~k:1) [ 1; 2; 3; 4; 5 ];
+  check_int "accepted exactly once" 1 (List.length !(h.accepts))
+
+let test_deadline_w () =
+  let h = mk () in
+  (* W deadline for k = 1 is tau_g + 2 Phi; a later init gets no echo *)
+  Fake.advance h.fake ((2.0 *. phi) +. d);
+  msg h ~sender:3 Types.Init ~p:3 ~v:"m" ~k:1;
+  check_int "late init not echoed" 0 (Fake.count_kind h.fake "echo")
+
+let test_deadline_x () =
+  let h = mk () in
+  Fake.advance h.fake ((3.0 *. phi) +. d);
+  (* X deadline for k = 1 is tau_g + 3 Phi *)
+  List.iter (fun s -> msg h ~sender:s Types.Echo ~p:3 ~v:"m" ~k:1) [ 1; 2; 3; 4; 5 ];
+  check_int "late echoes: no init'" 0 (Fake.count_kind h.fake "init'");
+  check_bool "late echoes: no X accept" true (!(h.accepts) = [])
+
+let test_z_untimed () =
+  let h = mk () in
+  (* block Z has no deadline: echo' quorums accept arbitrarily late *)
+  Fake.advance h.fake (10.0 *. phi);
+  List.iter (fun s -> msg h ~sender:s Types.Echo2 ~p:3 ~v:"m" ~k:1) [ 1; 2; 3; 4; 5 ];
+  check_bool "Z accepts late" true (!(h.accepts) = [ (3, "m", 1) ])
+
+let test_higher_round_deadlines_scale () =
+  let h = mk () in
+  (* k = 2's W deadline is tau_g + 4 Phi: an init at 3 Phi still echoes *)
+  Fake.advance h.fake (3.0 *. phi);
+  msg h ~sender:3 Types.Init ~p:3 ~v:"m" ~k:2;
+  check_int "k=2 init within deadline echoed" 1 (Fake.count_kind h.fake "echo")
+
+let test_no_anchor_no_action () =
+  let h = mk ~anchor:`None () in
+  List.iter (fun s -> msg h ~sender:s Types.Echo ~p:3 ~v:"m" ~k:1) [ 1; 2; 3; 4; 5 ];
+  check_int "no sends before the anchor is known" 0 (List.length h.fake.Fake.sent);
+  check_bool "no accepts either" true (!(h.accepts) = []);
+  (* once the anchor appears, logged messages are replayed *)
+  Mb.set_anchor h.mb h.fake.Fake.now;
+  check_bool "accept after anchoring" true (!(h.accepts) = [ (3, "m", 1) ]);
+  check_int "init' sent after anchoring" 1 (Fake.count_kind h.fake "init'")
+
+let test_rounds_out_of_range_dropped () =
+  let h = mk () in
+  msg h ~sender:3 Types.Init ~p:3 ~v:"m" ~k:0;
+  msg h ~sender:3 Types.Init ~p:3 ~v:"m" ~k:(params.Params.f + 2);
+  msg h ~sender:3 Types.Init ~p:3 ~v:"m" ~k:(-1);
+  check_int "no echo for out-of-range rounds" 0 (Fake.count_kind h.fake "echo")
+
+let test_triplets_independent () =
+  let h = mk () in
+  (* echoes for (3, m, 1) must not help (3, m', 1) or (4, m, 1) *)
+  List.iter (fun s -> msg h ~sender:s Types.Echo ~p:3 ~v:"m" ~k:1) [ 1; 2; 3; 4 ];
+  msg h ~sender:5 Types.Echo ~p:3 ~v:"m'" ~k:1;
+  msg h ~sender:5 Types.Echo ~p:4 ~v:"m" ~k:1;
+  check_bool "no accept from mixed triplets" true (!(h.accepts) = []);
+  msg h ~sender:5 Types.Echo ~p:3 ~v:"m" ~k:1;
+  check_bool "exact triplet completes" true (!(h.accepts) = [ (3, "m", 1) ])
+
+let test_broadcast_sends_init () =
+  let h = mk () in
+  Mb.broadcast h.mb ~v:"mine" ~k:2;
+  check_int "init sent" 1 (Fake.count_kind h.fake "init")
+
+let test_cleanup_decay () =
+  let h = mk () in
+  List.iter (fun s -> msg h ~sender:s Types.Echo2 ~p:3 ~v:"m" ~k:1) [ 1; 2 ];
+  Fake.advance h.fake (float_of_int ((2 * params.Params.f) + 3) *. phi +. d);
+  Mb.cleanup h.mb;
+  (* stale echo' must not combine with fresh ones *)
+  List.iter (fun s -> msg h ~sender:s Types.Echo2 ~p:3 ~v:"m" ~k:1) [ 3; 4; 5 ];
+  check_bool "no accept across the decay horizon" true (!(h.accepts) = [])
+
+let test_cleanup_drops_future_anchor () =
+  let h = mk ~anchor:`None () in
+  Mb.set_anchor h.mb (h.fake.Fake.now +. 50.0);
+  Mb.cleanup h.mb;
+  check_bool "future anchor dropped" true (Mb.anchor h.mb = None)
+
+let test_reset () =
+  let h = mk () in
+  List.iter (fun s -> msg h ~sender:s Types.Init2 ~p:3 ~v:"m" ~k:1) [ 1; 2; 3 ];
+  check_int "broadcaster present" 1 (Mb.broadcaster_count h.mb);
+  Mb.reset h.mb;
+  check_int "broadcasters cleared" 0 (Mb.broadcaster_count h.mb);
+  check_bool "anchor cleared" true (Mb.anchor h.mb = None)
+
+let test_duplicate_senders () =
+  let h = mk () in
+  for _ = 1 to 10 do
+    msg h ~sender:1 Types.Echo ~p:3 ~v:"m" ~k:1
+  done;
+  check_int "one sender is not a quorum" 0 (Fake.count_kind h.fake "init'")
+
+let suite =
+  [
+    case "init triggers echo (W)" test_init_triggers_echo;
+    case "init authenticated" test_init_authenticated;
+    case "echo quorums (X)" test_echo_quorums;
+    case "init' detection + echo' (Y)" test_init2_detection_and_echo2;
+    case "echo' relay + accept (Z)" test_echo2_relay_and_accept;
+    case "accept once" test_accept_once;
+    case "W deadline" test_deadline_w;
+    case "X deadline" test_deadline_x;
+    case "Z untimed" test_z_untimed;
+    case "round deadlines scale with k" test_higher_round_deadlines_scale;
+    case "no anchor, no action" test_no_anchor_no_action;
+    case "rounds out of range" test_rounds_out_of_range_dropped;
+    case "triplets independent" test_triplets_independent;
+    case "broadcast sends init (V)" test_broadcast_sends_init;
+    case "cleanup decay" test_cleanup_decay;
+    case "cleanup drops future anchor" test_cleanup_drops_future_anchor;
+    case "reset" test_reset;
+    case "duplicate senders" test_duplicate_senders;
+  ]

@@ -1,0 +1,176 @@
+(* Tests for the bounded-delay authenticated network. *)
+
+open Helpers
+module Engine = Ssba_sim.Engine
+module Rng = Ssba_sim.Rng
+module Net = Ssba_net.Network
+module Delay = Ssba_net.Delay
+module Msg = Ssba_net.Msg
+
+let mk ?(n = 3) ?(delay = Delay.fixed 0.1) () =
+  let engine = Engine.create () in
+  let net = Net.create ~engine ~n ~delay ~rng:(Rng.create 1) () in
+  (engine, net)
+
+let test_delivery_timing () =
+  let engine, net = mk () in
+  let arrived = ref None in
+  Net.set_handler net 1 (fun m ->
+      arrived := Some (Engine.now engine, m.Msg.src, m.Msg.payload));
+  Engine.schedule engine ~at:1.0 (fun () -> Net.send net ~src:0 ~dst:1 "hi");
+  ignore (Engine.run engine);
+  match !arrived with
+  | Some (t, src, payload) ->
+      check_float "delivered after the fixed delay" 1.1 t;
+      check_int "authentic src" 0 src;
+      check_str "payload" "hi" payload
+  | None -> Alcotest.fail "message not delivered"
+
+let test_no_handler_is_dropped_silently () =
+  let engine, net = mk () in
+  Net.send net ~src:0 ~dst:2 "x";
+  ignore (Engine.run engine);
+  check_int "sent counted" 1 (Net.messages_sent net);
+  check_int "nothing delivered" 0 (Net.messages_delivered net)
+
+let test_broadcast_includes_self () =
+  let engine, net = mk () in
+  let got = ref [] in
+  for i = 0 to 2 do
+    Net.set_handler net i (fun m -> got := (i, m.Msg.payload) :: !got)
+  done;
+  Net.broadcast net ~src:1 "b";
+  ignore (Engine.run engine);
+  check_int "all three nodes got it (self included)" 3 (List.length !got)
+
+let test_uniform_delay_within_bounds () =
+  let engine, net = mk ~delay:(Delay.uniform ~lo:0.01 ~hi:0.05) () in
+  let times = ref [] in
+  Net.set_handler net 1 (fun _ -> times := Engine.now engine :: !times);
+  for _ = 1 to 100 do
+    Net.send net ~src:0 ~dst:1 "m"
+  done;
+  ignore (Engine.run engine);
+  List.iter
+    (fun t -> check_bool "within [lo, hi]" true (t >= 0.01 && t <= 0.05))
+    !times;
+  check_int "all delivered" 100 (List.length !times)
+
+let test_mute () =
+  let engine, net = mk () in
+  let got = ref 0 in
+  Net.set_handler net 1 (fun _ -> incr got);
+  Net.set_muted net 0 true;
+  Net.send net ~src:0 ~dst:1 "dropped";
+  Net.send net ~src:2 ~dst:1 "passes";
+  ignore (Engine.run engine);
+  check_int "muted sender dropped" 1 !got;
+  check_bool "is_muted" true (Net.is_muted net 0);
+  Net.set_muted net 0 false;
+  Net.send net ~src:0 ~dst:1 "back";
+  ignore (Engine.run engine);
+  check_int "unmuted delivers" 2 !got;
+  check_int "drops counted" 1 (Net.messages_dropped net)
+
+let test_partition () =
+  let engine, net = mk () in
+  let got = ref [] in
+  for i = 0 to 2 do
+    Net.set_handler net i (fun m -> got := (m.Msg.src, i) :: !got)
+  done;
+  Net.set_partition net
+    (Some (fun ~src ~dst -> (src = 0 && dst = 1) || (src = 1 && dst = 0)));
+  Net.send net ~src:0 ~dst:1 "blocked";
+  Net.send net ~src:0 ~dst:2 "ok";
+  ignore (Engine.run engine);
+  check_bool "0->1 blocked, 0->2 passes" true (!got = [ (0, 2) ]);
+  Net.set_partition net None;
+  Net.send net ~src:0 ~dst:1 "healed";
+  ignore (Engine.run engine);
+  check_int "healed" 2 (List.length !got)
+
+let test_drop_prob () =
+  let engine, net = mk () in
+  let got = ref 0 in
+  Net.set_handler net 1 (fun _ -> incr got);
+  Net.set_drop_prob net 1.0;
+  for _ = 1 to 20 do
+    Net.send net ~src:0 ~dst:1 "x"
+  done;
+  ignore (Engine.run engine);
+  check_int "all dropped at p=1" 0 !got;
+  Net.set_drop_prob net 0.0;
+  Net.send net ~src:0 ~dst:1 "y";
+  ignore (Engine.run engine);
+  check_int "delivered at p=0" 1 !got
+
+let test_forged () =
+  let engine, net = mk () in
+  let seen = ref None in
+  Net.set_handler net 1 (fun m -> seen := Some m);
+  Net.inject_forged net ~claimed_src:2 ~dst:1 ~delay:0.5 "fake";
+  ignore (Engine.run engine);
+  match !seen with
+  | Some m ->
+      check_int "claimed src" 2 m.Msg.src;
+      check_bool "marked forged" true m.Msg.forged
+  | None -> Alcotest.fail "forged message not delivered"
+
+let test_sends_never_forged () =
+  let engine, net = mk () in
+  let seen = ref None in
+  Net.set_handler net 1 (fun m -> seen := Some m);
+  Net.send net ~src:0 ~dst:1 "real";
+  ignore (Engine.run engine);
+  match !seen with
+  | Some m -> check_bool "regular sends are not forged" false m.Msg.forged
+  | None -> Alcotest.fail "not delivered"
+
+let test_delay_override () =
+  let engine, net = mk () in
+  let at = ref 0.0 in
+  Net.set_handler net 1 (fun _ -> at := Engine.now engine);
+  Net.set_delay_override net
+    (Some (fun m -> if m.Msg.src = 0 then Some 0.7 else None));
+  Net.send net ~src:0 ~dst:1 "slow";
+  ignore (Engine.run engine);
+  check_float "override applied" 0.7 !at;
+  Net.send net ~src:2 ~dst:1 "normal";
+  ignore (Engine.run engine);
+  check_float "non-matching messages keep the policy delay" 0.8 !at
+
+let test_kind_stats () =
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~n:2 ~delay:(Delay.fixed 0.01) ~rng:(Rng.create 1)
+      ~kind_of:(fun s -> s) ()
+  in
+  Net.send net ~src:0 ~dst:1 "a";
+  Net.send net ~src:0 ~dst:1 "a";
+  Net.send net ~src:0 ~dst:1 "b";
+  check_bool "per-kind counts" true (Net.sent_by_kind net = [ ("a", 2); ("b", 1) ]);
+  Net.reset_counters net;
+  check_int "counters reset" 0 (Net.messages_sent net);
+  check_bool "kind table reset" true (Net.sent_by_kind net = [])
+
+let test_bad_destination () =
+  let _, net = mk () in
+  Alcotest.check_raises "destination out of range"
+    (Invalid_argument "Network.send: bad destination") (fun () ->
+      Net.send net ~src:0 ~dst:7 "x")
+
+let suite =
+  [
+    case "delivery timing + authentication" test_delivery_timing;
+    case "no handler" test_no_handler_is_dropped_silently;
+    case "broadcast includes self" test_broadcast_includes_self;
+    case "uniform delay bounds" test_uniform_delay_within_bounds;
+    case "mute (crash)" test_mute;
+    case "partition" test_partition;
+    case "drop probability" test_drop_prob;
+    case "forged injection" test_forged;
+    case "sends never forged" test_sends_never_forged;
+    case "delay override" test_delay_override;
+    case "per-kind statistics" test_kind_stats;
+    case "bad destination" test_bad_destination;
+  ]

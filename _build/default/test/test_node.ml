@@ -1,0 +1,151 @@
+(* Tests for the node glue: General-side Sending Validity Criteria
+   (IG1/IG2/IG3), message dispatch, returns plumbing. *)
+
+open Helpers
+open Ssba_core
+module Engine = Ssba_sim.Engine
+
+let test_propose_ok () =
+  let c = Cluster.make ~n:7 () in
+  Engine.schedule c.Cluster.engine ~at:0.05 (fun () ->
+      check_bool "first proposal accepted" true
+        (Node.propose (Cluster.node c 0) "v" = Ok ()));
+  Cluster.run c
+
+let test_ig1_spacing () =
+  let c = Cluster.make ~n:7 () in
+  let params = c.Cluster.params in
+  Engine.schedule c.Cluster.engine ~at:0.05 (fun () ->
+      ignore (Node.propose (Cluster.node c 0) "v1"));
+  (* a second initiation within Delta_0 must be refused (any value);
+     [Busy] may fire first if the previous instance is still live *)
+  Engine.schedule c.Cluster.engine
+    ~at:(0.05 +. (0.5 *. params.Params.delta_0))
+    (fun () ->
+      match Node.propose (Cluster.node c 0) "v2" with
+      | Error (Node.Too_soon | Node.Busy) -> ()
+      | Error e -> Alcotest.failf "unexpected: %s" (Node.string_of_propose_error e)
+      | Ok () -> Alcotest.fail "IG1 violated: proposal accepted too soon");
+  (* but beyond Delta_0 a different value is fine *)
+  Engine.schedule c.Cluster.engine
+    ~at:(0.05 +. (2.0 *. params.Params.delta_0))
+    (fun () ->
+      check_bool "after Delta_0 a new value is accepted" true
+        (Node.propose (Cluster.node c 0) "v2" = Ok ()));
+  Cluster.run c
+
+let test_ig2_same_value_spacing () =
+  let c = Cluster.make ~n:7 () in
+  let params = c.Cluster.params in
+  Engine.schedule c.Cluster.engine ~at:0.05 (fun () ->
+      ignore (Node.propose (Cluster.node c 0) "v"));
+  (* same value beyond Delta_0 but within Delta_v: refused with IG2 *)
+  Engine.schedule c.Cluster.engine
+    ~at:(0.05 +. (2.0 *. params.Params.delta_0))
+    (fun () ->
+      match Node.propose (Cluster.node c 0) "v" with
+      | Error Node.Value_too_soon -> ()
+      | Error e -> Alcotest.failf "unexpected: %s" (Node.string_of_propose_error e)
+      | Ok () -> Alcotest.fail "IG2 violated");
+  (* beyond Delta_v the same value is fine again *)
+  Engine.schedule c.Cluster.engine
+    ~at:(0.05 +. params.Params.delta_v +. params.Params.delta_0)
+    (fun () ->
+      check_bool "after Delta_v same value accepted" true
+        (Node.propose (Cluster.node c 0) "v" = Ok ()));
+  Cluster.run ~until:3.0 c
+
+let test_ig3_failure_blocks () =
+  (* crash everyone else: the General's own invocation cannot complete
+     L4/M4/N4, so the IG3 watchdog must impose the Delta_reset quiet time *)
+  let c = Cluster.make ~n:7 ~skip:[ 1; 2; 3; 4; 5; 6 ] () in
+  let params = c.Cluster.params in
+  Engine.schedule c.Cluster.engine ~at:0.05 (fun () ->
+      ignore (Node.propose (Cluster.node c 0) "v"));
+  Engine.schedule c.Cluster.engine
+    ~at:(0.05 +. (2.0 *. params.Params.delta_0))
+    (fun () ->
+      match Node.propose (Cluster.node c 0) "v2" with
+      | Error Node.Blocked -> ()
+      | Error e -> Alcotest.failf "unexpected: %s" (Node.string_of_propose_error e)
+      | Ok () -> Alcotest.fail "IG3 violated: proposal accepted after a failed invocation");
+  Cluster.run c
+
+let test_ig3_success_does_not_block () =
+  let c = Cluster.make ~n:7 () in
+  let params = c.Cluster.params in
+  Engine.schedule c.Cluster.engine ~at:0.05 (fun () ->
+      ignore (Node.propose (Cluster.node c 0) "v"));
+  Engine.schedule c.Cluster.engine
+    ~at:(0.05 +. (2.0 *. params.Params.delta_0))
+    (fun () ->
+      check_bool "healthy General not blocked" true
+        (Node.propose (Cluster.node c 0) "v2" = Ok ()));
+  Cluster.run c
+
+let test_returns_and_subscribe () =
+  let c = Cluster.make ~n:7 () in
+  let seen = ref 0 in
+  Node.subscribe (Cluster.node c 3) (fun _ -> incr seen);
+  Engine.schedule c.Cluster.engine ~at:0.05 (fun () ->
+      ignore (Node.propose (Cluster.node c 0) "v"));
+  Cluster.run c;
+  check_int "subscriber fired once" 1 !seen;
+  check_int "returns recorded" 1 (List.length (Node.returns (Cluster.node c 3)))
+
+let test_out_of_range_general_ignored () =
+  let c = Cluster.make ~n:4 () in
+  (* inject garbage claiming a General outside [0, n): must be dropped *)
+  Ssba_net.Network.inject_forged c.Cluster.net ~claimed_src:0 ~dst:1 ~delay:0.01
+    (Types.Initiator { g = 99; v = "x" });
+  Ssba_net.Network.inject_forged c.Cluster.net ~claimed_src:0 ~dst:1 ~delay:0.01
+    (Types.Ia { kind = Types.Support; g = -1; v = "x" });
+  Cluster.run c;
+  check_int "no returns from garbage" 0 (List.length (Cluster.returns c))
+
+let test_initiator_requires_authentic_general () =
+  let c = Cluster.make ~n:7 ~skip:[ 6 ] () in
+  (* node 6 (Byzantine) claims to be General 2: the Initiator payload says
+     g = 2 but the network stamps src = 6, so nodes must not invoke *)
+  Engine.schedule c.Cluster.engine ~at:0.05 (fun () ->
+      Ssba_net.Network.broadcast c.Cluster.net ~src:6
+        (Types.Initiator { g = 2; v = "forged" }));
+  Cluster.run c;
+  check_int "forged initiation ignored" 0 (List.length (Cluster.returns c))
+
+let test_local_time_follows_clock () =
+  let c = Cluster.make ~n:4 ~clock:`Perfect () in
+  Engine.schedule c.Cluster.engine ~at:0.25 (fun () ->
+      check_float "local = real for perfect clocks" 0.25
+        (Node.local_time (Cluster.node c 0)));
+  Cluster.run c
+
+let suite =
+  [
+    case "propose ok" test_propose_ok;
+    case "IG1 spacing" test_ig1_spacing;
+    case "IG2 same-value spacing" test_ig2_same_value_spacing;
+    case "IG3 failure blocks" test_ig3_failure_blocks;
+    case "IG3 success does not block" test_ig3_success_does_not_block;
+    case "returns + subscribe" test_returns_and_subscribe;
+    case "out-of-range General ignored" test_out_of_range_general_ignored;
+    case "Initiator authenticated" test_initiator_requires_authentic_general;
+    case "local time follows clock" test_local_time_follows_clock;
+  ]
+
+let test_busy_while_running () =
+  (* while the General's own instance is mid-agreement a second proposal is
+     refused with Busy, even on a slow network where Delta_0 has not passed *)
+  let c = Cluster.make ~n:7 ~delay:(`Fixed 0.00099) () in
+  Engine.schedule c.Cluster.engine ~at:0.05 (fun () ->
+      ignore (Node.propose (Cluster.node c 0) "v"));
+  (* 1 ms in: the agreement is still in flight (decision needs ~4 ms) *)
+  Engine.schedule c.Cluster.engine ~at:0.051 (fun () ->
+      match Node.propose (Cluster.node c 0) "w" with
+      | Error (Node.Busy | Node.Too_soon) -> ()
+      | Error e -> Alcotest.failf "unexpected: %s" (Node.string_of_propose_error e)
+      | Ok () -> Alcotest.fail "proposal accepted while running")
+  ;
+  Cluster.run c
+
+let suite = suite @ [ case "Busy while running" test_busy_while_running ]

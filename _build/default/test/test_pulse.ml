@@ -1,0 +1,164 @@
+(* Tests for the pulse-synchronization layer. *)
+
+open Helpers
+open Ssba_core
+module Pulse = Ssba_pulse.Pulse_sync
+
+let mk ?(n = 7) ?(seed = 11) ?(byz = []) () =
+  let c = Cluster.make ~n ~seed ~skip:byz () in
+  let layers =
+    List.init n (fun id -> id)
+    |> List.filter_map (fun id ->
+           if List.mem id byz then None
+           else
+             Some
+               (Pulse.create
+                  ~node:(Cluster.node c id)
+                  ~cycle_len:(1.2 *. Pulse.min_cycle c.Cluster.params)
+                  ()))
+  in
+  (c, layers)
+
+let pulse_rts layers cycle =
+  List.filter_map
+    (fun layer ->
+      List.find_opt (fun (p : Pulse.pulse) -> p.Pulse.cycle = cycle) (Pulse.pulses layer)
+      |> Option.map (fun (p : Pulse.pulse) -> p.Pulse.rt))
+    layers
+
+let test_values () =
+  check_str "encode" "pulse-7" (Pulse.value_of_cycle 7);
+  check_bool "decode" true (Pulse.cycle_of_value "pulse-12" = Some 12);
+  check_bool "garbage" true (Pulse.cycle_of_value "nonsense" = None);
+  check_bool "negative" true (Pulse.cycle_of_value "pulse--3" = None);
+  check_bool "empty" true (Pulse.cycle_of_value "" = None)
+
+let test_min_cycle_enforced () =
+  let c = Cluster.make ~n:7 () in
+  match
+    Pulse.create ~node:(Cluster.node c 0)
+      ~cycle_len:(0.5 *. Pulse.min_cycle c.Cluster.params)
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undersized cycle accepted"
+
+let test_cycles_progress () =
+  let c, layers = mk () in
+  List.iter Pulse.start layers;
+  Cluster.run ~until:2.0 c;
+  List.iter
+    (fun layer ->
+      check_bool "several cycles fired" true (Pulse.next_cycle layer >= 4))
+    layers
+
+let test_skew_bound () =
+  let c, layers = mk () in
+  List.iter Pulse.start layers;
+  Cluster.run ~until:2.0 c;
+  let d = c.Cluster.params.Params.d in
+  let max_cycle =
+    List.fold_left (fun acc l -> max acc (Pulse.next_cycle l - 1)) 0 layers
+  in
+  check_bool "at least 3 full cycles" true (max_cycle >= 3);
+  for cyc = 0 to max_cycle - 1 do
+    match pulse_rts layers cyc with
+    | [] -> ()
+    | first :: _ as rts ->
+        let span =
+          List.fold_left Float.max first rts -. List.fold_left Float.min first rts
+        in
+        check_bool
+          (Printf.sprintf "cycle %d skew <= 3d" cyc)
+          true
+          (span <= (3.0 *. d) +. 1e-9)
+  done
+
+let test_byzantine_general_skipped () =
+  (* node 1's turns (cycles 1, 8, ...) are covered by the timeout ladder *)
+  let c, layers = mk ~byz:[ 1 ] () in
+  List.iter Pulse.start layers;
+  Cluster.run ~until:3.0 c;
+  List.iter
+    (fun layer ->
+      check_bool "progressed past the Byzantine turn" true (Pulse.next_cycle layer > 2))
+    layers;
+  check_int "cycle 1 fired at all live nodes" 6 (List.length (pulse_rts layers 1))
+
+let test_all_nodes_fire_every_cycle () =
+  let c, layers = mk () in
+  List.iter Pulse.start layers;
+  Cluster.run ~until:2.0 c;
+  let complete =
+    List.fold_left (fun acc l -> min acc (Pulse.next_cycle l - 1)) max_int layers
+  in
+  for cyc = 0 to complete - 1 do
+    check_int (Printf.sprintf "cycle %d at all 7" cyc) 7
+      (List.length (pulse_rts layers cyc))
+  done
+
+let test_on_pulse_callback () =
+  let c, layers = mk () in
+  let count = ref 0 in
+  List.iter (fun l -> Pulse.set_on_pulse l (fun _ -> incr count)) layers;
+  List.iter Pulse.start layers;
+  Cluster.run ~until:1.0 c;
+  check_bool "callbacks fired" true (!count > 0)
+
+let suite =
+  [
+    case "value encoding" test_values;
+    case "min cycle enforced" test_min_cycle_enforced;
+    case "cycles progress" test_cycles_progress;
+    case "skew bound 3d" test_skew_bound;
+    case "Byzantine General skipped" test_byzantine_general_skipped;
+    case "all nodes fire every cycle" test_all_nodes_fire_every_cycle;
+    case "on_pulse callback" test_on_pulse_callback;
+  ]
+
+let test_pulses_resume_after_scramble () =
+  (* transient fault mid-cycling: scramble all node state, then pulses must
+     resume within a stabilization period, with the skew bound restored *)
+  let c, layers = mk ~seed:17 () in
+  List.iter Pulse.start layers;
+  let params = c.Cluster.params in
+  let t_scramble = 0.8 in
+  Ssba_sim.Engine.schedule c.Cluster.engine ~at:t_scramble (fun () ->
+      let rng = Ssba_sim.Rng.create 5 in
+      Array.iter
+        (function
+          | Some node -> Node.scramble rng ~values:[ "pulse-3"; "x" ] node
+          | None -> ())
+        c.Cluster.nodes);
+  let horizon = t_scramble +. params.Params.delta_stb +. 2.0 in
+  Cluster.run ~until:horizon c;
+  (* pulses fired after stabilization *)
+  let stable_from = t_scramble +. params.Params.delta_stb in
+  let late_pulses =
+    List.concat_map
+      (fun layer ->
+        List.filter (fun (p : Pulse.pulse) -> p.Pulse.rt >= stable_from) (Pulse.pulses layer))
+      layers
+  in
+  check_bool "pulses resumed after stabilization" true (late_pulses <> []);
+  (* and the post-stabilization cycles keep the skew bound *)
+  let d = params.Params.d in
+  let cycles =
+    List.sort_uniq compare (List.map (fun (p : Pulse.pulse) -> p.Pulse.cycle) late_pulses)
+  in
+  List.iter
+    (fun cyc ->
+      match pulse_rts layers cyc with
+      | [] | [ _ ] -> ()
+      | first :: _ as rts when List.for_all (fun rt -> rt >= stable_from) rts ->
+          let span =
+            List.fold_left Float.max first rts -. List.fold_left Float.min first rts
+          in
+          check_bool
+            (Printf.sprintf "post-recovery cycle %d skew <= 3d" cyc)
+            true
+            (span <= (3.0 *. d) +. 1e-9)
+      | _ -> ())
+    cycles
+
+let suite = suite @ [ case "pulses resume after scramble" test_pulses_resume_after_scramble ]

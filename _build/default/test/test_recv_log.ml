@@ -1,0 +1,130 @@
+(* Tests for the timestamped receive log. *)
+
+open Helpers
+module L = Ssba_core.Recv_log
+
+let test_note_and_count () =
+  let l = L.create () in
+  check_int "empty" 0 (L.count l);
+  L.note l ~sender:1 ~at:1.0;
+  L.note l ~sender:2 ~at:2.0;
+  L.note l ~sender:1 ~at:3.0;
+  check_int "distinct senders" 2 (L.count l);
+  check_bool "senders sorted" true (L.senders l = [ 1; 2 ])
+
+let test_note_keeps_max () =
+  let l = L.create () in
+  L.note l ~sender:1 ~at:5.0;
+  L.note l ~sender:1 ~at:3.0;
+  (* replay of an older message must not rewind *)
+  check_bool "latest kept" true (L.latest l = Some 5.0)
+
+let test_window_count () =
+  let l = L.create () in
+  L.note l ~sender:1 ~at:1.0;
+  L.note l ~sender:2 ~at:2.0;
+  L.note l ~sender:3 ~at:3.0;
+  check_int "full window" 3 (L.count_in_window l ~now:3.0 ~width:2.0);
+  check_int "narrow window" 2 (L.count_in_window l ~now:3.0 ~width:1.0);
+  check_int "point window" 1 (L.count_in_window l ~now:3.0 ~width:0.0);
+  check_int "window in the past excludes later arrivals" 1
+    (L.count_in_window l ~now:1.5 ~width:1.0)
+
+let test_window_excludes_future () =
+  let l = L.create () in
+  L.corrupt l ~sender:1 ~at:10.0;
+  (* future garbage *)
+  L.note l ~sender:2 ~at:1.0;
+  check_int "future arrivals not counted" 1
+    (L.count_in_window l ~now:2.0 ~width:5.0)
+
+let test_shortest_window () =
+  let l = L.create () in
+  L.note l ~sender:1 ~at:1.0;
+  L.note l ~sender:2 ~at:2.0;
+  L.note l ~sender:3 ~at:4.0;
+  (match L.shortest_window l ~now:5.0 ~count:2 with
+  | Some alpha -> check_float "2 most recent span" 3.0 alpha
+  | None -> Alcotest.fail "expected a window");
+  (match L.shortest_window l ~now:5.0 ~count:3 with
+  | Some alpha -> check_float "3 most recent span" 4.0 alpha
+  | None -> Alcotest.fail "expected a window");
+  check_bool "too few senders" true (L.shortest_window l ~now:5.0 ~count:4 = None);
+  check_bool "count 0 is trivially 0" true
+    (L.shortest_window l ~now:5.0 ~count:0 = Some 0.0)
+
+let test_shortest_window_refresh () =
+  (* A re-send refreshes the sender's position in the window. *)
+  let l = L.create () in
+  L.note l ~sender:1 ~at:1.0;
+  L.note l ~sender:2 ~at:1.5;
+  L.note l ~sender:1 ~at:9.0;
+  match L.shortest_window l ~now:9.0 ~count:2 with
+  | Some alpha -> check_float "old arrival governs" 7.5 alpha
+  | None -> Alcotest.fail "expected a window"
+
+let test_decay () =
+  let l = L.create () in
+  L.note l ~sender:1 ~at:1.0;
+  L.note l ~sender:2 ~at:5.0;
+  L.decay l ~horizon:2.0;
+  check_int "old removed" 1 (L.count l);
+  check_bool "survivor" true (L.senders l = [ 2 ])
+
+let test_sanitize () =
+  let l = L.create () in
+  L.note l ~sender:1 ~at:1.0;
+  L.corrupt l ~sender:2 ~at:99.0;
+  L.sanitize l ~now:5.0;
+  check_int "future dropped" 1 (L.count l);
+  check_bool "real one kept" true (L.senders l = [ 1 ])
+
+let test_clear () =
+  let l = L.create () in
+  L.note l ~sender:1 ~at:1.0;
+  L.clear l;
+  check_bool "empty" true (L.is_empty l)
+
+(* qcheck: count_in_window is monotone in width, and shortest_window is
+   consistent with count_in_window. *)
+let arrivals_gen =
+  QCheck.(list_of_size Gen.(int_range 0 20) (pair (int_range 0 9) (float_range 0.0 100.0)))
+
+let prop_window_monotone =
+  QCheck.Test.make ~name:"window count monotone in width" ~count:300
+    QCheck.(pair arrivals_gen (pair (float_range 0.0 100.0) (float_range 0.0 50.0)))
+    (fun (arrivals, (now, w)) ->
+      let l = L.create () in
+      List.iter (fun (s, at) -> L.note l ~sender:s ~at) arrivals;
+      L.count_in_window l ~now ~width:w
+      <= L.count_in_window l ~now ~width:(w +. 10.0))
+
+let prop_shortest_window_consistent =
+  QCheck.Test.make ~name:"shortest window contains exactly >= count senders"
+    ~count:300
+    QCheck.(pair arrivals_gen (int_range 1 5))
+    (fun (arrivals, count) ->
+      let l = L.create () in
+      List.iter (fun (s, at) -> L.note l ~sender:s ~at) arrivals;
+      let now = 100.0 in
+      match L.shortest_window l ~now ~count with
+      | None -> L.count_in_window l ~now ~width:now < count
+      | Some alpha ->
+          (* pad by an ulp-scale epsilon: [now - (now - at)] need not round
+             back to exactly [at] *)
+          L.count_in_window l ~now ~width:(alpha +. 1e-9) >= count)
+
+let suite =
+  [
+    case "note and count" test_note_and_count;
+    case "note keeps max" test_note_keeps_max;
+    case "window count" test_window_count;
+    case "window excludes future" test_window_excludes_future;
+    case "shortest window" test_shortest_window;
+    case "shortest window refresh" test_shortest_window_refresh;
+    case "decay" test_decay;
+    case "sanitize" test_sanitize;
+    case "clear" test_clear;
+    Helpers.qcheck prop_window_monotone;
+    Helpers.qcheck prop_shortest_window_consistent;
+  ]

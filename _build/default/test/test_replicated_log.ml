@@ -1,0 +1,160 @@
+(* Tests for the replicated log (SMR atop recurrent agreement). *)
+
+open Helpers
+module Rlog = Ssba_apps.Replicated_log
+
+let mk ?(n = 7) ?(seed = 61) ?(byz = []) () =
+  let c = Cluster.make ~n ~seed ~skip:byz () in
+  let replicas =
+    List.init n (fun id -> id)
+    |> List.filter_map (fun id ->
+           if List.mem id byz then None
+           else
+             Some
+               ( id,
+                 Rlog.create
+                   ~node:(Cluster.node c id)
+                   ~cycle_len:(1.2 *. Rlog.min_cycle c.Cluster.params)
+                   () ))
+  in
+  (c, replicas)
+
+let test_value_encoding () =
+  (* round-trip through the wire encoding, including ':' in commands *)
+  let h = mk ~n:4 () in
+  ignore h;
+  check_str "noop" "noop" Rlog.noop
+
+let test_empty_log_fills_with_noops () =
+  let c, replicas = mk () in
+  List.iter (fun (_, r) -> Rlog.start r) replicas;
+  Cluster.run ~until:2.0 c;
+  List.iter
+    (fun (_, r) ->
+      check_bool "slots progress" true (Rlog.next_slot r >= 3);
+      check_bool "all noops" true (Rlog.commands r = []))
+    replicas
+
+let test_commands_in_identical_order () =
+  let c, replicas = mk () in
+  (* several nodes submit commands before the log starts *)
+  List.iter
+    (fun (id, r) ->
+      if id mod 2 = 0 then Rlog.submit r (Printf.sprintf "cmd-from-%d" id))
+    replicas;
+  List.iter (fun (_, r) -> Rlog.start r) replicas;
+  Cluster.run ~until:4.0 c;
+  let sequences = List.map (fun (_, r) -> Rlog.commands r) replicas in
+  (match sequences with
+  | [] -> Alcotest.fail "no replicas"
+  | ref_seq :: rest ->
+      check_bool "some commands committed" true (ref_seq <> []);
+      List.iter
+        (fun s -> check_bool "identical command sequence" true (s = ref_seq))
+        rest);
+  (* each submitted command appears exactly once *)
+  let all = List.hd sequences in
+  List.iter
+    (fun (id, _) ->
+      if id mod 2 = 0 then
+        check_int
+          (Printf.sprintf "cmd-from-%d committed once" id)
+          1
+          (List.length
+             (List.filter (String.equal (Printf.sprintf "cmd-from-%d" id)) all)))
+    replicas
+
+let test_identical_entries_not_just_commands () =
+  let c, replicas = mk ~seed:62 () in
+  List.iter (fun (id, r) -> Rlog.submit r (Printf.sprintf "c%d" id)) replicas;
+  List.iter (fun (_, r) -> Rlog.start r) replicas;
+  Cluster.run ~until:3.0 c;
+  let views =
+    List.map
+      (fun (_, r) ->
+        List.map (fun (e : Rlog.entry) -> (e.Rlog.slot, e.Rlog.proposer, e.Rlog.cmd)) (Rlog.log r))
+      replicas
+  in
+  let shortest =
+    List.fold_left (fun acc v -> min acc (List.length v)) max_int views
+  in
+  check_bool "several slots committed" true (shortest >= 3);
+  let prefix v = List.filteri (fun i _ -> i < shortest) v in
+  match views with
+  | [] -> Alcotest.fail "no replicas"
+  | v0 :: rest ->
+      List.iter
+        (fun v -> check_bool "identical (slot, proposer, cmd) prefix" true
+            (prefix v = prefix v0))
+        rest
+
+let test_byzantine_owner_skipped () =
+  (* node 1 is silent: its slots are taken over by the ladder and the log
+     keeps growing *)
+  let c, replicas = mk ~byz:[ 1 ] ~seed:63 () in
+  List.iter (fun (_, r) -> Rlog.submit r "x") replicas;
+  List.iter (fun (_, r) -> Rlog.start r) replicas;
+  Cluster.run ~until:4.0 c;
+  List.iter
+    (fun (_, r) ->
+      check_bool "progressed past the Byzantine slot" true (Rlog.next_slot r > 1))
+    replicas;
+  (* slot 1 was committed by a takeover proposer, not node 1 *)
+  let slot1 =
+    List.filter_map
+      (fun (_, r) ->
+        List.find_opt (fun (e : Rlog.entry) -> e.Rlog.slot = 1) (Rlog.log r))
+      replicas
+  in
+  check_bool "slot 1 resolved everywhere" true
+    (List.length slot1 = List.length replicas);
+  List.iter
+    (fun (e : Rlog.entry) ->
+      check_bool "not proposed by the silent owner" true (e.Rlog.proposer <> 1))
+    slot1
+
+let test_submission_queue_drains () =
+  let c, replicas = mk ~seed:64 () in
+  let _, r0 = List.hd replicas in
+  Rlog.submit r0 "a";
+  Rlog.submit r0 "b";
+  check_int "two pending" 2 (Rlog.pending r0);
+  List.iter (fun (_, r) -> Rlog.start r) replicas;
+  Cluster.run ~until:6.0 c;
+  check_int "queue drained" 0 (Rlog.pending r0);
+  let cmds = Rlog.commands r0 in
+  check_bool "a before b" true
+    (match (List.find_index (String.equal "a") cmds,
+            List.find_index (String.equal "b") cmds) with
+     | Some ia, Some ib -> ia < ib
+     | _ -> false)
+
+let test_min_cycle_enforced () =
+  let c = Cluster.make ~n:4 () in
+  match
+    Rlog.create ~node:(Cluster.node c 0)
+      ~cycle_len:(0.5 *. Rlog.min_cycle c.Cluster.params)
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undersized cycle accepted"
+
+let test_on_commit_callback () =
+  let c, replicas = mk ~seed:65 () in
+  let commits = ref 0 in
+  List.iter (fun (_, r) -> Rlog.set_on_commit r (fun _ -> incr commits)) replicas;
+  List.iter (fun (_, r) -> Rlog.start r) replicas;
+  Cluster.run ~until:1.5 c;
+  check_bool "commit callbacks fired" true (!commits > 0)
+
+let suite =
+  [
+    case "value encoding" test_value_encoding;
+    case "noop slots" test_empty_log_fills_with_noops;
+    case "identical command order" test_commands_in_identical_order;
+    case "identical entries" test_identical_entries_not_just_commands;
+    case "Byzantine owner skipped" test_byzantine_owner_skipped;
+    case "submission queue drains" test_submission_queue_drains;
+    case "min cycle enforced" test_min_cycle_enforced;
+    case "on_commit callback" test_on_commit_callback;
+  ]

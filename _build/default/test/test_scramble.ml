@@ -1,0 +1,140 @@
+(* Tests for transient-fault injection and recovery (self-stabilization). *)
+
+open Helpers
+open Ssba_core
+module H = Ssba_harness
+module Engine = Ssba_sim.Engine
+
+let values = [ "x"; "y"; "z" ]
+
+let test_scramble_then_quiet_returns_to_idle () =
+  (* scrambled nodes, no further input: after Delta_stb every agreement
+     instance must be Idle again and no node may be deciding anything *)
+  let c = Cluster.make ~n:7 ~seed:21 () in
+  let rng = Ssba_sim.Rng.create 99 in
+  Array.iter
+    (fun node_opt ->
+      match node_opt with
+      | Some node -> Node.scramble rng ~values node
+      | None -> ())
+    c.Cluster.nodes;
+  Cluster.run ~until:c.Cluster.params.Params.delta_stb c;
+  Array.iter
+    (fun node_opt ->
+      match node_opt with
+      | Some node ->
+          for g = 0 to 6 do
+            check_bool "instance idle after stabilization" true
+              (Ss_byz_agree.state (Node.instance node g) = Ss_byz_agree.Idle)
+          done
+      | None -> ())
+    c.Cluster.nodes;
+  (* whatever garbage produced, no *decision* may appear without a real
+     initiation: scrambles can abort instances but a Decided value would mean
+     forged quorums survived *)
+  List.iter
+    (fun (r : Types.return_info) ->
+      check_bool "scramble residue only aborts" true (r.Types.outcome = Types.Aborted))
+    (Cluster.returns c)
+
+let test_agreement_after_stabilization () =
+  List.iter
+    (fun seed ->
+      let params = Params.default 7 in
+      let sc =
+        H.Scenario.default ~name:"scr" ~seed
+          ~events:[ H.Scenario.Scramble { at = 0.0; values; net_garbage = 150 } ]
+          ~proposals:[ { g = seed mod 7; v = "go"; at = params.Params.delta_stb } ]
+          ~horizon:(params.Params.delta_stb +. (3.0 *. params.Params.delta_agr))
+          params
+      in
+      let res = H.Runner.run sc in
+      check_bool "pairwise agreement holds after stabilization" true
+        (H.Checks.pairwise_agreement ~after:params.Params.delta_stb res = []);
+      let post =
+        List.filter
+          (fun (e : H.Metrics.episode) ->
+            H.Metrics.first_return e >= params.Params.delta_stb)
+          (H.Metrics.episodes res)
+      in
+      check_bool "post-stabilization proposal decides unanimously" true
+        (List.exists
+           (fun e -> H.Checks.validity ~correct:res.H.Runner.correct ~v:"go" e)
+           post))
+    [ 101; 102; 103; 104; 105 ]
+
+let test_scramble_during_agreement () =
+  (* the harshest ordering: scramble in the middle of a running agreement.
+     Whatever happens to that agreement, a later one must work, and no
+     pairwise violation may appear after stabilization. *)
+  let params = Params.default 7 in
+  let t_scramble = 0.052 (* mid-flight of the first agreement *) in
+  let sc =
+    H.Scenario.default ~name:"mid" ~seed:7
+      ~events:[ H.Scenario.Scramble { at = t_scramble; values; net_garbage = 100 } ]
+      ~proposals:
+        [
+          { g = 0; v = "early"; at = 0.05 };
+          { g = 1; v = "late"; at = t_scramble +. params.Params.delta_stb };
+        ]
+      ~horizon:(t_scramble +. params.Params.delta_stb +. (3.0 *. params.Params.delta_agr))
+      params
+  in
+  let res = H.Runner.run sc in
+  let post =
+    List.filter
+      (fun (e : H.Metrics.episode) ->
+        H.Metrics.first_return e >= t_scramble +. params.Params.delta_stb)
+      (H.Metrics.episodes res)
+  in
+  check_bool "the late agreement decides" true
+    (List.exists
+       (fun e -> H.Checks.validity ~correct:res.H.Runner.correct ~v:"late" e)
+       post)
+
+let test_garbage_alone_never_decides () =
+  (* pure network garbage against clean nodes: quorums cannot be forged *)
+  List.iter
+    (fun seed ->
+      let params = Params.default 7 in
+      let sc =
+        H.Scenario.default ~name:"garbage" ~seed
+          ~events:[ H.Scenario.Scramble { at = 0.0; values; net_garbage = 400 } ]
+          ~horizon:1.0 params
+      in
+      (* note: Scramble also corrupts node state; to isolate network garbage
+         we accept either, but no *decision* may come out of thin air after
+         the stabilization period *)
+      let res = H.Runner.run sc in
+      List.iter
+        (fun (r : Types.return_info) ->
+          if r.Types.rt_ret > params.Params.delta_stb then
+            check_bool "no decision from garbage" true
+              (r.Types.outcome = Types.Aborted))
+        res.H.Runner.returns)
+    [ 31; 32; 33 ]
+
+let test_node_scramble_is_deterministic () =
+  let run () =
+    let c = Cluster.make ~n:7 ~seed:5 () in
+    let rng = Ssba_sim.Rng.create 1 in
+    Array.iter
+      (function Some node -> Node.scramble rng ~values node | None -> ())
+      c.Cluster.nodes;
+    Engine.schedule c.Cluster.engine ~at:(c.Cluster.params.Params.delta_stb +. 0.01)
+      (fun () -> ignore (Node.propose (Cluster.node c 0) "v"));
+    Cluster.run ~until:(c.Cluster.params.Params.delta_stb +. 1.0) c;
+    List.map
+      (fun (r : Types.return_info) -> (r.Types.node, r.Types.g, r.Types.outcome, r.Types.rt_ret))
+      (Cluster.returns c)
+  in
+  check_bool "identical scrambled runs" true (run () = run ())
+
+let suite =
+  [
+    case "scramble then quiet -> idle" test_scramble_then_quiet_returns_to_idle;
+    case "agreement after stabilization" test_agreement_after_stabilization;
+    case "scramble mid-agreement" test_scramble_during_agreement;
+    case "garbage alone never decides" test_garbage_alone_never_decides;
+    case "scrambled runs deterministic" test_node_scramble_is_deterministic;
+  ]

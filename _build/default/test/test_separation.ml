@@ -1,0 +1,122 @@
+(* Separation behaviours (Timeliness 4 / IA-4 and the decay rules): how far
+   apart consecutive accepts for one General must be, driven through the fake
+   context so time is fully controlled. n = 7, f = 2. *)
+
+open Helpers
+open Ssba_core
+module Ia = Initiator_accept
+
+let params = Params.default 7
+let d = params.Params.d
+
+type h = { fake : Fake.t; ia : Ia.t; accepted : (Types.value * float) list ref }
+
+let mk () =
+  let fake, ctx = Fake.make params in
+  let ia = Ia.create ~ctx ~g:0 in
+  let accepted = ref [] in
+  Ia.set_on_accept ia (fun v ~tau_g -> accepted := (v, tau_g) :: !accepted);
+  { fake; ia; accepted }
+
+let feed h kind senders v =
+  List.iter (fun s -> Ia.handle_message h.ia ~kind ~sender:s ~v) senders
+
+let quorum = [ 1; 2; 3; 4; 5 ]
+
+let drive h v =
+  feed h Types.Support quorum v;
+  Fake.advance h.fake (0.2 *. d);
+  feed h Types.Approve quorum v;
+  Fake.advance h.fake (0.2 *. d);
+  feed h Types.Ready quorum v
+
+let test_accept_then_other_value_blocked_within_4d () =
+  (* IA-4a shape: after accepting "a", messages for "b" cannot produce an
+     anchor within 4d — the earliest possible support for "b" is gated by
+     last(G)'s Delta_0 - 6d = 7d expiry *)
+  let h = mk () in
+  Ia.handle_initiator h.ia "a";
+  drive h "a";
+  check_int "accepted a" 1 (List.length !(h.accepted));
+  (* an immediate initiation for "b" is rejected by K1 (last(G) set) *)
+  Fake.advance h.fake (4.0 *. d);
+  Fake.clear_sent h.fake;
+  Ia.handle_initiator h.ia "b";
+  check_int "no support for b within last(G) expiry" 0
+    (Fake.count_kind h.fake "support")
+
+let test_same_value_reaccept_needs_decay () =
+  (* IA-4b shape: a second accept of the same value cannot happen until
+     last(G,m) decays (2 Delta_rmv + 9d). The separation is enforced on the
+     *sender* side: block K refuses to re-support, and without n - 2f correct
+     supports the f Byzantine nodes replaying everything cannot move the
+     pipeline (the paper's Uniqueness proof: "past messages cannot be used
+     again to reproduce another wave of decisions, unless a new correct node
+     sends a new support"). *)
+  let h = mk () in
+  Ia.handle_initiator h.ia "a";
+  drive h "a";
+  h.accepted := [];
+  Ia.reset h.ia;
+  (* past the ignore window but far inside the last(G,m) expiry *)
+  Fake.advance h.fake (20.0 *. d);
+  Ia.cleanup h.ia;
+  Fake.clear_sent h.fake;
+  Ia.handle_initiator h.ia "a";
+  check_int "K1 still blocked for the same value" 0 (Fake.count_kind h.fake "support");
+  (* the f = 2 Byzantine nodes replay the whole pipeline; no weak quorum *)
+  let byz = [ 5; 6 ] in
+  feed h Types.Support byz "a";
+  feed h Types.Approve byz "a";
+  feed h Types.Ready byz "a";
+  check_bool "f replaying nodes cannot re-accept" true (!(h.accepted) = []);
+  check_int "nor trigger any send" 0 (List.length h.fake.Fake.sent)
+
+let test_same_value_reaccept_after_full_decay () =
+  let h = mk () in
+  Ia.handle_initiator h.ia "a";
+  drive h "a";
+  h.accepted := [];
+  Ia.reset h.ia;
+  (* wait out last(G,m) (2 Drmv + 9d) and last(G) with cleanup ticks *)
+  let expiry = (2.0 *. params.Params.delta_rmv) +. (10.0 *. d) in
+  let steps = int_of_float (expiry /. d) + 2 in
+  for _ = 1 to steps do
+    Fake.advance h.fake d;
+    Ia.cleanup h.ia
+  done;
+  Fake.clear_sent h.fake;
+  Ia.handle_initiator h.ia "a";
+  check_int "K1 passes after full decay" 1 (Fake.count_kind h.fake "support");
+  drive h "a";
+  (match !(h.accepted) with
+  | [ ("a", _) ] -> ()
+  | _ -> Alcotest.fail "expected exactly one fresh accept")
+
+let test_ready_flag_decays () =
+  (* the ready_{G,m} flag must expire after Delta_rmv: stale readiness plus
+     fresh ready messages alone must not accept *)
+  let h = mk () in
+  feed h Types.Approve [ 1; 2; 3 ] "a";
+  check_bool "flag set" true (Ia.ready_flag_fresh h.ia "a");
+  Fake.advance h.fake (params.Params.delta_rmv +. d);
+  Ia.cleanup h.ia;
+  check_bool "flag decayed" false (Ia.ready_flag_fresh h.ia "a");
+  feed h Types.Ready quorum "a";
+  check_bool "no accept on stale readiness" true (!(h.accepted) = [])
+
+let test_i_value_decays () =
+  let h = mk () in
+  Ia.handle_initiator h.ia "a";
+  check_bool "i_value live" true (Ia.i_value h.ia "a" <> None);
+  Fake.advance h.fake (params.Params.delta_rmv +. d);
+  check_bool "i_value expired (freshness check)" true (Ia.i_value h.ia "a" = None)
+
+let suite =
+  [
+    case "other value blocked within last(G)" test_accept_then_other_value_blocked_within_4d;
+    case "same value needs full decay" test_same_value_reaccept_needs_decay;
+    case "same value after full decay" test_same_value_reaccept_after_full_decay;
+    case "ready flag decays" test_ready_flag_decays;
+    case "i_value decays" test_i_value_decays;
+  ]

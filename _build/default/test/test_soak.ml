@@ -1,0 +1,112 @@
+(* Soak tests: long runs under sustained load and attack, asserting the
+   bounded-memory discipline (decay rules) and sustained correctness the
+   "production" claim rests on. *)
+
+open Helpers
+open Ssba_core
+module H = Ssba_harness
+module Engine = Ssba_sim.Engine
+
+let test_long_haul_recurrent_agreements () =
+  (* dozens of recurrent agreements by rotating Generals under a permanent
+     spammer, with a mid-run scramble; at the end: every completed agreement
+     consistent, instance tables bounded, all instances quiescent *)
+  let n = 7 in
+  let params = Params.default n in
+  let d = params.Params.d in
+  let spacing = 2.0 *. params.Params.delta_0 in
+  let rounds = 40 in
+  let t_scramble = 0.05 +. (float_of_int (rounds / 2) *. spacing) in
+  let proposals =
+    List.init rounds (fun i ->
+        {
+          H.Scenario.g = i mod (n - 1);
+          v = Printf.sprintf "epoch-%d" i;
+          at = 0.05 +. (float_of_int i *. spacing);
+        })
+  in
+  let horizon =
+    0.05 +. (float_of_int rounds *. spacing) +. params.Params.delta_stb
+  in
+  let sc =
+    H.Scenario.default ~name:"soak" ~seed:71
+      ~roles:
+        [
+          ( n - 1,
+            H.Scenario.Byzantine
+              (Ssba_adversary.Strategies.spam ~period:(10.0 *. d)
+                 ~values:[ "junk1"; "junk2" ]) );
+        ]
+      ~events:
+        [ H.Scenario.Scramble { at = t_scramble; values = [ "x"; "epoch-3" ]; net_garbage = 100 } ]
+      ~proposals ~horizon params
+  in
+  let res = H.Runner.run sc in
+  (* agreement after the post-scramble stabilization point *)
+  check_bool "no violation after re-stabilization" true
+    (H.Checks.pairwise_agreement ~after:(t_scramble +. params.Params.delta_stb) res
+    = []);
+  (* most epochs decided unanimously (those colliding with the scramble
+     window may legitimately fail) *)
+  let unanimous =
+    List.length
+      (List.filter
+         (fun (e : H.Metrics.episode) ->
+           match H.Checks.agreement ~correct:res.H.Runner.correct e with
+           | H.Checks.Unanimous _ -> true
+           | _ -> false)
+         (H.Metrics.episodes res))
+  in
+  check_bool
+    (Printf.sprintf "most epochs decided (%d/%d)" unanimous rounds)
+    true
+    (unanimous >= rounds - 5);
+  (* bounded memory: the per-node instance table never exceeds n *)
+  List.iter
+    (fun (_, node) ->
+      check_bool "instance table bounded by n" true (Node.instance_count node <= n))
+    res.H.Runner.nodes
+
+let test_large_cluster_integration () =
+  (* one agreement at n = 31 (f = 10) with the full fault budget split
+     between crashed and spamming nodes *)
+  let n = 31 in
+  let params = Params.default n in
+  let d = params.Params.d in
+  let module S = Ssba_adversary.Strategies in
+  let roles =
+    List.init 5 (fun i -> (n - 1 - i, H.Scenario.Byzantine S.silent))
+    @ List.init 5 (fun i ->
+          ( n - 6 - i,
+            H.Scenario.Byzantine (S.spam ~period:(10.0 *. d) ~values:[ "z" ]) ))
+  in
+  let sc =
+    H.Scenario.default ~name:"large" ~seed:72 ~roles
+      ~proposals:[ { H.Scenario.g = 0; v = "big"; at = 0.05 } ]
+      ~horizon:(0.05 +. (3.0 *. params.Params.delta_agr))
+      params
+  in
+  let res = H.Runner.run sc in
+  let deciders =
+    List.filter
+      (fun (r : Types.return_info) -> r.Types.outcome = Types.Decided "big")
+      res.H.Runner.returns
+  in
+  check_int "all 21 correct nodes decide at n=31" 21 (List.length deciders);
+  check_bool "agreement holds" true (H.Checks.pairwise_agreement res = [])
+
+let test_minimal_cluster () =
+  (* the smallest Byzantine-tolerant system: n = 4, f = 1 *)
+  let c = Cluster.make ~n:4 ~skip:[ 3 ] () in
+  Engine.schedule c.Cluster.engine ~at:0.05 (fun () ->
+      ignore (Node.propose (Cluster.node c 0) "v"));
+  Cluster.run c;
+  check_int "3 of 4 decide with 1 crashed" 3
+    (List.length (Cluster.decided_values c))
+
+let suite =
+  [
+    slow_case "long-haul recurrent agreements" test_long_haul_recurrent_agreements;
+    slow_case "large cluster (n=31)" test_large_cluster_integration;
+    case "minimal cluster (n=4, f=1)" test_minimal_cluster;
+  ]

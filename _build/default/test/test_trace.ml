@@ -1,0 +1,63 @@
+(* Tests for structured traces. *)
+
+open Helpers
+module Trace = Ssba_sim.Trace
+
+let record t ~time ~node ~kind = Trace.record t ~time ~node ~kind ~detail:""
+
+let test_chronological () =
+  let t = Trace.create () in
+  record t ~time:1.0 ~node:0 ~kind:"a";
+  record t ~time:2.0 ~node:1 ~kind:"b";
+  let kinds = List.map (fun e -> e.Trace.kind) (Trace.to_list t) in
+  check_bool "chronological order" true (kinds = [ "a"; "b" ])
+
+let test_filter_by_node () =
+  let t = Trace.create () in
+  record t ~time:1.0 ~node:0 ~kind:"a";
+  record t ~time:2.0 ~node:1 ~kind:"a";
+  record t ~time:3.0 ~node:0 ~kind:"b";
+  check_int "node filter" 2 (List.length (Trace.filter ~node:0 t));
+  check_int "kind filter" 2 (List.length (Trace.filter ~kind:"a" t));
+  check_int "combined filter" 1 (List.length (Trace.filter ~node:0 ~kind:"a" t))
+
+let test_disabled () =
+  let t = Trace.create ~enabled:false () in
+  record t ~time:1.0 ~node:0 ~kind:"a";
+  check_int "disabled drops" 0 (Trace.count t);
+  Trace.enable t;
+  record t ~time:2.0 ~node:0 ~kind:"b";
+  check_int "enabled records" 1 (Trace.count t);
+  Trace.disable t;
+  record t ~time:3.0 ~node:0 ~kind:"c";
+  check_int "disabled again" 1 (Trace.count t)
+
+let test_clear () =
+  let t = Trace.create () in
+  record t ~time:1.0 ~node:0 ~kind:"a";
+  Trace.clear t;
+  check_int "cleared" 0 (Trace.count t);
+  check_bool "empty list" true (Trace.to_list t = [])
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_pp () =
+  let t = Trace.create () in
+  Trace.record t ~time:1.5 ~node:2 ~kind:"boom" ~detail:"hello";
+  Trace.record t ~time:2.0 ~node:(-1) ~kind:"sysk" ~detail:"x";
+  let s = Fmt.str "%a" Trace.pp t in
+  check_bool "mentions node" true (contains ~needle:"n2" s);
+  check_bool "mentions kind" true (contains ~needle:"boom" s);
+  check_bool "system entries tagged" true (contains ~needle:"<sys>" s)
+
+let suite =
+  [
+    case "chronological" test_chronological;
+    case "filters" test_filter_by_node;
+    case "enable/disable" test_disabled;
+    case "clear" test_clear;
+    case "pretty printing" test_pp;
+  ]
