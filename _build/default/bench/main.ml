@@ -162,6 +162,28 @@ let rng_stream () =
     ignore (Ssba_sim.Rng.float r 1.0)
   done
 
+(* Typed trace events carry unformatted data, so a disabled trace should cost
+   a branch and nothing else — compare these two rows to verify rendering is
+   deferred (the ratio collapses if someone reintroduces eager sprintf). *)
+let trace_record ~enabled () =
+  let tr = Ssba_sim.Trace.create ~enabled () in
+  for i = 0 to 9999 do
+    Ssba_sim.Trace.record tr ~time:(float_of_int i *. 1e-6) ~node:(i land 7)
+      (Ssba_sim.Trace.Send { src = i land 7; dst = (i + 1) land 7; msg = "echo" })
+  done
+
+let trace_disabled = trace_record ~enabled:false
+let trace_enabled = trace_record ~enabled:true
+
+let metrics_updates () =
+  let m = Ssba_sim.Metrics.create () in
+  let c = Ssba_sim.Metrics.counter m "bench.counter" in
+  let g = Ssba_sim.Metrics.gauge m "bench.gauge" in
+  for _ = 0 to 9999 do
+    Ssba_sim.Metrics.incr c;
+    Ssba_sim.Metrics.add g 1.0
+  done
+
 let tests =
   Test.make_grouped ~name:"ssba"
     [
@@ -177,6 +199,9 @@ let tests =
       Test.make ~name:"engine 1k events" (Staged.stage engine_throughput);
       Test.make ~name:"recv_log 200 window queries" (Staged.stage recv_log_queries);
       Test.make ~name:"rng 10k floats" (Staged.stage rng_stream);
+      Test.make ~name:"trace 10k records (disabled)" (Staged.stage trace_disabled);
+      Test.make ~name:"trace 10k records (enabled)" (Staged.stage trace_enabled);
+      Test.make ~name:"metrics 10k counter+gauge" (Staged.stage metrics_updates);
     ]
 
 let benchmark () =

@@ -23,7 +23,8 @@ let attacks =
     ("mimics", `Mimics);
   ]
 
-let run n seed general value attack scramble propose_at horizon trace_flag realtime =
+let run n seed general value attack scramble propose_at horizon trace_flag
+    trace_out metrics_out realtime =
   let params = Core.Params.default n in
   (match Core.Params.validate params with
   | Ok () -> ()
@@ -73,7 +74,8 @@ let run n seed general value attack scramble propose_at horizon trace_flag realt
   in
   let sc =
     H.Scenario.default ~name:"cli" ~seed ~roles ~proposals ~events ~horizon
-      ~record_trace:trace_flag params
+      ~record_trace:(trace_flag || trace_out <> None)
+      params
   in
   (match realtime with
   | None -> ()
@@ -104,10 +106,31 @@ let run n seed general value attack scramble propose_at horizon trace_flag realt
   (match H.Checks.pairwise_agreement res with
   | [] -> Fmt.pr "pairwise agreement: holds@."
   | vs -> List.iter (fun v -> Fmt.pr "pairwise agreement VIOLATION: %s@." v) vs);
-  Fmt.pr "messages sent: %d@." res.H.Runner.messages_sent;
+  Fmt.pr "messages sent: %d (delivered %d, dropped %d, in flight %d)@."
+    res.H.Runner.messages_sent res.H.Runner.messages_delivered
+    res.H.Runner.messages_dropped res.H.Runner.messages_in_flight;
   List.iter
     (fun (k, c) -> Fmt.pr "  %-10s %d@." k c)
     res.H.Runner.messages_by_kind;
+  let conservation = H.Checks.network_conservation res in
+  if not conservation.H.Checks.ok then
+    Fmt.pr "WARNING: %a@." H.Checks.pp_verdict conservation;
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      write_file path (Ssba_sim.Trace.to_jsonl res.H.Runner.trace);
+      Fmt.pr "trace written to %s (%d events)@." path
+        (Ssba_sim.Trace.count res.H.Runner.trace));
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      write_file path (Ssba_sim.Metrics.to_jsonl res.H.Runner.metrics);
+      Fmt.pr "metrics written to %s@." path);
   if trace_flag then begin
     Fmt.pr "@.trace:@.";
     Fmt.pr "%a@." Ssba_sim.Trace.pp res.H.Runner.trace
@@ -150,6 +173,22 @@ let horizon_arg =
 
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the event trace.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the event trace as JSON Lines to $(docv) (implies trace \
+              recording).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry (counters and gauges) as JSON Lines \
+              to $(docv).")
+
 let realtime_arg =
   Arg.(
     value
@@ -167,6 +206,7 @@ let cmd =
     (Cmd.info "ssba-run" ~doc)
     Term.(
       const run $ n_arg $ seed_arg $ general_arg $ value_arg $ attack_arg
-      $ scramble_arg $ propose_at_arg $ horizon_arg $ trace_arg $ realtime_arg)
+      $ scramble_arg $ propose_at_arg $ horizon_arg $ trace_arg
+      $ trace_out_arg $ metrics_out_arg $ realtime_arg)
 
 let () = exit (Cmd.eval cmd)

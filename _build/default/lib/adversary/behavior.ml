@@ -45,8 +45,7 @@ let every env ~period f =
 
 let on_message env f = Ssba_net.Network.set_handler env.net env.self f
 
-let trace env ~kind ~detail =
-  Ssba_sim.Engine.record env.engine ~node:env.self ~kind ~detail
+let trace env event = Ssba_sim.Engine.record env.engine ~node:env.self event
 
 (* Random plausible protocol message, for fuzzing/spam strategies. *)
 let random_message env ~values =

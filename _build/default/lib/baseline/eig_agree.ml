@@ -101,7 +101,8 @@ let boundary t b =
   else if t.decided = None then begin
     let v = resolve t ~path:[ t.g ] ~depth:1 in
     t.decided <- Some v;
-    Engine.record t.engine ~node:t.id ~kind:"eig-decide" ~detail:v;
+    Engine.record t.engine ~node:t.id
+      (Ssba_sim.Trace.Ext { kind = "eig-decide"; render = (fun () -> v) });
     t.on_decide v ~tau:(local_time t)
   end
 

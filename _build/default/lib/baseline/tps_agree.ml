@@ -97,8 +97,13 @@ let do_return t outcome =
   if t.returned = None then begin
     let tau = local_time t in
     t.returned <- Some (outcome, tau);
-    Engine.record t.engine ~node:t.id ~kind:"tps-return"
-      ~detail:(Fmt.str "%a at phase %d" pp_outcome outcome t.phase);
+    let phase = t.phase in
+    Engine.record t.engine ~node:t.id
+      (Ssba_sim.Trace.Ext
+         {
+           kind = "tps-return";
+           render = (fun () -> Fmt.str "%a at phase %d" pp_outcome outcome phase);
+         });
     t.on_return outcome ~tau_ret:tau
   end
 

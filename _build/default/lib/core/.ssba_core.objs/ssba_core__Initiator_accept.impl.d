@@ -1,1 +1,1 @@
-lib/core/initiator_accept.ml: Float Hashtbl List Option Params Printf Recv_log Ssba_sim String Types
+lib/core/initiator_accept.ml: Float Hashtbl List Option Params Recv_log Ssba_sim String Types

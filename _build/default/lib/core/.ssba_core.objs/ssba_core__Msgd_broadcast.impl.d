@@ -1,1 +1,1 @@
-lib/core/msgd_broadcast.ml: Hashtbl List Params Printf Recv_log Ssba_sim Types
+lib/core/msgd_broadcast.ml: Hashtbl List Params Recv_log Ssba_sim Types

@@ -1,1 +1,1 @@
-lib/core/ss_byz_agree.ml: Float Fmt Hashtbl Initiator_accept List Msgd_broadcast Option Params Ssba_sim String Types
+lib/core/ss_byz_agree.ml: Float Hashtbl Initiator_accept List Msgd_broadcast Option Params Ssba_sim String Types

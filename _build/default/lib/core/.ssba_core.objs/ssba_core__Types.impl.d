@@ -1,1 +1,1 @@
-lib/core/types.ml: Fmt Params String
+lib/core/types.ml: Fmt Params Ssba_sim String

@@ -1,1 +1,1 @@
-lib/core/types.mli: Format Params
+lib/core/types.mli: Format Params Ssba_sim

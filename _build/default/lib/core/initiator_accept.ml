@@ -181,7 +181,8 @@ let do_accept t v =
          paper's sanitization discards clearly-wrong entries, so we refuse to
          accept rather than anchor on garbage. Only reachable before
          stabilization. *)
-      t.ctx.trace ~kind:"ia-n4-skip" ~detail:"no live recording time"
+      t.ctx.trace
+        (Ssba_sim.Trace.Ia_skip { g = t.g; reason = "no live recording time" })
   | Some tau_g ->
       (match t.invoked_at with
       | Some inv when t.n4_at = None || t.n4_at < Some inv -> t.n4_at <- Some tau
@@ -194,8 +195,7 @@ let do_accept t v =
       t.accepted <- Some (v, tau_g, tau);
       set_last_gm t v;
       t.last_g <- Some tau;
-      t.ctx.trace ~kind:"i-accept"
-        ~detail:(Printf.sprintf "G=%d v=%S tauG=%.6f" t.g v tau_g);
+      t.ctx.trace (Ssba_sim.Trace.I_accept { g = t.g; v; tau_g });
       t.on_accept v ~tau_g
 
 (* Evaluate blocks L, M, N for value [v]; called after every arrival. *)
@@ -268,10 +268,10 @@ let handle_initiator t v =
       t.n4_at <- None;
       send t Support v;
       set_last_gm t v;
-      t.ctx.trace ~kind:"ia-invoke" ~detail:(Printf.sprintf "G=%d v=%S" t.g v);
+      t.ctx.trace (Ssba_sim.Trace.Ia_invoke { g = t.g; v });
       eval t v
     end
-    else t.ctx.trace ~kind:"ia-k1-reject" ~detail:(Printf.sprintf "G=%d v=%S" t.g v)
+    else t.ctx.trace (Ssba_sim.Trace.Ia_reject { g = t.g; v })
   end
 
 (* Arrival of a support/approve/ready message. *)

@@ -90,8 +90,7 @@ let send t kind ~p ~v ~k = t.ctx.send_all (Mb { kind; p; g = t.g; v; k })
 
 let do_accept t (p, v, k) tr =
   tr.accepted_at <- Some (now t);
-  t.ctx.trace ~kind:"mb-accept"
-    ~detail:(Printf.sprintf "G=%d p=%d v=%S k=%d" t.g p v k);
+  t.ctx.trace (Ssba_sim.Trace.Mb_accept { g = t.g; p; v; k });
   t.on_accept ~p ~v ~k
 
 (* Evaluate blocks W–Z for one triplet; no-op until the anchor is known. *)
@@ -124,8 +123,9 @@ let eval t ((p, v, k) as key) tr =
         if Recv_log.count tr.init2 >= n_2f && not (Hashtbl.mem t.broadcasters p)
         then begin
           Hashtbl.replace t.broadcasters p tau;
-          t.ctx.trace ~kind:"mb-broadcaster"
-            ~detail:(Printf.sprintf "G=%d p=%d (total %d)" t.g p (broadcaster_count t));
+          t.ctx.trace
+            (Ssba_sim.Trace.Mb_broadcaster
+               { g = t.g; p; total = broadcaster_count t });
           t.on_broadcaster p
         end;
         if Recv_log.count tr.init2 >= n_f && not tr.sent_echo2 then begin
@@ -147,6 +147,7 @@ let broadcast t ~v ~k = send t Init ~p:t.ctx.self ~v ~k
 (* Anchor management: set on I-accept, then replay all logged triplets. *)
 let set_anchor t tau_g =
   t.tau_g <- Some tau_g;
+  t.ctx.trace (Ssba_sim.Trace.Anchor_set { g = t.g; tau_g });
   Hashtbl.iter (fun key tr -> eval t key tr) t.trips
 
 let anchor t = t.tau_g

@@ -9,6 +9,8 @@
 open Types
 module Engine = Ssba_sim.Engine
 module Clock = Ssba_sim.Clock
+module Trace = Ssba_sim.Trace
+module Metrics = Ssba_sim.Metrics
 
 type net = message Ssba_net.Network.t
 
@@ -33,6 +35,10 @@ type t = {
   last_value_init_at : (general * value, float) Hashtbl.t;  (* IG2 *)
   blocked_until : (general, float) Hashtbl.t;  (* IG3 *)
   mutable cleanup_running : bool;
+  (* per-node protocol counters in the engine's shared registry *)
+  c_proposals : Metrics.counter;
+  c_decided : Metrics.counter;
+  c_aborted : Metrics.counter;
 }
 
 let id t = t.id
@@ -54,8 +60,7 @@ let ctx_of t =
     after_local =
       (fun dl f ->
         Engine.schedule_after t.engine ~delay:(Clock.real_of_local_duration t.clock dl) f);
-    trace =
-      (fun ~kind ~detail -> Engine.record t.engine ~node:t.id ~kind ~detail);
+    trace = (fun event -> Engine.record t.engine ~node:t.id event);
   }
 
 let instance t g =
@@ -75,6 +80,9 @@ let instance t g =
             }
           in
           t.returns <- r :: t.returns;
+          (match outcome with
+          | Decided _ -> Metrics.incr t.c_decided
+          | Aborted -> Metrics.incr t.c_aborted);
           List.iter (fun f -> f r) t.subscribers);
       Ss_byz_agree.set_observer inst (fun obs ->
           List.iter (fun f -> f g obs) t.observers);
@@ -133,6 +141,15 @@ let create ?(channels = 1) ~id ~params ~clock ~engine ~net () =
       last_value_init_at = Hashtbl.create 4;
       blocked_until = Hashtbl.create 4;
       cleanup_running = false;
+      c_proposals =
+        Metrics.counter (Engine.metrics engine)
+          (Printf.sprintf "node%d.proposals" id);
+      c_decided =
+        Metrics.counter (Engine.metrics engine)
+          (Printf.sprintf "node%d.returns.decided" id);
+      c_aborted =
+        Metrics.counter (Engine.metrics engine)
+          (Printf.sprintf "node%d.returns.aborted" id);
     }
   in
   Ssba_net.Network.set_handler net id (fun env -> handle_envelope t env);
@@ -180,8 +197,7 @@ let watch_own_invocation t ~logical =
       if not ok then begin
         let tau = local_time t in
         Hashtbl.replace t.blocked_until logical (tau +. t.params.Params.delta_reset);
-        Engine.record t.engine ~node:t.id ~kind:"ig3-failure"
-          ~detail:(Printf.sprintf "logical G=%d quiet for Dreset" logical)
+        Engine.record t.engine ~node:t.id (Trace.Ig3_failure { g = logical })
       end)
 
 let propose ?(channel = 0) t v =
@@ -216,8 +232,8 @@ let propose ?(channel = 0) t v =
       (Ss_byz_agree.initiator_accept (instance t logical));
     Hashtbl.replace t.last_init_at logical tau;
     Hashtbl.replace t.last_value_init_at (logical, v) tau;
-    Engine.record t.engine ~node:t.id ~kind:"propose"
-      ~detail:(Printf.sprintf "%S (logical G=%d)" v logical);
+    Metrics.incr t.c_proposals;
+    Engine.record t.engine ~node:t.id (Trace.Propose { g = logical; v });
     (* Block Q0: send (Initiator, G, m) to all — the General invokes via its
        own self-addressed copy, like every other node. *)
     Ssba_net.Network.broadcast t.net ~src:t.id (Initiator { g = logical; v });

@@ -85,6 +85,6 @@ let weak_quorum t = t.n - (2 * t.f)
 
 let pp ppf t =
   Fmt.pf ppf
-    "n=%d f=%d delta=%g pi=%g rho=%g d=%g Phi=%g Dagr=%g D0=%g Drmv=%g Dv=%g Dreset=%g Dstb=%g"
+    "n=%d f=%d delta=%g pi=%g rho=%g d=%g Phi=%g Dagr=%g D0=%g Drmv=%g Dv=%g Dnode=%g Dreset=%g Dstb=%g"
     t.n t.f t.delta t.pi t.rho t.d t.phi t.delta_agr t.delta_0 t.delta_rmv
-    t.delta_v t.delta_reset t.delta_stb
+    t.delta_v t.delta_node t.delta_reset t.delta_stb

@@ -140,9 +140,13 @@ let do_return t outcome =
   | Some tau_g ->
       let tau = now t in
       t.st <- Returned (outcome, tau);
-      t.ctx.trace ~kind:"agree-return"
-        ~detail:
-          (Fmt.str "G=%d %a tauG=%.6f" t.g pp_outcome outcome tau_g);
+      t.ctx.trace
+        (Ssba_sim.Trace.Agree_return
+           {
+             g = t.g;
+             decided = (match outcome with Decided v -> Some v | Aborted -> None);
+             tau_g;
+           });
       t.on_return outcome ~tau_g ~tau_ret:tau;
       (* Cleanup rule: 3d after returning, reset Initiator-Accept, tau_g and
          msgd-broadcast. Until then the node keeps relaying in the

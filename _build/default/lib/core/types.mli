@@ -57,7 +57,8 @@ type ctx = {
   send_all : message -> unit;  (** broadcast to all nodes, self included *)
   after_local : float -> (unit -> unit) -> unit;
       (** arm a timer a local-time duration ahead *)
-  trace : kind:string -> detail:string -> unit;
+  trace : Ssba_sim.Trace.event -> unit;
+      (** record a typed event; rendered only when tracing is enabled *)
 }
 (** Execution context handed to the protocol state machines by the node
     glue; every layer is unit-testable against a fake one. *)

@@ -1,1 +1,1 @@
-lib/harness/runner.ml: Array List Printf Scenario Ssba_adversary Ssba_core Ssba_net Ssba_sim Stdlib
+lib/harness/runner.ml: Array List Scenario Ssba_adversary Ssba_core Ssba_net Ssba_sim

@@ -1,1 +1,1 @@
-lib/harness/runner.mli: Scenario Ssba_core Ssba_sim Stdlib
+lib/harness/runner.mli: Scenario Ssba_core Ssba_sim

@@ -114,6 +114,22 @@ let timeliness_3 res e =
 let no_decision (res : Runner.result) =
   List.for_all (fun r -> r.outcome = Aborted) res.Runner.returns
 
+(* Message conservation: everything that entered the network is accounted
+   for, exactly once, as delivered, dropped, or still in flight. This is an
+   exact integer identity — any slack means a counting bug, so no tolerance. *)
+let network_conservation (res : Runner.result) =
+  let sent = res.Runner.messages_sent in
+  let accounted =
+    res.Runner.messages_delivered + res.Runner.messages_dropped
+    + res.Runner.messages_in_flight
+  in
+  {
+    ok = sent = accounted;
+    measured = float_of_int accounted;
+    bound = float_of_int sent;
+    label = "net conservation sent = delivered+dropped+in_flight";
+  }
+
 (* Pairwise agreement oracle, sound under Byzantine Generals that initiate
    continuously (where time-clustering returns into episodes is ambiguous).
    It checks exactly what the paper's properties promise:

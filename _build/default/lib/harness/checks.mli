@@ -43,6 +43,11 @@ val timeliness_3 : Runner.result -> Metrics.episode -> verdict
 (** Unforgeability shape: no decided value anywhere in the run. *)
 val no_decision : Runner.result -> bool
 
+(** Message conservation over a run:
+    [sent = delivered + dropped + in_flight], an exact integer identity
+    (the verdict carries [accounted] as measured and [sent] as bound). *)
+val network_conservation : Runner.result -> verdict
+
 (** Pairwise agreement oracle, sound under Byzantine Generals that initiate
     continuously (episode clustering is ambiguous there). Checks IA-4a
     (decided values with anchors within 4d must match) and the relay

@@ -7,6 +7,7 @@ module Rng = Ssba_sim.Rng
 module Engine = Ssba_sim.Engine
 module Clock = Ssba_sim.Clock
 module Trace = Ssba_sim.Trace
+module Metrics = Ssba_sim.Metrics
 module Network = Ssba_net.Network
 module Node = Ssba_core.Node
 module Params = Ssba_core.Params
@@ -18,6 +19,14 @@ type observation = {
   obs_rt : float;  (* engine real time at which the event fired *)
 }
 
+(* What became of a scheduled proposal, evaluated at its [at] time. A General
+   that is Byzantine (or simply has no correct node) is [No_general] — not a
+   protocol-level refusal, since no correct code ever ran. *)
+type proposal_outcome =
+  | Accepted
+  | Refused of Node.propose_error
+  | No_general
+
 type result = {
   scenario : Scenario.t;
   returns : return_info list;  (* correct-node returns, in rt order *)
@@ -25,10 +34,14 @@ type result = {
   correct : node_id list;
   clocks : Clock.t array;  (* indexed by node id; Byzantine entries too *)
   nodes : (node_id * Node.t) list;  (* the correct protocol nodes *)
-  proposal_results : (Scenario.proposal * (unit, Node.propose_error) Stdlib.result) list;
+  proposal_results : (Scenario.proposal * proposal_outcome) list;
   engine_stats : Engine.stats;
   messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+  messages_in_flight : int;  (* scheduled but undelivered at the horizon *)
   messages_by_kind : (string * int) list;
+  metrics : Metrics.t;  (* the engine's registry: net.*, engine.*, node<i>.* *)
   trace : Trace.t;
 }
 
@@ -124,8 +137,8 @@ let run_with ~execute (sc : Scenario.t) =
                 nodes;
               inject_garbage ~rng:scramble_rng ~params ~net ~values
                 ~count:net_garbage;
-              Engine.record engine ~node:(-1) ~kind:"scramble"
-                ~detail:(Printf.sprintf "%d garbage messages" net_garbage))
+              Engine.record engine ~node:(-1)
+                (Trace.Scramble { garbage = net_garbage }))
       | Scenario.Drop_prob { at; p } ->
           Engine.schedule engine ~at (fun () -> Network.set_drop_prob net p)
       | Scenario.Partition { at; blocked = ga, gb } ->
@@ -140,17 +153,23 @@ let run_with ~execute (sc : Scenario.t) =
               Network.set_partition net None;
               Network.set_drop_prob net 0.0))
     sc.Scenario.events;
-  (* Proposals by correct Generals. *)
+  (* Proposals by correct Generals. Every proposal — including one whose
+     General is Byzantine or absent — is evaluated at its scheduled [at], so
+     [proposal_results] comes out in chronological order (engine ties break
+     by scheduling order). *)
   let proposal_results = ref [] in
   List.iter
     (fun (p : Scenario.proposal) ->
-      match List.assoc_opt p.Scenario.g nodes with
-      | None ->
-          proposal_results := (p, Stdlib.Error Node.Busy) :: !proposal_results
-      | Some node ->
-          Engine.schedule engine ~at:p.Scenario.at (fun () ->
-              let r = Node.propose node p.Scenario.v in
-              proposal_results := (p, r) :: !proposal_results))
+      Engine.schedule engine ~at:p.Scenario.at (fun () ->
+          let outcome =
+            match List.assoc_opt p.Scenario.g nodes with
+            | None -> No_general
+            | Some node -> (
+                match Node.propose node p.Scenario.v with
+                | Ok () -> Accepted
+                | Error e -> Refused e)
+          in
+          proposal_results := (p, outcome) :: !proposal_results))
     sc.Scenario.proposals;
   let engine_stats = execute ~until:sc.Scenario.horizon engine in
   {
@@ -164,7 +183,11 @@ let run_with ~execute (sc : Scenario.t) =
     proposal_results = List.rev !proposal_results;
     engine_stats;
     messages_sent = Network.messages_sent net;
+    messages_delivered = Network.messages_delivered net;
+    messages_dropped = Network.messages_dropped net;
+    messages_in_flight = Network.messages_in_flight net;
     messages_by_kind = Network.sent_by_kind net;
+    metrics = Engine.metrics engine;
     trace;
   }
 

@@ -11,6 +11,14 @@ type observation = {
   obs_rt : float;  (** engine real time at which the event fired *)
 }
 
+(** What became of a scheduled proposal, evaluated at its [at] time.
+    [No_general] means the target General is Byzantine or has no correct
+    node, so no protocol code ran at all. *)
+type proposal_outcome =
+  | Accepted
+  | Refused of Ssba_core.Node.propose_error
+  | No_general
+
 type result = {
   scenario : Scenario.t;
   returns : return_info list;  (** correct-node returns, in rt order *)
@@ -19,11 +27,16 @@ type result = {
   correct : node_id list;
   clocks : Ssba_sim.Clock.t array;  (** per node id, Byzantine slots included *)
   nodes : (node_id * Ssba_core.Node.t) list;  (** the correct protocol nodes *)
-  proposal_results :
-    (Scenario.proposal * (unit, Ssba_core.Node.propose_error) Stdlib.result) list;
+  proposal_results : (Scenario.proposal * proposal_outcome) list;
+      (** in chronological ([at]) order *)
   engine_stats : Ssba_sim.Engine.stats;
   messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+  messages_in_flight : int;  (** scheduled but undelivered at the horizon *)
   messages_by_kind : (string * int) list;
+  metrics : Ssba_sim.Metrics.t;
+      (** the engine's registry: [net.*], [engine.*], [node<i>.*] *)
   trace : Ssba_sim.Trace.t;
 }
 

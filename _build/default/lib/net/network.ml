@@ -5,10 +5,22 @@
    policy and the sender identity is authentic. Scenario code can make the
    network *faulty* (the incoherent period preceding stabilization) by
    setting a drop probability, partitioning links, or injecting forged
-   garbage; experiments then lift the faults and measure convergence. *)
+   garbage; experiments then lift the faults and measure convergence.
+
+   Accounting invariant, enforced by the harness on every run:
+
+     sent = delivered + dropped + in_flight
+
+   Every message that enters the network — including forged injections — is
+   counted exactly once as sent, and leaves the in-flight set as exactly one
+   of delivered (a handler ran) or dropped (mute/partition/random loss at
+   send time, or no handler at delivery time). Counters live in the engine's
+   metrics registry so exports see them under the net.* names. *)
 
 module Rng = Ssba_sim.Rng
 module Engine = Ssba_sim.Engine
+module Trace = Ssba_sim.Trace
+module Metrics = Ssba_sim.Metrics
 
 type 'a handler = 'a Msg.t -> unit
 
@@ -27,13 +39,17 @@ type 'a t = {
          part of the f faults) *)
   kind_of : ('a -> string) option;  (* classifier for per-kind statistics *)
   sent_by_kind : (string, int) Hashtbl.t;
-  mutable sent : int;
-  mutable delivered : int;
-  mutable dropped : int;
+  kind_counters : (string, Metrics.counter) Hashtbl.t;
+  c_sent : Metrics.counter;
+  c_delivered : Metrics.counter;
+  c_dropped : Metrics.counter;
+  g_in_flight : Metrics.gauge;
+  mutable in_flight : int;
 }
 
 let create ?(drop_prob = 0.0) ?kind_of ~engine ~n ~delay ~rng () =
   if n <= 0 then invalid_arg "Network.create: n must be positive";
+  let metrics = Engine.metrics engine in
   {
     engine;
     n;
@@ -46,9 +62,12 @@ let create ?(drop_prob = 0.0) ?kind_of ~engine ~n ~delay ~rng () =
     delay_override = None;
     kind_of;
     sent_by_kind = Hashtbl.create 16;
-    sent = 0;
-    delivered = 0;
-    dropped = 0;
+    kind_counters = Hashtbl.create 16;
+    c_sent = Metrics.counter metrics "net.sent";
+    c_delivered = Metrics.counter metrics "net.delivered";
+    c_dropped = Metrics.counter metrics "net.dropped";
+    g_in_flight = Metrics.gauge metrics "net.in_flight";
+    in_flight = 0;
   }
 
 let size t = t.n
@@ -64,47 +83,103 @@ let set_muted t node muted =
 let is_muted t node = Hashtbl.mem t.muted node
 let set_delay_override t f = t.delay_override <- f
 
-let messages_sent t = t.sent
-let messages_delivered t = t.delivered
-let messages_dropped t = t.dropped
+let messages_sent t = Metrics.value t.c_sent
+let messages_delivered t = Metrics.value t.c_delivered
+let messages_dropped t = Metrics.value t.c_dropped
+let messages_in_flight t = t.in_flight
 
 let sent_by_kind t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sent_by_kind []
   |> List.sort compare
 
 let reset_counters t =
-  t.sent <- 0;
-  t.delivered <- 0;
-  t.dropped <- 0;
+  (* Counters are monotonic within a run; resetting between scenario reuses
+     also discounts whatever is still in flight so the conservation invariant
+     restarts clean. Only the network's own metrics are zeroed — the registry
+     is shared with the engine and nodes. *)
+  Metrics.reset_counter t.c_sent;
+  Metrics.reset_counter t.c_delivered;
+  Metrics.reset_counter t.c_dropped;
+  Metrics.reset_gauge t.g_in_flight;
+  Hashtbl.iter (fun _ c -> Metrics.reset_counter c) t.kind_counters;
+  t.in_flight <- 0;
   Hashtbl.reset t.sent_by_kind
 
-let count_kind t payload =
-  match t.kind_of with
-  | None -> ()
-  | Some f ->
-      let k = f payload in
-      Hashtbl.replace t.sent_by_kind k (1 + Option.value ~default:0 (Hashtbl.find_opt t.sent_by_kind k))
+let kind_of_payload t payload =
+  match t.kind_of with None -> None | Some f -> Some (f payload)
+
+let count_kind t kind =
+  Hashtbl.replace t.sent_by_kind kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.sent_by_kind kind));
+  let c =
+    match Hashtbl.find_opt t.kind_counters kind with
+    | Some c -> c
+    | None ->
+        let c = Metrics.counter (Engine.metrics t.engine) ("net.sent." ^ kind) in
+        Hashtbl.replace t.kind_counters kind c;
+        c
+  in
+  Metrics.incr c
+
+let count_sent t payload =
+  Metrics.incr t.c_sent;
+  match kind_of_payload t payload with None -> () | Some k -> count_kind t k
+
+let trace_msg t payload =
+  (* Only rendered when a trace record is actually built (enabled traces). *)
+  match kind_of_payload t payload with None -> "?" | Some k -> k
+
+let count_dropped t ~src ~dst ~reason payload =
+  Metrics.incr t.c_dropped;
+  let tr = Engine.trace t.engine in
+  if Trace.is_enabled tr then
+    Engine.record t.engine ~node:(-1)
+      (Trace.Drop { src; dst; msg = trace_msg t payload; reason })
 
 let deliver t (m : 'a Msg.t) =
+  t.in_flight <- t.in_flight - 1;
+  Metrics.add t.g_in_flight (-1.0);
   match t.handlers.(m.Msg.dst) with
-  | None -> ()
+  | None ->
+      (* A destination without a handler (a skipped slot, a slot whose handler
+         was cleared) consumes the message: it must leave the in-flight set as
+         a drop or the conservation invariant cannot be stated. *)
+      count_dropped t ~src:m.Msg.src ~dst:m.Msg.dst ~reason:"no-handler"
+        m.Msg.payload
   | Some h ->
-      t.delivered <- t.delivered + 1;
+      Metrics.incr t.c_delivered;
+      let tr = Engine.trace t.engine in
+      if Trace.is_enabled tr then
+        Engine.record t.engine ~node:m.Msg.dst
+          (Trace.Deliver
+             { src = m.Msg.src; dst = m.Msg.dst; msg = trace_msg t m.Msg.payload });
       h m
 
 let schedule_delivery t (m : 'a Msg.t) ~delay =
+  t.in_flight <- t.in_flight + 1;
+  Metrics.add t.g_in_flight 1.0;
   Engine.schedule_after t.engine ~delay (fun () -> deliver t m)
 
 let send t ~src ~dst payload =
   if dst < 0 || dst >= t.n then invalid_arg "Network.send: bad destination";
-  t.sent <- t.sent + 1;
-  count_kind t payload;
+  count_sent t payload;
+  let tr = Engine.trace t.engine in
+  if Trace.is_enabled tr then
+    Engine.record t.engine ~node:src
+      (Trace.Send { src; dst; msg = trace_msg t payload });
+  let muted = Hashtbl.mem t.muted src in
   let blocked =
-    Hashtbl.mem t.muted src
-    || (match t.blocked with None -> false | Some pred -> pred ~src ~dst)
+    (not muted)
+    && (match t.blocked with None -> false | Some pred -> pred ~src ~dst)
   in
-  let dropped = blocked || (t.drop_prob > 0.0 && Rng.float t.rng 1.0 < t.drop_prob) in
-  if dropped then t.dropped <- t.dropped + 1
+  let lost =
+    (not muted) && (not blocked)
+    && t.drop_prob > 0.0
+    && Rng.float t.rng 1.0 < t.drop_prob
+  in
+  if muted then count_dropped t ~src ~dst ~reason:"muted" payload
+  else if blocked then count_dropped t ~src ~dst ~reason:"partition" payload
+  else if lost then count_dropped t ~src ~dst ~reason:"loss" payload
   else begin
     let now = Engine.now t.engine in
     let m = Msg.make ~src ~dst ~sent_at:now payload in
@@ -125,8 +200,11 @@ let broadcast t ~src payload =
   done
 
 (* Incoherent-period garbage: deliver a message claiming to come from
-   [claimed_src] after [delay]. Used by the transient-fault injector only. *)
+   [claimed_src] after [delay]. Used by the transient-fault injector only.
+   Forged messages enter the accounting like any other send, so the
+   conservation invariant keeps holding during scrambles. *)
 let inject_forged t ~claimed_src ~dst ~delay payload =
+  count_sent t payload;
   let now = Engine.now t.engine in
   let m = Msg.forge ~claimed_src ~dst ~sent_at:now payload in
   schedule_delivery t m ~delay

@@ -54,9 +54,21 @@ val broadcast : 'a t -> src:int -> 'a -> unit
     (transient-fault injection only). *)
 val inject_forged : 'a t -> claimed_src:int -> dst:int -> delay:float -> 'a -> unit
 
+(** Accounting. Every message entering the network — including forged
+    injections — counts exactly once as sent and is eventually counted as
+    exactly one of delivered (a handler ran) or dropped (mute, partition,
+    random loss, or no handler at the destination). On any quiescent network
+    [sent = delivered + dropped + in_flight] holds; the harness checks it
+    after every run. Counters also appear in the engine's metrics registry
+    under [net.sent], [net.delivered], [net.dropped], [net.in_flight] and
+    [net.sent.<kind>]. *)
 val messages_sent : 'a t -> int
+
 val messages_delivered : 'a t -> int
 val messages_dropped : 'a t -> int
+
+(** Messages scheduled but not yet delivered or dropped. *)
+val messages_in_flight : 'a t -> int
 
 (** Per-kind send counts (requires [kind_of] at creation), sorted by kind. *)
 val sent_by_kind : 'a t -> (string * int) list

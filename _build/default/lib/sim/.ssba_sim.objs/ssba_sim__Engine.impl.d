@@ -1,1 +1,1 @@
-lib/sim/engine.ml: Heap Trace Unix
+lib/sim/engine.ml: Heap Metrics Trace Unix

@@ -1,1 +1,1 @@
-lib/sim/engine.mli: Trace
+lib/sim/engine.mli: Metrics Trace

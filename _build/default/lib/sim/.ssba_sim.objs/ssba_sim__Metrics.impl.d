@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Buffer Fmt Hashtbl Json List Printf

@@ -1,1 +1,1 @@
-lib/sim/trace.ml: Fmt List
+lib/sim/trace.ml: Buffer Float Fmt Json List Option Printf String

@@ -19,6 +19,9 @@ type t = {
   queue : event Heap.t;
   mutable seq : int;
   trace : Trace.t;
+  metrics : Metrics.t;
+  c_scheduled : Metrics.counter;
+  c_processed : Metrics.counter;
   mutable stopped : bool;
 }
 
@@ -26,12 +29,23 @@ let compare_event a b =
   let c = compare a.at b.at in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ?trace () =
+let create ?trace ?metrics () =
   let trace = match trace with Some tr -> tr | None -> Trace.create ~enabled:false () in
-  { now = 0.0; queue = Heap.create compare_event; seq = 0; trace; stopped = false }
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  {
+    now = 0.0;
+    queue = Heap.create compare_event;
+    seq = 0;
+    trace;
+    metrics;
+    c_scheduled = Metrics.counter metrics "engine.scheduled";
+    c_processed = Metrics.counter metrics "engine.events";
+    stopped = false;
+  }
 
 let now t = t.now
 let trace t = t.trace
+let metrics t = t.metrics
 let pending t = Heap.size t.queue
 
 let schedule t ~at run =
@@ -39,7 +53,8 @@ let schedule t ~at run =
      zero-delay event still runs after the current one. *)
   let at = if at < t.now then t.now else at in
   Heap.push t.queue { at; seq = t.seq; run };
-  t.seq <- t.seq + 1
+  t.seq <- t.seq + 1;
+  Metrics.incr t.c_scheduled
 
 let schedule_after t ~delay run =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
@@ -47,8 +62,7 @@ let schedule_after t ~delay run =
 
 let stop t = t.stopped <- true
 
-let record t ~node ~kind ~detail =
-  Trace.record t.trace ~time:t.now ~node ~kind ~detail
+let record t ~node event = Trace.record t.trace ~time:t.now ~node event
 
 (* Real-time pacing: process events exactly like [run], but sleep until each
    event's virtual time, mapped onto the wall clock at [speed] virtual
@@ -84,6 +98,7 @@ let run_realtime ?(speed = 1.0) ?(until = infinity) ?(max_events = max_int) t =
               if lag > 0.0 then Unix.sleepf lag;
               t.now <- ev.at;
               incr processed;
+              Metrics.incr t.c_processed;
               ev.run ())
   done;
   { events_processed = !processed; end_time = t.now; queue_exhausted = !exhausted }
@@ -110,6 +125,7 @@ let run ?(until = infinity) ?(max_events = max_int) t =
           | Some ev ->
               t.now <- ev.at;
               incr processed;
+              Metrics.incr t.c_processed;
               ev.run ())
   done;
   { events_processed = !processed; end_time = t.now; queue_exhausted = !exhausted }

@@ -14,14 +14,20 @@ type stats = {
           stopped by [until], [max_events] or {!stop}. *)
 }
 
-(** [create ?trace ()] builds an engine at time 0. Without [trace], an
-    internal disabled trace is used. *)
-val create : ?trace:Trace.t -> unit -> t
+(** [create ?trace ?metrics ()] builds an engine at time 0. Without [trace],
+    an internal disabled trace is used; without [metrics], a fresh registry is
+    created. The engine feeds [engine.scheduled] and [engine.events]
+    counters; other substrates (network, nodes) reach the shared registry
+    through {!metrics}. *)
+val create : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
 
 (** Current virtual real time. *)
 val now : t -> float
 
 val trace : t -> Trace.t
+
+(** The simulation-wide metrics registry. *)
+val metrics : t -> Metrics.t
 
 (** Number of queued events. *)
 val pending : t -> int
@@ -36,8 +42,8 @@ val schedule_after : t -> delay:float -> (unit -> unit) -> unit
 (** Abort the current {!run} after the event being processed. *)
 val stop : t -> unit
 
-(** Record a trace entry at the current time. *)
-val record : t -> node:int -> kind:string -> detail:string -> unit
+(** Record a typed trace event at the current time. *)
+val record : t -> node:int -> Trace.event -> unit
 
 (** [run ?until ?max_events t] processes queued events in time order until
     the queue empties, time would exceed [until], [max_events] events ran, or

@@ -11,13 +11,23 @@
 
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  capacity : int;
+  mutable capacity : int;  (* seed size of the next backing array *)
   mutable data : 'a array;
   mutable size : int;
 }
 
 let create ?(capacity = 64) cmp =
   { cmp; capacity = max capacity 1; data = [||]; size = 0 }
+
+let capacity t = max t.capacity (Array.length t.data)
+
+(* Emptying the heap must drop the backing array (keeping it would retain
+   stale element references, and ['a] may be float whose arrays are flat so
+   no dummy can be manufactured) — but the grown capacity is remembered as
+   the seed of the next first push, so reuse does not re-grow from scratch. *)
+let forget_data t =
+  t.capacity <- capacity t;
+  t.data <- [||]
 
 let size t = t.size
 let is_empty t = t.size = 0
@@ -72,12 +82,12 @@ let pop t =
       t.data.(t.size) <- t.data.(0);
       sift_down t 0
     end
-    else t.data <- [||];
+    else forget_data t;
     Some top
   end
 
 let clear t =
-  t.data <- [||];
+  forget_data t;
   t.size <- 0
 
 (* Drain a copy so [t] is unchanged; result is in ascending order. *)

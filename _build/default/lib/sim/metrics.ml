@@ -1,0 +1,117 @@
+(* Metrics registry: named monotonic counters and float gauges.
+
+   The engine owns one registry per simulation (like it owns the trace);
+   the network, engine and node layers feed it. Counters and gauges are
+   find-or-created by name once, then held in record fields by their users,
+   so the hot-path cost of an update is a single mutable store — no hashing.
+
+   Naming convention (dots separate components, suffixes refine):
+     net.sent / net.delivered / net.dropped      network totals
+     net.in_flight                               gauge: scheduled, undelivered
+     net.sent.<kind>                             per-message-kind sends
+     engine.events                               events processed
+     node<i>.proposals / node<i>.returns.*       per-node protocol counters *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type metric = Counter of counter | Gauge of gauge
+
+type t = {
+  by_name : (string, metric) Hashtbl.t;
+  mutable order : string list;  (* registration order, newest first *)
+}
+
+let create () = { by_name = Hashtbl.create 32; order = [] }
+
+let register t name m =
+  Hashtbl.replace t.by_name name m;
+  t.order <- name :: t.order
+
+let counter t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Counter c) -> c
+  | Some (Gauge _) ->
+      invalid_arg (Printf.sprintf "Metrics.counter: %S is a gauge" name)
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      register t name (Counter c);
+      c
+
+let gauge t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Gauge g) -> g
+  | Some (Counter _) ->
+      invalid_arg (Printf.sprintf "Metrics.gauge: %S is a counter" name)
+  | None ->
+      let g = { g_name = name; g_value = 0.0 } in
+      register t name (Gauge g);
+      g
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: counters are monotonic";
+  c.c_value <- c.c_value + by
+
+let value c = c.c_value
+let counter_name c = c.c_name
+
+let set g x = g.g_value <- x
+let add g dx = g.g_value <- g.g_value +. dx
+let gauge_value g = g.g_value
+let gauge_name g = g.g_name
+
+let find_counter t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Counter c) -> Some c.c_value
+  | Some (Gauge _) | None -> None
+
+let find_gauge t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Gauge g) -> Some g.g_value
+  | Some (Counter _) | None -> None
+
+(* Scenario-reuse escape hatch: zero everything but keep registrations (the
+   holders' record fields stay valid). Counters are monotonic only within a
+   run. *)
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with Counter c -> c.c_value <- 0 | Gauge g -> g.g_value <- 0.0)
+    t.by_name
+
+(* Scoped variants for a substrate that resets only its own handles. *)
+let reset_counter c = c.c_value <- 0
+let reset_gauge g = g.g_value <- 0.0
+
+let to_list t =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v = match m with Counter c -> float_of_int c.c_value | Gauge g -> g.g_value in
+      (name, v) :: acc)
+    t.by_name []
+  |> List.sort compare
+
+let json_of_metric name m =
+  let kind, v =
+    match m with
+    | Counter c -> ("counter", float_of_int c.c_value)
+    | Gauge g -> ("gauge", g.g_value)
+  in
+  Json.Obj [ ("metric", Json.Str name); ("type", Json.Str kind); ("value", Json.Num v) ]
+
+(* One JSON object per line, in registration order (stable across runs of the
+   same scenario, so exports can be diffed). *)
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.by_name name with
+      | None -> ()
+      | Some m ->
+          Json.to_buffer buf (json_of_metric name m);
+          Buffer.add_char buf '\n')
+    (List.rev t.order);
+  Buffer.contents buf
+
+let pp ppf t =
+  List.iter (fun (name, v) -> Fmt.pf ppf "%-28s %g@." name v) (to_list t)

@@ -1,0 +1,52 @@
+(** Registry of named monotonic counters and float gauges.
+
+    The engine owns one registry per simulation; the network, engine and node
+    layers feed it. Handles are find-or-created by name once and then updated
+    through their record fields, so a hot-path update is a single store.
+
+    Naming convention: dot-separated components with refining suffixes, e.g.
+    [net.sent], [net.sent.echo], [net.in_flight], [engine.events],
+    [node3.returns.decided]. *)
+
+type t
+type counter
+type gauge
+
+val create : unit -> t
+
+(** Find-or-create. Raises [Invalid_argument] if the name is already
+    registered as the other metric class. *)
+val counter : t -> string -> counter
+
+val gauge : t -> string -> gauge
+
+(** Monotonic increment ([by] defaults to 1, must be >= 0). *)
+val incr : ?by:int -> counter -> unit
+
+val value : counter -> int
+val counter_name : counter -> string
+
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+val find_counter : t -> string -> int option
+val find_gauge : t -> string -> float option
+
+(** Zero every metric, keeping registrations (handles stay valid). *)
+val reset : t -> unit
+
+(** Zero a single handle (scoped reset for one substrate's own metrics). *)
+val reset_counter : counter -> unit
+
+val reset_gauge : gauge -> unit
+
+(** All metrics as (name, value), sorted by name. *)
+val to_list : t -> (string * float) list
+
+(** One JSON object per line ({i metric}, {i type}, {i value}), in
+    registration order so exports of the same scenario can be diffed. *)
+val to_jsonl : t -> string
+
+val pp : Format.formatter -> t -> unit

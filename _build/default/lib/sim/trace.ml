@@ -1,15 +1,89 @@
 (* Structured run traces.
 
-   Components record (real-time, node, kind, detail) entries; tests and the
-   CLI filter and pretty-print them. Recording can be disabled wholesale for
-   large benchmark runs, where the trace would dominate memory. *)
+   Components record typed events (real-time, node, event); tests and the CLI
+   filter, pretty-print and export them. Recording can be disabled wholesale
+   for large benchmark runs, where the trace would dominate memory.
 
-type entry = {
-  time : float;  (* simulator real time *)
-  node : int;  (* -1 for system/network events *)
-  kind : string;
-  detail : string;
-}
+   Events carry their data *unformatted* — ints, floats and the strings that
+   already exist (values, message-kind literals). Rendering to text happens
+   only in [pp]/[to_jsonl], so a disabled trace performs zero detail-string
+   allocations on the hot path; the [Ext] escape hatch defers rendering
+   behind a closure for the same reason. *)
+
+type event =
+  | Send of { src : int; dst : int; msg : string }
+  | Deliver of { src : int; dst : int; msg : string }
+  | Drop of { src : int; dst : int; msg : string; reason : string }
+  | Propose of { g : int; v : string }
+  | Ia_invoke of { g : int; v : string }
+  | Ia_reject of { g : int; v : string }
+  | Ia_skip of { g : int; reason : string }
+  | I_accept of { g : int; v : string; tau_g : float }
+  | Anchor_set of { g : int; tau_g : float }
+  | Mb_accept of { g : int; p : int; v : string; k : int }
+  | Mb_broadcaster of { g : int; p : int; total : int }
+  | Agree_return of { g : int; decided : string option; tau_g : float }
+  | Ig3_failure of { g : int }
+  | Scramble of { garbage : int }
+  | Ext of { kind : string; render : unit -> string }
+      (* generic extension: layers without a dedicated constructor (baselines,
+         adversaries) tag an event and defer its rendering *)
+
+let kind_of_event = function
+  | Send _ -> "send"
+  | Deliver _ -> "deliver"
+  | Drop _ -> "drop"
+  | Propose _ -> "propose"
+  | Ia_invoke _ -> "ia-invoke"
+  | Ia_reject _ -> "ia-k1-reject"
+  | Ia_skip _ -> "ia-n4-skip"
+  | I_accept _ -> "i-accept"
+  | Anchor_set _ -> "anchor-set"
+  | Mb_accept _ -> "mb-accept"
+  | Mb_broadcaster _ -> "mb-broadcaster"
+  | Agree_return _ -> "agree-return"
+  | Ig3_failure _ -> "ig3-failure"
+  | Scramble _ -> "scramble"
+  | Ext { kind; _ } -> kind
+
+(* The only place event data is turned into text. *)
+let detail_of_event = function
+  | Send { src; dst; msg } | Deliver { src; dst; msg } ->
+      Printf.sprintf "%s %d->%d" msg src dst
+  | Drop { src; dst; msg; reason } ->
+      Printf.sprintf "%s %d->%d (%s)" msg src dst reason
+  | Propose { g; v } | Ia_invoke { g; v } | Ia_reject { g; v } ->
+      Printf.sprintf "G=%d v=%S" g v
+  | Ia_skip { g; reason } -> Printf.sprintf "G=%d %s" g reason
+  | I_accept { g; v; tau_g } -> Printf.sprintf "G=%d v=%S tauG=%.6f" g v tau_g
+  | Anchor_set { g; tau_g } -> Printf.sprintf "G=%d tauG=%.6f" g tau_g
+  | Mb_accept { g; p; v; k } -> Printf.sprintf "G=%d p=%d v=%S k=%d" g p v k
+  | Mb_broadcaster { g; p; total } ->
+      Printf.sprintf "G=%d p=%d (total %d)" g p total
+  | Agree_return { g; decided = Some v; tau_g } ->
+      Printf.sprintf "G=%d decided %S tauG=%.6f" g v tau_g
+  | Agree_return { g; decided = None; tau_g } ->
+      Printf.sprintf "G=%d aborted tauG=%.6f" g tau_g
+  | Ig3_failure { g } -> Printf.sprintf "logical G=%d quiet for Dreset" g
+  | Scramble { garbage } -> Printf.sprintf "%d garbage messages" garbage
+  | Ext { render; _ } -> render ()
+
+(* Structural equality; [Ext] compares by kind and rendered detail (its
+   closure has no useful identity). Used by the JSONL round-trip tests. *)
+let equal_event a b =
+  match (a, b) with
+  | Ext { kind = ka; render = ra }, Ext { kind = kb; render = rb } ->
+      String.equal ka kb && String.equal (ra ()) (rb ())
+  | Ext _, _ | _, Ext _ -> false
+  | a, b -> a = b
+
+type entry = { time : float; node : int; event : event }
+
+let entry_kind e = kind_of_event e.event
+let entry_detail e = detail_of_event e.event
+
+let equal_entry a b =
+  Float.equal a.time b.time && a.node = b.node && equal_event a.event b.event
 
 type t = { mutable entries : entry list; mutable enabled : bool; mutable count : int }
 
@@ -19,9 +93,9 @@ let enable t = t.enabled <- true
 let disable t = t.enabled <- false
 let is_enabled t = t.enabled
 
-let record t ~time ~node ~kind ~detail =
+let record t ~time ~node event =
   if t.enabled then begin
-    t.entries <- { time; node; kind; detail } :: t.entries;
+    t.entries <- { time; node; event } :: t.entries;
     t.count <- t.count + 1
   end
 
@@ -37,13 +111,127 @@ let to_list t = List.rev t.entries
 let filter ?node ?kind t =
   let keep e =
     (match node with None -> true | Some n -> e.node = n)
-    && match kind with None -> true | Some k -> e.kind = k
+    && match kind with None -> true | Some k -> String.equal (entry_kind e) k
   in
   List.filter keep (to_list t)
 
 let pp_entry ppf e =
-  if e.node < 0 then Fmt.pf ppf "[%10.6f]  <sys>  %-12s %s" e.time e.kind e.detail
-  else Fmt.pf ppf "[%10.6f]  n%-4d  %-12s %s" e.time e.node e.kind e.detail
+  let detail = entry_detail e in
+  if e.node < 0 then Fmt.pf ppf "[%10.6f]  <sys>  %-12s %s" e.time (entry_kind e) detail
+  else Fmt.pf ppf "[%10.6f]  n%-4d  %-12s %s" e.time e.node (entry_kind e) detail
 
 let pp ppf t =
   List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) (to_list t)
+
+(* ----- JSONL export / import ------------------------------------------- *)
+
+let i x = Json.Num (float_of_int x)
+
+let fields_of_event = function
+  | Send { src; dst; msg } | Deliver { src; dst; msg } ->
+      [ ("src", i src); ("dst", i dst); ("msg", Json.Str msg) ]
+  | Drop { src; dst; msg; reason } ->
+      [ ("src", i src); ("dst", i dst); ("msg", Json.Str msg); ("reason", Json.Str reason) ]
+  | Propose { g; v } | Ia_invoke { g; v } | Ia_reject { g; v } ->
+      [ ("g", i g); ("v", Json.Str v) ]
+  | Ia_skip { g; reason } -> [ ("g", i g); ("reason", Json.Str reason) ]
+  | I_accept { g; v; tau_g } ->
+      [ ("g", i g); ("v", Json.Str v); ("tau_g", Json.Num tau_g) ]
+  | Anchor_set { g; tau_g } -> [ ("g", i g); ("tau_g", Json.Num tau_g) ]
+  | Mb_accept { g; p; v; k } ->
+      [ ("g", i g); ("p", i p); ("v", Json.Str v); ("k", i k) ]
+  | Mb_broadcaster { g; p; total } -> [ ("g", i g); ("p", i p); ("total", i total) ]
+  | Agree_return { g; decided; tau_g } ->
+      [
+        ("g", i g);
+        ("decided", match decided with Some v -> Json.Str v | None -> Json.Null);
+        ("tau_g", Json.Num tau_g);
+      ]
+  | Ig3_failure { g } -> [ ("g", i g) ]
+  | Scramble { garbage } -> [ ("garbage", i garbage) ]
+  | Ext { render; _ } -> [ ("detail", Json.Str (render ())) ]
+
+let json_of_entry e =
+  Json.Obj
+    (("time", Json.Num e.time)
+    :: ("node", i e.node)
+    :: ("kind", Json.Str (entry_kind e))
+    :: fields_of_event e.event)
+
+exception Import_error of string
+
+let event_of_json ~kind j =
+  let get name = Json.member name j in
+  let req to_x name =
+    match Option.bind (get name) to_x with
+    | Some x -> x
+    | None -> raise (Import_error (Printf.sprintf "missing/bad field %S for %S" name kind))
+  in
+  let gi = req Json.to_int_opt in
+  let gs = req Json.to_string_opt in
+  let gf = req Json.to_float_opt in
+  match kind with
+  | "send" -> Send { src = gi "src"; dst = gi "dst"; msg = gs "msg" }
+  | "deliver" -> Deliver { src = gi "src"; dst = gi "dst"; msg = gs "msg" }
+  | "drop" ->
+      Drop { src = gi "src"; dst = gi "dst"; msg = gs "msg"; reason = gs "reason" }
+  | "propose" -> Propose { g = gi "g"; v = gs "v" }
+  | "ia-invoke" -> Ia_invoke { g = gi "g"; v = gs "v" }
+  | "ia-k1-reject" -> Ia_reject { g = gi "g"; v = gs "v" }
+  | "ia-n4-skip" -> Ia_skip { g = gi "g"; reason = gs "reason" }
+  | "i-accept" -> I_accept { g = gi "g"; v = gs "v"; tau_g = gf "tau_g" }
+  | "anchor-set" -> Anchor_set { g = gi "g"; tau_g = gf "tau_g" }
+  | "mb-accept" -> Mb_accept { g = gi "g"; p = gi "p"; v = gs "v"; k = gi "k" }
+  | "mb-broadcaster" ->
+      Mb_broadcaster { g = gi "g"; p = gi "p"; total = gi "total" }
+  | "agree-return" ->
+      Agree_return
+        {
+          g = gi "g";
+          decided =
+            (match get "decided" with
+            | Some (Json.Str v) -> Some v
+            | Some Json.Null | None -> None
+            | Some _ -> raise (Import_error "bad decided field"));
+          tau_g = gf "tau_g";
+        }
+  | "ig3-failure" -> Ig3_failure { g = gi "g" }
+  | "scramble" -> Scramble { garbage = gi "garbage" }
+  | kind ->
+      let detail =
+        match Option.bind (get "detail") Json.to_string_opt with
+        | Some d -> d
+        | None -> ""
+      in
+      Ext { kind; render = (fun () -> detail) }
+
+let entry_of_json j =
+  let req to_x name =
+    match Option.bind (Json.member name j) to_x with
+    | Some x -> x
+    | None -> raise (Import_error (Printf.sprintf "missing/bad entry field %S" name))
+  in
+  let kind = req Json.to_string_opt "kind" in
+  {
+    time = req Json.to_float_opt "time";
+    node = req Json.to_int_opt "node";
+    event = event_of_json ~kind j;
+  }
+
+(* One JSON object per line, chronological. *)
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Json.to_buffer buf (json_of_entry e);
+      Buffer.add_char buf '\n')
+    (to_list t);
+  Buffer.contents buf
+
+let entries_of_jsonl s =
+  String.split_on_char '\n' s
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.map (fun line ->
+         match Json.of_string line with
+         | j -> entry_of_json j
+         | exception Json.Parse_error msg -> raise (Import_error msg))

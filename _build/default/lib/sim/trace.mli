@@ -1,11 +1,48 @@
-(** Structured run traces: timestamped, per-node, kind-tagged entries. *)
+(** Structured run traces: timestamped, per-node, {e typed} events.
+
+    Events carry their data unformatted; rendering to text happens only in
+    {!pp} and {!to_jsonl}, so a disabled trace performs zero detail-string
+    allocations on the hot path. The {!Ext} case is the generic extension
+    point: a kind tag plus a deferred renderer. *)
+
+type event =
+  | Send of { src : int; dst : int; msg : string }
+  | Deliver of { src : int; dst : int; msg : string }
+  | Drop of { src : int; dst : int; msg : string; reason : string }
+  | Propose of { g : int; v : string }
+  | Ia_invoke of { g : int; v : string }
+  | Ia_reject of { g : int; v : string }  (** block K1 freshness rejection *)
+  | Ia_skip of { g : int; reason : string }  (** block N4 refused to anchor *)
+  | I_accept of { g : int; v : string; tau_g : float }
+  | Anchor_set of { g : int; tau_g : float }  (** msgd-broadcast anchored *)
+  | Mb_accept of { g : int; p : int; v : string; k : int }
+  | Mb_broadcaster of { g : int; p : int; total : int }
+  | Agree_return of { g : int; decided : string option; tau_g : float }
+      (** [decided = None] is an abort *)
+  | Ig3_failure of { g : int }
+  | Scramble of { garbage : int }
+  | Ext of { kind : string; render : unit -> string }
+      (** generic extension: [render] runs only when the event is printed or
+          exported *)
+
+(** The stable kind tag an event is filtered and exported under. *)
+val kind_of_event : event -> string
+
+(** Render an event's detail text (calls [Ext.render]). *)
+val detail_of_event : event -> string
+
+(** Structural equality; [Ext] compares by kind and rendered detail. *)
+val equal_event : event -> event -> bool
 
 type entry = {
   time : float;  (** simulator real time *)
   node : int;  (** -1 for system/network events *)
-  kind : string;
-  detail : string;
+  event : event;
 }
+
+val entry_kind : entry -> string
+val entry_detail : entry -> string
+val equal_entry : entry -> entry -> bool
 
 type t
 
@@ -15,7 +52,7 @@ val create : ?enabled:bool -> unit -> t
 val enable : t -> unit
 val disable : t -> unit
 val is_enabled : t -> bool
-val record : t -> time:float -> node:int -> kind:string -> detail:string -> unit
+val record : t -> time:float -> node:int -> event -> unit
 val clear : t -> unit
 
 (** Number of entries recorded since the last [clear]. *)
@@ -29,3 +66,13 @@ val filter : ?node:int -> ?kind:string -> t -> entry list
 
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit
+
+(** One JSON object per line ({i time}, {i node}, {i kind}, plus the event's
+    fields), chronological. *)
+val to_jsonl : t -> string
+
+exception Import_error of string
+
+(** Parse {!to_jsonl} output back into entries (unknown kinds become {!Ext});
+    raises {!Import_error} on malformed input. *)
+val entries_of_jsonl : string -> entry list

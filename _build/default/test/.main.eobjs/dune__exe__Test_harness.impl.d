@@ -1,1 +1,1 @@
-test/test_harness.ml: Alcotest Float Helpers List Params Ssba_core Ssba_harness String Types
+test/test_harness.ml: Alcotest Float Helpers List Params Ssba_adversary Ssba_core Ssba_harness Ssba_sim String Types

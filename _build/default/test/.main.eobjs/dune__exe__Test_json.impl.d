@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Float Helpers List Option Ssba_sim

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Helpers List Ssba_sim String

@@ -1,1 +1,1 @@
-test/test_net.ml: Alcotest Helpers List Ssba_net Ssba_sim
+test/test_net.ml: Alcotest Helpers List QCheck Ssba_net Ssba_sim

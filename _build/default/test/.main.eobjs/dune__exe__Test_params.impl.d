@@ -1,1 +1,1 @@
-test/test_params.ml: Alcotest Helpers QCheck Ssba_core
+test/test_params.ml: Alcotest Fmt Helpers QCheck Ssba_core

@@ -1,1 +1,1 @@
-test/test_trace.ml: Fmt Helpers List Ssba_sim String
+test/test_trace.ml: Alcotest Fmt Helpers List Printf Ssba_sim String

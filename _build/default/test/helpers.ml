@@ -12,11 +12,12 @@ module Fake = struct
     mutable now : float;
     mutable sent : (float * Types.message) list;  (* newest first *)
     mutable timers : (float * (unit -> unit)) list;
+    mutable traced : Ssba_sim.Trace.event list;  (* newest first *)
     params : Params.t;
   }
 
   let make ?(self = 0) ?(now = 100.0) params =
-    let t = { now; sent = []; timers = []; params } in
+    let t = { now; sent = []; timers = []; traced = []; params } in
     let ctx =
       {
         Types.params;
@@ -27,7 +28,7 @@ module Fake = struct
           (fun dl f ->
             if dl < 0.0 then invalid_arg "fake after_local: negative";
             t.timers <- (t.now +. dl, f) :: t.timers);
-        trace = (fun ~kind:_ ~detail:_ -> ());
+        trace = (fun ev -> t.traced <- ev :: t.traced);
       }
     in
     (t, ctx)

@@ -8,6 +8,8 @@ let () =
       ("clock", Test_clock.suite);
       ("engine", Test_engine.suite);
       ("trace", Test_trace.suite);
+      ("json", Test_json.suite);
+      ("metrics", Test_metrics.suite);
       ("net", Test_net.suite);
       ("delay", Test_delay.suite);
       ("recv-log", Test_recv_log.suite);

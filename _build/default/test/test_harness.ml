@@ -28,8 +28,48 @@ let test_runner_seed_changes_run () =
 let test_proposal_results_recorded () =
   let res = H.Runner.run (base_scenario ()) in
   match res.H.Runner.proposal_results with
-  | [ (p, Ok ()) ] -> check_str "the proposal" "m" p.H.Scenario.v
+  | [ (p, H.Runner.Accepted) ] -> check_str "the proposal" "m" p.H.Scenario.v
   | _ -> Alcotest.fail "expected one successful proposal"
+
+(* Regression: a proposal whose General is Byzantine used to be recorded
+   synchronously at build time as [Error Busy] — wrong label, and it jumped
+   ahead of chronologically earlier proposals. It must be evaluated at its
+   [at] time and keep [proposal_results] in schedule order. *)
+let test_proposal_no_general_in_order () =
+  let params = Params.default 7 in
+  let sc =
+    H.Scenario.default ~name:"t" ~seed:5
+      ~roles:[ (3, H.Scenario.Byzantine Ssba_adversary.Strategies.silent) ]
+      ~proposals:
+        [
+          { H.Scenario.g = 0; v = "early"; at = 0.05 };
+          { H.Scenario.g = 3; v = "byz"; at = 0.10 };
+          { H.Scenario.g = 1; v = "late"; at = 0.40 };
+        ]
+      ~horizon:1.0 params
+  in
+  let res = H.Runner.run sc in
+  match res.H.Runner.proposal_results with
+  | [ (p1, o1); (p2, o2); (p3, o3) ] ->
+      check_str "chronological first" "early" p1.H.Scenario.v;
+      check_str "chronological second" "byz" p2.H.Scenario.v;
+      check_str "chronological third" "late" p3.H.Scenario.v;
+      check_bool "correct Generals accepted" true
+        (o1 = H.Runner.Accepted && o3 = H.Runner.Accepted);
+      check_bool "byzantine General labeled No_general" true
+        (o2 = H.Runner.No_general)
+  | l -> Alcotest.failf "expected 3 proposal results, got %d" (List.length l)
+
+(* Every drained run satisfies the network conservation identity. *)
+let test_network_conservation () =
+  let res = H.Runner.run (base_scenario ()) in
+  let v = H.Checks.network_conservation res in
+  check_bool "sent = delivered + dropped + in_flight" true v.H.Checks.ok;
+  check_bool "nontrivial run" true (res.H.Runner.messages_sent > 0);
+  (* per-node counters landed in the registry *)
+  check_bool "node0 proposals counted" true
+    (Ssba_sim.Metrics.find_counter res.H.Runner.metrics "node0.proposals"
+    = Some 1)
 
 let test_episode_clustering () =
   (* two agreements by the same General, far apart: two episodes *)
@@ -200,6 +240,8 @@ let suite =
     case "runner determinism" test_runner_determinism;
     case "seed changes run" test_runner_seed_changes_run;
     case "proposal results" test_proposal_results_recorded;
+    case "proposal no-general ordering" test_proposal_no_general_in_order;
+    case "network conservation" test_network_conservation;
     case "episode clustering" test_episode_clustering;
     case "metrics skews" test_metrics_skews;
     case "stats helpers" test_stats_helpers;

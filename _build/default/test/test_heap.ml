@@ -55,6 +55,32 @@ let test_clear () =
   Heap.push h 42;
   check_bool "usable after clear" true (Heap.pop h = Some 42)
 
+(* Regression: [clear] used to discard the backing array along with its
+   grown size, so a reused heap re-grew from the tiny creation capacity. The
+   capacity hint must survive push -> clear -> push. *)
+let test_capacity_survives_clear () =
+  let h = Heap.create ~capacity:2 compare in
+  for i = 1 to 500 do
+    Heap.push h i
+  done;
+  let grown = Heap.capacity h in
+  check_bool "grew past the hint" true (grown >= 500);
+  Heap.clear h;
+  check_int "capacity kept across clear" grown (Heap.capacity h);
+  Heap.push h 1;
+  check_int "next push seeds the kept capacity" grown (Heap.capacity h)
+
+let test_capacity_survives_drain () =
+  let h = Heap.create ~capacity:2 compare in
+  for i = 1 to 500 do
+    Heap.push h i
+  done;
+  let grown = Heap.capacity h in
+  while not (Heap.is_empty h) do
+    ignore (Heap.pop h)
+  done;
+  check_int "capacity kept across drain-to-empty" grown (Heap.capacity h)
+
 let test_to_list () =
   let h = mk () in
   List.iter (Heap.push h) [ 4; 2; 8; 6 ];
@@ -110,6 +136,8 @@ let suite =
     case "interleaved" test_interleaved;
     case "growth" test_growth;
     case "clear" test_clear;
+    case "capacity survives clear" test_capacity_survives_clear;
+    case "capacity survives drain" test_capacity_survives_drain;
     case "to_list" test_to_list;
     case "custom order" test_custom_order;
     case "float elements" test_float_elements;

@@ -1,0 +1,114 @@
+(* Tests for the metrics registry (named counters and gauges). *)
+
+open Helpers
+module M = Ssba_sim.Metrics
+module Json = Ssba_sim.Json
+
+let test_counter_basics () =
+  let m = M.create () in
+  let c = M.counter m "a.count" in
+  check_int "starts at zero" 0 (M.value c);
+  M.incr c;
+  M.incr c ~by:4;
+  check_int "accumulates" 5 (M.value c);
+  check_str "name" "a.count" (M.counter_name c)
+
+let test_gauge_basics () =
+  let m = M.create () in
+  let g = M.gauge m "a.level" in
+  check_float "starts at zero" 0.0 (M.gauge_value g);
+  M.set g 2.5;
+  M.add g (-1.0);
+  check_float "set then add" 1.5 (M.gauge_value g);
+  check_str "name" "a.level" (M.gauge_name g)
+
+let test_find_or_create () =
+  let m = M.create () in
+  let c1 = M.counter m "x" in
+  M.incr c1;
+  let c2 = M.counter m "x" in
+  M.incr c2;
+  check_int "same handle by name" 2 (M.value c1);
+  check_bool "find_counter" true (M.find_counter m "x" = Some 2);
+  check_bool "find missing" true (M.find_counter m "nope" = None);
+  check_bool "find wrong class" true (M.find_gauge m "x" = None)
+
+let test_class_mismatch_rejected () =
+  let m = M.create () in
+  ignore (M.counter m "x");
+  (match M.gauge m "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "gauge over counter name must be rejected");
+  ignore (M.gauge m "y");
+  match M.counter m "y" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "counter over gauge name must be rejected"
+
+let test_monotonic () =
+  let m = M.create () in
+  let c = M.counter m "x" in
+  match M.incr c ~by:(-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative increment must be rejected"
+
+let test_reset () =
+  let m = M.create () in
+  let c = M.counter m "c" in
+  let g = M.gauge m "g" in
+  M.incr c ~by:7;
+  M.set g 3.0;
+  M.reset m;
+  check_int "counter zeroed, handle valid" 0 (M.value c);
+  check_float "gauge zeroed, handle valid" 0.0 (M.gauge_value g);
+  M.incr c;
+  check_int "handle still feeds registry" 1 (M.value c);
+  M.incr c ~by:2;
+  M.reset_counter c;
+  check_int "scoped counter reset" 0 (M.value c);
+  M.set g 9.0;
+  M.reset_gauge g;
+  check_float "scoped gauge reset" 0.0 (M.gauge_value g)
+
+let test_to_list_sorted () =
+  let m = M.create () in
+  M.incr (M.counter m "b") ~by:2;
+  M.set (M.gauge m "a") 1.5;
+  check_bool "sorted (name, value) pairs" true
+    (M.to_list m = [ ("a", 1.5); ("b", 2.0) ])
+
+let test_jsonl_export () =
+  let m = M.create () in
+  M.incr (M.counter m "net.sent") ~by:3;
+  M.set (M.gauge m "net.in_flight") 2.0;
+  let lines =
+    String.split_on_char '\n' (M.to_jsonl m) |> List.filter (fun l -> l <> "")
+  in
+  check_int "one line per metric" 2 (List.length lines);
+  (* registration order, each line a self-contained JSON object *)
+  let parsed = List.map Json.of_string lines in
+  let name j =
+    match Json.member "metric" j with Some (Json.Str s) -> s | _ -> "?"
+  in
+  check_bool "registration order" true
+    (List.map name parsed = [ "net.sent"; "net.in_flight" ]);
+  List.iter
+    (fun j ->
+      check_bool "type field" true
+        (match Json.member "type" j with
+        | Some (Json.Str ("counter" | "gauge")) -> true
+        | _ -> false);
+      check_bool "value field" true
+        (match Json.member "value" j with Some (Json.Num _) -> true | _ -> false))
+    parsed
+
+let suite =
+  [
+    case "counter basics" test_counter_basics;
+    case "gauge basics" test_gauge_basics;
+    case "find or create" test_find_or_create;
+    case "class mismatch rejected" test_class_mismatch_rejected;
+    case "counters are monotonic" test_monotonic;
+    case "reset keeps registrations" test_reset;
+    case "to_list sorted" test_to_list_sorted;
+    case "jsonl export" test_jsonl_export;
+  ]

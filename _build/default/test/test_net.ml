@@ -26,12 +26,18 @@ let test_delivery_timing () =
       check_str "payload" "hi" payload
   | None -> Alcotest.fail "message not delivered"
 
-let test_no_handler_is_dropped_silently () =
+(* Regression: a message reaching a handler-less destination used to vanish
+   from the accounting (neither delivered nor dropped). It must count as a
+   drop so conservation holds. *)
+let test_no_handler_counts_as_drop () =
   let engine, net = mk () in
   Net.send net ~src:0 ~dst:2 "x";
+  check_int "in flight until delivery" 1 (Net.messages_in_flight net);
   ignore (Engine.run engine);
   check_int "sent counted" 1 (Net.messages_sent net);
-  check_int "nothing delivered" 0 (Net.messages_delivered net)
+  check_int "nothing delivered" 0 (Net.messages_delivered net);
+  check_int "counted as dropped" 1 (Net.messages_dropped net);
+  check_int "nothing left in flight" 0 (Net.messages_in_flight net)
 
 let test_broadcast_includes_self () =
   let engine, net = mk () in
@@ -109,7 +115,13 @@ let test_forged () =
   let seen = ref None in
   Net.set_handler net 1 (fun m -> seen := Some m);
   Net.inject_forged net ~claimed_src:2 ~dst:1 ~delay:0.5 "fake";
+  (* Regression: forged injections used to be delivered without ever being
+     counted as sent, leaving delivered > sent. *)
+  check_int "forged counts as sent" 1 (Net.messages_sent net);
+  check_int "forged is in flight" 1 (Net.messages_in_flight net);
   ignore (Engine.run engine);
+  check_int "forged delivered" 1 (Net.messages_delivered net);
+  check_int "nothing left in flight" 0 (Net.messages_in_flight net);
   match !seen with
   | Some m ->
       check_int "claimed src" 2 m.Msg.src;
@@ -159,10 +171,92 @@ let test_bad_destination () =
     (Invalid_argument "Network.send: bad destination") (fun () ->
       Net.send net ~src:0 ~dst:7 "x")
 
+(* The network feeds the engine's shared metrics registry. *)
+let test_metrics_registry_feed () =
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~n:2 ~delay:(Delay.fixed 0.01) ~rng:(Rng.create 1)
+      ~kind_of:(fun s -> s) ()
+  in
+  Net.set_handler net 1 (fun _ -> ());
+  Net.send net ~src:0 ~dst:1 "echo";
+  let m = Engine.metrics engine in
+  let module M = Ssba_sim.Metrics in
+  check_bool "net.sent" true (M.find_counter m "net.sent" = Some 1);
+  check_bool "net.sent.echo" true (M.find_counter m "net.sent.echo" = Some 1);
+  check_bool "net.in_flight up" true (M.find_gauge m "net.in_flight" = Some 1.0);
+  ignore (Engine.run engine);
+  check_bool "net.delivered" true (M.find_counter m "net.delivered" = Some 1);
+  check_bool "net.in_flight down" true (M.find_gauge m "net.in_flight" = Some 0.0)
+
+(* With tracing enabled, every send/deliver/drop leaves a typed event. *)
+let test_trace_events () =
+  let tr = Ssba_sim.Trace.create ~enabled:true () in
+  let engine = Engine.create ~trace:tr () in
+  let net =
+    Net.create ~engine ~n:2 ~delay:(Delay.fixed 0.01) ~rng:(Rng.create 1)
+      ~kind_of:(fun s -> s) ()
+  in
+  Net.set_handler net 1 (fun _ -> ());
+  Net.send net ~src:0 ~dst:1 "echo";
+  Net.send net ~src:1 ~dst:0 "init";  (* no handler on 0: dropped on arrival *)
+  ignore (Engine.run engine);
+  check_int "send events" 2 (List.length (Ssba_sim.Trace.filter ~kind:"send" tr));
+  check_int "deliver events" 1
+    (List.length (Ssba_sim.Trace.filter ~kind:"deliver" tr));
+  check_int "drop events" 1 (List.length (Ssba_sim.Trace.filter ~kind:"drop" tr))
+
+(* Conservation property: under an arbitrary mix of sends, broadcasts,
+   forged injections, mutes, partitions and loss, and at ANY point of the
+   drain (including mid-flight), sent = delivered + dropped + in_flight. *)
+let prop_conservation =
+  let invariant net =
+    Net.messages_sent net
+    = Net.messages_delivered net + Net.messages_dropped net
+      + Net.messages_in_flight net
+  in
+  QCheck.Test.make ~name:"sent = delivered + dropped + in_flight" ~count:100
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, ops) ->
+      let n = 4 in
+      let engine = Engine.create () in
+      let net =
+        Net.create ~engine ~n
+          ~delay:(Delay.uniform ~lo:0.01 ~hi:0.09)
+          ~rng:(Rng.create (1 + abs seed))
+          ()
+      in
+      (* node 3 keeps no handler, so some deliveries become drops *)
+      for i = 0 to 2 do
+        Net.set_handler net i (fun _ -> ())
+      done;
+      List.iteri
+        (fun i op ->
+          let op = abs op in
+          match op mod 6 with
+          | 0 -> Net.send net ~src:(i mod n) ~dst:(op mod n) "m"
+          | 1 ->
+              Net.inject_forged net ~claimed_src:(op mod n) ~dst:(i mod n)
+                ~delay:0.05 "forged"
+          | 2 -> Net.set_muted net (op mod n) (op land 1 = 0)
+          | 3 -> Net.set_drop_prob net (if op land 1 = 0 then 0.5 else 0.0)
+          | 4 ->
+              Net.set_partition net
+                (if op land 1 = 0 then
+                   Some (fun ~src ~dst -> src = 0 && dst = 1)
+                 else None)
+          | _ -> Net.broadcast net ~src:(i mod n) "b")
+        ops;
+      let mid = invariant net in
+      ignore (Engine.run ~until:0.04 engine);
+      let partial = invariant net in
+      ignore (Engine.run engine);
+      mid && partial && invariant net && Net.messages_in_flight net = 0)
+
 let suite =
   [
     case "delivery timing + authentication" test_delivery_timing;
-    case "no handler" test_no_handler_is_dropped_silently;
+    case "no handler counts as drop" test_no_handler_counts_as_drop;
     case "broadcast includes self" test_broadcast_includes_self;
     case "uniform delay bounds" test_uniform_delay_within_bounds;
     case "mute (crash)" test_mute;
@@ -173,4 +267,7 @@ let suite =
     case "delay override" test_delay_override;
     case "per-kind statistics" test_kind_stats;
     case "bad destination" test_bad_destination;
+    case "metrics registry feed" test_metrics_registry_feed;
+    case "trace events" test_trace_events;
+    Helpers.qcheck prop_conservation;
   ]

@@ -66,6 +66,17 @@ let test_bad_inputs () =
   expect_invalid (fun () -> P.make ~n:4 ~f:1 ~delta:1.0 ~pi:(-0.1) ~rho:0.0);
   expect_invalid (fun () -> P.make ~n:4 ~f:1 ~delta:1.0 ~pi:0.0 ~rho:1.0)
 
+(* Golden test for the printed cascade. Regression: [pp] used to skip
+   delta_node entirely, silently misreporting the parameter cascade. With
+   d = 1 every constant is its exact integer coefficient, so the output is
+   byte-stable under %g. *)
+let test_pp_golden () =
+  let p = P.make ~n:10 ~f:3 ~delta:1.0 ~pi:0.0 ~rho:0.0 in
+  check_str "pp prints the full cascade"
+    "n=10 f=3 delta=1 pi=0 rho=0 d=1 Phi=8 Dagr=56 D0=13 Drmv=69 Dv=153 \
+     Dnode=209 Dreset=296 Dstb=592"
+    (Fmt.str "%a" P.pp p)
+
 (* qcheck: the ordering relations between the constants hold for all valid
    parameters — these orderings are what the proofs' decay arguments use. *)
 let prop_orderings =
@@ -91,5 +102,6 @@ let suite =
     case "validate" test_validate;
     case "default f" test_default_f;
     case "bad inputs" test_bad_inputs;
+    case "pp golden" test_pp_golden;
     Helpers.qcheck prop_orderings;
   ]

@@ -80,12 +80,13 @@ let equal_outcome a b =
 (* Execution context handed to the protocol state machines by the node glue.
    Keeping I/O behind these four callbacks makes every layer unit-testable
    with a fake context. Times are local-clock readings; [after_local]
-   schedules a wake-up a local-time duration ahead. *)
+   schedules a wake-up a local-time duration ahead. [trace] takes a typed
+   event; implementations must not render it unless tracing is enabled. *)
 type ctx = {
   params : Params.t;
   self : node_id;
   local_time : unit -> float;
   send_all : message -> unit;
   after_local : float -> (unit -> unit) -> unit;
-  trace : kind:string -> detail:string -> unit;
+  trace : Ssba_sim.Trace.event -> unit;
 }

@@ -11,6 +11,12 @@ val create : ?capacity:int -> ('a -> 'a -> int) -> 'a t
 
 val size : 'a t -> int
 val is_empty : 'a t -> bool
+
+(** Current capacity hint: the size of the backing array the next first push
+    will allocate (or the live array's length). Grows with the heap and is
+    {e retained} across {!clear} and drain-to-empty, so a reused heap does
+    not re-grow from scratch. *)
+val capacity : 'a t -> int
 val push : 'a t -> 'a -> unit
 
 (** Smallest element, without removing it. *)
@@ -19,7 +25,7 @@ val peek : 'a t -> 'a option
 (** Remove and return the smallest element. *)
 val pop : 'a t -> 'a option
 
-(** Remove all elements. *)
+(** Remove all elements, keeping the grown capacity hint for reuse. *)
 val clear : 'a t -> unit
 
 (** All elements in ascending order; the heap is unchanged. O(n log n). *)

@@ -101,13 +101,13 @@ let test_trace_recording () =
   let tr = Ssba_sim.Trace.create ~enabled:true () in
   let e = Engine.create ~trace:tr () in
   Engine.schedule e ~at:1.0 (fun () ->
-      Engine.record e ~node:3 ~kind:"k" ~detail:"d");
+      Engine.record e ~node:3 (Ssba_sim.Trace.Ig3_failure { g = 5 }));
   ignore (Engine.run e);
   match Ssba_sim.Trace.to_list tr with
   | [ entry ] ->
       check_float "entry time" 1.0 entry.Ssba_sim.Trace.time;
       check_int "entry node" 3 entry.Ssba_sim.Trace.node;
-      check_str "entry kind" "k" entry.Ssba_sim.Trace.kind
+      check_str "entry kind" "ig3-failure" (Ssba_sim.Trace.entry_kind entry)
   | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l)
 
 let test_deterministic_replay () =

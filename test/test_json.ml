@@ -1,0 +1,75 @@
+(* Tests for the minimal dependency-free JSON codec behind the JSONL
+   exports. *)
+
+open Helpers
+module J = Ssba_sim.Json
+
+let round_trip v = J.of_string (J.to_string v)
+
+let test_scalars () =
+  check_str "null" "null" (J.to_string J.Null);
+  check_str "true" "true" (J.to_string (J.Bool true));
+  check_str "int-valued num" "3" (J.to_string (J.Num 3.0));
+  check_str "string" "\"hi\"" (J.to_string (J.Str "hi"));
+  check_bool "null rt" true (round_trip J.Null = J.Null);
+  check_bool "bool rt" true (round_trip (J.Bool false) = J.Bool false)
+
+let test_string_escaping () =
+  let s = "quote\" backslash\\ newline\n tab\t control\x01 utf8 déjà" in
+  match round_trip (J.Str s) with
+  | J.Str s' -> check_str "escaped round trip" s s'
+  | _ -> Alcotest.fail "expected a string"
+
+let test_float_round_trip () =
+  List.iter
+    (fun x ->
+      match round_trip (J.Num x) with
+      | J.Num y ->
+          if not (Float.equal x y) then
+            Alcotest.failf "float %h round-tripped to %h" x y
+      | _ -> Alcotest.fail "expected a number")
+    [ 0.0; -0.0; 1.5; 1e-300; 1e300; 0.1; 1.0 /. 3.0; 123456789.123456789 ]
+
+let test_nonfinite_encode_as_null () =
+  check_str "nan" "null" (J.to_string (J.Num Float.nan));
+  check_str "inf" "null" (J.to_string (J.Num Float.infinity))
+
+let test_nested () =
+  let v =
+    J.Obj
+      [
+        ("a", J.Arr [ J.Num 1.0; J.Str "two"; J.Null ]);
+        ("b", J.Obj [ ("nested", J.Bool true) ]);
+      ]
+  in
+  check_bool "nested round trip" true (round_trip v = v)
+
+let test_parse_whitespace_and_accessors () =
+  let j = J.of_string "  { \"x\" : [ 1 , 2.5 ] , \"s\" : \"v\" }  " in
+  check_bool "member x" true
+    (J.member "x" j = Some (J.Arr [ J.Num 1.0; J.Num 2.5 ]));
+  check_bool "string accessor" true
+    (Option.bind (J.member "s" j) J.to_string_opt = Some "v");
+  check_bool "int accessor integral only" true
+    (J.to_int_opt (J.Num 2.0) = Some 2 && J.to_int_opt (J.Num 2.5) = None);
+  check_bool "float accessor" true (J.to_float_opt (J.Num 2.5) = Some 2.5);
+  check_bool "member on non-object" true (J.member "x" (J.Num 1.0) = None)
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | exception J.Parse_error _ -> ()
+      | v -> Alcotest.failf "%S should not parse, got %s" s (J.to_string v))
+    [ ""; "{"; "[1,"; "tru"; "\"unterminated"; "{\"a\":1} trailing"; "01x"; "{'a':1}" ]
+
+let suite =
+  [
+    case "scalars" test_scalars;
+    case "string escaping" test_string_escaping;
+    case "float round trip" test_float_round_trip;
+    case "nan/inf encode as null" test_nonfinite_encode_as_null;
+    case "nested values" test_nested;
+    case "whitespace + accessors" test_parse_whitespace_and_accessors;
+    case "parse errors" test_parse_errors;
+  ]
