@@ -1,0 +1,179 @@
+(* ssba-fuzz: deterministic scenario fuzzing with shrinking and replay.
+
+     ssba-fuzz --seed 42 --runs 500                 # a campaign
+     ssba-fuzz --seed 42 --runs 500 --out corpus/   # save failures as JSON
+     ssba-fuzz --replay corpus/fail-17.min.json     # re-judge one spec
+     ssba-fuzz --seed 42 --iteration 17             # rebuild scenario 17
+
+   A campaign without --time-budget is a pure function of its flags: the
+   printed corpus digest is identical across runs, so CI can pin it. Exit
+   status 0 means every oracle passed; 1 means at least one failure (each is
+   shrunk to a locally-minimal scenario and, with --out, saved both raw and
+   minimized). *)
+
+open Cmdliner
+module F = Ssba_fuzz
+
+let pp_failure_case ~verbose (fc : F.Campaign.failure_case) =
+  Fmt.pr "@.FAILURE at iteration %d:@.  %a@." fc.F.Campaign.index F.Spec.pp
+    fc.F.Campaign.spec;
+  List.iter
+    (fun f -> Fmt.pr "  %a@." F.Oracle.pp_failure f)
+    fc.F.Campaign.report.F.Oracle.failures;
+  match fc.F.Campaign.shrunk with
+  | None -> ()
+  | Some (spec, report, stats) ->
+      Fmt.pr "  shrunk (%d attempts, %d steps) to:@.    %a@."
+        stats.F.Shrink.attempts stats.F.Shrink.accepted F.Spec.pp spec;
+      if verbose then
+        List.iter
+          (fun f -> Fmt.pr "    %a@." F.Oracle.pp_failure f)
+          report.F.Oracle.failures
+
+let save_failure ~dir (fc : F.Campaign.failure_case) =
+  let path name = Filename.concat dir name in
+  let base = Printf.sprintf "fail-%d" fc.F.Campaign.index in
+  F.Spec.save (path (base ^ ".json")) fc.F.Campaign.spec;
+  (match fc.F.Campaign.shrunk with
+  | Some (spec, _, _) -> F.Spec.save (path (base ^ ".min.json")) spec
+  | None -> ());
+  Fmt.pr "  saved %s@." (path (base ^ ".json"))
+
+let replay path =
+  match F.Spec.load path with
+  | Error e ->
+      Fmt.epr "cannot load %s: %s@." path e;
+      2
+  | Ok spec -> (
+      Fmt.pr "replaying %a@." F.Spec.pp spec;
+      let _, report = F.Oracle.run spec in
+      Fmt.pr "result digest: %s@." report.F.Oracle.digest;
+      match report.F.Oracle.failures with
+      | [] ->
+          Fmt.pr "all oracles passed@.";
+          0
+      | fs ->
+          List.iter (fun f -> Fmt.pr "%a@." F.Oracle.pp_failure f) fs;
+          1)
+
+let rebuild seed iteration =
+  let spec =
+    F.Campaign.spec_of_iteration ~seed ~gen:F.Gen.default_config iteration
+  in
+  Fmt.pr "scenario %d of seed %d:@.%a@." iteration seed F.Spec.pp spec;
+  Fmt.pr "%s@." (Ssba_sim.Json.to_string (F.Spec.to_json spec));
+  let _, report = F.Oracle.run spec in
+  Fmt.pr "result digest: %s@." report.F.Oracle.digest;
+  List.iter (fun f -> Fmt.pr "%a@." F.Oracle.pp_failure f) report.F.Oracle.failures;
+  if report.F.Oracle.failures = [] then 0 else 1
+
+let fuzz seed runs time_budget replay_file iteration out max_n max_disruptions
+    no_shrink verbose =
+  match (replay_file, iteration) with
+  | Some path, _ -> replay path
+  | None, Some i -> rebuild seed i
+  | None, None ->
+      let config =
+        {
+          F.Campaign.default_config with
+          F.Campaign.seed;
+          runs;
+          time_budget;
+          shrink = not no_shrink;
+          gen =
+            {
+              F.Gen.default_config with
+              F.Gen.max_n = max max_n 4;
+              max_disruptions;
+              disruptions = max_disruptions > 0;
+            };
+        }
+      in
+      (match out with
+      | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+      | Some _ | None -> ());
+      let progress =
+        if verbose then
+          Some
+            (fun i spec (r : F.Oracle.report) ->
+              Fmt.pr "run %4d %-24s %s@." i spec.F.Spec.name
+                (if F.Oracle.failed r then "FAIL" else "ok"))
+        else None
+      in
+      let summary = F.Campaign.run ?progress config in
+      List.iter
+        (fun fc ->
+          pp_failure_case ~verbose fc;
+          match out with Some dir -> save_failure ~dir fc | None -> ())
+        summary.F.Campaign.failed;
+      Fmt.pr "executed %d/%d scenarios, %d failure(s)@."
+        summary.F.Campaign.executed runs
+        (List.length summary.F.Campaign.failed);
+      Fmt.pr "corpus digest: %s@." summary.F.Campaign.corpus_digest;
+      if summary.F.Campaign.failed = [] then 0 else 1
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed.")
+
+let runs_arg =
+  Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Number of scenarios to generate.")
+
+let time_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-budget" ] ~docv:"SEC"
+        ~doc:
+          "Stop after $(docv) wall-clock seconds (determinism of the corpus \
+           digest is only guaranteed without a budget).")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:"Replay one saved spec instead of fuzzing; exit 1 if it still fails.")
+
+let iteration_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "iteration" ] ~docv:"I"
+        ~doc:
+          "Rebuild and judge scenario $(docv) of --seed alone (no corpus \
+           needed: a failure report names its iteration).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:"Save failing specs (raw and shrunk) as JSON replay files into $(docv).")
+
+let max_n_arg =
+  Arg.(value & opt int 10 & info [ "max-n" ] ~doc:"Largest cluster size to generate.")
+
+let max_disruptions_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "max-disruptions" ]
+        ~doc:
+          "Max crash/loss/partition/scramble groups per scenario (0 disables \
+           environment events).")
+
+let no_shrink_arg =
+  Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures unminimized.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose" ] ~doc:"Print every scenario verdict.")
+
+let cmd =
+  let doc = "deterministic scenario fuzzing for ss-Byz-Agree" in
+  Cmd.v
+    (Cmd.info "ssba-fuzz" ~doc)
+    Term.(
+      const fuzz $ seed_arg $ runs_arg $ time_budget_arg $ replay_arg
+      $ iteration_arg $ out_arg $ max_n_arg $ max_disruptions_arg
+      $ no_shrink_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

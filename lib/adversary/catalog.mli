@@ -1,0 +1,45 @@
+(** First-class, enumerable descriptions of the {!Strategies} zoo.
+
+    {!Behavior.t} values are opaque closures; scenario generators and replay
+    files need data instead. A catalog entry is a plain constructor tree that
+    can be drawn at random, serialized, compared and shrunk, and turned into
+    the corresponding behaviour once the protocol constants are known. All
+    durations are expressed in multiples of [d] so one entry scales with any
+    parameter set. *)
+
+open Ssba_core.Types
+
+type t =
+  | Silent
+  | Spam of { period_d : float; values : value list }
+  | Mimic of { delay_d : float }
+  | Two_faced_general of { v1 : value; v2 : value; at : float }
+  | Stagger_general of { v : value; at : float; gap_d : float }
+  | Partial_general of { v : value; at : float; targets : node_id list }
+  | Equivocator of { v1 : value; v2 : value }
+  | Flip_flop of { period_d : float; values : value list }
+
+(** The strategy's name, matching {!Behavior.name} of its instantiation. *)
+val name : t -> string
+
+(** Instantiate against the run's [d = (delta + pi)(1 + rho)]. *)
+val to_behavior : d:float -> t -> Behavior.t
+
+(** Real times at which the entry acts on its own schedule ([at] fields);
+    empty for purely reactive/periodic strategies. Generators use this to
+    keep casts inside the active window. *)
+val activity_times : t -> float list
+
+(** Strictly simpler variants, in decreasing aggressiveness, ending at
+    {!Silent}; [simplify Silent = []]. Shrinkers walk this. *)
+val simplify : t -> t list
+
+(** Draw a random entry over [values]; General-role attacks ([Two_faced],
+    [Stagger], [Partial]) place their initiation time uniformly in
+    [\[at_lo, at_hi\]] and their targets within [\[0, n)]. *)
+val generate :
+  Ssba_sim.Rng.t -> values:value list -> at_lo:float -> at_hi:float ->
+  n:int -> t
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,84 @@
+(* Campaign driver.
+
+   Iteration addressing uses a splitmix-style mix of (seed, i) so scenario i
+   can be rebuilt without generating scenarios 0..i-1; the whole campaign
+   digest is a hash over the per-run result digests in order, which is what
+   the determinism acceptance check compares. *)
+
+module Rng = Ssba_sim.Rng
+
+type config = {
+  seed : int;
+  runs : int;
+  time_budget : float option;
+  gen : Gen.config;
+  oracle : Oracle.config;
+  shrink : bool;
+  max_shrink_attempts : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    runs = 100;
+    time_budget = None;
+    gen = Gen.default_config;
+    oracle = Oracle.default_config;
+    shrink = true;
+    max_shrink_attempts = 400;
+  }
+
+type failure_case = {
+  index : int;
+  spec : Spec.t;
+  report : Oracle.report;
+  shrunk : (Spec.t * Oracle.report * Shrink.stats) option;
+}
+
+type summary = {
+  executed : int;
+  failed : failure_case list;
+  corpus_digest : string;
+}
+
+(* splitmix64's golden-gamma mix keeps nearby (seed, i) pairs statistically
+   far apart; wrap-around multiplication is deterministic in OCaml. *)
+let rng_of_iteration ~seed i =
+  Rng.create (seed lxor ((i + 1) * 0x9E3779B97F4A7C1))
+
+let spec_of_iteration ~seed ~gen i = Gen.spec (rng_of_iteration ~seed i) gen
+
+let run ?progress config =
+  let deadline =
+    Option.map (fun b -> Unix.gettimeofday () +. b) config.time_budget
+  in
+  let digests = Buffer.create 256 in
+  let failed = ref [] in
+  let executed = ref 0 in
+  (try
+     for i = 0 to config.runs - 1 do
+       (match deadline with
+       | Some t when Unix.gettimeofday () > t -> raise Exit
+       | Some _ | None -> ());
+       let spec = spec_of_iteration ~seed:config.seed ~gen:config.gen i in
+       let _, report = Oracle.run ~config:config.oracle spec in
+       incr executed;
+       Buffer.add_string digests report.Oracle.digest;
+       Buffer.add_char digests '\n';
+       (match progress with Some f -> f i spec report | None -> ());
+       if Oracle.failed report then
+         let shrunk =
+           if config.shrink then
+             Some
+               (Shrink.minimize ~config:config.oracle
+                  ~max_attempts:config.max_shrink_attempts spec report)
+           else None
+         in
+         failed := { index = i; spec; report; shrunk } :: !failed
+     done
+   with Exit -> ());
+  {
+    executed = !executed;
+    failed = List.rev !failed;
+    corpus_digest = Digest.to_hex (Digest.string (Buffer.contents digests));
+  }

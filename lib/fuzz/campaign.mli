@@ -1,0 +1,45 @@
+(** Fuzzing campaigns: generate–run–judge loops with deterministic
+    addressing and a corpus digest.
+
+    Scenario [i] of a campaign with seed [s] is
+    [Gen.spec (rng_of_iteration ~seed:s i) gen], independent of every other
+    iteration — any failure reproduces from [(seed, i)] alone, or from the
+    saved replay file. Without a time budget, a campaign is a pure function
+    of its config: two runs produce the same [corpus_digest]. *)
+
+type config = {
+  seed : int;
+  runs : int;
+  time_budget : float option;  (** wall-clock seconds; [None] = unlimited *)
+  gen : Gen.config;
+  oracle : Oracle.config;
+  shrink : bool;  (** minimize failures before reporting *)
+  max_shrink_attempts : int;
+}
+
+val default_config : config
+
+type failure_case = {
+  index : int;  (** iteration number within the campaign *)
+  spec : Spec.t;
+  report : Oracle.report;
+  shrunk : (Spec.t * Oracle.report * Shrink.stats) option;
+}
+
+type summary = {
+  executed : int;  (** scenarios actually run (time budget may cut short) *)
+  failed : failure_case list;  (** chronological *)
+  corpus_digest : string;
+      (** hex digest over every executed run's result digest *)
+}
+
+(** The RNG that generates iteration [i]. *)
+val rng_of_iteration : seed:int -> int -> Ssba_sim.Rng.t
+
+(** Rebuild scenario [i] of campaign [seed] (the replay-from-coordinates
+    path). *)
+val spec_of_iteration : seed:int -> gen:Gen.config -> int -> Spec.t
+
+(** Run a campaign. [progress] is called after every scenario. *)
+val run :
+  ?progress:(int -> Spec.t -> Oracle.report -> unit) -> config -> summary

@@ -1,0 +1,164 @@
+(* Seeded random scenario generation.
+
+   The interesting part is staying inside the paper's model while still
+   covering its corners: any f < n/3 Byzantine cast with any strategy mix is
+   fair game forever, but network faults and crashes of *correct* nodes are
+   transient — each gets a paired Recover/Heal, and the horizon leaves
+   Delta_stb after the last disruption so the oracle judges the run after
+   re-stabilization, exactly how the paper states its guarantees. *)
+
+open Ssba_core.Types
+module Rng = Ssba_sim.Rng
+module P = Ssba_core.Params
+module S = Ssba_harness.Scenario
+module C = Ssba_adversary.Catalog
+
+type config = {
+  min_n : int;
+  max_n : int;
+  max_cast : int;
+  max_proposals : int;
+  max_disruptions : int;
+  values : value list;
+  disruptions : bool;
+}
+
+let default_config =
+  {
+    min_n = 4;
+    max_n = 10;
+    max_cast = 3;
+    max_proposals = 3;
+    max_disruptions = 2;
+    values = [ "alpha"; "beta"; "gamma" ];
+    disruptions = true;
+  }
+
+let last_activity spec =
+  let times =
+    List.map Spec.event_time spec.Spec.events
+    @ List.map (fun (p : S.proposal) -> p.S.at) spec.Spec.proposals
+    @ List.concat_map (fun (_, c) -> C.activity_times c) spec.Spec.cast
+  in
+  List.fold_left max 0.0 times
+
+let min_horizon spec =
+  let params = Spec.params spec in
+  let tail =
+    if spec.Spec.events = [] then 0.0 else params.P.delta_stb
+  in
+  last_activity spec +. tail +. params.P.delta_agr +. (10.0 *. params.P.d)
+
+let spec rng cfg =
+  let n = Rng.int_in_range rng ~lo:(max 4 cfg.min_n) ~hi:(max 4 cfg.max_n) in
+  let f = P.max_faults n in
+  let params = P.default n in
+  (* Active window: everything the cast, proposals and events do happens in
+     [0, active]; its width scales with how much is scheduled. *)
+  let active = 3.0 *. params.P.delta_agr in
+  (* Byzantine cast. *)
+  let n_byz = Rng.int rng (min f cfg.max_cast + 1) in
+  let byz_ids =
+    Array.to_list (Rng.subset rng ~k:n_byz (Array.init n Fun.id))
+    |> List.sort compare
+  in
+  let cast =
+    List.map
+      (fun id ->
+        (id, C.generate rng ~values:cfg.values ~at_lo:0.01 ~at_hi:active ~n))
+      byz_ids
+  in
+  let correct = List.filter (fun id -> not (List.mem id byz_ids)) (List.init n Fun.id) in
+  (* Proposals: distinct correct Generals (so the IG initiation-spacing rules
+     never refuse on our account), spread over the active window. *)
+  let n_props = Rng.int rng (cfg.max_proposals + 1) in
+  let generals =
+    Array.to_list
+      (Rng.subset rng
+         ~k:(min n_props (List.length correct))
+         (Array.of_list correct))
+  in
+  let proposals =
+    List.mapi
+      (fun i g ->
+        {
+          S.g;
+          v = Printf.sprintf "%s-%d" (Rng.pick_list rng cfg.values) i;
+          at = Rng.float_in_range rng ~lo:0.01 ~hi:active;
+        })
+      generals
+  in
+  (* Environment events: each disruption is a paired fault/recovery window
+     inside the active period. *)
+  let events = ref [] in
+  if cfg.disruptions && cfg.max_disruptions > 0 then begin
+    let n_disruptions = Rng.int rng (cfg.max_disruptions + 1) in
+    for _ = 1 to n_disruptions do
+      let at = Rng.float_in_range rng ~lo:0.01 ~hi:(0.8 *. active) in
+      let until =
+        Rng.float_in_range rng ~lo:at ~hi:(min active (at +. (0.5 *. active)))
+      in
+      match Rng.int rng 4 with
+      | 0 ->
+          let node = Rng.int rng n in
+          events :=
+            S.Recover { node; at = until } :: S.Crash { node; at } :: !events
+      | 1 ->
+          let p = Rng.float_in_range rng ~lo:0.05 ~hi:0.6 in
+          events := S.Heal { at = until } :: S.Drop_prob { at; p } :: !events
+      | 2 ->
+          let shuffled = Rng.shuffle rng (Array.init n Fun.id) in
+          let k = Rng.int_in_range rng ~lo:1 ~hi:(n - 1) in
+          let ga = Array.to_list (Array.sub shuffled 0 k) in
+          let gb = Array.to_list (Array.sub shuffled k (n - k)) in
+          events :=
+            S.Heal { at = until }
+            :: S.Partition { at; blocked = (List.sort compare ga, List.sort compare gb) }
+            :: !events
+      | _ ->
+          events :=
+            S.Scramble
+              { at; values = cfg.values; net_garbage = Rng.int rng 150 }
+            :: !events
+    done
+  end;
+  let events =
+    List.stable_sort (fun a b -> compare (Spec.event_time a) (Spec.event_time b)) !events
+  in
+  (* 30 bits: exactly representable as a JSON double, so the replay file
+     round-trips the seed bit-for-bit. *)
+  let seed = Rng.bits rng land 0x3FFFFFFF in
+  let draft =
+    {
+      Spec.name = Printf.sprintf "fuzz-n%d-%d" n (seed land 0xFFFFFF);
+      seed;
+      n;
+      f;
+      delay =
+        (match Rng.int rng 3 with
+        | 0 -> Spec.Fixed (Rng.float_in_range rng ~lo:(0.05 *. params.P.delta) ~hi:params.P.delta)
+        | 1 ->
+            let lo = Rng.float_in_range rng ~lo:(0.05 *. params.P.delta) ~hi:(0.5 *. params.P.delta) in
+            Spec.Uniform { lo; hi = Rng.float_in_range rng ~lo ~hi:params.P.delta }
+        | _ ->
+            Spec.Bimodal
+              {
+                fast = Rng.float_in_range rng ~lo:(0.05 *. params.P.delta) ~hi:(0.3 *. params.P.delta);
+                slow = params.P.delta;
+                slow_prob = Rng.float_in_range rng ~lo:0.01 ~hi:0.3;
+              });
+      clocks =
+        (if Rng.bool rng then S.Perfect
+         else
+           S.Drifting
+             {
+               rho = Rng.float_in_range rng ~lo:0.0 ~hi:params.P.rho;
+               max_offset = Rng.float_in_range rng ~lo:0.0 ~hi:0.2;
+             });
+      cast;
+      proposals;
+      events;
+      horizon = 0.0;
+    }
+  in
+  { draft with Spec.horizon = min_horizon draft }

@@ -1,0 +1,29 @@
+(** Seeded random scenario generation.
+
+    Every draw comes from one {!Ssba_sim.Rng.t}, so a generated spec is a
+    pure function of the generator's seed and the config. Generated specs
+    always satisfy {!Spec.validate}: casts respect [f < n/3], events are
+    sorted and in-horizon, and every disruption (crash, loss, partition) is
+    paired with a recovery so the run re-enters the paper's coherent model
+    before the horizon — the self-stabilization claim under test. *)
+
+type config = {
+  min_n : int;
+  max_n : int;
+  max_cast : int;  (** cap on Byzantine count (further capped by [f]) *)
+  max_proposals : int;
+  max_disruptions : int;  (** crash/loss/partition/scramble groups *)
+  values : Ssba_core.Types.value list;  (** payload vocabulary *)
+  disruptions : bool;  (** allow environment events at all *)
+}
+
+val default_config : config
+
+(** Draw one spec. *)
+val spec : Ssba_sim.Rng.t -> config -> Spec.t
+
+(** The smallest horizon under which {!Oracle} verdicts for this spec are
+    sound: last activity, plus the stabilization allowance when the spec has
+    events, plus the termination window. Generation and horizon-shrinking
+    both use this. *)
+val min_horizon : Spec.t -> float

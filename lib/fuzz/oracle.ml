@@ -1,0 +1,108 @@
+(* Property oracles over one fuzzed run.
+
+   Soundness is the whole game: a fuzzer whose oracle cries wolf under legal
+   schedules is useless, so each check is gated on the scenario class it is
+   actually promised for. Agreement (pairwise, anchored) holds from the
+   re-stabilization point after arbitrary transient faults; the primitive
+   invariants and the timeliness deadlines additionally assume the network
+   stayed coherent, so they only run on event-free specs. Byzantine casts up
+   to f never gate anything — that is the permanent fault budget. *)
+
+module H = Ssba_harness
+module P = Ssba_core.Params
+module S = H.Scenario
+
+type failure = { oracle : string; detail : string }
+type report = { digest : string; failures : failure list }
+
+type config = {
+  check_invariants : bool;
+  check_timeliness : bool;
+  skew_deadline_scale : float;
+}
+
+let default_config =
+  { check_invariants = true; check_timeliness = true; skew_deadline_scale = 1.0 }
+
+let failed r = r.failures <> []
+let pp_failure ppf f = Fmt.pf ppf "[%s] %s" f.oracle f.detail
+
+(* The real time from which the paper's guarantees apply again: Delta_stb
+   after the last disruptive event (Heal only restores service, it is not a
+   disruption). *)
+let stabilized_after spec =
+  let params = Spec.params spec in
+  let disruptive =
+    List.filter_map
+      (function S.Heal _ -> None | e -> Some (Spec.event_time e))
+      spec.Spec.events
+  in
+  match disruptive with
+  | [] -> 0.0
+  | ts -> List.fold_left max 0.0 ts +. params.P.delta_stb
+
+(* Match an accepted proposal to its episode: same General, first return
+   within the termination window of the initiation. *)
+let episode_for episodes (p : S.proposal) ~params =
+  let lo = p.S.at -. params.P.d in
+  let hi = p.S.at +. params.P.delta_agr +. (8.0 *. params.P.d) in
+  List.find_opt
+    (fun (e : H.Metrics.episode) ->
+      e.H.Metrics.g = p.S.g
+      &&
+      let t = H.Metrics.first_return e in
+      t >= lo && t <= hi)
+    episodes
+
+let run ?(config = default_config) spec =
+  let params = Spec.params spec in
+  let d = params.P.d in
+  let res = H.Runner.run (Spec.to_scenario spec) in
+  let failures = ref [] in
+  let add oracle fmt =
+    Printf.ksprintf (fun detail -> failures := { oracle; detail } :: !failures) fmt
+  in
+  (* Conservation: exact accounting identity, scenario class irrelevant. *)
+  let conservation = H.Checks.network_conservation res in
+  if not conservation.H.Checks.ok then
+    add "conservation" "sent=%d but delivered+dropped+in_flight=%.0f"
+      res.H.Runner.messages_sent conservation.H.Checks.measured;
+  (* Agreement, judged after re-stabilization. *)
+  List.iter
+    (fun v -> add "agreement" "%s" v)
+    (H.Checks.pairwise_agreement ~after:(stabilized_after spec) res);
+  (* Calm-spec oracles. *)
+  if spec.Spec.events = [] then begin
+    if config.check_invariants then
+      List.iter (fun v -> add "invariants" "%s" v) (H.Invariants.check res);
+    if config.check_timeliness then begin
+      let episodes = H.Metrics.episodes res in
+      List.iter
+        (fun ((p : S.proposal), outcome) ->
+          match outcome with
+          | H.Runner.Refused _ | H.Runner.No_general -> ()
+          | H.Runner.Accepted ->
+              if p.S.at +. params.P.delta_agr +. (8.0 *. d) <= spec.Spec.horizon
+              then begin
+                match episode_for episodes p ~params with
+                | None ->
+                    add "termination"
+                      "G=%d accepted %S at %g but no correct node returned" p.S.g
+                      p.S.v p.S.at
+                | Some e ->
+                    if not (H.Checks.validity ~correct:res.H.Runner.correct ~v:p.S.v e)
+                    then
+                      add "validity"
+                        "G=%d proposed %S at %g: not every correct node decided it"
+                        p.S.g p.S.v p.S.at;
+                    let skew = H.Metrics.decision_skew res e in
+                    let bound = 3.0 *. d *. config.skew_deadline_scale in
+                    if skew > bound +. 1e-12 then
+                      add "timeliness-1a"
+                        "G=%d decision skew %.3fd exceeds deadline %.3fd" p.S.g
+                        (skew /. d) (bound /. d)
+              end)
+        res.H.Runner.proposal_results
+    end
+  end;
+  (res, { digest = H.Checks.result_digest res; failures = List.rev !failures })

@@ -1,0 +1,33 @@
+(** The fuzzer's verdict on one spec: run it and check every property the
+    paper entitles us to under that spec's fault mix.
+
+    Always checked: message conservation, and the pairwise Agreement oracle
+    evaluated after the run's re-stabilization point (last disruptive event
+    plus [Delta_stb]; from the start if the spec has no events). On calm
+    specs (no environment events — Byzantine casts are fine), additionally:
+    the {!Ssba_harness.Invariants} IA/TPS monitor, and per accepted proposal
+    Validity, Termination and the Timeliness-1a decision-skew deadline. *)
+
+type failure = { oracle : string; detail : string }
+
+type report = {
+  digest : string;  (** {!Ssba_harness.Checks.result_digest} of the run *)
+  failures : failure list;  (** empty means every applicable oracle passed *)
+}
+
+type config = {
+  check_invariants : bool;
+  check_timeliness : bool;
+  skew_deadline_scale : float;
+      (** scales the Timeliness-1a 3d decision-skew deadline; 1.0 is the
+          paper's bound, smaller values deliberately weaken the oracle's
+          tolerance (used to prove the fuzzer catches violations) *)
+}
+
+val default_config : config
+
+(** Compile, run, and judge one spec. *)
+val run : ?config:config -> Spec.t -> Ssba_harness.Runner.result * report
+
+val failed : report -> bool
+val pp_failure : Format.formatter -> failure -> unit

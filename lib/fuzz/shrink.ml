@@ -1,0 +1,139 @@
+(* Greedy shrinking.
+
+   Classic delta-debugging specialized to the spec shape. "Preserving the
+   failure" means: the candidate's oracle report contains a failure whose
+   oracle name appeared in the original report — the detail string may
+   change (times and node ids move as the scenario shrinks), the property
+   class may not. *)
+
+module S = Ssba_harness.Scenario
+module C = Ssba_adversary.Catalog
+module P = Ssba_core.Params
+
+type stats = { attempts : int; accepted : int }
+
+let drop_nth l i = List.filteri (fun j _ -> j <> i) l
+
+(* Candidate simplifications, cheapest-win first: structural deletions, then
+   substitutions, then model flattening, then horizon tightening. *)
+let candidates spec =
+  let open Spec in
+  let events =
+    List.mapi (fun i _ -> { spec with events = drop_nth spec.events i }) spec.events
+  in
+  let proposals =
+    List.mapi
+      (fun i _ -> { spec with proposals = drop_nth spec.proposals i })
+      spec.proposals
+  in
+  let cast_drops =
+    List.mapi (fun i _ -> { spec with cast = drop_nth spec.cast i }) spec.cast
+  in
+  let cast_simpler =
+    List.concat
+      (List.mapi
+         (fun i (id, c) ->
+           List.map
+             (fun c' ->
+               {
+                 spec with
+                 cast = List.mapi (fun j e -> if j = i then (id, c') else e) spec.cast;
+               })
+             (C.simplify c))
+         spec.cast)
+  in
+  (* Retarget proposals at the smallest correct id, freeing high node ids for
+     the node-count reduction below. *)
+  let byz = List.map fst spec.cast in
+  let smallest_correct =
+    List.find_opt (fun id -> not (List.mem id byz)) (List.init spec.n Fun.id)
+  in
+  let retargets =
+    match smallest_correct with
+    | None -> []
+    | Some lo ->
+        List.concat
+          (List.mapi
+             (fun i (p : S.proposal) ->
+               if
+                 p.S.g <> lo
+                 && not
+                      (List.exists
+                         (fun (q : S.proposal) -> q.S.g = lo)
+                         spec.proposals)
+               then
+                 [
+                   {
+                     spec with
+                     proposals =
+                       List.mapi
+                         (fun j q -> if j = i then { p with S.g = lo } else q)
+                         spec.proposals;
+                   };
+                 ]
+               else [])
+             spec.proposals)
+  in
+  (* Node-count reduction: drop the top node when nothing references it,
+     both one at a time and straight to the n=4 floor. *)
+  let shrink_to n' =
+    if n' >= 4 && n' < spec.n && Spec.max_referenced_id spec < n' then
+      [ { spec with n = n'; f = min spec.f (P.max_faults n') } ]
+    else []
+  in
+  let nodes = shrink_to 4 @ shrink_to (spec.n - 1) in
+  let delay =
+    match spec.delay with
+    | Fixed _ -> []
+    | Uniform { lo; hi } | Bimodal { fast = lo; slow = hi; _ } ->
+        [ { spec with delay = Fixed (0.5 *. (lo +. hi)) } ]
+  in
+  let clocks =
+    match spec.clocks with
+    | S.Perfect -> []
+    | S.Drifting _ -> [ { spec with clocks = S.Perfect } ]
+  in
+  let horizon =
+    let h = Gen.min_horizon spec in
+    if h < spec.horizon *. 0.99 then [ { spec with horizon = h } ] else []
+  in
+  events @ proposals @ cast_drops @ cast_simpler @ retargets @ nodes @ delay
+  @ clocks @ horizon
+
+let minimize ?config ?(max_attempts = 400) spec (report : Oracle.report) =
+  let original_oracles =
+    List.sort_uniq compare
+      (List.map (fun (f : Oracle.failure) -> f.Oracle.oracle) report.Oracle.failures)
+  in
+  let preserves (r : Oracle.report) =
+    List.exists
+      (fun (f : Oracle.failure) -> List.mem f.Oracle.oracle original_oracles)
+      r.Oracle.failures
+  in
+  let attempts = ref 0 and accepted = ref 0 in
+  let rec fixpoint spec report =
+    let step =
+      List.find_map
+        (fun cand ->
+          if !attempts >= max_attempts then None
+          else begin
+            incr attempts;
+            match Spec.validate cand with
+            | Error _ -> None
+            | Ok () ->
+                let _, r = Oracle.run ?config cand in
+                if preserves r then Some (cand, r) else None
+          end)
+        (candidates spec)
+    in
+    match step with
+    | Some (cand, r) when !attempts < max_attempts ->
+        incr accepted;
+        fixpoint cand r
+    | Some (cand, r) ->
+        incr accepted;
+        (cand, r)
+    | None -> (spec, report)
+  in
+  let spec, report = fixpoint spec report in
+  (spec, report, { attempts = !attempts; accepted = !accepted })

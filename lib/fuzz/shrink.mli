@@ -1,0 +1,24 @@
+(** Greedy minimization of a failing spec.
+
+    Candidate simplifications — dropping events and proposals, demoting or
+    simplifying Byzantine cast members, retargeting proposals at low node
+    ids, removing the top node, flattening delay/clock models, tightening
+    the horizon — are tried in order; a candidate is kept when its run still
+    fails with at least one failure from the same oracle as the original.
+    Repeats to a fixpoint (or the attempt budget), so the result is locally
+    minimal: no single remaining simplification preserves the failure. *)
+
+type stats = {
+  attempts : int;  (** oracle runs spent *)
+  accepted : int;  (** simplification steps kept *)
+}
+
+(** [minimize ?config ?max_attempts spec report] requires [report] to be the
+    (failing) {!Oracle.run} report for [spec]; returns the minimized spec,
+    its report, and shrink statistics. *)
+val minimize :
+  ?config:Oracle.config ->
+  ?max_attempts:int ->
+  Spec.t ->
+  Oracle.report ->
+  Spec.t * Oracle.report * stats

@@ -1,0 +1,361 @@
+(* Serializable scenario descriptions.
+
+   The JSON codec is hand-rolled over Ssba_sim.Json like the trace/metrics
+   exporters: every float goes through Json.Num (lossless %.17g rendering),
+   so spec -> JSON -> spec is structural identity and a replay file
+   reproduces the original run digest exactly. *)
+
+open Ssba_core.Types
+module J = Ssba_sim.Json
+module S = Ssba_harness.Scenario
+module C = Ssba_adversary.Catalog
+module P = Ssba_core.Params
+
+type delay =
+  | Fixed of float
+  | Uniform of { lo : float; hi : float }
+  | Bimodal of { fast : float; slow : float; slow_prob : float }
+
+type t = {
+  name : string;
+  seed : int;
+  n : int;
+  f : int;
+  delay : delay;
+  clocks : S.clocks;
+  cast : (node_id * C.t) list;
+  proposals : S.proposal list;
+  events : S.event list;
+  horizon : float;
+}
+
+let params t = P.default ~f:t.f t.n
+
+let compile_delay = function
+  | Fixed x -> Ssba_net.Delay.fixed x
+  | Uniform { lo; hi } -> Ssba_net.Delay.uniform ~lo ~hi
+  | Bimodal { fast; slow; slow_prob } -> Ssba_net.Delay.bimodal ~fast ~slow ~slow_prob
+
+let to_scenario t =
+  let params = params t in
+  let d = params.P.d in
+  S.default ~name:t.name ~seed:t.seed ~horizon:t.horizon
+    ~record_observations:true ~delay:(compile_delay t.delay) ~clocks:t.clocks
+    ~roles:
+      (List.map (fun (id, c) -> (id, S.Byzantine (C.to_behavior ~d c))) t.cast)
+    ~proposals:t.proposals ~events:t.events params
+
+let event_time = function
+  | S.Crash { at; _ } | S.Recover { at; _ } | S.Scramble { at; _ }
+  | S.Drop_prob { at; _ } | S.Partition { at; _ } | S.Heal { at } ->
+      at
+
+let event_nodes = function
+  | S.Crash { node; _ } | S.Recover { node; _ } -> [ node ]
+  | S.Partition { blocked = ga, gb; _ } -> ga @ gb
+  | S.Scramble _ | S.Drop_prob _ | S.Heal _ -> []
+
+let catalog_nodes = function
+  | C.Partial_general { targets; _ } -> targets
+  | C.Silent | C.Spam _ | C.Mimic _ | C.Two_faced_general _
+  | C.Stagger_general _ | C.Equivocator _ | C.Flip_flop _ ->
+      []
+
+let max_referenced_id t =
+  let ids =
+    List.concat_map (fun (id, c) -> id :: catalog_nodes c) t.cast
+    @ List.map (fun (p : S.proposal) -> p.S.g) t.proposals
+    @ List.concat_map event_nodes t.events
+  in
+  List.fold_left max (-1) ids
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.n <= 3 * t.f then err "n=%d <= 3f=%d" t.n (3 * t.f)
+  else if List.length t.cast > t.f then
+    err "cast of %d exceeds fault budget f=%d" (List.length t.cast) t.f
+  else if
+    List.exists (fun (id, _) -> id < 0 || id >= t.n) t.cast
+    || List.length (List.sort_uniq compare (List.map fst t.cast))
+       <> List.length t.cast
+  then err "cast ids out of range or duplicated"
+  else if max_referenced_id t >= t.n then
+    err "node id %d referenced but n=%d" (max_referenced_id t) t.n
+  else if
+    List.exists
+      (fun (p : S.proposal) -> p.S.at < 0.0 || p.S.at > t.horizon)
+      t.proposals
+  then err "proposal outside [0, horizon]"
+  else if
+    List.exists (fun e -> event_time e < 0.0 || event_time e > t.horizon) t.events
+  then err "event outside [0, horizon]"
+  else
+    let rec sorted = function
+      | a :: (b :: _ as tl) -> event_time a <= event_time b && sorted tl
+      | [] | [ _ ] -> true
+    in
+    if not (sorted t.events) then err "events not sorted by time"
+    else if t.horizon <= 0.0 then err "non-positive horizon"
+    else Ok ()
+
+(* ---------- JSON codec ---------- *)
+
+exception Decode of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode s)) fmt
+let num x = J.Num x
+let int x = J.Num (float_of_int x)
+let str s = J.Str s
+
+let get_field name j =
+  match J.member name j with Some v -> v | None -> fail "missing field %S" name
+
+let get_float name j =
+  match J.to_float_opt (get_field name j) with
+  | Some x -> x
+  | None -> fail "field %S: expected number" name
+
+let get_int name j =
+  match J.to_int_opt (get_field name j) with
+  | Some x -> x
+  | None -> fail "field %S: expected integer" name
+
+let get_str name j =
+  match J.to_string_opt (get_field name j) with
+  | Some s -> s
+  | None -> fail "field %S: expected string" name
+
+let get_list name j =
+  match get_field name j with
+  | J.Arr l -> l
+  | _ -> fail "field %S: expected array" name
+
+let str_list name j =
+  List.map
+    (fun v ->
+      match J.to_string_opt v with
+      | Some s -> s
+      | None -> fail "field %S: expected strings" name)
+    (get_list name j)
+
+let int_list name j =
+  List.map
+    (fun v ->
+      match J.to_int_opt v with
+      | Some i -> i
+      | None -> fail "field %S: expected integers" name)
+    (get_list name j)
+
+let delay_to_json = function
+  | Fixed x -> J.Obj [ ("model", str "fixed"); ("delay", num x) ]
+  | Uniform { lo; hi } ->
+      J.Obj [ ("model", str "uniform"); ("lo", num lo); ("hi", num hi) ]
+  | Bimodal { fast; slow; slow_prob } ->
+      J.Obj
+        [
+          ("model", str "bimodal");
+          ("fast", num fast);
+          ("slow", num slow);
+          ("slow_prob", num slow_prob);
+        ]
+
+let delay_of_json j =
+  match get_str "model" j with
+  | "fixed" -> Fixed (get_float "delay" j)
+  | "uniform" -> Uniform { lo = get_float "lo" j; hi = get_float "hi" j }
+  | "bimodal" ->
+      Bimodal
+        {
+          fast = get_float "fast" j;
+          slow = get_float "slow" j;
+          slow_prob = get_float "slow_prob" j;
+        }
+  | m -> fail "unknown delay model %S" m
+
+let clocks_to_json = function
+  | S.Perfect -> J.Obj [ ("model", str "perfect") ]
+  | S.Drifting { rho; max_offset } ->
+      J.Obj
+        [ ("model", str "drifting"); ("rho", num rho); ("max_offset", num max_offset) ]
+
+let clocks_of_json j =
+  match get_str "model" j with
+  | "perfect" -> S.Perfect
+  | "drifting" ->
+      S.Drifting { rho = get_float "rho" j; max_offset = get_float "max_offset" j }
+  | m -> fail "unknown clock model %S" m
+
+let strategy_to_json = function
+  | C.Silent -> J.Obj [ ("strategy", str "silent") ]
+  | C.Spam { period_d; values } ->
+      J.Obj
+        [
+          ("strategy", str "spam");
+          ("period_d", num period_d);
+          ("values", J.Arr (List.map str values));
+        ]
+  | C.Mimic { delay_d } ->
+      J.Obj [ ("strategy", str "mimic"); ("delay_d", num delay_d) ]
+  | C.Two_faced_general { v1; v2; at } ->
+      J.Obj
+        [ ("strategy", str "two-faced"); ("v1", str v1); ("v2", str v2); ("at", num at) ]
+  | C.Stagger_general { v; at; gap_d } ->
+      J.Obj
+        [ ("strategy", str "stagger"); ("v", str v); ("at", num at); ("gap_d", num gap_d) ]
+  | C.Partial_general { v; at; targets } ->
+      J.Obj
+        [
+          ("strategy", str "partial");
+          ("v", str v);
+          ("at", num at);
+          ("targets", J.Arr (List.map int targets));
+        ]
+  | C.Equivocator { v1; v2 } ->
+      J.Obj [ ("strategy", str "equivocator"); ("v1", str v1); ("v2", str v2) ]
+  | C.Flip_flop { period_d; values } ->
+      J.Obj
+        [
+          ("strategy", str "flip-flop");
+          ("period_d", num period_d);
+          ("values", J.Arr (List.map str values));
+        ]
+
+let strategy_of_json j =
+  match get_str "strategy" j with
+  | "silent" -> C.Silent
+  | "spam" ->
+      C.Spam { period_d = get_float "period_d" j; values = str_list "values" j }
+  | "mimic" -> C.Mimic { delay_d = get_float "delay_d" j }
+  | "two-faced" ->
+      C.Two_faced_general
+        { v1 = get_str "v1" j; v2 = get_str "v2" j; at = get_float "at" j }
+  | "stagger" ->
+      C.Stagger_general
+        { v = get_str "v" j; at = get_float "at" j; gap_d = get_float "gap_d" j }
+  | "partial" ->
+      C.Partial_general
+        { v = get_str "v" j; at = get_float "at" j; targets = int_list "targets" j }
+  | "equivocator" -> C.Equivocator { v1 = get_str "v1" j; v2 = get_str "v2" j }
+  | "flip-flop" ->
+      C.Flip_flop { period_d = get_float "period_d" j; values = str_list "values" j }
+  | s -> fail "unknown strategy %S" s
+
+let event_to_json = function
+  | S.Crash { node; at } ->
+      J.Obj [ ("event", str "crash"); ("node", int node); ("at", num at) ]
+  | S.Recover { node; at } ->
+      J.Obj [ ("event", str "recover"); ("node", int node); ("at", num at) ]
+  | S.Scramble { at; values; net_garbage } ->
+      J.Obj
+        [
+          ("event", str "scramble");
+          ("at", num at);
+          ("values", J.Arr (List.map str values));
+          ("net_garbage", int net_garbage);
+        ]
+  | S.Drop_prob { at; p } ->
+      J.Obj [ ("event", str "drop"); ("at", num at); ("p", num p) ]
+  | S.Partition { at; blocked = ga, gb } ->
+      J.Obj
+        [
+          ("event", str "partition");
+          ("at", num at);
+          ("group_a", J.Arr (List.map int ga));
+          ("group_b", J.Arr (List.map int gb));
+        ]
+  | S.Heal { at } -> J.Obj [ ("event", str "heal"); ("at", num at) ]
+
+let event_of_json j =
+  match get_str "event" j with
+  | "crash" -> S.Crash { node = get_int "node" j; at = get_float "at" j }
+  | "recover" -> S.Recover { node = get_int "node" j; at = get_float "at" j }
+  | "scramble" ->
+      S.Scramble
+        {
+          at = get_float "at" j;
+          values = str_list "values" j;
+          net_garbage = get_int "net_garbage" j;
+        }
+  | "drop" -> S.Drop_prob { at = get_float "at" j; p = get_float "p" j }
+  | "partition" ->
+      S.Partition
+        {
+          at = get_float "at" j;
+          blocked = (int_list "group_a" j, int_list "group_b" j);
+        }
+  | "heal" -> S.Heal { at = get_float "at" j }
+  | e -> fail "unknown event %S" e
+
+let proposal_to_json (p : S.proposal) =
+  J.Obj [ ("g", int p.S.g); ("v", str p.S.v); ("at", num p.S.at) ]
+
+let proposal_of_json j =
+  { S.g = get_int "g" j; v = get_str "v" j; at = get_float "at" j }
+
+let to_json t =
+  J.Obj
+    [
+      ("name", str t.name);
+      ("seed", int t.seed);
+      ("n", int t.n);
+      ("f", int t.f);
+      ("delay", delay_to_json t.delay);
+      ("clocks", clocks_to_json t.clocks);
+      ( "cast",
+        J.Arr
+          (List.map
+             (fun (id, c) ->
+               match strategy_to_json c with
+               | J.Obj fields -> J.Obj (("node", int id) :: fields)
+               | _ -> assert false)
+             t.cast) );
+      ("proposals", J.Arr (List.map proposal_to_json t.proposals));
+      ("events", J.Arr (List.map event_to_json t.events));
+      ("horizon", num t.horizon);
+    ]
+
+let of_json j =
+  try
+    Ok
+      {
+        name = get_str "name" j;
+        seed = get_int "seed" j;
+        n = get_int "n" j;
+        f = get_int "f" j;
+        delay = delay_of_json (get_field "delay" j);
+        clocks = clocks_of_json (get_field "clocks" j);
+        cast =
+          List.map
+            (fun cj -> (get_int "node" cj, strategy_of_json cj))
+            (get_list "cast" j);
+        proposals = List.map proposal_of_json (get_list "proposals" j);
+        events = List.map event_of_json (get_list "events" j);
+        horizon = get_float "horizon" j;
+      }
+  with Decode msg -> Error msg
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (J.to_string (to_json t));
+  output_char oc '\n';
+  close_out oc
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e -> Error e
+  | s -> (
+      match J.of_string (String.trim s) with
+      | exception J.Parse_error e -> Error e
+      | j -> of_json j)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s: n=%d f=%d seed=%d horizon=%g@ cast: %a@ %d proposals, %d events@]"
+    t.name t.n t.f t.seed t.horizon
+    Fmt.(list ~sep:comma (pair ~sep:(any ":") int C.pp))
+    t.cast (List.length t.proposals) (List.length t.events)

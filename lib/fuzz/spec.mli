@@ -1,0 +1,59 @@
+(** Serializable scenario descriptions — the fuzzer's unit of work.
+
+    {!Ssba_harness.Scenario.t} embeds closures (delay policies, Byzantine
+    behaviours), so it cannot be saved or shrunk. A spec is the fully-data
+    mirror: protocol size, an enumerable delay model, a
+    {!Ssba_adversary.Catalog} cast, proposals and environment events. It
+    compiles to a scenario with {!to_scenario}, round-trips through JSON
+    ({!to_json}/{!of_json}, lossless including float bits), and therefore
+    replays byte-for-byte: running the same spec twice yields the same
+    {!Ssba_harness.Checks.result_digest}. *)
+
+open Ssba_core.Types
+
+(** Enumerable subset of {!Ssba_net.Delay} (the closure-based policies are
+    not serializable and are never generated). *)
+type delay =
+  | Fixed of float
+  | Uniform of { lo : float; hi : float }
+  | Bimodal of { fast : float; slow : float; slow_prob : float }
+
+type t = {
+  name : string;
+  seed : int;  (** drives every random choice of the compiled scenario *)
+  n : int;
+  f : int;  (** [Params.default ~f n] supplies the remaining constants *)
+  delay : delay;
+  clocks : Ssba_harness.Scenario.clocks;
+  cast : (node_id * Ssba_adversary.Catalog.t) list;  (** sorted by node id *)
+  proposals : Ssba_harness.Scenario.proposal list;
+  events : Ssba_harness.Scenario.event list;  (** sorted by time *)
+  horizon : float;
+}
+
+val params : t -> Ssba_core.Params.t
+
+(** Compile to a runnable scenario (observations recorded, for the oracle's
+    invariant monitor). *)
+val to_scenario : t -> Ssba_harness.Scenario.t
+
+(** The real time at which an event fires. *)
+val event_time : Ssba_harness.Scenario.event -> float
+
+(** Largest node id the spec mentions anywhere (cast, proposals, events,
+    strategy targets); [-1] if none. Node-count shrinking checks this. *)
+val max_referenced_id : t -> int
+
+(** Structural sanity: [n > 3f], cast within the fault budget and node
+    range, events sorted and inside the horizon, proposals in range. *)
+val validate : t -> (unit, string) result
+
+val to_json : t -> Ssba_sim.Json.t
+val of_json : Ssba_sim.Json.t -> (t, string) result
+
+(** Save/load one spec as pretty-stable JSON text (the replay file format). *)
+val save : string -> t -> unit
+
+val load : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -224,3 +224,33 @@ let pairwise_agreement ?settle ?(after = 0.0) (res : Runner.result) =
         decided)
     by_g;
   List.rev !violations
+
+(* A stable fingerprint of everything observable about a run. Two runs of the
+   same scenario must produce the same digest (the simulator is a pure
+   function of the scenario), so replay files can assert byte-for-byte
+   reproduction and fuzz campaigns can compare whole corpora as one hash.
+   Floats are rendered with %.17g, which is lossless for doubles. *)
+let result_digest (res : Runner.result) =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (r : return_info) ->
+      addf "ret %d %d %s %.17g %.17g %.17g;" r.node r.g
+        (match r.outcome with Decided v -> "D:" ^ v | Aborted -> "A")
+        r.tau_g r.tau_ret r.rt_ret)
+    res.Runner.returns;
+  List.iter
+    (fun ((p : Scenario.proposal), outcome) ->
+      addf "prop %d %s %.17g %s;" p.Scenario.g p.Scenario.v p.Scenario.at
+        (match outcome with
+        | Runner.Accepted -> "ok"
+        | Runner.Refused e -> "refused:" ^ Ssba_core.Node.string_of_propose_error e
+        | Runner.No_general -> "nogen"))
+    res.Runner.proposal_results;
+  addf "net %d %d %d %d;" res.Runner.messages_sent res.Runner.messages_delivered
+    res.Runner.messages_dropped res.Runner.messages_in_flight;
+  List.iter (fun (k, c) -> addf "kind %s %d;" k c) res.Runner.messages_by_kind;
+  addf "engine %d %.17g"
+    res.Runner.engine_stats.Ssba_sim.Engine.events_processed
+    res.Runner.engine_stats.Ssba_sim.Engine.end_time;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

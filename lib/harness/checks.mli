@@ -59,3 +59,8 @@ val network_conservation : Runner.result -> verdict
     violation descriptions; empty means agreement holds. *)
 val pairwise_agreement :
   ?settle:float -> ?after:float -> Runner.result -> string list
+
+(** A stable hex fingerprint of a run's observable outcome (returns, proposal
+    outcomes, message accounting, engine stats). Identical scenarios produce
+    identical digests; replay tooling and fuzz corpora compare these. *)
+val result_digest : Runner.result -> string

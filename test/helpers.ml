@@ -129,6 +129,132 @@ module Cluster = struct
       (returns t)
 end
 
+(* QCheck generators and shrinkers for the scenario building blocks, used by
+   the fuzz property suite. Events shrink toward earlier, milder instances;
+   strategies shrink along Catalog.simplify toward Silent. *)
+module Q = struct
+  module G = QCheck.Gen
+  module S = Ssba_harness.Scenario
+  module C = Ssba_adversary.Catalog
+
+  let values = [ "alpha"; "beta"; "gamma" ]
+
+  let gen_event ~n ~horizon : S.event G.t =
+    let open G in
+    let at = float_range 0.0 horizon in
+    let node = int_bound (n - 1) in
+    oneof
+      [
+        map2 (fun node at -> S.Crash { node; at }) node at;
+        map2 (fun node at -> S.Recover { node; at }) node at;
+        map2
+          (fun at net_garbage -> S.Scramble { at; values; net_garbage })
+          at (int_bound 200);
+        map2 (fun at p -> S.Drop_prob { at; p }) at (float_range 0.0 1.0);
+        map2
+          (fun at k ->
+            let ids = List.init n Fun.id in
+            let ga = List.filteri (fun i _ -> i <= k) ids in
+            let gb = List.filteri (fun i _ -> i > k) ids in
+            S.Partition { at; blocked = (ga, gb) })
+          at
+          (int_bound (n - 2));
+        map (fun at -> S.Heal { at }) at;
+      ]
+
+  (* Simpler variants of one event: pull it to time 0, soften its knob. *)
+  let shrink_event (e : S.event) yield =
+    match e with
+    | S.Crash { node; at } ->
+        if at > 0.0 then yield (S.Crash { node; at = 0.0 })
+    | S.Recover { node; at } ->
+        if at > 0.0 then yield (S.Recover { node; at = 0.0 })
+    | S.Scramble { at; values; net_garbage } ->
+        if net_garbage > 0 then
+          yield (S.Scramble { at; values; net_garbage = net_garbage / 2 });
+        if values <> [] then
+          yield (S.Scramble { at; values = [ List.hd values ]; net_garbage })
+    | S.Drop_prob { at; p } ->
+        if p > 0.0 then yield (S.Drop_prob { at; p = p /. 2.0 })
+    | S.Partition { at; _ } -> yield (S.Heal { at })
+    | S.Heal _ -> ()
+
+  let arb_event ~n ~horizon =
+    QCheck.make ~shrink:shrink_event
+      ~print:(fun e ->
+        Ssba_sim.Json.to_string (Ssba_fuzz.Spec.to_json
+          {
+            Ssba_fuzz.Spec.name = "event";
+            seed = 0;
+            n;
+            f = Ssba_core.Params.max_faults n;
+            delay = Ssba_fuzz.Spec.Fixed 0.001;
+            clocks = S.Perfect;
+            cast = [];
+            proposals = [];
+            events = [ e ];
+            horizon;
+          }))
+      (gen_event ~n ~horizon)
+
+  let gen_strategy ~n : C.t G.t =
+    G.map
+      (fun seed ->
+        let rng = Ssba_sim.Rng.create seed in
+        C.generate rng ~values ~at_lo:0.0 ~at_hi:1.0 ~n)
+      G.(int_bound 0x3FFFFFFF)
+
+  let arb_strategy ~n =
+    QCheck.make
+      ~shrink:(fun c yield -> List.iter yield (C.simplify c))
+      ~print:(Fmt.to_to_string C.pp) (gen_strategy ~n)
+
+  (* Roles wrap strategies in behaviours (closures) and so print/shrink via
+     the catalog entry they came from. *)
+  let gen_role ~n ~d : S.role G.t =
+    G.oneof
+      [
+        G.return S.Correct;
+        G.map (fun c -> S.Byzantine (C.to_behavior ~d c)) (gen_strategy ~n);
+      ]
+
+  let gen_clocks ~rho : S.clocks G.t =
+    G.oneof
+      [
+        G.return S.Perfect;
+        G.map2
+          (fun rho max_offset -> S.Drifting { rho; max_offset })
+          (G.float_range 0.0 rho) (G.float_range 0.0 0.2);
+      ]
+
+  let gen_delay ~delta : Ssba_fuzz.Spec.delay G.t =
+    let open G in
+    oneof
+      [
+        map (fun x -> Ssba_fuzz.Spec.Fixed x) (float_range 0.0 delta);
+        map2
+          (fun lo w -> Ssba_fuzz.Spec.Uniform { lo; hi = lo +. w })
+          (float_range 0.0 delta) (float_range 0.0 delta);
+        map3
+          (fun fast w slow_prob ->
+            Ssba_fuzz.Spec.Bimodal { fast; slow = fast +. w; slow_prob })
+          (float_range 0.0 delta) (float_range 0.0 delta) (float_range 0.0 1.0);
+      ]
+
+  (* A whole generated spec, addressed by generator seed: the property suite
+     checks Gen.spec's output invariants over these. *)
+  let gen_spec ?(config = Ssba_fuzz.Gen.default_config) () :
+      Ssba_fuzz.Spec.t G.t =
+    G.map
+      (fun seed -> Ssba_fuzz.Gen.spec (Ssba_sim.Rng.create seed) config)
+      G.(int_bound 0x3FFFFFFF)
+
+  let arb_spec ?config () =
+    QCheck.make
+      ~print:(fun s -> Ssba_sim.Json.to_string (Ssba_fuzz.Spec.to_json s))
+      (gen_spec ?config ())
+end
+
 (* Alcotest shorthands. *)
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)

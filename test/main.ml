@@ -30,5 +30,6 @@ let () =
       ("channels", Test_channels.suite);
       ("separation", Test_separation.suite);
       ("replicated-log", Test_replicated_log.suite);
+      ("fuzz", Test_fuzz.suite);
       ("soak", Test_soak.suite);
     ]

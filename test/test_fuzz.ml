@@ -1,0 +1,213 @@
+(* Fuzzer tests: generator validity properties (over the QCheck arbitraries
+   in Helpers.Q), JSON replay round-trips, result-digest reproduction, the
+   bounded smoke campaign that wires fuzzing into tier-1, and the
+   end-to-end check that a deliberately weakened deadline oracle is caught
+   and shrunk to a minimal scenario. *)
+
+open Helpers
+module F = Ssba_fuzz
+module S = Ssba_harness.Scenario
+module C = Ssba_adversary.Catalog
+
+(* --- generator validity properties --- *)
+
+let prop_specs_validate =
+  QCheck.Test.make ~name:"generated specs validate" ~count:60
+    (Q.arb_spec ())
+    (fun spec ->
+      match F.Spec.validate spec with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "invalid spec: %s" e)
+
+let prop_cast_respects_resilience =
+  QCheck.Test.make ~name:"casts respect f < n/3" ~count:60
+    (Q.arb_spec ())
+    (fun spec ->
+      3 * spec.F.Spec.f < spec.F.Spec.n
+      && List.length spec.F.Spec.cast <= spec.F.Spec.f)
+
+let prop_events_sorted_in_horizon =
+  QCheck.Test.make ~name:"events sorted and in-horizon" ~count:60
+    (Q.arb_spec ())
+    (fun spec ->
+      let ts = List.map F.Spec.event_time spec.F.Spec.events in
+      List.sort compare ts = ts
+      && List.for_all (fun t -> t >= 0.0 && t <= spec.F.Spec.horizon) ts)
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"spec JSON round-trip is identity" ~count:60
+    (Q.arb_spec ())
+    (fun spec ->
+      let j = Ssba_sim.Json.to_string (F.Spec.to_json spec) in
+      match F.Spec.of_json (Ssba_sim.Json.of_string j) with
+      | Ok spec' -> spec' = spec
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let prop_event_roundtrip =
+  QCheck.Test.make ~name:"event JSON round-trip is identity" ~count:100
+    (Q.arb_event ~n:7 ~horizon:2.0)
+    (fun e ->
+      let spec =
+        {
+          F.Spec.name = "event";
+          seed = 0;
+          n = 7;
+          f = 2;
+          delay = F.Spec.Fixed 0.001;
+          clocks = S.Perfect;
+          cast = [];
+          proposals = [];
+          events = [ e ];
+          horizon = 2.0;
+        }
+      in
+      match F.Spec.of_json (F.Spec.to_json spec) with
+      | Ok spec' -> spec'.F.Spec.events = [ e ]
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let prop_strategy_simplifies_to_silent =
+  QCheck.Test.make ~name:"strategy shrinking terminates at silent" ~count:100
+    (Q.arb_strategy ~n:7)
+    (fun c ->
+      let rec descend c steps =
+        if steps > 10 then false
+        else
+          match C.simplify c with [] -> c = C.Silent | c' :: _ -> descend c' (steps + 1)
+      in
+      descend c 0)
+
+(* --- catalog/behaviour consistency --- *)
+
+let test_catalog_names () =
+  let rng = Ssba_sim.Rng.create 7 in
+  for _ = 1 to 50 do
+    let c =
+      C.generate rng ~values:[ "a"; "b" ] ~at_lo:0.0 ~at_hi:1.0 ~n:7
+    in
+    check_str "catalog name matches instantiated behaviour" (C.name c)
+      (Ssba_adversary.Behavior.name (C.to_behavior ~d:0.0011 c))
+  done
+
+(* --- replay: files and digests --- *)
+
+let test_replay_file_roundtrip () =
+  let spec =
+    F.Campaign.spec_of_iteration ~seed:42 ~gen:F.Gen.default_config 3
+  in
+  let path = Filename.temp_file "ssba-fuzz" ".json" in
+  F.Spec.save path spec;
+  (match F.Spec.load path with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok spec' ->
+      check_bool "spec -> file -> spec is identity" true (spec' = spec);
+      let _, r1 = F.Oracle.run spec in
+      let _, r2 = F.Oracle.run spec' in
+      check_str "replayed run reproduces the result digest" r1.F.Oracle.digest
+        r2.F.Oracle.digest);
+  Sys.remove path
+
+let test_run_digest_deterministic () =
+  let spec =
+    F.Campaign.spec_of_iteration ~seed:11 ~gen:F.Gen.default_config 0
+  in
+  let r1 = Ssba_harness.Runner.run (F.Spec.to_scenario spec) in
+  let r2 = Ssba_harness.Runner.run (F.Spec.to_scenario spec) in
+  check_str "two runs of one spec share a digest"
+    (Ssba_harness.Checks.result_digest r1)
+    (Ssba_harness.Checks.result_digest r2)
+
+(* --- the bounded smoke campaign (tier-1's fuzzing exposure) --- *)
+
+let smoke_config =
+  {
+    F.Campaign.default_config with
+    F.Campaign.seed = 42;
+    runs = 50;
+    shrink = false;
+  }
+
+let test_smoke_campaign () =
+  let s = F.Campaign.run smoke_config in
+  check_int "all 50 scenarios executed" 50 s.F.Campaign.executed;
+  List.iter
+    (fun (fc : F.Campaign.failure_case) ->
+      List.iter
+        (fun f ->
+          Fmt.epr "iteration %d: %a@." fc.F.Campaign.index F.Oracle.pp_failure f)
+        fc.F.Campaign.report.F.Oracle.failures)
+    s.F.Campaign.failed;
+  check_int "no oracle failures over the smoke corpus" 0
+    (List.length s.F.Campaign.failed)
+
+let test_campaign_deterministic () =
+  let s1 = F.Campaign.run { smoke_config with F.Campaign.runs = 15 } in
+  let s2 = F.Campaign.run { smoke_config with F.Campaign.runs = 15 } in
+  check_str "identical campaigns share a corpus digest"
+    s1.F.Campaign.corpus_digest s2.F.Campaign.corpus_digest
+
+(* --- the fuzzer catches and minimizes a real violation --- *)
+
+(* Weaken the Timeliness-1a deadline to 2% of the paper's 3d bound: every
+   multi-node decision now "violates" it, which proves the
+   generate -> judge -> shrink pipeline end to end. The shrunk scenario must
+   be small: the acceptance bar is <= 6 nodes and <= 3 events. *)
+let test_injected_violation_caught_and_shrunk () =
+  let config =
+    {
+      F.Campaign.default_config with
+      F.Campaign.seed = 4242;
+      runs = 25;
+      oracle =
+        { F.Oracle.default_config with F.Oracle.skew_deadline_scale = 0.02 };
+      shrink = true;
+    }
+  in
+  let s = F.Campaign.run config in
+  match s.F.Campaign.failed with
+  | [] -> Alcotest.fail "weakened deadline oracle caught nothing"
+  | fc :: _ -> (
+      check_bool "failure is the injected deadline" true
+        (List.exists
+           (fun (f : F.Oracle.failure) -> f.F.Oracle.oracle = "timeliness-1a")
+           fc.F.Campaign.report.F.Oracle.failures);
+      (* the failing spec replays from its file byte-for-byte *)
+      let path = Filename.temp_file "ssba-fuzz-fail" ".json" in
+      F.Spec.save path fc.F.Campaign.spec;
+      (match F.Spec.load path with
+      | Error e -> Alcotest.failf "reload failed: %s" e
+      | Ok spec' ->
+          let _, r = F.Oracle.run ~config:config.F.Campaign.oracle spec' in
+          check_str "saved failing scenario reproduces its digest"
+            fc.F.Campaign.report.F.Oracle.digest r.F.Oracle.digest;
+          check_bool "saved failing scenario still fails" true (F.Oracle.failed r));
+      Sys.remove path;
+      match fc.F.Campaign.shrunk with
+      | None -> Alcotest.fail "no shrink result"
+      | Some (spec, report, stats) ->
+          check_bool "shrunk scenario still fails" true (F.Oracle.failed report);
+          check_bool
+            (Printf.sprintf "shrunk to <= 6 nodes (got %d)" spec.F.Spec.n)
+            true (spec.F.Spec.n <= 6);
+          check_bool
+            (Printf.sprintf "shrunk to <= 3 events (got %d)"
+               (List.length spec.F.Spec.events))
+            true
+            (List.length spec.F.Spec.events <= 3);
+          check_bool "shrinker did some work" true (stats.F.Shrink.attempts > 0))
+
+let suite =
+  [
+    qcheck prop_specs_validate;
+    qcheck prop_cast_respects_resilience;
+    qcheck prop_events_sorted_in_horizon;
+    qcheck prop_json_roundtrip;
+    qcheck prop_event_roundtrip;
+    qcheck prop_strategy_simplifies_to_silent;
+    case "catalog names match behaviours" test_catalog_names;
+    case "replay file round-trips and reproduces the digest" test_replay_file_roundtrip;
+    case "run digest is deterministic" test_run_digest_deterministic;
+    slow_case "smoke campaign: 50 scenarios, seed 42, no failures" test_smoke_campaign;
+    case "campaign corpus digest is deterministic" test_campaign_deterministic;
+    slow_case "injected deadline violation is caught and shrunk"
+      test_injected_violation_caught_and_shrunk;
+  ]

@@ -104,9 +104,46 @@ let test_minimal_cluster () =
   check_int "3 of 4 decide with 1 crashed" 3
     (List.length (Cluster.decided_values c))
 
+(* A deep fuzzing batch: 500 scenarios with a larger cast/disruption budget
+   than the tier-1 smoke run. Gated behind SSBA_SOAK=1 so `dune runtest`
+   stays fast; run it with `SSBA_SOAK=1 dune runtest` (or via the ssba-fuzz
+   CLI directly for ad-hoc campaigns). *)
+let test_fuzz_batch () =
+  match Sys.getenv_opt "SSBA_SOAK" with
+  | Some "1" ->
+      let module F = Ssba_fuzz in
+      let config =
+        {
+          F.Campaign.default_config with
+          F.Campaign.seed = 2026;
+          runs = 500;
+          gen =
+            {
+              F.Gen.default_config with
+              F.Gen.max_n = 13;
+              max_cast = 4;
+              max_disruptions = 3;
+            };
+        }
+      in
+      let s = F.Campaign.run config in
+      check_int "all 500 soak scenarios executed" 500 s.F.Campaign.executed;
+      List.iter
+        (fun (fc : F.Campaign.failure_case) ->
+          List.iter
+            (fun f ->
+              Fmt.epr "soak iteration %d: %a@." fc.F.Campaign.index
+                F.Oracle.pp_failure f)
+            fc.F.Campaign.report.F.Oracle.failures)
+        s.F.Campaign.failed;
+      check_int "no oracle failures over the soak corpus" 0
+        (List.length s.F.Campaign.failed)
+  | _ -> Fmt.epr "fuzz batch skipped (set SSBA_SOAK=1 to enable)@."
+
 let suite =
   [
     slow_case "long-haul recurrent agreements" test_long_haul_recurrent_agreements;
     slow_case "large cluster (n=31)" test_large_cluster_integration;
     case "minimal cluster (n=4, f=1)" test_minimal_cluster;
+    slow_case "fuzzer batch (SSBA_SOAK=1)" test_fuzz_batch;
   ]
