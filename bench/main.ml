@@ -115,6 +115,38 @@ let e6 () =
 
 let e7 () = run_correct_general ~n:16 ~seed:7 ()
 
+(* ----- transport workloads ---------------------------------------------- *)
+
+(* One framed agreement over a link with persistent loss p; with transport,
+   params are rebuilt at delta_eff exactly as Spec.params does. *)
+let lossy_scenario ~n ~seed ~p ~transport () =
+  let base = Params.default n in
+  let tcfg =
+    Ssba_transport.Transport.config ~rto:(3.0 *. base.Params.delta) ()
+  in
+  let params =
+    if transport && p > 0.0 then
+      Params.default
+        ~delta:
+          (Params.delta_eff ~delta:base.Params.delta ~p
+             ~rto:tcfg.Ssba_transport.Transport.rto
+             ~retries:tcfg.Ssba_transport.Transport.retries)
+        n
+    else base
+  in
+  let events = if p > 0.0 then [ H.Scenario.Loss { at = 0.0; p } ] else [] in
+  H.Scenario.default ~name:"bench-transport" ~seed ~events
+    ?transport:(if transport then Some tcfg else None)
+    ~proposals:[ { H.Scenario.g = 0; v = "m"; at = 0.05 } ]
+    ~horizon:(0.05 +. (2.0 *. params.Params.delta_agr))
+    params
+
+let transport_clean () =
+  ignore (H.Runner.run (lossy_scenario ~n:7 ~seed:9 ~p:0.0 ~transport:true ()))
+
+let transport_lossy () =
+  ignore (H.Runner.run (lossy_scenario ~n:7 ~seed:9 ~p:0.3 ~transport:true ()))
+
 let e8 () =
   let n = 7 in
   let params = Params.default n in
@@ -196,6 +228,8 @@ let tests =
       Test.make ~name:"e6_early_stop (round stretcher)" (Staged.stage e6);
       Test.make ~name:"e7_msg_complexity (n=16 agreement)" (Staged.stage e7);
       Test.make ~name:"e8_pulse (3 cycles)" (Staged.stage e8);
+      Test.make ~name:"transport clean (n=7 framed)" (Staged.stage transport_clean);
+      Test.make ~name:"transport lossy p=0.3 (n=7)" (Staged.stage transport_lossy);
       Test.make ~name:"engine 1k events" (Staged.stage engine_throughput);
       Test.make ~name:"recv_log 200 window queries" (Staged.stage recv_log_queries);
       Test.make ~name:"rng 10k floats" (Staged.stage rng_stream);
@@ -228,10 +262,58 @@ let benchmark () =
          H.Table.add_row tbl [ name; cell ]);
   H.Table.print tbl
 
+(* Machine-readable transport benchmark: one framed agreement per loss rate
+   (and an unframed p=0 baseline), with full message accounting, written to
+   BENCH_transport.json for CI trend tracking. *)
+let bench_transport_json path =
+  let module J = Ssba_sim.Json in
+  let row ~p ~transport =
+    let t0 = Sys.time () in
+    let res = H.Runner.run (lossy_scenario ~n:7 ~seed:9 ~p ~transport ()) in
+    let cpu_ms = (Sys.time () -. t0) *. 1e3 in
+    let decided =
+      List.length
+        (List.filter
+           (fun (r : Core.Types.return_info) ->
+             match r.Core.Types.outcome with
+             | Core.Types.Decided _ -> true
+             | Core.Types.Aborted -> false)
+           res.H.Runner.returns)
+    in
+    J.Obj
+      [
+        ("n", J.Num 7.0);
+        ("loss_p", J.Num p);
+        ("transport", J.Bool transport);
+        ("decided", J.Num (float_of_int decided));
+        ("sent", J.Num (float_of_int res.H.Runner.messages_sent));
+        ("delivered", J.Num (float_of_int res.H.Runner.messages_delivered));
+        ("dropped", J.Num (float_of_int res.H.Runner.messages_dropped));
+        ("retransmits", J.Num (float_of_int res.H.Runner.transport_retransmits));
+        ( "dup_suppressed",
+          J.Num (float_of_int res.H.Runner.transport_dup_suppressed) );
+        ("expired", J.Num (float_of_int res.H.Runner.transport_expired));
+        ("cpu_ms", J.Num cpu_ms);
+      ]
+  in
+  let rows =
+    row ~p:0.0 ~transport:false
+    :: List.concat_map
+         (fun p -> [ row ~p ~transport:true ])
+         [ 0.0; 0.1; 0.3 ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string (J.Obj [ ("transport_bench", J.Arr rows) ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "transport benchmark written to %s\n%!" path
+
 let () =
   print_endline "## Bechamel benchmarks (one per experiment + substrates)";
   print_endline "";
   benchmark ();
+  print_endline "";
+  bench_transport_json "BENCH_transport.json";
   print_endline "";
   print_endline "## Experiment tables (paper reproduction, see EXPERIMENTS.md)";
   Ssba_harness.Experiments.run_all ()

@@ -14,6 +14,7 @@ let experiments =
     ("e7", "message complexity", fun () -> Ssba_harness.Experiments.e7_msg_complexity ());
     ("e8", "pulse synchronization", fun () -> Ssba_harness.Experiments.e8_pulse ());
     ("e9", "primitive-level properties", fun () -> Ssba_harness.Experiments.e9_invariants ());
+    ("e10", "lossy links with/without transport", fun () -> Ssba_harness.Experiments.e10_lossy_links ());
   ]
 
 let () =

@@ -68,11 +68,12 @@ let rebuild seed iteration =
   if report.F.Oracle.failures = [] then 0 else 1
 
 let fuzz seed runs time_budget replay_file iteration out max_n max_disruptions
-    no_shrink verbose =
+    lossy no_shrink verbose =
   match (replay_file, iteration) with
   | Some path, _ -> replay path
   | None, Some i -> rebuild seed i
   | None, None ->
+      let base_gen = if lossy then F.Gen.lossy_config else F.Gen.default_config in
       let config =
         {
           F.Campaign.default_config with
@@ -82,10 +83,10 @@ let fuzz seed runs time_budget replay_file iteration out max_n max_disruptions
           shrink = not no_shrink;
           gen =
             {
-              F.Gen.default_config with
+              base_gen with
               F.Gen.max_n = max max_n 4;
               max_disruptions;
-              disruptions = max_disruptions > 0;
+              disruptions = base_gen.F.Gen.disruptions && max_disruptions > 0;
             };
         }
       in
@@ -161,6 +162,16 @@ let max_disruptions_arg =
           "Max crash/loss/partition/scramble groups per scenario (0 disables \
            environment events).")
 
+let lossy_arg =
+  Arg.(
+    value & flag
+    & info [ "lossy" ]
+        ~doc:
+          "Fuzz over persistently lossy/duplicating/reordering links with \
+           the reliable transport enabled (Gen.lossy_config); transient \
+           disruptions are off so Validity/Termination are checked on every \
+           scenario.")
+
 let no_shrink_arg =
   Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures unminimized.")
 
@@ -173,7 +184,7 @@ let cmd =
     (Cmd.info "ssba-fuzz" ~doc)
     Term.(
       const fuzz $ seed_arg $ runs_arg $ time_budget_arg $ replay_arg
-      $ iteration_arg $ out_arg $ max_n_arg $ max_disruptions_arg
+      $ iteration_arg $ out_arg $ max_n_arg $ max_disruptions_arg $ lossy_arg
       $ no_shrink_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

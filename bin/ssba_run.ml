@@ -24,8 +24,29 @@ let attacks =
   ]
 
 let run n seed general value attack scramble propose_at horizon trace_flag
-    trace_out metrics_out realtime =
-  let params = Core.Params.default n in
+    trace_out metrics_out realtime transport_flag rto loss dup reorder =
+  let base = Core.Params.default n in
+  let transport =
+    if transport_flag then
+      Some
+        (Ssba_transport.Transport.config
+           ~rto:(Option.value rto ~default:(3.0 *. base.Core.Params.delta))
+           ())
+    else None
+  in
+  (* With the transport masking a lossy link, the timeout cascade must be
+     built at the effective delay bound — same derivation as Spec.params. *)
+  let params =
+    match transport with
+    | Some c when loss > 0.0 ->
+        Core.Params.default
+          ~delta:
+            (Core.Params.delta_eff ~delta:base.Core.Params.delta ~p:loss
+               ~rto:c.Ssba_transport.Transport.rto
+               ~retries:c.Ssba_transport.Transport.retries)
+          n
+    | Some _ | None -> base
+  in
   (match Core.Params.validate params with
   | Ok () -> ()
   | Error e ->
@@ -63,8 +84,17 @@ let run n seed general value attack scramble propose_at horizon trace_flag
           [ { H.Scenario.g = general; v = value; at = propose_at } ] )
   in
   let events =
-    if scramble then
-      [ H.Scenario.Scramble { at = 0.0; values = [ value; "x"; "y" ]; net_garbage = 100 } ]
+    (if scramble then
+       [ H.Scenario.Scramble { at = 0.0; values = [ value; "x"; "y" ]; net_garbage = 100 } ]
+     else [])
+    @ (if loss > 0.0 then [ H.Scenario.Loss { at = 0.0; p = loss } ] else [])
+    @ (if dup > 0.0 then [ H.Scenario.Duplicate { at = 0.0; p = dup } ] else [])
+    @
+    if reorder > 0.0 then
+      [
+        H.Scenario.Reorder
+          { at = 0.0; prob = reorder; extra = 2.0 *. base.Core.Params.delta };
+      ]
     else []
   in
   let horizon =
@@ -75,7 +105,7 @@ let run n seed general value attack scramble propose_at horizon trace_flag
   let sc =
     H.Scenario.default ~name:"cli" ~seed ~roles ~proposals ~events ~horizon
       ~record_trace:(trace_flag || trace_out <> None)
-      params
+      ?transport params
   in
   (match realtime with
   | None -> ()
@@ -109,6 +139,12 @@ let run n seed general value attack scramble propose_at horizon trace_flag
   Fmt.pr "messages sent: %d (delivered %d, dropped %d, in flight %d)@."
     res.H.Runner.messages_sent res.H.Runner.messages_delivered
     res.H.Runner.messages_dropped res.H.Runner.messages_in_flight;
+  if res.H.Runner.messages_duplicated <> 0 || transport <> None then
+    Fmt.pr
+      "lossy link: duplicated %d; transport: retransmits %d, dup-suppressed \
+       %d, expired %d@."
+      res.H.Runner.messages_duplicated res.H.Runner.transport_retransmits
+      res.H.Runner.transport_dup_suppressed res.H.Runner.transport_expired;
   List.iter
     (fun (k, c) -> Fmt.pr "  %-10s %d@." k c)
     res.H.Runner.messages_by_kind;
@@ -200,6 +236,42 @@ let realtime_arg =
            agreement down to human speed)."
         ~docv:"SPEED")
 
+let transport_arg =
+  Arg.(
+    value & flag
+    & info [ "transport" ]
+        ~doc:
+          "Run all traffic through the reliable transport (per-link sequence \
+           numbers, ack-driven retransmission, dedup); the timeout cascade \
+           is rebuilt at delta_eff when --loss is also given.")
+
+let rto_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "rto" ] ~docv:"SEC"
+        ~doc:"Transport retransmission timeout (default: 3 delta).")
+
+let loss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P"
+        ~doc:"Persistent per-message loss probability, from time 0.")
+
+let dup_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup" ] ~docv:"P"
+        ~doc:"Persistent per-message duplication probability, from time 0.")
+
+let reorder_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "reorder" ] ~docv:"P"
+        ~doc:
+          "Persistent reordering probability (stretches a delivery by up to \
+           2 delta), from time 0.")
+
 let cmd =
   let doc = "run one self-stabilizing Byzantine agreement scenario" in
   Cmd.v
@@ -207,6 +279,7 @@ let cmd =
     Term.(
       const run $ n_arg $ seed_arg $ general_arg $ value_arg $ attack_arg
       $ scramble_arg $ propose_at_arg $ horizon_arg $ trace_arg
-      $ trace_out_arg $ metrics_out_arg $ realtime_arg)
+      $ trace_out_arg $ metrics_out_arg $ realtime_arg $ transport_arg
+      $ rto_arg $ loss_arg $ dup_arg $ reorder_arg)
 
 let () = exit (Cmd.eval cmd)

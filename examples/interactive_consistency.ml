@@ -69,7 +69,7 @@ let () =
       params;
       engine;
       rng = Sim.Rng.split rng;
-      net;
+      link = Net.Network.link net;
       clock = Sim.Clock.perfect;
     };
   let _ = Sim.Engine.run ~until:1.0 engine in

@@ -14,7 +14,9 @@ type env = {
   params : Ssba_core.Params.t;
   engine : Ssba_sim.Engine.t;
   rng : Ssba_sim.Rng.t;
-  net : message Ssba_net.Network.t;
+  link : message Ssba_net.Link.t;
+      (* the same sending surface correct nodes use: the raw network, or the
+         reliable transport when the scenario runs over a faulty link *)
   clock : Ssba_sim.Clock.t;
 }
 
@@ -26,11 +28,11 @@ let install t env = t.install env
 
 (* Helpers shared by concrete strategies. *)
 
-let send env ~dst payload = Ssba_net.Network.send env.net ~src:env.self ~dst payload
+let send env ~dst payload = Ssba_net.Link.send env.link ~src:env.self ~dst payload
 
 let send_to env ~dsts payload = List.iter (fun dst -> send env ~dst payload) dsts
 
-let send_all env payload = Ssba_net.Network.broadcast env.net ~src:env.self payload
+let send_all env payload = Ssba_net.Link.broadcast env.link ~src:env.self payload
 
 let at env ~time f = Ssba_sim.Engine.schedule env.engine ~at:time f
 
@@ -43,7 +45,7 @@ let every env ~period f =
   in
   Ssba_sim.Engine.schedule_after env.engine ~delay:period tick
 
-let on_message env f = Ssba_net.Network.set_handler env.net env.self f
+let on_message env f = Ssba_net.Link.set_handler env.link env.self f
 
 let trace env event = Ssba_sim.Engine.record env.engine ~node:env.self event
 

@@ -11,7 +11,8 @@ type env = {
   params : Ssba_core.Params.t;
   engine : Ssba_sim.Engine.t;
   rng : Ssba_sim.Rng.t;
-  net : message Ssba_net.Network.t;
+  link : message Ssba_net.Link.t;
+      (** the same sending surface correct nodes use (network or transport) *)
   clock : Ssba_sim.Clock.t;
 }
 

@@ -13,13 +13,16 @@ module Trace = Ssba_sim.Trace
 module Metrics = Ssba_sim.Metrics
 
 type net = message Ssba_net.Network.t
+type link = message Ssba_net.Link.t
 
 type t = {
   id : node_id;
   params : Params.t;
   clock : Clock.t;
   engine : Engine.t;
-  net : net;
+  link : link;
+      (* the sending surface: the raw network, or a reliable transport
+         session when the scenario runs over a persistently faulty link *)
   channels : int;
       (* concurrent-invocation support (paper footnote 9): logical General
          ids range over [0, n * channels); logical g maps to physical node
@@ -56,7 +59,7 @@ let ctx_of t =
     params = t.params;
     self = t.id;
     local_time = (fun () -> local_time t);
-    send_all = (fun msg -> Ssba_net.Network.broadcast t.net ~src:t.id msg);
+    send_all = (fun msg -> Ssba_net.Link.broadcast t.link ~src:t.id msg);
     after_local =
       (fun dl f ->
         Engine.schedule_after t.engine ~delay:(Clock.real_of_local_duration t.clock dl) f);
@@ -123,7 +126,7 @@ let start_cleanup t =
     tick ()
   end
 
-let create ?(channels = 1) ~id ~params ~clock ~engine ~net () =
+let create_on ?(channels = 1) ~id ~params ~clock ~engine ~link () =
   if channels < 1 then invalid_arg "Node.create: channels must be >= 1";
   let t =
     {
@@ -131,7 +134,7 @@ let create ?(channels = 1) ~id ~params ~clock ~engine ~net () =
       params;
       clock;
       engine;
-      net;
+      link;
       channels;
       instances = Hashtbl.create 4;
       returns = [];
@@ -152,9 +155,12 @@ let create ?(channels = 1) ~id ~params ~clock ~engine ~net () =
           (Printf.sprintf "node%d.returns.aborted" id);
     }
   in
-  Ssba_net.Network.set_handler net id (fun env -> handle_envelope t env);
+  Ssba_net.Link.set_handler link id (fun env -> handle_envelope t env);
   start_cleanup t;
   t
+
+let create ?channels ~id ~params ~clock ~engine ~net () =
+  create_on ?channels ~id ~params ~clock ~engine ~link:(Ssba_net.Network.link net) ()
 
 (* ----- the General role ------------------------------------------------ *)
 
@@ -236,7 +242,7 @@ let propose ?(channel = 0) t v =
     Engine.record t.engine ~node:t.id (Trace.Propose { g = logical; v });
     (* Block Q0: send (Initiator, G, m) to all — the General invokes via its
        own self-addressed copy, like every other node. *)
-    Ssba_net.Network.broadcast t.net ~src:t.id (Initiator { g = logical; v });
+    Ssba_net.Link.broadcast t.link ~src:t.id (Initiator { g = logical; v });
     watch_own_invocation t ~logical;
     Ok ()
   end

@@ -6,6 +6,7 @@ open Types
 
 type t
 type net = message Ssba_net.Network.t
+type link = message Ssba_net.Link.t
 
 type propose_error =
   | Too_soon  (** [IG1]: within [Delta_0] of the previous initiation *)
@@ -30,6 +31,18 @@ val create :
   clock:Ssba_sim.Clock.t ->
   engine:Ssba_sim.Engine.t ->
   net:net ->
+  unit ->
+  t
+
+(** Like {!create}, but over an arbitrary sending surface — the raw network
+    or a reliable transport session ([Ssba_transport.Transport.link]). *)
+val create_on :
+  ?channels:int ->
+  id:node_id ->
+  params:Params.t ->
+  clock:Ssba_sim.Clock.t ->
+  engine:Ssba_sim.Engine.t ->
+  link:link ->
   unit ->
   t
 

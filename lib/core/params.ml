@@ -74,6 +74,31 @@ let default ?f ?(delta = 0.001) ?(pi = 0.0001) ?(rho = 1e-4) n =
   let f = match f with Some f -> f | None -> max_faults n in
   make ~n ~f ~delta ~pi ~rho
 
+(* Effective delay bound over a lossy link masked by the reliable transport
+   (lib/transport). A frame lost with probability [p] is retransmitted on an
+   exponential backoff schedule rto, 2·rto, 4·rto, …; after [retries]
+   retransmissions the last attempt leaves the sender at
+   rto + 2·rto + … + 2^(retries-1)·rto = rto·(2^retries - 1) past the
+   original send, and arrives at most [delta] later. So once the network is
+   otherwise coherent, a payload the transport does deliver is delivered
+   within delta + rto·(2^retries - 1); instantiating the paper's cascade at
+   that bound keeps every timeout sound over the lossy link. With p = 0 the
+   transport never retransmits on the success path and delta stands. *)
+let delta_eff ~delta ~p ~rto ~retries =
+  if p <= 0.0 then delta
+  else begin
+    if rto <= 0.0 then invalid_arg "Params.delta_eff: rto must be positive";
+    if retries < 0 then invalid_arg "Params.delta_eff: retries must be >= 0";
+    delta +. (rto *. (ldexp 1.0 retries -. 1.0))
+  end
+
+(* Probability that a payload is never delivered at all: the initial attempt
+   and every one of the [retries] retransmissions must be lost
+   independently. Campaigns pick [retries] to push this below the scale of
+   the corpus (e.g. p = 0.3, retries = 12 gives 0.3^13 ~ 1.6e-7). *)
+let residual_loss ~p ~retries =
+  if p <= 0.0 then 0.0 else p ** float_of_int (retries + 1)
+
 let validate t =
   if t.n <= 3 * t.f then
     Error (Printf.sprintf "resilience violated: n = %d <= 3f = %d" t.n (3 * t.f))

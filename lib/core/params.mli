@@ -33,6 +33,19 @@ val max_faults : int -> int
     drift, overridable per argument. *)
 val default : ?f:int -> ?delta:float -> ?pi:float -> ?rho:float -> int -> t
 
+(** [delta_eff ~delta ~p ~rto ~retries] is the effective message-delay bound
+    over a link that loses each frame with probability [p], masked by the
+    reliable transport's retransmission (timeout [rto], exponential backoff,
+    at most [retries] retransmissions):
+    [delta + rto * (2^retries - 1)] when [p > 0], else [delta].
+    Instantiate the cascade (via {!make} or {!default}) at this bound to keep
+    the paper's timeouts sound over a persistently lossy link. *)
+val delta_eff : delta:float -> p:float -> rto:float -> retries:int -> float
+
+(** [residual_loss ~p ~retries = p^(retries+1)] — the probability the
+    transport exhausts its retry budget and the payload is never delivered. *)
+val residual_loss : p:float -> retries:int -> float
+
 (** Check the [n > 3f] resilience condition. *)
 val validate : t -> (unit, string) result
 

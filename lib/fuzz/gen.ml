@@ -12,6 +12,7 @@ module Rng = Ssba_sim.Rng
 module P = Ssba_core.Params
 module S = Ssba_harness.Scenario
 module C = Ssba_adversary.Catalog
+module T = Ssba_transport.Transport
 
 type config = {
   min_n : int;
@@ -21,6 +22,8 @@ type config = {
   max_disruptions : int;
   values : value list;
   disruptions : bool;
+  transport : T.config option;
+  max_link_faults : int;
 }
 
 let default_config =
@@ -32,6 +35,23 @@ let default_config =
     max_disruptions = 2;
     values = [ "alpha"; "beta"; "gamma" ];
     disruptions = true;
+    transport = None;
+    max_link_faults = 0;
+  }
+
+(* The lossy campaign: every spec runs the transport over links with
+   persistent loss (p up to 0.3), duplication and reordering. Transient
+   disruptions are off so the only faults are the ones the transport claims
+   to mask — which keeps every generated spec in the oracle's "reliable"
+   class, i.e. Validity/Termination/Timeliness are checked on all of them.
+   rto = 3 delta covers a send plus its ack plus processing slack. *)
+let lossy_config =
+  let delta = (P.default 4).P.delta in
+  {
+    default_config with
+    disruptions = false;
+    transport = Some (T.config ~rto:(3.0 *. delta) ());
+    max_link_faults = 3;
   }
 
 let last_activity spec =
@@ -45,7 +65,12 @@ let last_activity spec =
 let min_horizon spec =
   let params = Spec.params spec in
   let tail =
-    if spec.Spec.events = [] then 0.0 else params.P.delta_stb
+    (* Only disruptions need the stabilization allowance; transport-masked
+       link faults don't suspend the guarantees (and their inflated
+       [delta_stb] would balloon the horizon for nothing). *)
+    if List.exists (Spec.disruptive spec) spec.Spec.events then
+      params.P.delta_stb
+    else 0.0
   in
   last_activity spec +. tail +. params.P.delta_agr +. (10.0 *. params.P.d)
 
@@ -122,6 +147,30 @@ let spec rng cfg =
             :: !events
     done
   end;
+  (* Persistent link faults, only meaningful under a transport: they start
+     early in the active window and never heal, so most of the run — the
+     agreements included — happens over the degraded link. *)
+  if cfg.max_link_faults > 0 && cfg.transport <> None then begin
+    let n_faults = Rng.int_in_range rng ~lo:1 ~hi:cfg.max_link_faults in
+    for _ = 1 to n_faults do
+      let at = Rng.float_in_range rng ~lo:0.01 ~hi:(0.5 *. active) in
+      let p () = Rng.float_in_range rng ~lo:0.05 ~hi:0.3 in
+      match Rng.int rng 3 with
+      | 0 -> events := S.Loss { at; p = p () } :: !events
+      | 1 -> events := S.Duplicate { at; p = p () } :: !events
+      | _ ->
+          events :=
+            S.Reorder
+              {
+                at;
+                prob = p ();
+                extra =
+                  Rng.float_in_range rng ~lo:params.P.delta
+                    ~hi:(5.0 *. params.P.delta);
+              }
+            :: !events
+    done
+  end;
   let events =
     List.stable_sort (fun a b -> compare (Spec.event_time a) (Spec.event_time b)) !events
   in
@@ -158,6 +207,7 @@ let spec rng cfg =
       cast;
       proposals;
       events;
+      transport = cfg.transport;
       horizon = 0.0;
     }
   in

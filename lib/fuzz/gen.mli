@@ -12,12 +12,24 @@ type config = {
   max_n : int;
   max_cast : int;  (** cap on Byzantine count (further capped by [f]) *)
   max_proposals : int;
-  max_disruptions : int;  (** crash/loss/partition/scramble groups *)
+  max_disruptions : int;  (** crash/drop/partition/scramble groups *)
   values : Ssba_core.Types.value list;  (** payload vocabulary *)
-  disruptions : bool;  (** allow environment events at all *)
+  disruptions : bool;  (** allow transient environment events at all *)
+  transport : Ssba_transport.Transport.config option;
+      (** run every generated spec over the reliable transport *)
+  max_link_faults : int;
+      (** cap on persistent [Loss]/[Duplicate]/[Reorder] events; only
+          generated when [transport] is set (they never heal, so without the
+          transport the run would leave the paper's model permanently) *)
 }
 
 val default_config : config
+
+(** [default_config] plus a transport and persistent link faults (loss up to
+    p = 0.3, duplication, reordering), transient disruptions off — every
+    spec stays in the oracle's strictest class, so Validity/Termination are
+    checked under permanently degraded links. *)
+val lossy_config : config
 
 (** Draw one spec. *)
 val spec : Ssba_sim.Rng.t -> config -> Spec.t

@@ -1,12 +1,15 @@
 (** The fuzzer's verdict on one spec: run it and check every property the
     paper entitles us to under that spec's fault mix.
 
-    Always checked: message conservation, and the pairwise Agreement oracle
-    evaluated after the run's re-stabilization point (last disruptive event
-    plus [Delta_stb]; from the start if the spec has no events). On calm
-    specs (no environment events — Byzantine casts are fine), additionally:
-    the {!Ssba_harness.Invariants} IA/TPS monitor, and per accepted proposal
-    Validity, Termination and the Timeliness-1a decision-skew deadline. *)
+    Always checked: message conservation. The pairwise Agreement oracle runs
+    after the run's re-stabilization point (last disruptive event plus
+    [Delta_stb]; from the start if nothing disrupts) — skipped only when
+    persistent link faults run without a transport, since such a run never
+    returns to the paper's model. On "reliable" specs — no disruptive events
+    at all, which includes transport-masked [Loss]/[Duplicate]/[Reorder] —
+    additionally, per accepted proposal: Validity, Termination and the
+    Timeliness-1a decision-skew deadline. On calm specs (no events of any
+    kind) the {!Ssba_harness.Invariants} IA/TPS monitor runs too. *)
 
 type failure = { oracle : string; detail : string }
 
@@ -22,6 +25,12 @@ type config = {
       (** scales the Timeliness-1a 3d decision-skew deadline; 1.0 is the
           paper's bound, smaller values deliberately weaken the oracle's
           tolerance (used to prove the fuzzer catches violations) *)
+  assume_coherent : bool;
+      (** pretend every link fault is masked even without a transport: run
+          the full reliable-class oracles regardless of the event schedule.
+          Unsound by design — it exists so the regression suite can show the
+          bare protocol losing Termination over persistently lossy links
+          that the transport would have masked *)
 }
 
 val default_config : config

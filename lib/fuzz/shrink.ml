@@ -93,12 +93,20 @@ let candidates spec =
     | S.Perfect -> []
     | S.Drifting _ -> [ { spec with clocks = S.Perfect } ]
   in
+  (* Strip the transport: only survives when the failure wasn't about the
+     lossy-link machinery (the oracle reclassifies the spec), but when it
+     does survive, the repro is much simpler. *)
+  let transport =
+    match spec.transport with
+    | None -> []
+    | Some _ -> [ { spec with transport = None } ]
+  in
   let horizon =
     let h = Gen.min_horizon spec in
     if h < spec.horizon *. 0.99 then [ { spec with horizon = h } ] else []
   in
   events @ proposals @ cast_drops @ cast_simpler @ retargets @ nodes @ delay
-  @ clocks @ horizon
+  @ clocks @ transport @ horizon
 
 let minimize ?config ?(max_attempts = 400) spec (report : Oracle.report) =
   let original_oracles =

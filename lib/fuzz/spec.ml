@@ -10,6 +10,7 @@ module J = Ssba_sim.Json
 module S = Ssba_harness.Scenario
 module C = Ssba_adversary.Catalog
 module P = Ssba_core.Params
+module T = Ssba_transport.Transport
 
 type delay =
   | Fixed of float
@@ -26,10 +27,35 @@ type t = {
   cast : (node_id * C.t) list;
   proposals : S.proposal list;
   events : S.event list;
+  transport : T.config option;
   horizon : float;
 }
 
-let params t = P.default ~f:t.f t.n
+let max_loss t =
+  List.fold_left
+    (fun acc -> function S.Loss { p; _ } -> Float.max acc p | _ -> acc)
+    0.0 t.events
+
+let max_reorder_extra t =
+  List.fold_left
+    (fun acc -> function S.Reorder { extra; _ } -> Float.max acc extra | _ -> acc)
+    0.0 t.events
+
+(* With a transport in the loop, the paper's timeout cascade must be built at
+   the effective delay bound: the base link delta, stretched by the worst
+   reordering extra the schedule installs, pushed through delta_eff for the
+   worst persistent loss rate. Without transport, the plain cascade. *)
+let params t =
+  match t.transport with
+  | None -> P.default ~f:t.f t.n
+  | Some c ->
+      let base = P.default ~f:t.f t.n in
+      let delta =
+        P.delta_eff
+          ~delta:(base.P.delta +. max_reorder_extra t)
+          ~p:(max_loss t) ~rto:c.T.rto ~retries:c.T.retries
+      in
+      P.default ~f:t.f ~delta t.n
 
 let compile_delay = function
   | Fixed x -> Ssba_net.Delay.fixed x
@@ -43,17 +69,32 @@ let to_scenario t =
     ~record_observations:true ~delay:(compile_delay t.delay) ~clocks:t.clocks
     ~roles:
       (List.map (fun (id, c) -> (id, S.Byzantine (C.to_behavior ~d c))) t.cast)
-    ~proposals:t.proposals ~events:t.events params
+    ~proposals:t.proposals ~events:t.events ?transport:t.transport params
 
 let event_time = function
   | S.Crash { at; _ } | S.Recover { at; _ } | S.Scramble { at; _ }
-  | S.Drop_prob { at; _ } | S.Partition { at; _ } | S.Heal { at } ->
+  | S.Drop_prob { at; _ } | S.Partition { at; _ } | S.Heal { at }
+  | S.Heal_partition { at } | S.Heal_drop { at } | S.Loss { at; _ }
+  | S.Duplicate { at; _ } | S.Reorder { at; _ } ->
       at
 
 let event_nodes = function
   | S.Crash { node; _ } | S.Recover { node; _ } -> [ node ]
   | S.Partition { blocked = ga, gb; _ } -> ga @ gb
-  | S.Scramble _ | S.Drop_prob _ | S.Heal _ -> []
+  | S.Scramble _ | S.Drop_prob _ | S.Heal _ | S.Heal_partition _
+  | S.Heal_drop _ | S.Loss _ | S.Duplicate _ | S.Reorder _ ->
+      []
+
+(* Events after which the paper's guarantees need a fresh [Delta_stb] before
+   they apply again. Heals only restore service; persistent link faults are
+   what the transport exists to mask, so with a transport in the loop they
+   are not disruptions at all — the fuzz oracle holds the transport to
+   exactly that. *)
+let disruptive t = function
+  | S.Heal _ | S.Heal_partition _ | S.Heal_drop _ -> false
+  | S.Loss _ | S.Duplicate _ | S.Reorder _ -> t.transport = None
+  | S.Crash _ | S.Recover _ | S.Scramble _ | S.Drop_prob _ | S.Partition _ ->
+      true
 
 let catalog_nodes = function
   | C.Partial_general { targets; _ } -> targets
@@ -96,7 +137,22 @@ let validate t =
     in
     if not (sorted t.events) then err "events not sorted by time"
     else if t.horizon <= 0.0 then err "non-positive horizon"
-    else Ok ()
+    else if
+      List.exists
+        (function
+          | S.Drop_prob { p; _ } | S.Loss { p; _ } | S.Duplicate { p; _ } ->
+              p < 0.0 || p > 1.0
+          | S.Reorder { prob; extra; _ } ->
+              prob < 0.0 || prob > 1.0 || extra < 0.0
+          | _ -> false)
+        t.events
+    then err "event probability outside [0, 1] (or negative reorder extra)"
+    else
+      match t.transport with
+      | Some c when c.T.rto <= 0.0 || c.T.retries < 0 || c.T.window <= 0 || c.T.dedup <= 0
+        ->
+          err "nonsensical transport config"
+      | Some _ | None -> Ok ()
 
 (* ---------- JSON codec ---------- *)
 
@@ -264,6 +320,20 @@ let event_to_json = function
           ("group_b", J.Arr (List.map int gb));
         ]
   | S.Heal { at } -> J.Obj [ ("event", str "heal"); ("at", num at) ]
+  | S.Heal_partition { at } ->
+      J.Obj [ ("event", str "heal-partition"); ("at", num at) ]
+  | S.Heal_drop { at } -> J.Obj [ ("event", str "heal-drop"); ("at", num at) ]
+  | S.Loss { at; p } -> J.Obj [ ("event", str "loss"); ("at", num at); ("p", num p) ]
+  | S.Duplicate { at; p } ->
+      J.Obj [ ("event", str "duplicate"); ("at", num at); ("p", num p) ]
+  | S.Reorder { at; prob; extra } ->
+      J.Obj
+        [
+          ("event", str "reorder");
+          ("at", num at);
+          ("prob", num prob);
+          ("extra", num extra);
+        ]
 
 let event_of_json j =
   match get_str "event" j with
@@ -284,7 +354,35 @@ let event_of_json j =
           blocked = (int_list "group_a" j, int_list "group_b" j);
         }
   | "heal" -> S.Heal { at = get_float "at" j }
+  | "heal-partition" -> S.Heal_partition { at = get_float "at" j }
+  | "heal-drop" -> S.Heal_drop { at = get_float "at" j }
+  | "loss" -> S.Loss { at = get_float "at" j; p = get_float "p" j }
+  | "duplicate" -> S.Duplicate { at = get_float "at" j; p = get_float "p" j }
+  | "reorder" ->
+      S.Reorder
+        {
+          at = get_float "at" j;
+          prob = get_float "prob" j;
+          extra = get_float "extra" j;
+        }
   | e -> fail "unknown event %S" e
+
+let transport_to_json (c : T.config) =
+  J.Obj
+    [
+      ("rto", num c.T.rto);
+      ("retries", int c.T.retries);
+      ("window", int c.T.window);
+      ("dedup", int c.T.dedup);
+    ]
+
+let transport_of_json j =
+  {
+    T.rto = get_float "rto" j;
+    retries = get_int "retries" j;
+    window = get_int "window" j;
+    dedup = get_int "dedup" j;
+  }
 
 let proposal_to_json (p : S.proposal) =
   J.Obj [ ("g", int p.S.g); ("v", str p.S.v); ("at", num p.S.at) ]
@@ -294,8 +392,8 @@ let proposal_of_json j =
 
 let to_json t =
   J.Obj
-    [
-      ("name", str t.name);
+    ([
+       ("name", str t.name);
       ("seed", int t.seed);
       ("n", int t.n);
       ("f", int t.f);
@@ -313,6 +411,12 @@ let to_json t =
       ("events", J.Arr (List.map event_to_json t.events));
       ("horizon", num t.horizon);
     ]
+    @
+    (* omitted when absent, so pre-transport replay files keep loading and
+       transport-free specs serialize unchanged *)
+    match t.transport with
+    | None -> []
+    | Some c -> [ ("transport", transport_to_json c) ])
 
 let of_json j =
   try
@@ -330,6 +434,7 @@ let of_json j =
             (get_list "cast" j);
         proposals = List.map proposal_of_json (get_list "proposals" j);
         events = List.map event_of_json (get_list "events" j);
+        transport = Option.map transport_of_json (J.member "transport" j);
         horizon = get_float "horizon" j;
       }
   with Decode msg -> Error msg
@@ -355,7 +460,11 @@ let load path =
       | j -> of_json j)
 
 let pp ppf t =
-  Fmt.pf ppf "@[<v>%s: n=%d f=%d seed=%d horizon=%g@ cast: %a@ %d proposals, %d events@]"
+  Fmt.pf ppf
+    "@[<v>%s: n=%d f=%d seed=%d horizon=%g%s@ cast: %a@ %d proposals, %d events@]"
     t.name t.n t.f t.seed t.horizon
+    (match t.transport with
+    | None -> ""
+    | Some c -> Printf.sprintf " transport(rto=%g,retries=%d)" c.T.rto c.T.retries)
     Fmt.(list ~sep:comma (pair ~sep:(any ":") int C.pp))
     t.cast (List.length t.proposals) (List.length t.events)

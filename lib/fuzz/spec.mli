@@ -28,10 +28,31 @@ type t = {
   cast : (node_id * Ssba_adversary.Catalog.t) list;  (** sorted by node id *)
   proposals : Ssba_harness.Scenario.proposal list;
   events : Ssba_harness.Scenario.event list;  (** sorted by time *)
+  transport : Ssba_transport.Transport.config option;
+      (** when set, the compiled scenario runs the reliable transport and
+          {!params} builds the timeout cascade at
+          {!Ssba_core.Params.delta_eff} for the worst persistent loss and
+          reordering the event schedule installs *)
   horizon : float;
 }
 
+(** The protocol constants the compiled scenario runs under:
+    [Params.default ~f n], with [delta] replaced by the effective bound when
+    the spec carries a transport (see the [transport] field). *)
 val params : t -> Ssba_core.Params.t
+
+(** Worst persistent-loss probability the event schedule installs; [0.0] if
+    none. *)
+val max_loss : t -> float
+
+(** Worst reordering extra delay the event schedule installs; [0.0]. *)
+val max_reorder_extra : t -> float
+
+(** Whether an event invalidates the paper's guarantees until [Delta_stb]
+    later. Heals never do; persistent link faults ([Loss]/[Duplicate]/
+    [Reorder]) do exactly when the spec runs no transport — masking them is
+    the transport's contract, and {!Oracle} holds it to that. *)
+val disruptive : t -> Ssba_harness.Scenario.event -> bool
 
 (** Compile to a runnable scenario (observations recorded, for the oracle's
     invariant monitor). *)

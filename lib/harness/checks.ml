@@ -114,20 +114,21 @@ let timeliness_3 res e =
 let no_decision (res : Runner.result) =
   List.for_all (fun r -> r.outcome = Aborted) res.Runner.returns
 
-(* Message conservation: everything that entered the network is accounted
-   for, exactly once, as delivered, dropped, or still in flight. This is an
-   exact integer identity — any slack means a counting bug, so no tolerance. *)
+(* Message conservation: everything that entered the network — sends and
+   fault-injected duplicate copies alike — is accounted for, exactly once, as
+   delivered, dropped, or still in flight. This is an exact integer identity
+   — any slack means a counting bug, so no tolerance. *)
 let network_conservation (res : Runner.result) =
-  let sent = res.Runner.messages_sent in
+  let attempts = res.Runner.messages_sent + res.Runner.messages_duplicated in
   let accounted =
     res.Runner.messages_delivered + res.Runner.messages_dropped
     + res.Runner.messages_in_flight
   in
   {
-    ok = sent = accounted;
+    ok = attempts = accounted;
     measured = float_of_int accounted;
-    bound = float_of_int sent;
-    label = "net conservation sent = delivered+dropped+in_flight";
+    bound = float_of_int attempts;
+    label = "net conservation attempts = delivered+dropped+in_flight";
   }
 
 (* Pairwise agreement oracle, sound under Byzantine Generals that initiate
@@ -249,6 +250,17 @@ let result_digest (res : Runner.result) =
     res.Runner.proposal_results;
   addf "net %d %d %d %d;" res.Runner.messages_sent res.Runner.messages_delivered
     res.Runner.messages_dropped res.Runner.messages_in_flight;
+  if
+    res.Runner.messages_duplicated <> 0
+    || res.Runner.transport_retransmits <> 0
+    || res.Runner.transport_dup_suppressed <> 0
+    || res.Runner.transport_expired <> 0
+  then
+    (* only stamped when non-trivial, so digests of transport-free runs are
+       unchanged from earlier corpus recordings *)
+    addf "lossy %d %d %d %d;" res.Runner.messages_duplicated
+      res.Runner.transport_retransmits res.Runner.transport_dup_suppressed
+      res.Runner.transport_expired;
   List.iter (fun (k, c) -> addf "kind %s %d;" k c) res.Runner.messages_by_kind;
   addf "engine %d %.17g"
     res.Runner.engine_stats.Ssba_sim.Engine.events_processed

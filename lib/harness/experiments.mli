@@ -36,5 +36,10 @@ val e8_pulse : ?n:int -> ?cycles:int -> ?byzantine:int -> unit -> unit
 (** E9 — Primitive-level IA/TPS properties audited from observed events. *)
 val e9_invariants : ?ns:int list -> ?seeds:int list -> unit -> unit
 
-(** Run E1 through E9 in order. *)
+(** E10 — Lossy links: agreement success, latency and retransmission cost
+    across persistent loss rates [ps], with and without the reliable
+    transport. *)
+val e10_lossy_links : ?n:int -> ?ps:float list -> ?seeds:int list -> unit -> unit
+
+(** Run E1 through E10 in order. *)
 val run_all : unit -> unit

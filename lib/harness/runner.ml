@@ -1,6 +1,13 @@
-(* Scenario interpreter: builds the engine, network, correct nodes and
-   Byzantine behaviours, applies the event schedule, runs to the horizon and
-   packages everything the metrics/checks layers need. *)
+(* Scenario interpreter: builds the engine, network (optionally behind the
+   reliable transport), correct nodes and Byzantine behaviours, applies the
+   event schedule, runs to the horizon and packages everything the
+   metrics/checks layers need.
+
+   Fault composition: the transient drop probability (Drop_prob, lifted by
+   Heal/Heal_drop) and the persistent link loss (Loss, changed only by
+   another Loss event) are tracked separately and composed multiplicatively
+   into the network's single drop knob, so transient incoherence can overlap
+   a persistently lossy link without either clobbering the other. *)
 
 open Ssba_core.Types
 module Rng = Ssba_sim.Rng
@@ -9,6 +16,7 @@ module Clock = Ssba_sim.Clock
 module Trace = Ssba_sim.Trace
 module Metrics = Ssba_sim.Metrics
 module Network = Ssba_net.Network
+module Transport = Ssba_transport.Transport
 module Node = Ssba_core.Node
 module Params = Ssba_core.Params
 
@@ -39,8 +47,12 @@ type result = {
   messages_sent : int;
   messages_delivered : int;
   messages_dropped : int;
+  messages_duplicated : int;  (* fault-injected second copies *)
   messages_in_flight : int;  (* scheduled but undelivered at the horizon *)
   messages_by_kind : (string * int) list;
+  transport_retransmits : int;  (* 0 when the scenario runs without transport *)
+  transport_dup_suppressed : int;
+  transport_expired : int;
   metrics : Metrics.t;  (* the engine's registry: net.*, engine.*, node<i>.* *)
   trace : Trace.t;
 }
@@ -49,28 +61,142 @@ let build_clock rng = function
   | Scenario.Perfect -> Clock.perfect
   | Scenario.Drifting { rho; max_offset } -> Clock.random rng ~rho ~max_offset
 
+(* Random protocol message for incoherent-period garbage. *)
+let garbage_message ~rng ~params ~values =
+  let n = params.Params.n in
+  let g = Rng.int rng n in
+  let v = Rng.pick_list rng values in
+  match Rng.int rng 8 with
+  | 0 -> Initiator { g; v }
+  | 1 -> Ia { kind = Support; g; v }
+  | 2 -> Ia { kind = Approve; g; v }
+  | 3 -> Ia { kind = Ready; g; v }
+  | c ->
+      let kind = match c with 4 -> Init | 5 -> Echo | 6 -> Init2 | _ -> Echo2 in
+      Mb
+        {
+          kind;
+          p = Rng.int rng n;
+          g;
+          v;
+          k = 1 + Rng.int rng (max 1 (params.Params.f + 1));
+        }
+
+(* Message counts at the end of a run, uniform across plain/transport nets. *)
+type net_counts = {
+  nc_sent : int;
+  nc_delivered : int;
+  nc_dropped : int;
+  nc_duplicated : int;
+  nc_in_flight : int;
+  nc_by_kind : (string * int) list;
+  nc_retransmits : int;
+  nc_dup_suppressed : int;
+  nc_expired : int;
+}
+
+(* The scenario interpreter is agnostic to whether protocol traffic rides the
+   raw network or the reliable transport: it sees the payload-typed link plus
+   closures over the underlying network's fault knobs. *)
+type net_iface = {
+  link : message Ssba_net.Link.t;
+  set_muted : int -> bool -> unit;
+  set_drop_prob : float -> unit;
+  set_dup_prob : float -> unit;
+  set_reorder : Network.reorder option -> unit;
+  set_partition : (src:int -> dst:int -> bool) option -> unit;
+  inject_garbage : rng:Rng.t -> values:value list -> count:int -> unit;
+  scramble_transport : rng:Rng.t -> unit;
+  counts : unit -> net_counts;
+}
+
 (* Forged in-flight garbage for the incoherent period: random protocol
    messages claiming random senders, delivered over the next ~Delta_rmv. *)
-let inject_garbage ~rng ~params ~net ~values ~count =
-  let n = params.Params.n in
-  for _ = 1 to count do
-    let claimed_src = Rng.int rng n in
-    let dst = Rng.int rng n in
-    let g = Rng.int rng n in
-    let v = Rng.pick_list rng values in
-    let payload =
-      match Rng.int rng 8 with
-      | 0 -> Initiator { g; v }
-      | 1 -> Ia { kind = Support; g; v }
-      | 2 -> Ia { kind = Approve; g; v }
-      | 3 -> Ia { kind = Ready; g; v }
-      | c ->
-          let kind = match c with 4 -> Init | 5 -> Echo | 6 -> Init2 | _ -> Echo2 in
-          Mb { kind; p = Rng.int rng n; g; v; k = 1 + Rng.int rng (max 1 (params.Params.f + 1)) }
-    in
-    let delay = Rng.float rng params.Params.delta_rmv in
-    Network.inject_forged net ~claimed_src ~dst ~delay payload
-  done
+let plain_iface ~engine ~params ~delay ~rng n =
+  let net =
+    Network.create ~engine ~n ~delay ~rng ~kind_of:kind_of_message ()
+  in
+  {
+    link = Network.link net;
+    set_muted = (fun node m -> Network.set_muted net node m);
+    set_drop_prob = (fun p -> Network.set_drop_prob net p);
+    set_dup_prob = (fun p -> Network.set_dup_prob net p);
+    set_reorder = (fun r -> Network.set_reorder net r);
+    set_partition = (fun pred -> Network.set_partition net pred);
+    inject_garbage =
+      (fun ~rng ~values ~count ->
+        for _ = 1 to count do
+          let claimed_src = Rng.int rng n in
+          let dst = Rng.int rng n in
+          let payload = garbage_message ~rng ~params ~values in
+          let delay = Rng.float rng params.Params.delta_rmv in
+          Network.inject_forged net ~claimed_src ~dst ~delay payload
+        done);
+    scramble_transport = (fun ~rng:_ -> ());
+    counts =
+      (fun () ->
+        {
+          nc_sent = Network.messages_sent net;
+          nc_delivered = Network.messages_delivered net;
+          nc_dropped = Network.messages_dropped net;
+          nc_duplicated = Network.messages_duplicated net;
+          nc_in_flight = Network.messages_in_flight net;
+          nc_by_kind = Network.sent_by_kind net;
+          nc_retransmits = 0;
+          nc_dup_suppressed = 0;
+          nc_expired = 0;
+        });
+  }
+
+(* Transport-backed variant: protocol payloads ride Data frames; garbage is
+   forged at the frame level (Data with random seqs, plus bare Acks), so the
+   transport's own state machine is also exposed to incoherent input. *)
+let transport_iface ~engine ~params ~delay ~rng ~config n =
+  let net =
+    Network.create ~engine ~n ~delay ~rng
+      ~kind_of:(Transport.kind_of kind_of_message) ()
+  in
+  let tr = Transport.create ~kind_of:kind_of_message ~engine ~net ~config () in
+  {
+    link = Transport.link tr;
+    set_muted = (fun node m -> Network.set_muted net node m);
+    set_drop_prob = (fun p -> Network.set_drop_prob net p);
+    set_dup_prob = (fun p -> Network.set_dup_prob net p);
+    set_reorder = (fun r -> Network.set_reorder net r);
+    set_partition = (fun pred -> Network.set_partition net pred);
+    inject_garbage =
+      (fun ~rng ~values ~count ->
+        for _ = 1 to count do
+          let claimed_src = Rng.int rng n in
+          let dst = Rng.int rng n in
+          let frame =
+            if Rng.int rng 4 = 0 then
+              Transport.Ack { seq = Rng.int rng 1_000_000 }
+            else
+              Transport.Data
+                {
+                  seq = Rng.int rng 1_000_000;
+                  payload = garbage_message ~rng ~params ~values;
+                }
+          in
+          let delay = Rng.float rng params.Params.delta_rmv in
+          Network.inject_forged net ~claimed_src ~dst ~delay frame
+        done);
+    scramble_transport = (fun ~rng -> Transport.scramble tr ~rng);
+    counts =
+      (fun () ->
+        {
+          nc_sent = Network.messages_sent net;
+          nc_delivered = Network.messages_delivered net;
+          nc_dropped = Network.messages_dropped net;
+          nc_duplicated = Network.messages_duplicated net;
+          nc_in_flight = Network.messages_in_flight net;
+          nc_by_kind = Network.sent_by_kind net;
+          nc_retransmits = Transport.retransmits tr;
+          nc_dup_suppressed = Transport.dup_suppressed tr;
+          nc_expired = Transport.expired tr;
+        });
+  }
 
 let run_with ~execute (sc : Scenario.t) =
   let params = sc.Scenario.params in
@@ -82,13 +208,16 @@ let run_with ~execute (sc : Scenario.t) =
   let scramble_rng = Rng.split root in
   let trace = Trace.create ~enabled:sc.Scenario.record_trace () in
   let engine = Engine.create ~trace () in
-  let net =
-    Network.create ~engine ~n ~delay:sc.Scenario.delay ~rng:net_rng
-      ~kind_of:kind_of_message ()
+  let iface =
+    match sc.Scenario.transport with
+    | None -> plain_iface ~engine ~params ~delay:sc.Scenario.delay ~rng:net_rng n
+    | Some config ->
+        transport_iface ~engine ~params ~delay:sc.Scenario.delay ~rng:net_rng
+          ~config n
   in
   let clocks = Array.init n (fun _ -> build_clock clock_rng sc.Scenario.clocks) in
   (* Correct nodes first, then Byzantine behaviours (which overwrite the
-     network handler for their id). *)
+     link handler for their id). *)
   let nodes = ref [] in
   let returns = ref [] in
   let observations = ref [] in
@@ -96,7 +225,8 @@ let run_with ~execute (sc : Scenario.t) =
     match Scenario.role_of sc id with
     | Scenario.Correct ->
         let node =
-          Node.create ~id ~params ~clock:clocks.(id) ~engine ~net ()
+          Node.create_on ~id ~params ~clock:clocks.(id) ~engine
+            ~link:iface.link ()
         in
         Node.subscribe node (fun r -> returns := r :: !returns);
         if sc.Scenario.record_observations then
@@ -118,40 +248,67 @@ let run_with ~execute (sc : Scenario.t) =
             params;
             engine;
             rng = Rng.split adv_rng;
-            net;
+            link = iface.link;
             clock = clocks.(id);
           }
   done;
-  (* Event schedule. *)
+  (* Event schedule. Transient drop and persistent loss compose into the
+     network's one drop knob: the message survives both hazards. *)
+  let transient_drop = ref 0.0 in
+  let persistent_loss = ref 0.0 in
+  let apply_loss () =
+    iface.set_drop_prob
+      (1.0 -. ((1.0 -. !transient_drop) *. (1.0 -. !persistent_loss)))
+  in
   List.iter
     (fun ev ->
       match ev with
       | Scenario.Crash { node; at } ->
-          Engine.schedule engine ~at (fun () -> Network.set_muted net node true)
+          Engine.schedule engine ~at (fun () -> iface.set_muted node true)
       | Scenario.Recover { node; at } ->
-          Engine.schedule engine ~at (fun () -> Network.set_muted net node false)
+          Engine.schedule engine ~at (fun () -> iface.set_muted node false)
       | Scenario.Scramble { at; values; net_garbage } ->
           Engine.schedule engine ~at (fun () ->
               List.iter
                 (fun (_, node) -> Node.scramble scramble_rng ~values node)
                 nodes;
-              inject_garbage ~rng:scramble_rng ~params ~net ~values
-                ~count:net_garbage;
+              iface.scramble_transport ~rng:scramble_rng;
+              iface.inject_garbage ~rng:scramble_rng ~values ~count:net_garbage;
               Engine.record engine ~node:(-1)
                 (Trace.Scramble { garbage = net_garbage }))
       | Scenario.Drop_prob { at; p } ->
-          Engine.schedule engine ~at (fun () -> Network.set_drop_prob net p)
+          Engine.schedule engine ~at (fun () ->
+              transient_drop := p;
+              apply_loss ())
+      | Scenario.Loss { at; p } ->
+          Engine.schedule engine ~at (fun () ->
+              persistent_loss := p;
+              apply_loss ())
+      | Scenario.Duplicate { at; p } ->
+          Engine.schedule engine ~at (fun () -> iface.set_dup_prob p)
+      | Scenario.Reorder { at; prob; extra } ->
+          Engine.schedule engine ~at (fun () ->
+              iface.set_reorder
+                (if prob <= 0.0 || extra <= 0.0 then None
+                 else Some { Network.prob; extra }))
       | Scenario.Partition { at; blocked = ga, gb } ->
           Engine.schedule engine ~at (fun () ->
-              Network.set_partition net
+              iface.set_partition
                 (Some
                    (fun ~src ~dst ->
                      (List.mem src ga && List.mem dst gb)
                      || (List.mem src gb && List.mem dst ga))))
       | Scenario.Heal { at } ->
           Engine.schedule engine ~at (fun () ->
-              Network.set_partition net None;
-              Network.set_drop_prob net 0.0))
+              iface.set_partition None;
+              transient_drop := 0.0;
+              apply_loss ())
+      | Scenario.Heal_partition { at } ->
+          Engine.schedule engine ~at (fun () -> iface.set_partition None)
+      | Scenario.Heal_drop { at } ->
+          Engine.schedule engine ~at (fun () ->
+              transient_drop := 0.0;
+              apply_loss ()))
     sc.Scenario.events;
   (* Proposals by correct Generals. Every proposal — including one whose
      General is Byzantine or absent — is evaluated at its scheduled [at], so
@@ -172,6 +329,7 @@ let run_with ~execute (sc : Scenario.t) =
           proposal_results := (p, outcome) :: !proposal_results))
     sc.Scenario.proposals;
   let engine_stats = execute ~until:sc.Scenario.horizon engine in
+  let c = iface.counts () in
   {
     scenario = sc;
     returns =
@@ -182,11 +340,15 @@ let run_with ~execute (sc : Scenario.t) =
     nodes;
     proposal_results = List.rev !proposal_results;
     engine_stats;
-    messages_sent = Network.messages_sent net;
-    messages_delivered = Network.messages_delivered net;
-    messages_dropped = Network.messages_dropped net;
-    messages_in_flight = Network.messages_in_flight net;
-    messages_by_kind = Network.sent_by_kind net;
+    messages_sent = c.nc_sent;
+    messages_delivered = c.nc_delivered;
+    messages_dropped = c.nc_dropped;
+    messages_duplicated = c.nc_duplicated;
+    messages_in_flight = c.nc_in_flight;
+    messages_by_kind = c.nc_by_kind;
+    transport_retransmits = c.nc_retransmits;
+    transport_dup_suppressed = c.nc_dup_suppressed;
+    transport_expired = c.nc_expired;
     metrics = Engine.metrics engine;
     trace;
   }

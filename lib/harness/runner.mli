@@ -33,8 +33,13 @@ type result = {
   messages_sent : int;
   messages_delivered : int;
   messages_dropped : int;
+  messages_duplicated : int;  (** fault-injected second copies *)
   messages_in_flight : int;  (** scheduled but undelivered at the horizon *)
   messages_by_kind : (string * int) list;
+      (** frame kinds when the scenario runs a transport (acks included) *)
+  transport_retransmits : int;  (** 0 when no transport runs *)
+  transport_dup_suppressed : int;
+  transport_expired : int;
   metrics : Ssba_sim.Metrics.t;
       (** the engine's registry: [net.*], [engine.*], [node<i>.*] *)
   trace : Ssba_sim.Trace.t;

@@ -15,11 +15,23 @@ type event =
   | Crash of { node : node_id; at : float }  (* mute a node's sends *)
   | Recover of { node : node_id; at : float }
   | Scramble of { at : float; values : value list; net_garbage : int }
-      (* corrupt all correct-node state + inject forged in-flight garbage *)
-  | Drop_prob of { at : float; p : float }  (* lossy network (incoherence) *)
+      (* corrupt all correct-node state (and transport state when a transport
+         runs) + inject forged in-flight garbage *)
+  | Drop_prob of { at : float; p : float }
+      (* transient loss (incoherence); lifted by Heal / Heal_drop *)
   | Partition of { at : float; blocked : node_id list * node_id list }
       (* block messages between the two groups *)
-  | Heal of { at : float }  (* lift partition and drops *)
+  | Heal of { at : float }
+      (* heal-all (back-compat): lift the partition and the transient drop.
+         Persistent link faults (Loss/Duplicate/Reorder) are unaffected. *)
+  | Heal_partition of { at : float }  (* lift only the partition *)
+  | Heal_drop of { at : float }  (* lift only the transient drop *)
+  | Loss of { at : float; p : float }
+      (* persistent link loss: composes with Drop_prob, survives Heal; only
+         another Loss event changes it *)
+  | Duplicate of { at : float; p : float }  (* persistent duplication *)
+  | Reorder of { at : float; prob : float; extra : float }
+      (* persistent reordering: with prob, stretch a delivery by up to extra *)
 
 type proposal = { g : node_id; v : value; at : float }
 
@@ -40,6 +52,10 @@ type t = {
   record_trace : bool;
   record_observations : bool;
       (* collect fine-grained protocol events for the invariant monitor *)
+  transport : Ssba_transport.Transport.config option;
+      (* run all protocol traffic through the reliable transport; params
+         should then be built at Params.delta_eff for the worst persistent
+         loss the event schedule installs *)
 }
 
 let role_of t id =
@@ -59,7 +75,7 @@ let byzantine_ids t =
 let default ?(name = "scenario") ?(seed = 1) ?(horizon = 5.0) ?(record_trace = false)
     ?(record_observations = false) ?delay
     ?(clocks = Drifting { rho = 1e-4; max_offset = 0.1 }) ?(roles = [])
-    ?(proposals = []) ?(events = []) params =
+    ?(proposals = []) ?(events = []) ?transport params =
   let delay =
     match delay with
     | Some d -> d
@@ -79,4 +95,5 @@ let default ?(name = "scenario") ?(seed = 1) ?(horizon = 5.0) ?(record_trace = f
     horizon;
     record_trace;
     record_observations;
+    transport;
   }

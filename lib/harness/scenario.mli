@@ -14,13 +14,27 @@ type event =
       (** mute the node's sends from real time [at] *)
   | Recover of { node : node_id; at : float }
   | Scramble of { at : float; values : value list; net_garbage : int }
-      (** transient fault: corrupt all correct-node protocol state and put
-          [net_garbage] forged messages in flight, drawn over [values] *)
+      (** transient fault: corrupt all correct-node protocol state (and the
+          transport's state when one runs) and put [net_garbage] forged
+          messages in flight, drawn over [values] *)
   | Drop_prob of { at : float; p : float }
-      (** make the network lossy (incoherent period) *)
+      (** transient loss (incoherent period); lifted by [Heal]/[Heal_drop] *)
   | Partition of { at : float; blocked : node_id list * node_id list }
       (** block messages between the two groups *)
-  | Heal of { at : float }  (** lift partition and drops *)
+  | Heal of { at : float }
+      (** heal-all (back-compat): lift the partition {e and} the transient
+          drop. Persistent faults ([Loss]/[Duplicate]/[Reorder]) are
+          unaffected. *)
+  | Heal_partition of { at : float }  (** lift only the partition *)
+  | Heal_drop of { at : float }  (** lift only the transient drop *)
+  | Loss of { at : float; p : float }
+      (** persistent link loss; composes with [Drop_prob]
+          (effective p = [1 - (1-transient)(1-persistent)]), survives [Heal],
+          and only another [Loss] event changes it *)
+  | Duplicate of { at : float; p : float }  (** persistent duplication *)
+  | Reorder of { at : float; prob : float; extra : float }
+      (** persistent reordering: with [prob], stretch a delivery by a uniform
+          extra delay in [\[0, extra\]] *)
 
 type proposal = { g : node_id; v : value; at : float }
 (** A correct General [g] proposes [v] at real time [at]. *)
@@ -43,6 +57,10 @@ type t = {
   record_trace : bool;
   record_observations : bool;
       (** collect fine-grained protocol events for {!Invariants} *)
+  transport : Ssba_transport.Transport.config option;
+      (** run all protocol traffic (correct nodes and behaviours) through the
+          reliable transport; build [params] at {!Ssba_core.Params.delta_eff}
+          for the worst persistent loss the event schedule installs *)
 }
 
 val role_of : t -> node_id -> role
@@ -66,5 +84,6 @@ val default :
   ?roles:(node_id * role) list ->
   ?proposals:proposal list ->
   ?events:event list ->
+  ?transport:Ssba_transport.Transport.config ->
   Ssba_core.Params.t ->
   t

@@ -21,5 +21,8 @@ let make ~src ~dst ~sent_at payload =
 let forge ~claimed_src ~dst ~sent_at payload =
   { src = claimed_src; dst; sent_at; forged = true; payload }
 
+let with_payload m payload =
+  { src = m.src; dst = m.dst; sent_at = m.sent_at; forged = m.forged; payload }
+
 let pp pp_payload ppf m =
   Fmt.pf ppf "%d->%d%s %a" m.src m.dst (if m.forged then "(forged)" else "") pp_payload m.payload

@@ -18,5 +18,9 @@ val make : src:int -> dst:int -> sent_at:float -> 'a -> 'a t
 (** A forged envelope (fault injection only). *)
 val forge : claimed_src:int -> dst:int -> sent_at:float -> 'a -> 'a t
 
+(** Same envelope (src, dst, timestamps, forged flag), new payload. Lets a
+    transport layer unwrap a frame without laundering the forged flag. *)
+val with_payload : 'a t -> 'b -> 'b t
+
 val pp :
   (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -3,19 +3,29 @@
    Delivery is realized by scheduling closures on the engine. While the
    network is *correct* every send is delivered within the configured delay
    policy and the sender identity is authentic. Scenario code can make the
-   network *faulty* (the incoherent period preceding stabilization) by
-   setting a drop probability, partitioning links, or injecting forged
-   garbage; experiments then lift the faults and measure convergence.
+   network *faulty* (the incoherent period preceding stabilization, or a
+   persistently lossy deployment link) by setting a drop probability,
+   duplication probability, reordering, partitioning links, or injecting
+   forged garbage; experiments then lift the faults and measure convergence.
 
    Accounting invariant, enforced by the harness on every run:
 
-     sent = delivered + dropped + in_flight
+     attempts = delivered + dropped + in_flight
+     where attempts = sent + duplicated
 
-   Every message that enters the network — including forged injections — is
-   counted exactly once as sent, and leaves the in-flight set as exactly one
-   of delivered (a handler ran) or dropped (mute/partition/random loss at
-   send time, or no handler at delivery time). Counters live in the engine's
-   metrics registry so exports see them under the net.* names. *)
+   Every message that enters the network — including forged injections and
+   fault-injected duplicate copies — is counted exactly once as sent or
+   duplicated, and leaves the in-flight set as exactly one of delivered (a
+   handler ran) or dropped (mute/partition/random loss at send time, or no
+   handler at delivery time). Counters live in the engine's metrics registry
+   so exports see them under the net.* names.
+
+   Determinism: each fault concern (loss, delay, duplication, reordering)
+   owns a dedicated RNG stream split off the creation RNG, and [send] draws
+   from every stream unconditionally, once per send. Toggling one fault knob
+   mid-run therefore never shifts the samples another concern sees, and two
+   scenarios that differ only in a fault schedule stay sample-for-sample
+   comparable. *)
 
 module Rng = Ssba_sim.Rng
 module Engine = Ssba_sim.Engine
@@ -24,13 +34,22 @@ module Metrics = Ssba_sim.Metrics
 
 type 'a handler = 'a Msg.t -> unit
 
+type reorder = { prob : float; extra : float }
+
 type 'a t = {
   engine : Engine.t;
   n : int;
-  rng : Rng.t;
+  loss_rng : Rng.t;
+  delay_rng : Rng.t;
+  dup_rng : Rng.t;
+  reorder_rng : Rng.t;
   mutable delay : Delay.t;
   mutable handlers : 'a handler option array;
   mutable drop_prob : float;  (* applied only while the network is faulty-capable *)
+  mutable dup_prob : float;  (* probability a successful send gets a second copy *)
+  mutable reorder : reorder option;
+      (* with [prob], stretch a delivery by up to [extra] beyond its drawn
+         delay, letting later sends overtake it *)
   mutable blocked : (src:int -> dst:int -> bool) option;  (* partition predicate *)
   muted : (int, unit) Hashtbl.t;  (* crashed senders: sends silently dropped *)
   mutable delay_override : ('a Msg.t -> float option) option;
@@ -43,20 +62,28 @@ type 'a t = {
   c_sent : Metrics.counter;
   c_delivered : Metrics.counter;
   c_dropped : Metrics.counter;
+  c_duplicated : Metrics.counter;
+  c_reordered : Metrics.counter;
   g_in_flight : Metrics.gauge;
   mutable in_flight : int;
 }
 
-let create ?(drop_prob = 0.0) ?kind_of ~engine ~n ~delay ~rng () =
+let create ?(drop_prob = 0.0) ?(dup_prob = 0.0) ?reorder ?kind_of ~engine ~n
+    ~delay ~rng () =
   if n <= 0 then invalid_arg "Network.create: n must be positive";
   let metrics = Engine.metrics engine in
   {
     engine;
     n;
-    rng;
+    loss_rng = Rng.split rng;
+    delay_rng = Rng.split rng;
+    dup_rng = Rng.split rng;
+    reorder_rng = Rng.split rng;
     delay;
     handlers = Array.make n None;
     drop_prob;
+    dup_prob;
+    reorder;
     blocked = None;
     muted = Hashtbl.create 4;
     delay_override = None;
@@ -66,6 +93,8 @@ let create ?(drop_prob = 0.0) ?kind_of ~engine ~n ~delay ~rng () =
     c_sent = Metrics.counter metrics "net.sent";
     c_delivered = Metrics.counter metrics "net.delivered";
     c_dropped = Metrics.counter metrics "net.dropped";
+    c_duplicated = Metrics.counter metrics "net.duplicated";
+    c_reordered = Metrics.counter metrics "net.reordered";
     g_in_flight = Metrics.gauge metrics "net.in_flight";
     in_flight = 0;
   }
@@ -75,6 +104,10 @@ let set_handler t node h = t.handlers.(node) <- Some h
 let clear_handler t node = t.handlers.(node) <- None
 let set_delay t delay = t.delay <- delay
 let set_drop_prob t p = t.drop_prob <- p
+let drop_prob t = t.drop_prob
+let set_dup_prob t p = t.dup_prob <- p
+let dup_prob t = t.dup_prob
+let set_reorder t r = t.reorder <- r
 let set_partition t pred = t.blocked <- pred
 
 let set_muted t node muted =
@@ -86,6 +119,9 @@ let set_delay_override t f = t.delay_override <- f
 let messages_sent t = Metrics.value t.c_sent
 let messages_delivered t = Metrics.value t.c_delivered
 let messages_dropped t = Metrics.value t.c_dropped
+let messages_duplicated t = Metrics.value t.c_duplicated
+let messages_reordered t = Metrics.value t.c_reordered
+let messages_attempted t = messages_sent t + messages_duplicated t
 let messages_in_flight t = t.in_flight
 
 let sent_by_kind t =
@@ -100,6 +136,8 @@ let reset_counters t =
   Metrics.reset_counter t.c_sent;
   Metrics.reset_counter t.c_delivered;
   Metrics.reset_counter t.c_dropped;
+  Metrics.reset_counter t.c_duplicated;
+  Metrics.reset_counter t.c_reordered;
   Metrics.reset_gauge t.g_in_flight;
   Hashtbl.iter (fun _ c -> Metrics.reset_counter c) t.kind_counters;
   t.in_flight <- 0;
@@ -167,31 +205,53 @@ let send t ~src ~dst payload =
   if Trace.is_enabled tr then
     Engine.record t.engine ~node:src
       (Trace.Send { src; dst; msg = trace_msg t payload });
+  (* Fixed draw schedule: one sample per concern per send, from that
+     concern's own stream, whether or not the fault is active — including
+     the delay sample, which is drawn even for messages that end up muted,
+     partitioned or lost. Toggling any one fault therefore never shifts the
+     samples another concern (or a surviving message) observes. *)
+  let loss_roll = Rng.float t.loss_rng 1.0 in
+  let dup_roll = Rng.float t.dup_rng 1.0 in
+  let reorder_roll = Rng.float t.reorder_rng 1.0 in
+  let reorder_frac = Rng.float t.reorder_rng 1.0 in
+  let now = Engine.now t.engine in
+  let drawn_delay = Delay.draw t.delay ~rng:t.delay_rng ~src ~dst ~now in
   let muted = Hashtbl.mem t.muted src in
   let blocked =
     (not muted)
     && (match t.blocked with None -> false | Some pred -> pred ~src ~dst)
   in
-  let lost =
-    (not muted) && (not blocked)
-    && t.drop_prob > 0.0
-    && Rng.float t.rng 1.0 < t.drop_prob
-  in
+  let lost = (not muted) && (not blocked) && loss_roll < t.drop_prob in
   if muted then count_dropped t ~src ~dst ~reason:"muted" payload
   else if blocked then count_dropped t ~src ~dst ~reason:"partition" payload
   else if lost then count_dropped t ~src ~dst ~reason:"loss" payload
   else begin
-    let now = Engine.now t.engine in
     let m = Msg.make ~src ~dst ~sent_at:now payload in
+    let extra =
+      match t.reorder with
+      | Some { prob; extra } when reorder_roll < prob && extra > 0.0 ->
+          Metrics.incr t.c_reordered;
+          reorder_frac *. extra
+      | _ -> 0.0
+    in
     let delay =
       match t.delay_override with
-      | Some f -> (
-          match f m with
-          | Some delay -> delay
-          | None -> Delay.draw t.delay ~rng:t.rng ~src ~dst ~now)
-      | None -> Delay.draw t.delay ~rng:t.rng ~src ~dst ~now
+      | Some f -> ( match f m with Some delay -> delay | None -> drawn_delay)
+      | None -> drawn_delay
     in
-    schedule_delivery t m ~delay
+    schedule_delivery t m ~delay:(delay +. extra);
+    if dup_roll < t.dup_prob then begin
+      (* A duplicated copy enters the accounting as [duplicated] (not sent)
+         and then flows through delivery/drop like any message, so the
+         generalized conservation identity keeps holding. Its delay is drawn
+         from the dup stream: duplication must not consume delay samples. *)
+      Metrics.incr t.c_duplicated;
+      if Trace.is_enabled tr then
+        Engine.record t.engine ~node:src
+          (Trace.Duplicate { src; dst; msg = trace_msg t payload });
+      let dup_delay = Delay.draw t.delay ~rng:t.dup_rng ~src ~dst ~now in
+      schedule_delivery t m ~delay:(dup_delay +. extra)
+    end
   end
 
 let broadcast t ~src payload =
@@ -202,9 +262,19 @@ let broadcast t ~src payload =
 (* Incoherent-period garbage: deliver a message claiming to come from
    [claimed_src] after [delay]. Used by the transient-fault injector only.
    Forged messages enter the accounting like any other send, so the
-   conservation invariant keeps holding during scrambles. *)
+   conservation invariant keeps holding during scrambles. The forged path
+   draws no fault samples: injection is itself adversary-scheduled. *)
 let inject_forged t ~claimed_src ~dst ~delay payload =
   count_sent t payload;
   let now = Engine.now t.engine in
   let m = Msg.forge ~claimed_src ~dst ~sent_at:now payload in
   schedule_delivery t m ~delay
+
+let link t =
+  {
+    Link.n = t.n;
+    send = (fun ~src ~dst payload -> send t ~src ~dst payload);
+    broadcast = (fun ~src payload -> broadcast t ~src payload);
+    set_handler = (fun node h -> set_handler t node h);
+    clear_handler = (fun node -> clear_handler t node);
+  }

@@ -1,14 +1,27 @@
 (** Bounded-delay authenticated point-to-point network (paper §2, Def. 2).
 
     While correct, every send is delivered within the configured delay policy
-    and sender identity is authentic. Faults for the incoherent period —
-    drops, partitions, forged garbage — are driven by scenario code. *)
+    and sender identity is authentic. Faults — drops, duplicates, reordering,
+    partitions, forged garbage — are driven by scenario code, either as
+    transient incoherence or as a persistently faulty deployment link that
+    the reliable transport ([Ssba_transport]) masks.
+
+    Determinism: each fault concern (loss, delay, duplication, reordering)
+    owns a dedicated RNG stream split off the creation RNG, and every send
+    draws from every stream unconditionally — toggling one fault knob mid-run
+    never shifts the samples another concern sees. *)
 
 type 'a t
 type 'a handler = 'a Msg.t -> unit
 
+(** Reordering fault: with probability [prob], a delivery is stretched by a
+    uniform extra delay in [\[0, extra\]], letting later sends overtake it. *)
+type reorder = { prob : float; extra : float }
+
 val create :
   ?drop_prob:float ->
+  ?dup_prob:float ->
+  ?reorder:reorder ->
   ?kind_of:('a -> string) ->
   engine:Ssba_sim.Engine.t ->
   n:int ->
@@ -24,9 +37,20 @@ val set_handler : 'a t -> int -> 'a handler -> unit
 val clear_handler : 'a t -> int -> unit
 val set_delay : 'a t -> Delay.t -> unit
 
-(** Probability that a send is silently lost (incoherent period only;
-    set back to 0 when the network becomes correct). *)
+(** Probability that a send is silently lost — transient incoherence, or a
+    persistent lossy link when the transport is in the loop. *)
 val set_drop_prob : 'a t -> float -> unit
+
+val drop_prob : 'a t -> float
+
+(** Probability that a successful send is delivered twice (the second copy
+    with an independently drawn delay). *)
+val set_dup_prob : 'a t -> float -> unit
+
+val dup_prob : 'a t -> float
+
+(** Enable/disable the reordering fault ([None] disables). *)
+val set_reorder : 'a t -> reorder option -> unit
 
 (** Block links for which the predicate holds ([None] lifts the partition). *)
 val set_partition : 'a t -> (src:int -> dst:int -> bool) option -> unit
@@ -54,18 +78,32 @@ val broadcast : 'a t -> src:int -> 'a -> unit
     (transient-fault injection only). *)
 val inject_forged : 'a t -> claimed_src:int -> dst:int -> delay:float -> 'a -> unit
 
+(** The network as a first-class sending surface for protocol code. *)
+val link : 'a t -> 'a Link.t
+
 (** Accounting. Every message entering the network — including forged
-    injections — counts exactly once as sent and is eventually counted as
-    exactly one of delivered (a handler ran) or dropped (mute, partition,
-    random loss, or no handler at the destination). On any quiescent network
-    [sent = delivered + dropped + in_flight] holds; the harness checks it
-    after every run. Counters also appear in the engine's metrics registry
-    under [net.sent], [net.delivered], [net.dropped], [net.in_flight] and
-    [net.sent.<kind>]. *)
+    injections and fault-injected duplicate copies — counts exactly once as
+    sent or duplicated, and is eventually counted as exactly one of delivered
+    (a handler ran) or dropped (mute, partition, random loss, or no handler
+    at the destination). On any quiescent network
+    [attempts = delivered + dropped + in_flight] holds, with
+    [attempts = sent + duplicated]; the harness checks it after every run.
+    Counters also appear in the engine's metrics registry under [net.sent],
+    [net.delivered], [net.dropped], [net.duplicated], [net.reordered],
+    [net.in_flight] and [net.sent.<kind>]. *)
 val messages_sent : 'a t -> int
 
 val messages_delivered : 'a t -> int
 val messages_dropped : 'a t -> int
+
+(** Fault-injected second copies ([net.duplicated]). *)
+val messages_duplicated : 'a t -> int
+
+(** Deliveries stretched by the reordering fault (no conservation impact). *)
+val messages_reordered : 'a t -> int
+
+(** [messages_sent + messages_duplicated] — the left side of conservation. *)
+val messages_attempted : 'a t -> int
 
 (** Messages scheduled but not yet delivered or dropped. *)
 val messages_in_flight : 'a t -> int

@@ -25,6 +25,12 @@ type event =
   | Agree_return of { g : int; decided : string option; tau_g : float }
   | Ig3_failure of { g : int }
   | Scramble of { garbage : int }
+  | Duplicate of { src : int; dst : int; msg : string }
+      (* network-level duplication fault: a second copy of a sent message *)
+  | Retransmit of { src : int; dst : int; msg : string; attempt : int }
+      (* transport resending an unacked frame; [attempt] is 1-based *)
+  | Dup_suppress of { src : int; dst : int; seq : int }
+      (* transport receive-side dedup dropped an already-seen frame *)
   | Ext of { kind : string; render : unit -> string }
       (* generic extension: layers without a dedicated constructor (baselines,
          adversaries) tag an event and defer its rendering *)
@@ -44,6 +50,9 @@ let kind_of_event = function
   | Agree_return _ -> "agree-return"
   | Ig3_failure _ -> "ig3-failure"
   | Scramble _ -> "scramble"
+  | Duplicate _ -> "duplicate"
+  | Retransmit _ -> "retransmit"
+  | Dup_suppress _ -> "dup-suppress"
   | Ext { kind; _ } -> kind
 
 (* The only place event data is turned into text. *)
@@ -66,6 +75,11 @@ let detail_of_event = function
       Printf.sprintf "G=%d aborted tauG=%.6f" g tau_g
   | Ig3_failure { g } -> Printf.sprintf "logical G=%d quiet for Dreset" g
   | Scramble { garbage } -> Printf.sprintf "%d garbage messages" garbage
+  | Duplicate { src; dst; msg } -> Printf.sprintf "%s %d->%d (dup)" msg src dst
+  | Retransmit { src; dst; msg; attempt } ->
+      Printf.sprintf "%s %d->%d (attempt %d)" msg src dst attempt
+  | Dup_suppress { src; dst; seq } ->
+      Printf.sprintf "%d->%d seq=%d" src dst seq
   | Ext { render; _ } -> render ()
 
 (* Structural equality; [Ext] compares by kind and rendered detail (its
@@ -149,6 +163,12 @@ let fields_of_event = function
       ]
   | Ig3_failure { g } -> [ ("g", i g) ]
   | Scramble { garbage } -> [ ("garbage", i garbage) ]
+  | Duplicate { src; dst; msg } ->
+      [ ("src", i src); ("dst", i dst); ("msg", Json.Str msg) ]
+  | Retransmit { src; dst; msg; attempt } ->
+      [ ("src", i src); ("dst", i dst); ("msg", Json.Str msg); ("attempt", i attempt) ]
+  | Dup_suppress { src; dst; seq } ->
+      [ ("src", i src); ("dst", i dst); ("seq", i seq) ]
   | Ext { render; _ } -> [ ("detail", Json.Str (render ())) ]
 
 let json_of_entry e =
@@ -197,6 +217,12 @@ let event_of_json ~kind j =
         }
   | "ig3-failure" -> Ig3_failure { g = gi "g" }
   | "scramble" -> Scramble { garbage = gi "garbage" }
+  | "duplicate" -> Duplicate { src = gi "src"; dst = gi "dst"; msg = gs "msg" }
+  | "retransmit" ->
+      Retransmit
+        { src = gi "src"; dst = gi "dst"; msg = gs "msg"; attempt = gi "attempt" }
+  | "dup-suppress" ->
+      Dup_suppress { src = gi "src"; dst = gi "dst"; seq = gi "seq" }
   | kind ->
       let detail =
         match Option.bind (get "detail") Json.to_string_opt with

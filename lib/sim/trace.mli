@@ -21,6 +21,12 @@ type event =
       (** [decided = None] is an abort *)
   | Ig3_failure of { g : int }
   | Scramble of { garbage : int }
+  | Duplicate of { src : int; dst : int; msg : string }
+      (** network-level duplication fault: a second copy of a sent message *)
+  | Retransmit of { src : int; dst : int; msg : string; attempt : int }
+      (** transport resending an unacked frame; [attempt] is 1-based *)
+  | Dup_suppress of { src : int; dst : int; seq : int }
+      (** transport receive-side dedup dropped an already-seen frame *)
   | Ext of { kind : string; render : unit -> string }
       (** generic extension: [render] runs only when the event is printed or
           exported *)

@@ -160,6 +160,13 @@ module Q = struct
           at
           (int_bound (n - 2));
         map (fun at -> S.Heal { at }) at;
+        map (fun at -> S.Heal_partition { at }) at;
+        map (fun at -> S.Heal_drop { at }) at;
+        map2 (fun at p -> S.Loss { at; p }) at (float_range 0.0 1.0);
+        map2 (fun at p -> S.Duplicate { at; p }) at (float_range 0.0 1.0);
+        map3
+          (fun at prob extra -> S.Reorder { at; prob; extra })
+          at (float_range 0.0 1.0) (float_range 0.0 0.01);
       ]
 
   (* Simpler variants of one event: pull it to time 0, soften its knob. *)
@@ -177,7 +184,13 @@ module Q = struct
     | S.Drop_prob { at; p } ->
         if p > 0.0 then yield (S.Drop_prob { at; p = p /. 2.0 })
     | S.Partition { at; _ } -> yield (S.Heal { at })
-    | S.Heal _ -> ()
+    | S.Loss { at; p } -> if p > 0.0 then yield (S.Loss { at; p = p /. 2.0 })
+    | S.Duplicate { at; p } ->
+        if p > 0.0 then yield (S.Duplicate { at; p = p /. 2.0 })
+    | S.Reorder { at; prob; extra } ->
+        if prob > 0.0 then yield (S.Reorder { at; prob = prob /. 2.0; extra });
+        if extra > 0.0 then yield (S.Reorder { at; prob; extra = extra /. 2.0 })
+    | S.Heal _ | S.Heal_partition _ | S.Heal_drop _ -> ()
 
   let arb_event ~n ~horizon =
     QCheck.make ~shrink:shrink_event
@@ -193,6 +206,7 @@ module Q = struct
             cast = [];
             proposals = [];
             events = [ e ];
+            transport = None;
             horizon;
           }))
       (gen_event ~n ~horizon)

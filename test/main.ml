@@ -30,6 +30,7 @@ let () =
       ("channels", Test_channels.suite);
       ("separation", Test_separation.suite);
       ("replicated-log", Test_replicated_log.suite);
+      ("transport", Test_transport.suite);
       ("fuzz", Test_fuzz.suite);
       ("soak", Test_soak.suite);
     ]

@@ -58,6 +58,7 @@ let prop_event_roundtrip =
           cast = [];
           proposals = [];
           events = [ e ];
+          transport = None;
           horizon = 2.0;
         }
       in

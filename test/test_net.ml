@@ -206,12 +206,86 @@ let test_trace_events () =
     (List.length (Ssba_sim.Trace.filter ~kind:"deliver" tr));
   check_int "drop events" 1 (List.length (Ssba_sim.Trace.filter ~kind:"drop" tr))
 
+let test_duplicate () =
+  let engine, net = mk () in
+  let got = ref 0 in
+  Net.set_handler net 1 (fun _ -> incr got);
+  Net.set_dup_prob net 1.0;
+  for _ = 1 to 10 do
+    Net.send net ~src:0 ~dst:1 "x"
+  done;
+  ignore (Engine.run engine);
+  check_int "every message delivered twice at dup=1" 20 !got;
+  check_int "duplicates counted" 10 (Net.messages_duplicated net);
+  check_int "conservation: attempts all accounted"
+    (Net.messages_sent net + Net.messages_duplicated net)
+    (Net.messages_delivered net + Net.messages_dropped net
+   + Net.messages_in_flight net)
+
+let test_reorder () =
+  let engine, net = mk () in
+  (* fixed 0.1 delay; reordering stretches a delivery by up to 0.5 more *)
+  let times = ref [] in
+  Net.set_handler net 1 (fun _ -> times := Engine.now engine :: !times);
+  Net.set_reorder net (Some { Net.prob = 1.0; extra = 0.5 });
+  for _ = 1 to 20 do
+    Net.send net ~src:0 ~dst:1 "x"
+  done;
+  ignore (Engine.run engine);
+  check_int "all delivered" 20 (List.length !times);
+  check_int "all stretched" 20 (Net.messages_reordered net);
+  List.iter
+    (fun t -> check_bool "within [0.1, 0.6]" true (t >= 0.1 && t <= 0.6 +. 1e-9))
+    !times;
+  check_bool "some delivery actually stretched" true
+    (List.exists (fun t -> t > 0.1 +. 1e-9) !times)
+
+(* Satellite regression: each fault concern draws from its own RNG stream,
+   and every send draws from all of them unconditionally — so toggling one
+   fault must not shift another concern's samples. *)
+let test_rng_streams_independent () =
+  let deliveries ~drop ~dup =
+    let engine, net = mk ~n:2 ~delay:(Delay.uniform ~lo:0.01 ~hi:0.09) () in
+    if drop then Net.set_drop_prob net 0.5;
+    if dup then Net.set_dup_prob net 0.5;
+    let times = ref [] in
+    Net.set_handler net 1 (fun m ->
+        times := (m.Msg.payload, Engine.now engine) :: !times);
+    for i = 1 to 50 do
+      Net.send net ~src:0 ~dst:1 (string_of_int i)
+    done;
+    ignore (Engine.run engine);
+    !times
+  in
+  let plain = deliveries ~drop:false ~dup:false in
+  (* Loss removes deliveries but must not shift the delays of survivors. *)
+  let lossy = deliveries ~drop:true ~dup:false in
+  check_bool "loss thinned the deliveries" true
+    (List.length lossy < List.length plain);
+  List.iter
+    (fun (p, t) ->
+      check_bool
+        (Printf.sprintf "survivor %s keeps its delay" p)
+        true
+        (List.exists (fun (p', t') -> p = p' && Float.abs (t -. t') < 1e-12) plain))
+    lossy;
+  (* Duplication adds copies but every primary keeps its original delay. *)
+  let duped = deliveries ~drop:false ~dup:true in
+  List.iter
+    (fun (p, t) ->
+      check_bool
+        (Printf.sprintf "primary %s still arrives on time" p)
+        true
+        (List.exists (fun (p', t') -> p = p' && Float.abs (t -. t') < 1e-12) duped))
+    plain
+
 (* Conservation property: under an arbitrary mix of sends, broadcasts,
-   forged injections, mutes, partitions and loss, and at ANY point of the
-   drain (including mid-flight), sent = delivered + dropped + in_flight. *)
+   forged injections, mutes, partitions, loss, duplication and reordering,
+   and at ANY point of the drain (including mid-flight),
+   attempts = sent + duplicated = delivered + dropped + in_flight. *)
 let prop_conservation =
   let invariant net =
-    Net.messages_sent net
+    Net.messages_sent net + Net.messages_duplicated net
     = Net.messages_delivered net + Net.messages_dropped net
       + Net.messages_in_flight net
   in
@@ -233,7 +307,7 @@ let prop_conservation =
       List.iteri
         (fun i op ->
           let op = abs op in
-          match op mod 6 with
+          match op mod 8 with
           | 0 -> Net.send net ~src:(i mod n) ~dst:(op mod n) "m"
           | 1 ->
               Net.inject_forged net ~claimed_src:(op mod n) ~dst:(i mod n)
@@ -244,6 +318,11 @@ let prop_conservation =
               Net.set_partition net
                 (if op land 1 = 0 then
                    Some (fun ~src ~dst -> src = 0 && dst = 1)
+                 else None)
+          | 5 -> Net.set_dup_prob net (if op land 1 = 0 then 0.5 else 0.0)
+          | 6 ->
+              Net.set_reorder net
+                (if op land 1 = 0 then Some { Net.prob = 0.5; extra = 0.2 }
                  else None)
           | _ -> Net.broadcast net ~src:(i mod n) "b")
         ops;
@@ -269,5 +348,8 @@ let suite =
     case "bad destination" test_bad_destination;
     case "metrics registry feed" test_metrics_registry_feed;
     case "trace events" test_trace_events;
+    case "duplicate injection" test_duplicate;
+    case "reorder injection" test_reorder;
+    case "per-concern rng streams" test_rng_streams_independent;
     Helpers.qcheck prop_conservation;
   ]

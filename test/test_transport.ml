@@ -1,0 +1,273 @@
+(* Tests for the reliable transport (lib/transport): unit-level behaviour
+   over a persistently faulty network, runner-level self-stabilization with
+   the transport in the loop, the Heal split, crash/recover mid-broadcast,
+   and the lossy fuzz campaign together with its transport-off
+   counterexample. *)
+
+open Helpers
+module Engine = Ssba_sim.Engine
+module Rng = Ssba_sim.Rng
+module Net = Ssba_net.Network
+module Delay = Ssba_net.Delay
+module Link = Ssba_net.Link
+module Msg = Ssba_net.Msg
+module T = Ssba_transport.Transport
+module Params = Ssba_core.Params
+module H = Ssba_harness
+module F = Ssba_fuzz
+
+(* A 2-node faulty network with a transport on top; protocol traffic goes
+   through [link]. *)
+let mk ?drop_prob ?dup_prob ?(seed = 7) ?(rto = 0.05) () =
+  let engine = Engine.create () in
+  let net =
+    Net.create ?drop_prob ?dup_prob ~engine ~n:2 ~delay:(Delay.fixed 0.01)
+      ~rng:(Rng.create seed) ()
+  in
+  let tr = T.create ~engine ~net ~config:(T.config ~rto ()) () in
+  (engine, tr, T.link tr)
+
+let collect link dst =
+  let got = ref [] in
+  Link.set_handler link dst (fun m -> got := m.Msg.payload :: !got);
+  got
+
+let payloads k = List.init k (fun i -> Printf.sprintf "m%02d" i)
+
+(* Retransmission masks a persistent 30 % loss: every payload arrives
+   exactly once even though both data frames and acks keep being dropped. *)
+let test_reliable_under_loss () =
+  let engine, tr, link = mk ~drop_prob:0.3 () in
+  let got = collect link 1 in
+  List.iter (fun p -> Link.send link ~src:0 ~dst:1 p) (payloads 30);
+  ignore (Engine.run engine);
+  check_bool "all payloads delivered exactly once" true
+    (List.sort compare !got = payloads 30);
+  check_bool "loss actually forced retransmissions" true (T.retransmits tr > 0);
+  check_int "nothing expired" 0 (T.expired tr)
+
+(* The receive dedup ring turns at-least-once into exactly-once under full
+   network duplication. *)
+let test_dedup_exactly_once () =
+  let engine, tr, link = mk ~dup_prob:1.0 () in
+  let got = collect link 1 in
+  List.iter (fun p -> Link.send link ~src:0 ~dst:1 p) (payloads 20);
+  ignore (Engine.run engine);
+  check_bool "duplicated frames delivered exactly once" true
+    (List.sort compare !got = payloads 20);
+  check_bool "duplicates were suppressed" true (T.dup_suppressed tr > 0)
+
+(* A dead link exhausts the retry budget: state is bounded, the run
+   terminates, and the frames are accounted as expired. *)
+let test_expiry_on_dead_link () =
+  let engine, tr, link = mk ~drop_prob:1.0 () in
+  let got = collect link 1 in
+  Link.send link ~src:0 ~dst:1 "a";
+  Link.send link ~src:0 ~dst:1 "b";
+  ignore (Engine.run engine);
+  check_int "nothing delivered" 0 (List.length !got);
+  check_int "both frames expired" 2 (T.expired tr);
+  check_int "full retry budget spent per frame"
+    (2 * (T.config_of tr).T.retries)
+    (T.retransmits tr)
+
+(* Transient-fault model: scramble every piece of transport state, then keep
+   sending. Capacities are code, not state, so traffic still flows; a
+   corrupted dedup slot may wrongly suppress at most a frame or two (the
+   same effect as a lost message during the incoherent period), and the
+   corruption is overwritten by real traffic. *)
+let test_scramble_washout () =
+  let engine, tr, link = mk () in
+  let got = collect link 1 in
+  List.iter (fun p -> Link.send link ~src:0 ~dst:1 p) (payloads 5);
+  ignore (Engine.run engine);
+  T.scramble tr ~rng:(Rng.create 99);
+  got := [];
+  let fresh = List.init 20 (fun i -> Printf.sprintf "s%02d" i) in
+  List.iter (fun p -> Link.send link ~src:0 ~dst:1 p) fresh;
+  ignore (Engine.run engine);
+  let delivered = List.sort_uniq compare !got in
+  check_int "no payload delivered twice" (List.length !got)
+    (List.length delivered);
+  check_bool "post-scramble traffic flows (>= 18/20)" true
+    (List.length delivered >= 18)
+
+(* ------------------------------------------------------------------ *)
+(* Runner-level: the transport in the protocol loop.                   *)
+
+let decided_unanimously ?v (res : H.Runner.result) =
+  List.exists
+    (fun e ->
+      match H.Checks.agreement ~correct:res.H.Runner.correct e with
+      | H.Checks.Unanimous u -> ( match v with None -> true | Some v -> u = v)
+      | H.Checks.All_silent | H.Checks.All_aborted | H.Checks.Violated _ ->
+          false)
+    (H.Metrics.episodes res)
+
+(* Acceptance: transport state survives a Scramble. A full state scramble
+   (protocol + transport + in-flight garbage) over a permanently lossy link
+   must still reach unanimous agreement once Delta_stb has passed. *)
+let test_transport_survives_scramble () =
+  let n = 7 and p = 0.2 in
+  let base = Params.default n in
+  let tcfg = T.config ~rto:(3.0 *. base.Params.delta) () in
+  let params =
+    Params.default
+      ~delta:
+        (Params.delta_eff ~delta:base.Params.delta ~p ~rto:tcfg.T.rto
+           ~retries:tcfg.T.retries)
+      n
+  in
+  let t0 = params.Params.delta_stb in
+  let sc =
+    H.Scenario.default ~name:"scramble+transport" ~seed:11 ~transport:tcfg
+      ~events:
+        [
+          H.Scenario.Loss { at = 0.0; p };
+          H.Scenario.Scramble
+            { at = 0.0; values = [ "x"; "y" ]; net_garbage = 100 };
+        ]
+      ~proposals:[ { g = 2; v = "go"; at = t0 } ]
+      ~horizon:(t0 +. (3.0 *. params.Params.delta_agr))
+      params
+  in
+  let res = H.Runner.run sc in
+  check_bool "unanimous decision after stabilization" true
+    (decided_unanimously ~v:"go" res);
+  check_bool "pairwise agreement holds after Delta_stb" true
+    (H.Checks.pairwise_agreement ~after:t0 res = [])
+
+(* Satellite: the Heal split. A total transient drop is lifted by Heal_drop
+   and by the back-compat heal-all Heal, but NOT by Heal_partition; and a
+   persistent Loss survives even heal-all. *)
+let test_heal_split () =
+  let params = Params.default 7 in
+  let run events =
+    H.Runner.run
+      (H.Scenario.default ~name:"heal-split" ~seed:5 ~events
+         ~proposals:[ { g = 0; v = "v"; at = 0.05 } ]
+         ~horizon:(0.05 +. (3.0 *. params.Params.delta_agr))
+         params)
+  in
+  let blackout = H.Scenario.Drop_prob { at = 0.0; p = 1.0 } in
+  let res = run [ blackout; H.Scenario.Heal_drop { at = 0.02 } ] in
+  check_bool "Heal_drop lifts the transient drop" true
+    (decided_unanimously ~v:"v" res);
+  let res = run [ blackout; H.Scenario.Heal { at = 0.02 } ] in
+  check_bool "heal-all still lifts the transient drop" true
+    (decided_unanimously ~v:"v" res);
+  let res = run [ blackout; H.Scenario.Heal_partition { at = 0.02 } ] in
+  check_bool "Heal_partition leaves the drop in place" true
+    (H.Checks.no_decision res);
+  let res =
+    run [ H.Scenario.Loss { at = 0.0; p = 1.0 }; H.Scenario.Heal { at = 0.02 } ]
+  in
+  check_bool "persistent Loss survives heal-all" true (H.Checks.no_decision res)
+
+(* Satellite: a participant crashing mid-broadcast and recovering. Crash
+   only mutes sends, so the recovered node catches up and the whole cluster
+   (quorum n - f = 6 among the other nodes) decides unanimously — plain and
+   with the transport over a lossy link. *)
+let test_crash_recover_mid_broadcast () =
+  let n = 7 in
+  let check_case ~name ~p ~transport =
+    let base = Params.default n in
+    let tcfg = T.config ~rto:(3.0 *. base.Params.delta) () in
+    let params =
+      if transport && p > 0.0 then
+        Params.default
+          ~delta:
+            (Params.delta_eff ~delta:base.Params.delta ~p ~rto:tcfg.T.rto
+               ~retries:tcfg.T.retries)
+          n
+      else base
+    in
+    let t0 = 0.05 in
+    let events =
+      (if p > 0.0 then [ H.Scenario.Loss { at = 0.0; p } ] else [])
+      @ [
+          H.Scenario.Crash { node = 3; at = t0 +. (0.5 *. params.Params.d) };
+          H.Scenario.Recover { node = 3; at = t0 +. (2.0 *. params.Params.d) };
+        ]
+    in
+    let sc =
+      H.Scenario.default ~name ~seed:31 ~events
+        ?transport:(if transport then Some tcfg else None)
+        ~proposals:[ { g = 0; v = "w"; at = t0 } ]
+        ~horizon:(t0 +. (3.0 *. params.Params.delta_agr))
+        params
+    in
+    let res = H.Runner.run sc in
+    check_bool (name ^ ": all 7 (incl. recovered) decide unanimously") true
+      (List.exists
+         (fun e ->
+           H.Checks.validity ~correct:res.H.Runner.correct ~v:"w" e)
+         (H.Metrics.episodes res))
+  in
+  check_case ~name:"plain" ~p:0.0 ~transport:false;
+  check_case ~name:"lossy+transport" ~p:0.2 ~transport:true
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: the lossy campaign and the transport-off counterexample.      *)
+
+(* Acceptance: a 50-scenario campaign with persistent loss up to p = 0.3
+   plus duplication and reordering, transport on, passes every oracle in
+   the strictest class (Agreement, Validity, Termination). The digest pins
+   the corpus byte-for-byte; `ssba-fuzz --seed 42 --runs 50 --lossy`
+   reproduces it. *)
+let test_lossy_campaign () =
+  let summary =
+    F.Campaign.run
+      {
+        F.Campaign.default_config with
+        F.Campaign.seed = 42;
+        runs = 50;
+        gen = F.Gen.lossy_config;
+        shrink = false;
+      }
+  in
+  check_int "executed all 50 scenarios" 50 summary.F.Campaign.executed;
+  check_int "no oracle failures" 0 (List.length summary.F.Campaign.failed);
+  check_str "corpus digest pinned" "414d11485c99614faf7fa25524629b8a"
+    summary.F.Campaign.corpus_digest
+
+(* Acceptance regression: the SAME lossy corpus, transport stripped, loses
+   Termination/Validity. [assume_coherent] keeps the reliable-class oracles
+   on even though the bare protocol never re-enters the paper's model; the
+   horizon is recomputed for the stripped spec (its un-inflated timeout
+   cascade makes the lossy horizon absurdly long in event count). *)
+let test_transport_off_loses_termination () =
+  let failures = ref 0 and lossy_specs = ref 0 in
+  for i = 0 to 11 do
+    let spec =
+      F.Campaign.spec_of_iteration ~seed:42 ~gen:F.Gen.lossy_config i
+    in
+    if F.Spec.max_loss spec > 0.0 then begin
+      incr lossy_specs;
+      let stripped = { spec with F.Spec.transport = None } in
+      let stripped =
+        { stripped with F.Spec.horizon = F.Gen.min_horizon stripped }
+      in
+      let _, report =
+        F.Oracle.run
+          ~config:{ F.Oracle.default_config with assume_coherent = true }
+          stripped
+      in
+      failures := !failures + List.length report.F.Oracle.failures
+    end
+  done;
+  check_bool "corpus prefix contains lossy specs" true (!lossy_specs > 0);
+  check_bool "stripping the transport breaks the oracles" true (!failures > 0)
+
+let suite =
+  [
+    case "reliable delivery under 30% loss" test_reliable_under_loss;
+    case "exactly-once under duplication" test_dedup_exactly_once;
+    case "retry cap on a dead link" test_expiry_on_dead_link;
+    case "scramble washes out" test_scramble_washout;
+    case "transport survives Scramble event" test_transport_survives_scramble;
+    case "Heal split (targeted heals)" test_heal_split;
+    case "crash/recover mid-broadcast" test_crash_recover_mid_broadcast;
+    case "lossy campaign (50 runs, transport on)" test_lossy_campaign;
+    case "transport off loses termination" test_transport_off_loses_termination;
+  ]
