@@ -308,12 +308,148 @@ let bench_transport_json path =
   close_out oc;
   Printf.printf "transport benchmark written to %s\n%!" path
 
+(* Machine-readable engine throughput: the E11 scale sweep (one
+   correct-General agreement per n, best-of-repeats wall time) written to
+   BENCH_engine.json. [pre_pr_baseline] records the n=25 throughput measured
+   on this machine before the hot-path overhaul, so the file documents the
+   speedup it gates. *)
+let engine_rows_json rows =
+  let module J = Ssba_sim.Json in
+  let row (r : H.Experiments.scale_row) =
+    J.Obj
+      [
+        ("n", J.Num (float_of_int r.H.Experiments.sr_n));
+        ("events", J.Num (float_of_int r.H.Experiments.sr_events));
+        ("wall_ms", J.Num r.H.Experiments.sr_wall_ms);
+        ("events_per_sec", J.Num r.H.Experiments.sr_events_per_sec);
+        ("wall_ms_per_sim_s", J.Num r.H.Experiments.sr_wall_ms_per_sim_s);
+        ("decided", J.Bool r.H.Experiments.sr_decided);
+      ]
+  in
+  J.Obj
+    [
+      ( "engine_bench",
+        J.Obj
+          [
+            ( "workload",
+              J.Str
+                "correct-General agreement, seed 111, horizon t0 + 2*delta_agr"
+            );
+            ( "pre_pr_baseline",
+              J.Obj [ ("n", J.Num 25.0); ("events_per_sec", J.Num 308924.0) ] );
+            ("rows", J.Arr (List.map row rows));
+          ] );
+    ]
+
+let write_engine_json path rows =
+  let module J = Ssba_sim.Json in
+  let oc = open_out path in
+  output_string oc (J.to_string (engine_rows_json rows));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "engine benchmark written to %s\n%!" path
+
+(* The committed baseline and the pre-PR measurement were both taken as
+   best-of-many in one process (warm heap); match that methodology here so
+   the file's speedup ratio compares like with like. *)
+let bench_engine_json path =
+  write_engine_json path (H.Experiments.e11_scale_rows ~repeats:25 ())
+
+(* Baseline rows as (n, events_per_sec), from a committed BENCH_engine.json. *)
+let read_engine_baseline path =
+  let module J = Ssba_sim.Json in
+  let ( let* ) = Option.bind in
+  let* raw =
+    try
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let raw = really_input_string ic len in
+      close_in ic;
+      Some raw
+    with Sys_error _ -> None
+  in
+  let* root = try Some (J.of_string raw) with J.Parse_error _ -> None in
+  let* bench = J.member "engine_bench" root in
+  let* rows = J.member "rows" bench in
+  match rows with
+  | J.Arr rs ->
+      Some
+        (List.filter_map
+           (fun r ->
+             let* n = Option.bind (J.member "n" r) J.to_int_opt in
+             let* eps =
+               Option.bind (J.member "events_per_sec" r) J.to_float_opt
+             in
+             Some (n, eps))
+           rs)
+  | _ -> None
+
+(* CI smoke mode: a reduced sweep, gated against the committed baseline.
+   Fails (exit 1) only on a >3x events/sec regression at some shared n —
+   loose enough to absorb shared-runner noise, tight enough to catch a
+   hot-path falling back to a quadratic or allocating implementation. *)
+let engine_smoke ?baseline () =
+  let ns = [ 7; 13; 25 ] in
+  let rows = H.Experiments.e11_scale_rows ~ns () in
+  let tbl = H.Table.create [ "n"; "events"; "wall(ms)"; "events/sec"; "vs baseline" ] in
+  let failed = ref false in
+  let base =
+    match baseline with
+    | None -> []
+    | Some path -> (
+        match read_engine_baseline path with
+        | Some b -> b
+        | None ->
+            Printf.printf "engine-smoke: cannot read baseline %s\n%!" path;
+            failed := true;
+            [])
+  in
+  List.iter
+    (fun (r : H.Experiments.scale_row) ->
+      let n = r.H.Experiments.sr_n in
+      let eps = r.H.Experiments.sr_events_per_sec in
+      let verdict =
+        match List.assoc_opt n base with
+        | None -> "-"
+        | Some b when eps *. 3.0 < b ->
+            failed := true;
+            Printf.sprintf "%.2fx SLOWER (fail)" (b /. eps)
+        | Some b -> Printf.sprintf "%.2fx" (eps /. b)
+      in
+      H.Table.add_row tbl
+        [
+          string_of_int n;
+          string_of_int r.H.Experiments.sr_events;
+          Printf.sprintf "%.1f" r.H.Experiments.sr_wall_ms;
+          Printf.sprintf "%.0f" eps;
+          verdict;
+        ])
+    rows;
+  H.Table.print tbl;
+  write_engine_json "BENCH_engine.json" rows;
+  if !failed then begin
+    print_endline "engine-smoke: FAILED";
+    exit 1
+  end
+  else print_endline "engine-smoke: ok"
+
 let () =
-  print_endline "## Bechamel benchmarks (one per experiment + substrates)";
-  print_endline "";
-  benchmark ();
-  print_endline "";
-  bench_transport_json "BENCH_transport.json";
-  print_endline "";
-  print_endline "## Experiment tables (paper reproduction, see EXPERIMENTS.md)";
-  Ssba_harness.Experiments.run_all ()
+  match Array.to_list Sys.argv with
+  | _ :: "--engine-smoke" :: rest ->
+      let baseline =
+        match rest with [ "--baseline"; path ] -> Some path | _ -> None
+      in
+      engine_smoke ?baseline ()
+  | [ _; "--engine-json" ] ->
+      (* Regenerate just BENCH_engine.json (full sweep, no bechamel). *)
+      bench_engine_json "BENCH_engine.json"
+  | _ ->
+      print_endline "## Bechamel benchmarks (one per experiment + substrates)";
+      print_endline "";
+      benchmark ();
+      print_endline "";
+      bench_transport_json "BENCH_transport.json";
+      bench_engine_json "BENCH_engine.json";
+      print_endline "";
+      print_endline "## Experiment tables (paper reproduction, see EXPERIMENTS.md)";
+      Ssba_harness.Experiments.run_all ()

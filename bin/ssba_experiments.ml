@@ -1,7 +1,7 @@
 (* Regenerate the experiment tables of EXPERIMENTS.md (DESIGN.md §4).
 
    With no arguments, runs every experiment; otherwise runs the named ones
-   (e1..e8). *)
+   (e1..e11). *)
 
 let experiments =
   [
@@ -15,6 +15,7 @@ let experiments =
     ("e8", "pulse synchronization", fun () -> Ssba_harness.Experiments.e8_pulse ());
     ("e9", "primitive-level properties", fun () -> Ssba_harness.Experiments.e9_invariants ());
     ("e10", "lossy links with/without transport", fun () -> Ssba_harness.Experiments.e10_lossy_links ());
+    ("e11", "engine scale: events/sec across n", fun () -> Ssba_harness.Experiments.e11_scale ());
   ]
 
 let () =

@@ -23,12 +23,12 @@
      i_values[m]   — candidate recording times;
      ready_flag[m] — the ready_{G,m} variable with its set-time (decays);
      last_g        — last(G): set at N4, expires after Delta_0 - 6d;
-     last_gm[m]    — last(G,m): the list of recent set-times, because block K
+     last_gm[m]    — last(G,m): the set of recent set-times, because block K
                      needs to know whether the variable was defined d time
                      units in the past (Definition 8's freshness query);
-     sent_at       — last send time per message kind and value, both for
-                     duplicate suppression and for K1's "no (support, G, *)
-                     sent within [tau-d, tau]" test. *)
+     sent_*        — last send time per value, one table per message kind,
+                     both for duplicate suppression and for K1's "no
+                     (support, G, *) sent within [tau-d, tau]" test. *)
 
 open Types
 
@@ -48,8 +48,10 @@ type t = {
   i_values : (value, float) Hashtbl.t;
   ready_flag : (value, float) Hashtbl.t;  (* value -> set-time of ready_{G,m} *)
   mutable last_g : float option;
-  last_gm : (value, float list) Hashtbl.t;  (* set-times, newest first *)
-  sent_at : (ia_kind * value, float) Hashtbl.t;
+  last_gm : (value, Time_set.t) Hashtbl.t;  (* sorted set-times *)
+  sent_support : (value, float) Hashtbl.t;
+  sent_approve : (value, float) Hashtbl.t;
+  sent_ready : (value, float) Hashtbl.t;
   ignore_until : (value, float) Hashtbl.t;  (* N4's 3d ignore window *)
   mutable invoked_at : float option;
   mutable l4_at : float option;
@@ -70,7 +72,9 @@ let create ~ctx ~g =
     ready_flag = Hashtbl.create 4;
     last_g = None;
     last_gm = Hashtbl.create 4;
-    sent_at = Hashtbl.create 8;
+    sent_support = Hashtbl.create 4;
+    sent_approve = Hashtbl.create 4;
+    sent_ready = Hashtbl.create 4;
     ignore_until = Hashtbl.create 4;
     invoked_at = None;
     l4_at = None;
@@ -101,16 +105,22 @@ let last_g_expiry t = (p t).Params.delta_0 -. (6.0 *. (p t).Params.d)
 
 let set_last_gm t v =
   let tau = now t in
-  let prev = Option.value ~default:[] (Hashtbl.find_opt t.last_gm v) in
-  Hashtbl.replace t.last_gm v (tau :: prev)
+  let sets =
+    match Hashtbl.find_opt t.last_gm v with
+    | Some s -> s
+    | None ->
+        let s = Time_set.create () in
+        Hashtbl.replace t.last_gm v s;
+        s
+  in
+  Time_set.add sets tau
 
 (* Was last(G,m) defined at local time [at]? It was iff some set happened at
    [s <= at] and had not yet expired: [at - s <= expiry]. *)
 let last_gm_defined_at t v ~at =
-  let expiry = last_gm_expiry t in
   match Hashtbl.find_opt t.last_gm v with
   | None -> false
-  | Some sets -> List.exists (fun s -> s <= at && at -. s <= expiry) sets
+  | Some sets -> Time_set.defined_at sets ~at ~expiry:(last_gm_expiry t)
 
 let last_g_defined t =
   let tau = now t in
@@ -146,16 +156,21 @@ let ignoring t v =
    it keeps message complexity at the O(n^2)-per-agreement the round
    structure implies, and every proof only needs each send to happen once per
    condition epoch. *)
+let sent_tbl t = function
+  | Support -> t.sent_support
+  | Approve -> t.sent_approve
+  | Ready -> t.sent_ready
+
 let send t kind v =
   let tau = now t in
-  let key = (kind, v) in
+  let tbl = sent_tbl t kind in
   let recently =
-    match Hashtbl.find_opt t.sent_at key with
+    match Hashtbl.find_opt tbl v with
     | Some s -> s <= tau && tau -. s < (p t).Params.d
     | None -> false
   in
   if not recently then begin
-    Hashtbl.replace t.sent_at key tau;
+    Hashtbl.replace tbl v tau;
     t.ctx.send_all (Ia { kind; g = t.g; v });
     (* IG3 self-monitoring timestamps: first execution after invocation. *)
     (match (kind, t.invoked_at) with
@@ -168,9 +183,8 @@ let support_sent_recently t =
   let tau = now t in
   let d = (p t).Params.d in
   Hashtbl.fold
-    (fun (kind, _) s acc ->
-      acc || (kind = Support && s <= tau && tau -. s >= 0.0 && tau -. s <= d))
-    t.sent_at false
+    (fun _ s acc -> acc || (s <= tau && tau -. s >= 0.0 && tau -. s <= d))
+    t.sent_support false
 
 (* Block N4: the I-accept. *)
 let do_accept t v =
@@ -318,12 +332,14 @@ let cleanup t =
   let gm_doomed = ref [] in
   Hashtbl.iter
     (fun v sets ->
-      let kept = List.filter (fun s -> s <= tau && s >= gm_horizon) sets in
-      if kept = [] then gm_doomed := v :: !gm_doomed
-      else Hashtbl.replace t.last_gm v kept)
+      Time_set.retain_range sets ~lo:gm_horizon ~hi:tau;
+      if Time_set.is_empty sets then gm_doomed := v :: !gm_doomed)
     t.last_gm;
   List.iter (Hashtbl.remove t.last_gm) !gm_doomed;
-  prune t.sent_at (fun s -> s <= tau && tau -. s <= 2.0 *. prm.Params.delta_rmv);
+  let keep_sent s = s <= tau && tau -. s <= 2.0 *. prm.Params.delta_rmv in
+  prune t.sent_support keep_sent;
+  prune t.sent_approve keep_sent;
+  prune t.sent_ready keep_sent;
   prune t.ignore_until (fun until ->
       until > tau && until <= tau +. (4.0 *. prm.Params.d));
   let stale = function Some s when s > tau || tau -. s > prm.Params.delta_rmv -> true | Some _ | None -> false in
@@ -394,12 +410,16 @@ let scramble rng ~values t =
       end;
       if Ssba_sim.Rng.bool rng then Hashtbl.replace t.i_values v (rtime ());
       if Ssba_sim.Rng.bool rng then Hashtbl.replace t.ready_flag v (rtime ());
+      if Ssba_sim.Rng.bool rng then begin
+        let sets = Time_set.create () in
+        Time_set.add sets (rtime ());
+        Time_set.add sets (rtime ());
+        Hashtbl.replace t.last_gm v sets
+      end;
       if Ssba_sim.Rng.bool rng then
-        Hashtbl.replace t.last_gm v [ rtime (); rtime () ];
-      if Ssba_sim.Rng.bool rng then
-        Hashtbl.replace t.sent_at
-          (Ssba_sim.Rng.pick rng [| Support; Approve; Ready |], v)
-          (rtime ());
+        Hashtbl.replace
+          (sent_tbl t (Ssba_sim.Rng.pick rng [| Support; Approve; Ready |]))
+          v (rtime ());
       if Ssba_sim.Rng.bool rng then Hashtbl.replace t.ignore_until v (rtime ()));
   if Ssba_sim.Rng.bool rng then t.last_g <- Some (rtime ());
   if Ssba_sim.Rng.bool rng then t.invoked_at <- Some (rtime ());

@@ -39,7 +39,7 @@ type t = {
   g : general;
   ctx : ctx;
   trips : (node_id * value * int, trip) Hashtbl.t;
-  broadcasters : (node_id, float) Hashtbl.t;  (* node -> local time added *)
+  broadcasters : Recv_log.t;  (* node -> local time added; same decay rules *)
   mutable tau_g : float option;
   mutable on_accept : p:node_id -> v:value -> k:int -> unit;
   mutable on_broadcaster : node_id -> unit;
@@ -50,7 +50,7 @@ let create ~ctx ~g =
     g;
     ctx;
     trips = Hashtbl.create 8;
-    broadcasters = Hashtbl.create 8;
+    broadcasters = Recv_log.create ();
     tau_g = None;
     on_accept = (fun ~p:_ ~v:_ ~k:_ -> ());
     on_broadcaster = (fun _ -> ());
@@ -82,9 +82,8 @@ let trip_of t key =
       Hashtbl.replace t.trips key tr;
       tr
 
-let broadcaster_count t = Hashtbl.length t.broadcasters
-let broadcasters t =
-  Hashtbl.fold (fun n _ acc -> n :: acc) t.broadcasters [] |> List.sort compare
+let broadcaster_count t = Recv_log.count t.broadcasters
+let broadcasters t = Recv_log.senders t.broadcasters
 
 let send t kind ~p ~v ~k = t.ctx.send_all (Mb { kind; p; g = t.g; v; k })
 
@@ -103,14 +102,20 @@ let eval t ((p, v, k) as key) tr =
       let phi = pm.Params.phi in
       let n_f = Params.quorum pm in
       let n_2f = Params.weak_quorum pm in
-      let deadline c = tg +. (float_of_int ((2 * k) + c) *. phi) in
+      (* Deadlines tau_g + (2k + c) * Phi for c = 0, 1, 2. Each keeps the
+         exact arithmetic shape [tg +. (float (2k + c) *. phi)] — the
+         comparisons below sit on digest-pinned boundaries. *)
+      let k2 = 2 * k in
+      let deadline0 = tg +. (float_of_int k2 *. phi) in
+      let deadline1 = tg +. (float_of_int (k2 + 1) *. phi) in
+      let deadline2 = tg +. (float_of_int (k2 + 2) *. phi) in
       (* W *)
-      if tau <= deadline 0 && tr.init_from_p <> None && not tr.sent_echo then begin
+      if tau <= deadline0 && tr.init_from_p <> None && not tr.sent_echo then begin
         tr.sent_echo <- true;
         send t Echo ~p ~v ~k
       end;
       (* X *)
-      if tau <= deadline 1 then begin
+      if tau <= deadline1 then begin
         if Recv_log.count tr.echo >= n_2f && not tr.sent_init2 then begin
           tr.sent_init2 <- true;
           send t Init2 ~p ~v ~k
@@ -119,10 +124,10 @@ let eval t ((p, v, k) as key) tr =
           do_accept t key tr
       end;
       (* Y *)
-      if tau <= deadline 2 then begin
-        if Recv_log.count tr.init2 >= n_2f && not (Hashtbl.mem t.broadcasters p)
+      if tau <= deadline2 then begin
+        if Recv_log.count tr.init2 >= n_2f && not (Recv_log.mem t.broadcasters ~sender:p)
         then begin
-          Hashtbl.replace t.broadcasters p tau;
+          Recv_log.note t.broadcasters ~sender:p ~at:tau;
           t.ctx.trace
             (Ssba_sim.Trace.Mb_broadcaster
                { g = t.g; p; total = broadcaster_count t });
@@ -193,19 +198,15 @@ let cleanup t =
       then doomed := key :: !doomed)
     t.trips;
   List.iter (Hashtbl.remove t.trips) !doomed;
-  let stale =
-    Hashtbl.fold
-      (fun p at acc -> if at > tau || at < horizon then p :: acc else acc)
-      t.broadcasters []
-  in
-  List.iter (Hashtbl.remove t.broadcasters) stale;
+  Recv_log.sanitize t.broadcasters ~now:tau;
+  Recv_log.decay t.broadcasters ~horizon;
   match t.tau_g with
   | Some tg when tg > tau -> t.tau_g <- None  (* corrupt future anchor *)
   | Some _ | None -> ()
 
 let reset t =
   Hashtbl.reset t.trips;
-  Hashtbl.reset t.broadcasters;
+  Recv_log.clear t.broadcasters;
   t.tau_g <- None
 
 (* Transient-fault injection. *)
@@ -237,6 +238,6 @@ let scramble rng ~values t =
     if Ssba_sim.Rng.bool rng then tr.accepted_at <- Some (rtime ())
   done;
   for _ = 1 to Ssba_sim.Rng.int rng (pm.Params.f + 1) do
-    Hashtbl.replace t.broadcasters (Ssba_sim.Rng.int rng n) (rtime ())
+    Recv_log.corrupt t.broadcasters ~sender:(Ssba_sim.Rng.int rng n) ~at:(rtime ())
   done;
   if Ssba_sim.Rng.bool rng then t.tau_g <- Some (rtime ())

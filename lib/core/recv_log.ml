@@ -7,62 +7,163 @@
    most recent arrival time: re-sends refresh the entry, and older arrivals
    can never enlarge a suffix window's sender count.
 
+   Window queries run on every arrival, so they are the broadcast hot path.
+   Alongside the sender -> latest-arrival table the log incrementally
+   maintains a sorted array of (time, sender) pairs — parallel flat
+   float/int arrays, ascending by (time, sender) — so every query is a
+   binary search: O(log m), monomorphic comparisons, no allocation. Updates
+   (a refresh moves one entry towards the end; decay cuts a prefix, sanitize
+   a suffix) are a binary search plus one [Array.blit] over at most m <= n
+   entries, which is far cheaper than the former fold + sort + nth on every
+   query.
+
    The log also implements the paper's decay rules: entries older than a
    horizon are removed, and entries with "clearly wrong" (future) timestamps
    — which only a transient fault can produce — are dropped by [sanitize]. *)
 
-type t = { arrivals : (int, float) Hashtbl.t }
+type t = {
+  arrivals : (int, float) Hashtbl.t;  (* sender -> latest arrival *)
+  mutable times : float array;  (* ascending by (time, sender); size live *)
+  mutable who : int array;
+  mutable size : int;
+}
 
-let create () = { arrivals = Hashtbl.create 8 }
+let create () =
+  {
+    arrivals = Hashtbl.create 8;
+    times = Array.make 8 0.0;
+    who = Array.make 8 0;
+    size = 0;
+  }
+
+(* First index whose (time, sender) is >= (at, sender) lexicographically. *)
+let lower_bound t ~at ~sender =
+  let lo = ref 0 and hi = ref t.size in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let mt = Array.unsafe_get t.times mid in
+    if mt < at || (mt = at && Array.unsafe_get t.who mid < sender) then
+      lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* First index with time >= x. *)
+let lower_bound_time t x =
+  let lo = ref 0 and hi = ref t.size in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Array.unsafe_get t.times mid < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index with time > x. *)
+let upper_bound_time t x =
+  let lo = ref 0 and hi = ref t.size in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Array.unsafe_get t.times mid <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let remove_entry t ~at ~sender =
+  let i = lower_bound t ~at ~sender in
+  (* the entry exists by construction: arrivals and the array stay in sync *)
+  assert (i < t.size && t.times.(i) = at && t.who.(i) = sender);
+  Array.blit t.times (i + 1) t.times i (t.size - i - 1);
+  Array.blit t.who (i + 1) t.who i (t.size - i - 1);
+  t.size <- t.size - 1
+
+let insert_entry t ~at ~sender =
+  if t.size = Array.length t.times then begin
+    let cap = 2 * t.size in
+    let times = Array.make cap 0.0 and who = Array.make cap 0 in
+    Array.blit t.times 0 times 0 t.size;
+    Array.blit t.who 0 who 0 t.size;
+    t.times <- times;
+    t.who <- who
+  end;
+  let i = lower_bound t ~at ~sender in
+  Array.blit t.times i t.times (i + 1) (t.size - i);
+  Array.blit t.who i t.who (i + 1) (t.size - i);
+  t.times.(i) <- at;
+  t.who.(i) <- sender;
+  t.size <- t.size + 1
+
+let replace t ~sender ~at =
+  (match Hashtbl.find_opt t.arrivals sender with
+  | Some prev -> remove_entry t ~at:prev ~sender
+  | None -> ());
+  insert_entry t ~at ~sender;
+  Hashtbl.replace t.arrivals sender at
 
 let note t ~sender ~at =
   match Hashtbl.find_opt t.arrivals sender with
   | Some prev when prev >= at -> ()
-  | _ -> Hashtbl.replace t.arrivals sender at
+  | Some prev ->
+      remove_entry t ~at:prev ~sender;
+      insert_entry t ~at ~sender;
+      Hashtbl.replace t.arrivals sender at
+  | None ->
+      insert_entry t ~at ~sender;
+      Hashtbl.replace t.arrivals sender at
 
-let count t = Hashtbl.length t.arrivals
+let count t = t.size
 
-let senders t = Hashtbl.fold (fun s _ acc -> s :: acc) t.arrivals [] |> List.sort compare
+let mem t ~sender = Hashtbl.mem t.arrivals sender
+
+let senders t =
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (t.who.(i) :: acc)
+  in
+  List.sort_uniq Int.compare (collect (t.size - 1) [])
 
 (* Senders whose latest arrival lies in [now - width, now]. *)
 let count_in_window t ~now ~width =
-  Hashtbl.fold
-    (fun _ at acc -> if at <= now && at >= now -. width then acc + 1 else acc)
-    t.arrivals 0
+  let hi = upper_bound_time t now in
+  let lo = lower_bound_time t (now -. width) in
+  if hi > lo then hi - lo else 0
 
 (* Smallest alpha such that >= count distinct senders arrived in
    [now - alpha, now]; [None] if fewer than [count] arrivals exist at all. *)
 let shortest_window t ~now ~count =
   if count <= 0 then Some 0.0
   else begin
-    let times =
-      Hashtbl.fold (fun _ at acc -> if at <= now then at :: acc else acc) t.arrivals []
-      |> List.sort (fun a b -> compare b a) (* descending *)
-    in
-    match List.nth_opt times (count - 1) with
-    | None -> None
-    | Some kth -> Some (now -. kth)
+    let hi = upper_bound_time t now in
+    if hi < count then None else Some (now -. t.times.(hi - count))
   end
 
-let latest t =
-  Hashtbl.fold
-    (fun _ at acc -> match acc with Some m when m >= at -> acc | _ -> Some at)
-    t.arrivals None
+let latest t = if t.size = 0 then None else Some t.times.(t.size - 1)
 
-let remove_if t pred =
-  let doomed = Hashtbl.fold (fun s at acc -> if pred s at then s :: acc else acc) t.arrivals [] in
-  List.iter (Hashtbl.remove t.arrivals) doomed
+(* Drop entries that arrived before [horizon] — an ascending-order prefix. *)
+let decay t ~horizon =
+  let cut = lower_bound_time t horizon in
+  if cut > 0 then begin
+    for i = 0 to cut - 1 do
+      Hashtbl.remove t.arrivals t.who.(i)
+    done;
+    Array.blit t.times cut t.times 0 (t.size - cut);
+    Array.blit t.who cut t.who 0 (t.size - cut);
+    t.size <- t.size - cut
+  end
 
-(* Drop entries that arrived before [horizon]. *)
-let decay t ~horizon = remove_if t (fun _ at -> at < horizon)
+(* Drop entries with impossible (future) timestamps — transient-fault
+   residue, a suffix of the sorted array. *)
+let sanitize t ~now =
+  let keep = upper_bound_time t now in
+  if keep < t.size then begin
+    for i = keep to t.size - 1 do
+      Hashtbl.remove t.arrivals t.who.(i)
+    done;
+    t.size <- keep
+  end
 
-(* Drop entries with impossible (future) timestamps — transient-fault residue. *)
-let sanitize t ~now = remove_if t (fun _ at -> at > now)
+let clear t =
+  Hashtbl.reset t.arrivals;
+  t.size <- 0
 
-let clear t = Hashtbl.reset t.arrivals
-
-let is_empty t = Hashtbl.length t.arrivals = 0
+let is_empty t = t.size = 0
 
 (* Fault injection: plant an arbitrary entry, bypassing the monotonicity of
    [note]. Used only by the transient-fault scrambler. *)
-let corrupt t ~sender ~at = Hashtbl.replace t.arrivals sender at
+let corrupt t ~sender ~at = replace t ~sender ~at

@@ -2,7 +2,13 @@
 
     Stores the most recent arrival local-time per sender for one message
     class, supporting the primitives' "[>= k] distinct senders within
-    [\[tau - alpha, tau\]]" conditions and the paper's decay rules. *)
+    [\[tau - alpha, tau\]]" conditions and the paper's decay rules.
+
+    Queries run on every message arrival (the broadcast hot path), so the
+    log incrementally maintains a sorted-by-time index alongside the
+    per-sender table: {!count}, {!latest} are O(1), {!count_in_window} and
+    {!shortest_window} are allocation-free O(log m) binary searches, where
+    m <= n is the number of distinct senders logged. *)
 
 type t
 
@@ -14,6 +20,9 @@ val note : t -> sender:int -> at:float -> unit
 
 (** Number of distinct senders currently logged. *)
 val count : t -> int
+
+(** Has this sender an entry? O(1). *)
+val mem : t -> sender:int -> bool
 
 (** Distinct senders, sorted. *)
 val senders : t -> int list

@@ -294,11 +294,14 @@ let cleanup t =
   let tau = now t in
   let pm = prm t in
   let horizon = tau -. (pm.Params.delta_agr +. (3.0 *. pm.Params.d)) in
-  (* Erase accepted broadcasts older than (2f+1) Phi + 3d. *)
+  (* Erase accepted broadcasts older than (2f+1) Phi + 3d. Rebuild a list
+     only when it actually has doomed entries — on most ticks none do, and
+     the filter-copy per round tag per tick was pure allocation churn. *)
   Hashtbl.iter
     (fun k l ->
-      let kept = List.filter (fun (_, _, at) -> at <= tau && at >= horizon) l in
-      Hashtbl.replace t.accepts k kept)
+      if List.exists (fun (_, _, at) -> at > tau || at < horizon) l then
+        Hashtbl.replace t.accepts k
+          (List.filter (fun (_, _, at) -> at <= tau && at >= horizon) l))
     t.accepts;
   (* Transient-fault repairs; unreachable in correct operation. *)
   (match t.tau_g with

@@ -750,6 +750,84 @@ let e10_lossy_links ?(n = 7) ?(ps = [ 0.0; 0.1; 0.3 ])
     ps;
   Table.print tbl
 
+(* ----- E11: Engine scale sweep ------------------------------------------ *)
+
+(* The simulation engine's own throughput: one correct-General agreement at
+   each n, timed against the wall clock. Virtual-time results (events, the
+   decision) are seed-deterministic; only the wall-clock columns vary run to
+   run, so each point reports the best of [repeats] to damp scheduler noise.
+   The bench harness serializes these rows into BENCH_engine.json, which CI's
+   bench-smoke job diffs against the committed baseline. *)
+
+type scale_row = {
+  sr_n : int;
+  sr_events : int;  (* engine events processed (deterministic) *)
+  sr_wall_ms : float;  (* best wall-clock time for the run *)
+  sr_events_per_sec : float;
+  sr_wall_ms_per_sim_s : float;  (* wall ms per simulated second *)
+  sr_decided : bool;
+}
+
+let e11_workload ~seed n =
+  let params = Params.default n in
+  let t0 = 0.05 in
+  let horizon = t0 +. (2.0 *. params.Params.delta_agr) in
+  ( Scenario.default ~name:"e11" ~seed
+      ~proposals:[ { Scenario.g = 0; v = "m"; at = t0 } ]
+      ~horizon params,
+    horizon )
+
+let e11_scale_rows ?(ns = [ 7; 13; 25; 31; 41; 51; 61 ]) ?(seed = 111)
+    ?(repeats = 3) () =
+  List.map
+    (fun n ->
+      let sc, horizon = e11_workload ~seed n in
+      let best_ms = ref infinity in
+      let events = ref 0 in
+      let decided = ref false in
+      for _ = 1 to repeats do
+        let w0 = Unix.gettimeofday () in
+        let res = Runner.run sc in
+        let w1 = Unix.gettimeofday () in
+        events := res.Runner.engine_stats.Engine.events_processed;
+        decided :=
+          List.exists
+            (fun (r : return_info) ->
+              match r.outcome with Decided _ -> true | Aborted -> false)
+            res.Runner.returns;
+        let ms = (w1 -. w0) *. 1000.0 in
+        if ms < !best_ms then best_ms := ms
+      done;
+      {
+        sr_n = n;
+        sr_events = !events;
+        sr_wall_ms = !best_ms;
+        sr_events_per_sec = float_of_int !events /. (!best_ms /. 1000.0);
+        sr_wall_ms_per_sim_s = !best_ms /. horizon;
+        sr_decided = !decided;
+      })
+    ns
+
+let e11_scale ?ns ?seed ?repeats () =
+  section "E11 — Engine scale: events/sec on an agreement workload across n";
+  let tbl =
+    Table.create
+      [ "n"; "events"; "wall(ms)"; "events/sec"; "wall-ms/sim-s"; "decided" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        [
+          string_of_int r.sr_n;
+          string_of_int r.sr_events;
+          Printf.sprintf "%.1f" r.sr_wall_ms;
+          Printf.sprintf "%.0f" r.sr_events_per_sec;
+          Printf.sprintf "%.1f" r.sr_wall_ms_per_sim_s;
+          Table.yn r.sr_decided;
+        ])
+    (e11_scale_rows ?ns ?seed ?repeats ());
+  Table.print tbl
+
 let run_all () =
   e1_validity ();
   e2_agreement ();
@@ -760,4 +838,5 @@ let run_all () =
   e7_msg_complexity ();
   e8_pulse ();
   e9_invariants ();
-  e10_lossy_links ()
+  e10_lossy_links ();
+  e11_scale ()

@@ -41,5 +41,23 @@ val e9_invariants : ?ns:int list -> ?seeds:int list -> unit -> unit
     transport. *)
 val e10_lossy_links : ?n:int -> ?ps:float list -> ?seeds:int list -> unit -> unit
 
-(** Run E1 through E10 in order. *)
+(** E11 — Engine scale sweep: one correct-General agreement at each [n],
+    timed against the wall clock (best of [repeats]). The virtual-time
+    columns (events, decided) are deterministic in [seed]. *)
+type scale_row = {
+  sr_n : int;
+  sr_events : int;
+  sr_wall_ms : float;
+  sr_events_per_sec : float;
+  sr_wall_ms_per_sim_s : float;
+  sr_decided : bool;
+}
+
+(** The raw sweep, for the bench harness's JSON export. *)
+val e11_scale_rows :
+  ?ns:int list -> ?seed:int -> ?repeats:int -> unit -> scale_row list
+
+val e11_scale : ?ns:int list -> ?seed:int -> ?repeats:int -> unit -> unit
+
+(** Run E1 through E11 in order. *)
 val run_all : unit -> unit

@@ -4,9 +4,11 @@
    other substrate (network delivery, node timers, fault injection schedules)
    is expressed as a scheduled closure, which keeps the engine agnostic of
    message and protocol types. Events at equal times run in scheduling order
-   (a monotone sequence number breaks ties), so runs are fully deterministic. *)
+   (a monotone sequence number breaks ties), so runs are fully deterministic.
 
-type event = { at : float; seq : int; run : unit -> unit }
+   The queue is the monomorphic [Event_queue] rather than the generic
+   {!Heap}: the innermost loop does raw float/int comparisons and allocates
+   nothing per event. *)
 
 type stats = {
   events_processed : int;
@@ -16,7 +18,7 @@ type stats = {
 
 type t = {
   mutable now : float;
-  queue : event Heap.t;
+  queue : Event_queue.t;
   mutable seq : int;
   trace : Trace.t;
   metrics : Metrics.t;
@@ -25,16 +27,12 @@ type t = {
   mutable stopped : bool;
 }
 
-let compare_event a b =
-  let c = compare a.at b.at in
-  if c <> 0 then c else compare a.seq b.seq
-
 let create ?trace ?metrics () =
   let trace = match trace with Some tr -> tr | None -> Trace.create ~enabled:false () in
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   {
     now = 0.0;
-    queue = Heap.create compare_event;
+    queue = Event_queue.create ();
     seq = 0;
     trace;
     metrics;
@@ -46,13 +44,13 @@ let create ?trace ?metrics () =
 let now t = t.now
 let trace t = t.trace
 let metrics t = t.metrics
-let pending t = Heap.size t.queue
+let pending t = Event_queue.size t.queue
 
 let schedule t ~at run =
   (* Scheduling in the past would break causality; clamp to the present so a
      zero-delay event still runs after the current one. *)
   let at = if at < t.now then t.now else at in
-  Heap.push t.queue { at; seq = t.seq; run };
+  Event_queue.push t.queue ~at ~seq:t.seq run;
   t.seq <- t.seq + 1;
   Metrics.incr t.c_scheduled
 
@@ -79,27 +77,27 @@ let run_realtime ?(speed = 1.0) ?(until = infinity) ?(max_events = max_int) t =
   let continue = ref true in
   while !continue do
     if t.stopped || !processed >= max_events then continue := false
-    else
-      match Heap.peek t.queue with
-      | None ->
-          exhausted := true;
-          continue := false
-      | Some ev when ev.at > until ->
-          t.now <- until;
-          continue := false
-      | Some _ -> (
-          match Heap.pop t.queue with
-          | None -> assert false
-          | Some ev ->
-              let wall_target =
-                epoch_wall +. ((ev.at -. epoch_virtual) /. speed)
-              in
-              let lag = wall_target -. Unix.gettimeofday () in
-              if lag > 0.0 then Unix.sleepf lag;
-              t.now <- ev.at;
-              incr processed;
-              Metrics.incr t.c_processed;
-              ev.run ())
+    else if Event_queue.is_empty t.queue then begin
+      exhausted := true;
+      continue := false
+    end
+    else begin
+      let at = Event_queue.min_at t.queue in
+      if at > until then begin
+        t.now <- until;
+        continue := false
+      end
+      else begin
+        let run = Event_queue.pop_run t.queue in
+        let wall_target = epoch_wall +. ((at -. epoch_virtual) /. speed) in
+        let lag = wall_target -. Unix.gettimeofday () in
+        if lag > 0.0 then Unix.sleepf lag;
+        t.now <- at;
+        incr processed;
+        Metrics.incr t.c_processed;
+        run ()
+      end
+    end
   done;
   { events_processed = !processed; end_time = t.now; queue_exhausted = !exhausted }
 
@@ -110,22 +108,24 @@ let run ?(until = infinity) ?(max_events = max_int) t =
   let continue = ref true in
   while !continue do
     if t.stopped || !processed >= max_events then continue := false
-    else
-      match Heap.peek t.queue with
-      | None ->
-          exhausted := true;
-          continue := false
-      | Some ev when ev.at > until ->
-          (* Leave future events queued; advance time to the horizon. *)
-          t.now <- until;
-          continue := false
-      | Some _ -> (
-          match Heap.pop t.queue with
-          | None -> assert false
-          | Some ev ->
-              t.now <- ev.at;
-              incr processed;
-              Metrics.incr t.c_processed;
-              ev.run ())
+    else if Event_queue.is_empty t.queue then begin
+      exhausted := true;
+      continue := false
+    end
+    else begin
+      let at = Event_queue.min_at t.queue in
+      if at > until then begin
+        (* Leave future events queued; advance time to the horizon. *)
+        t.now <- until;
+        continue := false
+      end
+      else begin
+        let run = Event_queue.pop_run t.queue in
+        t.now <- at;
+        incr processed;
+        Metrics.incr t.c_processed;
+        run ()
+      end
+    end
   done;
   { events_processed = !processed; end_time = t.now; queue_exhausted = !exhausted }

@@ -1,0 +1,127 @@
+(* Monomorphic event queue: the engine's innermost data structure.
+
+   A binary min-heap over (at, seq) keys held in parallel arrays: a flat
+   [float array] for times, an [int array] for sequence numbers and a closure
+   array for the scheduled thunks. Keeping the keys out of a record means the
+   hot loop does raw float/int comparisons on unboxed values — no closure
+   indirection, no polymorphic [compare] (a C call per comparison), and no
+   per-event allocation: [push] stores three fields and [pop_run] returns the
+   closure that already existed.
+
+   Ordering is (at, seq) lexicographic, so events at equal times pop in
+   scheduling order — the engine's determinism contract. Both sifts move a
+   "hole" instead of swapping, storing each displaced slot once.
+
+   Vacated closure slots are overwritten with [nop] so drained events are not
+   retained; the float/int arrays need no such care. *)
+
+let nop () = ()
+
+type t = {
+  mutable ats : float array;  (* flat float array: unboxed time keys *)
+  mutable seqs : int array;
+  mutable runs : (unit -> unit) array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max capacity 1 in
+  {
+    ats = Array.make capacity 0.0;
+    seqs = Array.make capacity 0;
+    runs = Array.make capacity nop;
+    size = 0;
+  }
+
+let size t = t.size
+let is_empty t = t.size = 0
+let capacity t = Array.length t.ats
+
+let grow t =
+  let cap = 2 * Array.length t.ats in
+  let ats = Array.make cap 0.0 in
+  let seqs = Array.make cap 0 in
+  let runs = Array.make cap nop in
+  Array.blit t.ats 0 ats 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.runs 0 runs 0 t.size;
+  t.ats <- ats;
+  t.seqs <- seqs;
+  t.runs <- runs
+
+(* All unsafe accesses below are at indices < t.size <= Array.length t.ats,
+   with the three arrays always of equal length. *)
+
+let push t ~at ~seq run =
+  if t.size = Array.length t.ats then grow t;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pat = Array.unsafe_get t.ats parent in
+    if pat > at || (pat = at && Array.unsafe_get t.seqs parent > seq) then begin
+      Array.unsafe_set t.ats !i pat;
+      Array.unsafe_set t.seqs !i (Array.unsafe_get t.seqs parent);
+      Array.unsafe_set t.runs !i (Array.unsafe_get t.runs parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  Array.unsafe_set t.ats !i at;
+  Array.unsafe_set t.seqs !i seq;
+  Array.unsafe_set t.runs !i run
+
+let min_at t =
+  if t.size = 0 then invalid_arg "Event_queue.min_at: empty";
+  t.ats.(0)
+
+let pop_run t =
+  if t.size = 0 then invalid_arg "Event_queue.pop_run: empty";
+  let top = t.runs.(0) in
+  let last = t.size - 1 in
+  t.size <- last;
+  if last = 0 then t.runs.(0) <- nop
+  else begin
+    (* Re-insert the last element through the hole left at the root. *)
+    let at = Array.unsafe_get t.ats last in
+    let seq = Array.unsafe_get t.seqs last in
+    let run = Array.unsafe_get t.runs last in
+    Array.unsafe_set t.runs last nop;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= last then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < last then begin
+            let lat = Array.unsafe_get t.ats l and rat = Array.unsafe_get t.ats r in
+            if
+              rat < lat
+              || (rat = lat && Array.unsafe_get t.seqs r < Array.unsafe_get t.seqs l)
+            then r
+            else l
+          end
+          else l
+        in
+        let cat = Array.unsafe_get t.ats c in
+        if cat < at || (cat = at && Array.unsafe_get t.seqs c < seq) then begin
+          Array.unsafe_set t.ats !i cat;
+          Array.unsafe_set t.seqs !i (Array.unsafe_get t.seqs c);
+          Array.unsafe_set t.runs !i (Array.unsafe_get t.runs c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    Array.unsafe_set t.ats !i at;
+    Array.unsafe_set t.seqs !i seq;
+    Array.unsafe_set t.runs !i run
+  end;
+  top
+
+let clear t =
+  Array.fill t.runs 0 t.size nop;
+  t.size <- 0

@@ -1,0 +1,36 @@
+(** Monomorphic (at, seq)-keyed event queue, the engine's hot path.
+
+    A binary min-heap over parallel arrays: a flat float array of times, an
+    int array of sequence numbers and the scheduled closures. Compared to the
+    generic {!Heap}, all comparisons are raw float/int operations on unboxed
+    keys and no per-event or per-query allocation happens.
+
+    Ordering is (at, seq) lexicographic: events at equal [at] pop in
+    ascending [seq] order, which is what run determinism hangs on — the
+    engine assigns [seq] monotonically, so ties resolve in scheduling
+    order. *)
+
+type t
+
+(** [create ?capacity ()] builds an empty queue. The backing arrays grow by
+    doubling and are retained across {!clear}. *)
+val create : ?capacity:int -> unit -> t
+
+val size : t -> int
+val is_empty : t -> bool
+
+(** Length of the backing arrays (grows with the queue). *)
+val capacity : t -> int
+
+(** [push t ~at ~seq run] schedules [run] under key (at, seq). *)
+val push : t -> at:float -> seq:int -> (unit -> unit) -> unit
+
+(** Time key of the minimum event. Raises [Invalid_argument] when empty. *)
+val min_at : t -> float
+
+(** Remove the minimum event and return its closure (without running it).
+    Raises [Invalid_argument] when empty. *)
+val pop_run : t -> unit -> unit
+
+(** Drop all events (closure slots are released); capacity is retained. *)
+val clear : t -> unit

@@ -83,13 +83,16 @@ let reset t =
 let reset_counter c = c.c_value <- 0
 let reset_gauge g = g.g_value <- 0.0
 
+(* Snapshot in ascending name order (explicitly by [String.compare], not the
+   polymorphic [compare] on pairs — names are unique so the key alone
+   determines the order, and the ordering is pinned by a test). *)
 let to_list t =
   Hashtbl.fold
     (fun name m acc ->
       let v = match m with Counter c -> float_of_int c.c_value | Gauge g -> g.g_value in
       (name, v) :: acc)
     t.by_name []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let json_of_metric name m =
   let kind, v =

@@ -42,7 +42,9 @@ val reset_counter : counter -> unit
 
 val reset_gauge : gauge -> unit
 
-(** All metrics as (name, value), sorted by name. *)
+(** All metrics as (name, value), in ascending [String.compare] order of
+    the name — an explicit, monomorphic ordering (pinned by a test), never
+    the registration or hash order. *)
 val to_list : t -> (string * float) list
 
 (** One JSON object per line ({i metric}, {i type}, {i value}), in

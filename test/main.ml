@@ -5,6 +5,8 @@ let () =
     [
       ("rng", Test_rng.suite);
       ("heap", Test_heap.suite);
+      ("event-queue", Test_event_queue.suite);
+      ("time-set", Test_time_set.suite);
       ("clock", Test_clock.suite);
       ("engine", Test_engine.suite);
       ("trace", Test_trace.suite);

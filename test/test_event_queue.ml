@@ -1,0 +1,150 @@
+(* Tests for the engine's monomorphic event queue.
+
+   The queue is the engine's determinism keystone: events pop in ascending
+   (at, seq) order, so two events at the same virtual time run in schedule
+   (FIFO) order. The model test drives a random push/pop/clear sequence
+   against a sorted-list reference and checks both the pop order and the
+   closures' execution order. *)
+
+open Helpers
+module Q = Ssba_sim.Event_queue
+
+let test_empty () =
+  let q = Q.create () in
+  check_bool "is_empty" true (Q.is_empty q);
+  check_int "size" 0 (Q.size q);
+  (match Q.min_at q with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "min_at on empty must raise");
+  match Q.pop_run q with
+  | exception Invalid_argument _ -> ()
+  | (_ : unit -> unit) -> Alcotest.fail "pop_run on empty must raise"
+
+let drain q =
+  let acc = ref [] in
+  while not (Q.is_empty q) do
+    let at = Q.min_at q in
+    (Q.pop_run q) ();
+    acc := at :: !acc
+  done;
+  List.rev !acc
+
+let test_pop_ascending () =
+  let q = Q.create () in
+  List.iteri
+    (fun seq at -> Q.push q ~at ~seq (fun () -> ()))
+    [ 3.0; 1.0; 2.0; 0.5; 1.0 ];
+  check_bool "ascending at" true (drain q = [ 0.5; 1.0; 1.0; 2.0; 3.0 ])
+
+let test_fifo_for_equal_at () =
+  let q = Q.create () in
+  let order = ref [] in
+  for seq = 0 to 9 do
+    Q.push q ~at:1.0 ~seq (fun () -> order := seq :: !order)
+  done;
+  ignore (drain q);
+  check_bool "equal-at events run in push (seq) order" true
+    (List.rev !order = List.init 10 Fun.id)
+
+let test_growth () =
+  let q = Q.create ~capacity:1 () in
+  for seq = 1000 downto 1 do
+    Q.push q ~at:(float_of_int seq) ~seq (fun () -> ())
+  done;
+  check_int "size after growth" 1000 (Q.size q);
+  check_float "min correct" 1.0 (Q.min_at q)
+
+let test_clear_and_reuse () =
+  let q = Q.create () in
+  let fired = ref false in
+  Q.push q ~at:1.0 ~seq:0 (fun () -> fired := true);
+  Q.push q ~at:2.0 ~seq:1 (fun () -> fired := true);
+  Q.clear q;
+  check_bool "cleared" true (Q.is_empty q);
+  Q.push q ~at:5.0 ~seq:2 (fun () -> ());
+  check_float "usable after clear" 5.0 (Q.min_at q);
+  (Q.pop_run q) ();
+  check_bool "cleared closures never run" false !fired
+
+(* --- model test: random ops vs a sorted-list reference --- *)
+
+type op = Push of float | Pop | Clear
+
+let gen_ops =
+  QCheck.Gen.(
+    list
+      (frequency
+         [
+           (* a small grid of times forces plenty of equal-at ties *)
+           (5, map (fun i -> Push (float_of_int i /. 4.0)) (int_bound 8));
+           (3, return Pop);
+           (1, return Clear);
+         ]))
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Push at -> Printf.sprintf "push %.2f" at
+         | Pop -> "pop"
+         | Clear -> "clear")
+       ops)
+
+let arb_ops = QCheck.make ~print:print_ops gen_ops
+
+(* (at, seq) lexicographic, the queue's documented order. *)
+let cmp (a1, s1) (a2, s2) =
+  if a1 < a2 then -1 else if a1 > a2 then 1 else Stdlib.Int.compare s1 s2
+
+let prop_model =
+  QCheck.Test.make ~name:"event queue matches sorted-list model" ~count:500
+    arb_ops (fun ops ->
+      let q = Q.create ~capacity:1 () in
+      let seq = ref 0 in
+      let model = ref [] in
+      (* sorted by cmp *)
+      let ran = ref [] in
+      let expect = ref [] in
+      let step op =
+        match op with
+        | Push at ->
+            let s = !seq in
+            incr seq;
+            Q.push q ~at ~seq:s (fun () -> ran := s :: !ran);
+            model := List.merge cmp [ (at, s) ] !model;
+            true
+        | Pop -> (
+            match !model with
+            | [] -> Q.is_empty q
+            | (at, s) :: rest ->
+                model := rest;
+                expect := s :: !expect;
+                Q.min_at q = at
+                &&
+                ((Q.pop_run q) ();
+                 true))
+        | Clear ->
+            Q.clear q;
+            model := [];
+            true
+      in
+      List.for_all step ops
+      && Q.size q = List.length !model
+      &&
+      ((* drain what's left and compare the full execution order *)
+       List.iter
+         (fun (_, s) ->
+           expect := s :: !expect;
+           (Q.pop_run q) ())
+         !model;
+       !ran = !expect && Q.is_empty q))
+
+let suite =
+  [
+    case "empty queue" test_empty;
+    case "pop ascending" test_pop_ascending;
+    case "FIFO for equal at" test_fifo_for_equal_at;
+    case "growth" test_growth;
+    case "clear and reuse" test_clear_and_reuse;
+    Helpers.qcheck prop_model;
+  ]

@@ -138,7 +138,13 @@ let test_smoke_campaign () =
         fc.F.Campaign.report.F.Oracle.failures)
     s.F.Campaign.failed;
   check_int "no oracle failures over the smoke corpus" 0
-    (List.length s.F.Campaign.failed)
+    (List.length s.F.Campaign.failed);
+  (* Determinism regression pin: the corpus digest fingerprints every run's
+     observable results bit for bit. An engine or protocol change that
+     alters event order, RNG draws or outcomes moves it; a pure performance
+     change must not. *)
+  check_str "corpus digest pinned" "88628f24dc2b158cf923dc13ecf7af12"
+    s.F.Campaign.corpus_digest
 
 let test_campaign_deterministic () =
   let s1 = F.Campaign.run { smoke_config with F.Campaign.runs = 15 } in

@@ -128,6 +128,61 @@ let prop_size =
       List.iter (Heap.push h) l;
       Heap.size h = List.length l)
 
+(* Model test: random push/pop/clear vs a sorted-list reference, over
+   (at, seq) elements as the engine used to store them — a small time grid
+   forces equal-[at] collisions, and the reference's List.merge is stable, so
+   seq-order for equal times is part of what gets checked. *)
+type op = Push of float | Pop | Clear
+
+let gen_ops =
+  QCheck.Gen.(
+    list
+      (frequency
+         [
+           (5, map (fun i -> Push (float_of_int i /. 4.0)) (int_bound 8));
+           (3, return Pop);
+           (1, return Clear);
+         ]))
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Push at -> Printf.sprintf "push %.2f" at
+         | Pop -> "pop"
+         | Clear -> "clear")
+       ops)
+
+let prop_model_ops =
+  QCheck.Test.make
+    ~name:"heap matches sorted-list model (stable for equal keys)" ~count:500
+    (QCheck.make ~print:print_ops gen_ops)
+    (fun ops ->
+      let h = Heap.create ~capacity:1 compare in
+      let seq = ref 0 in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Push at ->
+              let s = !seq in
+              incr seq;
+              Heap.push h (at, s);
+              model := List.merge compare [ (at, s) ] !model;
+              true
+          | Pop -> (
+              match !model with
+              | [] -> Heap.pop h = None
+              | x :: rest ->
+                  model := rest;
+                  Heap.pop h = Some x)
+          | Clear ->
+              Heap.clear h;
+              model := [];
+              true)
+        ops
+      && Heap.to_list h = !model)
+
 let suite =
   [
     case "empty" test_empty;
@@ -144,4 +199,5 @@ let suite =
     case "tie-break with seq" test_tie_break_with_seq;
     Helpers.qcheck prop_heapsort;
     Helpers.qcheck prop_size;
+    Helpers.qcheck prop_model_ops;
   ]

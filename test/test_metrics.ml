@@ -76,6 +76,25 @@ let test_to_list_sorted () =
   check_bool "sorted (name, value) pairs" true
     (M.to_list m = [ ("a", 1.5); ("b", 2.0) ])
 
+(* Pins [to_list]'s ordering: ascending String.compare on the name — neither
+   registration order nor hash order, and string order, not numeric (so
+   "node10" sorts before "node2"). *)
+let test_to_list_order_pinned () =
+  let m = M.create () in
+  List.iter
+    (fun name -> ignore (M.counter m name))
+    [ "net.sent"; "engine.events"; "node10.returns"; "node2.returns" ];
+  M.set (M.gauge m "net.in_flight") 1.0;
+  check_bool "ascending String.compare order" true
+    (List.map fst (M.to_list m)
+    = [
+        "engine.events";
+        "net.in_flight";
+        "net.sent";
+        "node10.returns";
+        "node2.returns";
+      ])
+
 let test_jsonl_export () =
   let m = M.create () in
   M.incr (M.counter m "net.sent") ~by:3;
@@ -110,5 +129,6 @@ let suite =
     case "counters are monotonic" test_monotonic;
     case "reset keeps registrations" test_reset;
     case "to_list sorted" test_to_list_sorted;
+    case "to_list order pinned" test_to_list_order_pinned;
     case "jsonl export" test_jsonl_export;
   ]

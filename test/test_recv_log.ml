@@ -114,6 +114,143 @@ let prop_shortest_window_consistent =
              back to exactly [at] *)
           L.count_in_window l ~now ~width:(alpha +. 1e-9) >= count)
 
+(* --- model test: the sorted-array log vs the naive pre-overhaul one --- *)
+
+(* The original hashtable-only implementation, kept verbatim as a reference
+   oracle: every query recomputed its answer with a fold (and
+   [shortest_window] with a sort). The optimized log must be observationally
+   identical under any operation sequence. *)
+module Naive = struct
+  type t = (int, float) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let note t ~sender ~at =
+    match Hashtbl.find_opt t sender with
+    | Some prev when prev >= at -> ()
+    | _ -> Hashtbl.replace t sender at
+
+  let corrupt t ~sender ~at = Hashtbl.replace t sender at
+  let count t = Hashtbl.length t
+  let mem t ~sender = Hashtbl.mem t sender
+  let senders t = Hashtbl.fold (fun s _ acc -> s :: acc) t [] |> List.sort compare
+
+  let count_in_window t ~now ~width =
+    Hashtbl.fold
+      (fun _ at acc -> if at <= now && at >= now -. width then acc + 1 else acc)
+      t 0
+
+  let shortest_window t ~now ~count =
+    if count <= 0 then Some 0.0
+    else begin
+      let times =
+        Hashtbl.fold (fun _ at acc -> if at <= now then at :: acc else acc) t []
+        |> List.sort (fun a b -> compare b a)
+      in
+      match List.nth_opt times (count - 1) with
+      | None -> None
+      | Some kth -> Some (now -. kth)
+    end
+
+  let latest t =
+    Hashtbl.fold
+      (fun _ at acc -> match acc with Some m when m >= at -> acc | _ -> Some at)
+      t None
+
+  let remove_if t pred =
+    let doomed =
+      Hashtbl.fold (fun s at acc -> if pred at then s :: acc else acc) t []
+    in
+    List.iter (Hashtbl.remove t) doomed
+
+  let decay t ~horizon = remove_if t (fun at -> at < horizon)
+  let sanitize t ~now = remove_if t (fun at -> at > now)
+  let clear t = Hashtbl.reset t
+end
+
+type op =
+  | Note of int * float
+  | Corrupt of int * float
+  | Decay of float
+  | Sanitize of float
+  | Clear
+
+let gen_ops =
+  QCheck.Gen.(
+    let time = map (fun i -> float_of_int i /. 4.0) (int_bound 16) in
+    let sender = int_bound 5 in
+    list
+      (frequency
+         [
+           (6, map2 (fun s at -> Note (s, at)) sender time);
+           (2, map2 (fun s at -> Corrupt (s, at)) sender time);
+           (2, map (fun h -> Decay h) time);
+           (2, map (fun n -> Sanitize n) time);
+           (1, return Clear);
+         ]))
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Note (s, at) -> Printf.sprintf "note %d@%.2f" s at
+         | Corrupt (s, at) -> Printf.sprintf "corrupt %d@%.2f" s at
+         | Decay h -> Printf.sprintf "decay %.2f" h
+         | Sanitize n -> Printf.sprintf "sanitize %.2f" n
+         | Clear -> "clear")
+       ops)
+
+let arb_ops = QCheck.make ~print:print_ops gen_ops
+
+let agrees l n =
+  let times = List.init 10 (fun i -> float_of_int i /. 2.0) in
+  L.count l = Naive.count n
+  && L.is_empty l = (Naive.count n = 0)
+  && L.senders l = Naive.senders n
+  && L.latest l = Naive.latest n
+  && List.for_all (fun s -> L.mem l ~sender:s = Naive.mem n ~sender:s)
+       [ 0; 1; 2; 3; 4; 5 ]
+  && List.for_all
+       (fun now ->
+         List.for_all
+           (fun width ->
+             L.count_in_window l ~now ~width
+             = Naive.count_in_window n ~now ~width)
+           [ 0.0; 0.25; 1.0; 3.0 ]
+         && List.for_all
+              (fun count ->
+                L.shortest_window l ~now ~count
+                = Naive.shortest_window n ~now ~count)
+              [ 0; 1; 2; 3; 7 ])
+       times
+
+let prop_matches_naive =
+  QCheck.Test.make
+    ~name:"optimized log is observationally identical to the naive oracle"
+    ~count:500 arb_ops (fun ops ->
+      let l = L.create () in
+      let n = Naive.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Note (sender, at) ->
+              L.note l ~sender ~at;
+              Naive.note n ~sender ~at
+          | Corrupt (sender, at) ->
+              L.corrupt l ~sender ~at;
+              Naive.corrupt n ~sender ~at
+          | Decay horizon ->
+              L.decay l ~horizon;
+              Naive.decay n ~horizon
+          | Sanitize now ->
+              L.sanitize l ~now;
+              Naive.sanitize n ~now
+          | Clear ->
+              L.clear l;
+              Naive.clear n);
+          agrees l n)
+        ops)
+
 let suite =
   [
     case "note and count" test_note_and_count;
@@ -127,4 +264,5 @@ let suite =
     case "clear" test_clear;
     Helpers.qcheck prop_window_monotone;
     Helpers.qcheck prop_shortest_window_consistent;
+    Helpers.qcheck prop_matches_naive;
   ]
