@@ -169,6 +169,24 @@ let e8 () =
   List.iter Ssba_pulse.Pulse_sync.start layers;
   ignore (Ssba_sim.Engine.run ~until:0.6 engine)
 
+(* E12 workload: one crash-wave churn schedule (2 episodes) plus the
+   coherence-timeline derivation and per-episode recovery report — the full
+   cost of judging a churn run, not just simulating it. *)
+let e12 () =
+  let n = 7 in
+  let params = Params.default n in
+  let correct = List.init n Fun.id in
+  let sched =
+    H.Chaos.schedule ~episodes:2 H.Chaos.Crash_wave ~params ~correct
+      ~byzantine:[]
+  in
+  let sc =
+    H.Scenario.default ~name:"bench-churn" ~seed:12 ~events:sched.H.Chaos.events
+      ~proposals:sched.H.Chaos.proposals ~horizon:sched.H.Chaos.horizon params
+  in
+  let res = H.Runner.run sc in
+  ignore (H.Checks.recovery_report res)
+
 (* ----- substrate micro-benchmarks --------------------------------------- *)
 
 let engine_throughput () =
@@ -228,6 +246,7 @@ let tests =
       Test.make ~name:"e6_early_stop (round stretcher)" (Staged.stage e6);
       Test.make ~name:"e7_msg_complexity (n=16 agreement)" (Staged.stage e7);
       Test.make ~name:"e8_pulse (3 cycles)" (Staged.stage e8);
+      Test.make ~name:"e12_churn (crash wave + recovery report)" (Staged.stage e12);
       Test.make ~name:"transport clean (n=7 framed)" (Staged.stage transport_clean);
       Test.make ~name:"transport lossy p=0.3 (n=7)" (Staged.stage transport_lossy);
       Test.make ~name:"engine 1k events" (Staged.stage engine_throughput);

@@ -68,12 +68,16 @@ let rebuild seed iteration =
   if report.F.Oracle.failures = [] then 0 else 1
 
 let fuzz seed runs time_budget replay_file iteration out max_n max_disruptions
-    lossy no_shrink verbose =
+    lossy chaos no_shrink verbose =
   match (replay_file, iteration) with
   | Some path, _ -> replay path
   | None, Some i -> rebuild seed i
   | None, None ->
-      let base_gen = if lossy then F.Gen.lossy_config else F.Gen.default_config in
+      let base_gen =
+        if chaos then F.Gen.chaos_config
+        else if lossy then F.Gen.lossy_config
+        else F.Gen.default_config
+      in
       let config =
         {
           F.Campaign.default_config with
@@ -84,7 +88,10 @@ let fuzz seed runs time_budget replay_file iteration out max_n max_disruptions
           gen =
             {
               base_gen with
-              F.Gen.max_n = max max_n 4;
+              F.Gen.max_n =
+                (* the churn tier keeps its own (smaller) cluster cap *)
+                (if chaos then min (max max_n 4) base_gen.F.Gen.max_n
+                 else max max_n 4);
               max_disruptions;
               disruptions = base_gen.F.Gen.disruptions && max_disruptions > 0;
             };
@@ -172,6 +179,18 @@ let lossy_arg =
            disruptions are off so Validity/Termination are checked on every \
            scenario.")
 
+let chaos_arg =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:
+          "Fuzz continuous-churn schedules (Gen.chaos_config): every \
+           scenario is a sequence of disruption episodes — scrambles, \
+           crash/recover waves, delay surge/restore cycles, Byzantine \
+           rejoins — each probed inside and after its $(b,Delta_stb) \
+           recovery window, with per-episode recovery times measured and \
+           bounded by the oracle.")
+
 let no_shrink_arg =
   Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures unminimized.")
 
@@ -185,6 +204,6 @@ let cmd =
     Term.(
       const fuzz $ seed_arg $ runs_arg $ time_budget_arg $ replay_arg
       $ iteration_arg $ out_arg $ max_n_arg $ max_disruptions_arg $ lossy_arg
-      $ no_shrink_arg $ verbose_arg)
+      $ chaos_arg $ no_shrink_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

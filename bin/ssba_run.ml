@@ -3,9 +3,12 @@
      ssba-run --n 7 --general 0 --value hello
      ssba-run --n 10 --attack two-faced --trace
      ssba-run --n 7 --scramble --propose-at 0.6 --general 2
+     ssba-run --n 7 --chaos periodic-scramble
 
    Prints every return, the agreement/validity verdicts and the message
-   statistics; --trace dumps the full event trace. *)
+   statistics; --trace dumps the full event trace. Under --chaos (or any
+   disruptive schedule) the verdict section also prints the coherence
+   timeline with a per-episode recovery report. *)
 
 open Cmdliner
 module H = Ssba_harness
@@ -23,8 +26,19 @@ let attacks =
     ("mimics", `Mimics);
   ]
 
-let run n seed general value attack scramble propose_at horizon trace_flag
-    trace_out metrics_out realtime transport_flag rto loss dup reorder =
+let run n seed general value attack scramble chaos propose_at horizon
+    trace_flag trace_out metrics_out realtime transport_flag rto loss dup
+    reorder =
+  let chaos =
+    match chaos with
+    | None -> None
+    | Some name -> (
+        match H.Chaos.pattern_of_name name with
+        | Ok p -> Some p
+        | Error e ->
+            prerr_endline e;
+            exit 1)
+  in
   let base = Core.Params.default n in
   let transport =
     if transport_flag then
@@ -83,6 +97,25 @@ let run n seed general value attack scramble propose_at horizon trace_flag
         ( List.init f (fun i -> (n - 1 - i, byz (S.mimic ~delay:(2.0 *. d)))),
           [ { H.Scenario.g = general; v = value; at = propose_at } ] )
   in
+  (* The rejoin preset needs a Byzantine node to reform; give it one if the
+     attack didn't already. *)
+  let roles =
+    match chaos with
+    | Some H.Chaos.Rejoin when roles = [] ->
+        let node = if general = n - 1 then n - 2 else n - 1 in
+        [ (node, byz (S.spam ~period:(5.0 *. d) ~values:[ "noise" ])) ]
+    | _ -> roles
+  in
+  let chaos_schedule =
+    match chaos with
+    | None -> None
+    | Some pattern ->
+        let byzantine = List.map fst roles in
+        let correct =
+          List.filter (fun i -> not (List.mem i byzantine)) (List.init n Fun.id)
+        in
+        Some (H.Chaos.schedule pattern ~params ~correct ~byzantine)
+  in
   let events =
     (if scramble then
        [ H.Scenario.Scramble { at = 0.0; values = [ value; "x"; "y" ]; net_garbage = 100 } ]
@@ -97,10 +130,20 @@ let run n seed general value attack scramble propose_at horizon trace_flag
       ]
     else []
   in
+  let events, proposals, chaos_horizon =
+    match chaos_schedule with
+    | None -> (events, proposals, 0.0)
+    | Some s ->
+        ( events @ s.H.Chaos.events,
+          proposals @ s.H.Chaos.proposals,
+          s.H.Chaos.horizon )
+  in
   let horizon =
     match horizon with
     | Some h -> h
-    | None -> propose_at +. (4.0 *. params.Core.Params.delta_agr)
+    | None ->
+        Float.max chaos_horizon
+          (propose_at +. (4.0 *. params.Core.Params.delta_agr))
   in
   let sc =
     H.Scenario.default ~name:"cli" ~seed ~roles ~proposals ~events ~horizon
@@ -121,9 +164,17 @@ let run n seed general value attack scramble propose_at horizon trace_flag
   List.iter
     (fun r -> Fmt.pr "  %a@." Core.Types.pp_return r)
     res.H.Runner.returns;
+  (* Judge each episode against the correct set in force at its time — a
+     node that reformed later must not be expected in earlier episodes. *)
+  let intervals = H.Coherence.intervals sc in
+  let correct_at e =
+    match H.Coherence.interval_at intervals (H.Metrics.first_return e) with
+    | Some iv -> iv.H.Coherence.correct
+    | None -> res.H.Runner.correct
+  in
   List.iter
     (fun (e : H.Metrics.episode) ->
-      (match H.Checks.agreement ~correct:res.H.Runner.correct e with
+      (match H.Checks.agreement ~correct:(correct_at e) e with
       | H.Checks.Unanimous v ->
           Fmt.pr "episode G=%d: unanimous %S (skew %.2fd, anchors %.2fd apart)@."
             e.H.Metrics.g v
@@ -133,9 +184,21 @@ let run n seed general value attack scramble propose_at horizon trace_flag
       | H.Checks.All_silent -> ()
       | H.Checks.Violated why -> Fmt.pr "episode G=%d: VIOLATED: %s@." e.H.Metrics.g why))
     (H.Metrics.episodes res);
-  (match H.Checks.pairwise_agreement res with
-  | [] -> Fmt.pr "pairwise agreement: holds@."
+  let stabilized = H.Checks.stabilized_after sc in
+  (match H.Checks.pairwise_agreement ~after:stabilized res with
+  | [] ->
+      if stabilized > 0.0 then
+        Fmt.pr "pairwise agreement (after stabilization at %.3fs): holds@."
+          stabilized
+      else Fmt.pr "pairwise agreement: holds@."
   | vs -> List.iter (fun v -> Fmt.pr "pairwise agreement VIOLATION: %s@." v) vs);
+  if List.exists (H.Scenario.disruptive sc) sc.H.Scenario.events then begin
+    Fmt.pr "@.coherence timeline and recovery (Delta_stb = %.3fs):@."
+      params.Core.Params.delta_stb;
+    List.iter
+      (fun r -> Fmt.pr "  %a@." H.Checks.pp_episode_report r)
+      (H.Checks.recovery_report res)
+  end;
   Fmt.pr "messages sent: %d (delivered %d, dropped %d, in flight %d)@."
     res.H.Runner.messages_sent res.H.Runner.messages_delivered
     res.H.Runner.messages_dropped res.H.Runner.messages_in_flight;
@@ -195,6 +258,18 @@ let scramble_arg =
     value & flag
     & info [ "scramble" ]
         ~doc:"Corrupt all node state and inject network garbage at time 0.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"PRESET"
+        ~doc:
+          "Run a continuous-churn chaos schedule on top of the scenario: \
+           $(docv) is one of periodic-scramble, crash-wave, surge or rejoin. \
+           Adds 3 disruption episodes with probe proposals and prints a \
+           per-episode recovery report (rejoin adds a Byzantine node to \
+           reform if the attack has none).")
 
 let propose_at_arg =
   Arg.(
@@ -278,7 +353,7 @@ let cmd =
     (Cmd.info "ssba-run" ~doc)
     Term.(
       const run $ n_arg $ seed_arg $ general_arg $ value_arg $ attack_arg
-      $ scramble_arg $ propose_at_arg $ horizon_arg $ trace_arg
+      $ scramble_arg $ chaos_arg $ propose_at_arg $ horizon_arg $ trace_arg
       $ trace_out_arg $ metrics_out_arg $ realtime_arg $ transport_arg
       $ rto_arg $ loss_arg $ dup_arg $ reorder_arg)
 

@@ -270,3 +270,14 @@ let scramble rng ~values ?(extra = 2) t =
     Hashtbl.replace t.blocked_until
       (Ssba_sim.Rng.int rng (n * t.channels))
       (tau +. Ssba_sim.Rng.float_in_range rng ~lo:(-1.0) ~hi:t.params.Params.delta_reset)
+
+(* A reformed node: a previously Byzantine node that starts running the
+   correct protocol mid-run — the classic self-stabilizing rejoin. [create_on]
+   takes over the link handler and starts the cleanup task; the scramble then
+   installs arbitrary protocol and General-side state (§6's convergence
+   argument assumes nothing better), so the paper only owes coherence-scoped
+   guarantees [Delta_stb] after the reform point. *)
+let reform ?channels ~rng ~values ~id ~params ~clock ~engine ~link () =
+  let t = create_on ?channels ~id ~params ~clock ~engine ~link () in
+  scramble rng ~values t;
+  t

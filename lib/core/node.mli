@@ -87,3 +87,20 @@ val subscribe_observations :
 (** Transient-fault injection: corrupt every instance (plus [extra] conjured
     ones) and the General-side bookkeeping. *)
 val scramble : Ssba_sim.Rng.t -> values:value list -> ?extra:int -> t -> unit
+
+(** A reformed node: a previously Byzantine node starts running the correct
+    protocol mid-run from arbitrary state (the self-stabilizing rejoin).
+    [create_on] wired to [link], then immediately {!scramble}d with [values],
+    so the node's protocol and General-side state is arbitrary at the reform
+    point — the paper owes guarantees only [Delta_stb] later. *)
+val reform :
+  ?channels:int ->
+  rng:Ssba_sim.Rng.t ->
+  values:value list ->
+  id:node_id ->
+  params:Params.t ->
+  clock:Ssba_sim.Clock.t ->
+  engine:Ssba_sim.Engine.t ->
+  link:link ->
+  unit ->
+  t

@@ -12,6 +12,7 @@ module Rng = Ssba_sim.Rng
 module P = Ssba_core.Params
 module S = Ssba_harness.Scenario
 module C = Ssba_adversary.Catalog
+module Ch = Ssba_harness.Chaos
 module T = Ssba_transport.Transport
 
 type config = {
@@ -24,6 +25,7 @@ type config = {
   disruptions : bool;
   transport : T.config option;
   max_link_faults : int;
+  chaos : bool;
 }
 
 let default_config =
@@ -37,6 +39,7 @@ let default_config =
     disruptions = true;
     transport = None;
     max_link_faults = 0;
+    chaos = false;
   }
 
 (* The lossy campaign: every spec runs the transport over links with
@@ -53,6 +56,12 @@ let lossy_config =
     transport = Some (T.config ~rto:(3.0 *. delta) ());
     max_link_faults = 3;
   }
+
+(* The churn tier: every spec is a continuous-churn schedule — repeated
+   disruptions, each followed by an in-window recovery probe and a
+   post-[Delta_stb] entitled probe. Episodes are [Delta_stb]-long, so keep
+   the clusters small. *)
+let chaos_config = { default_config with max_n = 7; max_cast = 2; chaos = true }
 
 let last_activity spec =
   let times =
@@ -94,6 +103,39 @@ let spec rng cfg =
       byz_ids
   in
   let correct = List.filter (fun id -> not (List.mem id byz_ids)) (List.init n Fun.id) in
+  if cfg.chaos then begin
+    (* Churn tier: the whole proposal/event schedule comes from one chaos
+       pattern — deterministic given the pattern, so the only draws past this
+       point are the pattern choice and the shared delay/clock/seed draws. *)
+    let pattern =
+      List.nth Ch.all_patterns (Rng.int rng (List.length Ch.all_patterns))
+    in
+    let sched =
+      Ch.schedule ~episodes:2 pattern ~params ~correct ~byzantine:byz_ids
+    in
+    let seed = Rng.bits rng land 0x3FFFFFFF in
+    let draft =
+      {
+        Spec.name =
+          Printf.sprintf "chaos-%s-n%d-%d" (Ch.pattern_name pattern) n
+            (seed land 0xFFFFFF);
+        seed;
+        n;
+        f;
+        delay = Spec.Uniform { lo = 0.05 *. params.P.delta; hi = params.P.delta };
+        clocks =
+          (if Rng.bool rng then S.Perfect
+           else S.Drifting { rho = params.P.rho; max_offset = 0.1 });
+        cast;
+        proposals = sched.Ch.proposals;
+        events = sched.Ch.events;
+        transport = cfg.transport;
+        horizon = 0.0;
+      }
+    in
+    { draft with Spec.horizon = Float.max sched.Ch.horizon (min_horizon draft) }
+  end
+  else begin
   (* Proposals: distinct correct Generals (so the IG initiation-spacing rules
      never refuse on our account), spread over the active window. *)
   let n_props = Rng.int rng (cfg.max_proposals + 1) in
@@ -212,3 +254,4 @@ let spec rng cfg =
     }
   in
   { draft with Spec.horizon = min_horizon draft }
+  end

@@ -21,6 +21,11 @@ type config = {
       (** cap on persistent [Loss]/[Duplicate]/[Reorder] events; only
           generated when [transport] is set (they never heal, so without the
           transport the run would leave the paper's model permanently) *)
+  chaos : bool;
+      (** churn tier: replace the random proposal/event draws with a
+          {!Ssba_harness.Chaos} schedule (random pattern, fixed episode
+          count), so every spec is a continuous-churn run whose recovery
+          times the per-interval oracle measures and bounds *)
 }
 
 val default_config : config
@@ -30,6 +35,10 @@ val default_config : config
     spec stays in the oracle's strictest class, so Validity/Termination are
     checked under permanently degraded links. *)
 val lossy_config : config
+
+(** The churn tier: [chaos] on, clusters capped at n = 7 so the repeated
+    [Delta_stb]-long episodes stay cheap. *)
+val chaos_config : config
 
 (** Draw one spec. *)
 val spec : Ssba_sim.Rng.t -> config -> Spec.t

@@ -30,6 +30,7 @@ type config = {
   check_timeliness : bool;
   skew_deadline_scale : float;
   assume_coherent : bool;
+  recovery_stb_scale : float;
 }
 
 let default_config =
@@ -38,6 +39,7 @@ let default_config =
     check_timeliness = true;
     skew_deadline_scale = 1.0;
     assume_coherent = false;
+    recovery_stb_scale = 1.0;
   }
 
 let failed r = r.failures <> []
@@ -59,15 +61,6 @@ let stabilized_after spec =
   | [] -> 0.0
   | ts -> List.fold_left max 0.0 ts +. params.P.delta_stb
 
-(* Persistent link faults with nothing masking them: the run never returns
-   to the paper's model, so even post-stabilization Agreement is off the
-   table. *)
-let unmasked_link_faults spec =
-  spec.Spec.transport = None
-  && List.exists
-       (function S.Loss _ | S.Duplicate _ | S.Reorder _ -> true | _ -> false)
-       spec.Spec.events
-
 (* Match an accepted proposal to its episode: same General, first return
    within the termination window of the initiation. *)
 let episode_for episodes (p : S.proposal) ~params =
@@ -84,7 +77,8 @@ let episode_for episodes (p : S.proposal) ~params =
 let run ?(config = default_config) spec =
   let params = Spec.params spec in
   let d = params.P.d in
-  let res = H.Runner.run (Spec.to_scenario spec) in
+  let sc = Spec.to_scenario spec in
+  let res = H.Runner.run sc in
   let failures = ref [] in
   let add oracle fmt =
     Printf.ksprintf (fun detail -> failures := { oracle; detail } :: !failures) fmt
@@ -95,42 +89,87 @@ let run ?(config = default_config) spec =
     add "conservation" "attempts=%d but delivered+dropped+in_flight=%.0f"
       (res.H.Runner.messages_sent + res.H.Runner.messages_duplicated)
       conservation.H.Checks.measured;
-  (* Agreement, judged after re-stabilization — unless unmasked persistent
-     link faults keep the run out of the model forever. *)
-  if config.assume_coherent || not (unmasked_link_faults spec) then
+  (* Agreement, per coherent interval: the paper owes it inside every
+     maximal coherent interval from Delta_stb after the interval opens (from
+     its start when nothing preceded it). This subsumes the old single
+     "after the last disruption" check — incoherent tails (unrecovered
+     crashes, unmasked persistent link faults) simply contribute no interval
+     — and additionally catches violations in early coherent windows that a
+     last-disruption-only cutoff would skate past. *)
+  let stb = params.P.delta_stb *. config.recovery_stb_scale in
+  let reports =
+    if config.assume_coherent then [] else H.Checks.recovery_report ~stb res
+  in
+  if config.assume_coherent then
     List.iter
       (fun v -> add "agreement" "%s" v)
-      (H.Checks.pairwise_agreement ~after:(stabilized_after spec) res);
+      (H.Checks.pairwise_agreement ~after:(stabilized_after spec) res)
+  else
+    List.iteri
+      (fun idx (r : H.Checks.episode_report) ->
+        List.iter
+          (fun v ->
+            add "agreement" "interval %d [%g, %g): %s" idx
+              r.H.Checks.interval.H.Coherence.t_start
+              r.H.Checks.interval.H.Coherence.t_end v)
+          r.H.Checks.violations;
+        match r.H.Checks.recovery_time with
+        | Some rt when rt > params.P.delta_stb *. (1.0 +. 1e-9) ->
+            add "recovery-time"
+              "interval %d: measured stabilization %.3fs exceeds Delta_stb %.3fs"
+              idx rt params.P.delta_stb
+        | Some _ | None -> ())
+      reports;
   (* "Reliable" specs — nothing ever invalidated the channel abstraction:
      calm, or every event is a transport-masked link fault. Validity,
-     Termination and the decision-skew deadline are promised here. *)
+     Termination and the decision-skew deadline are promised over the whole
+     run there. Under disruptions, the same per-proposal checks apply to
+     proposals whose full termination window fits inside the checked part of
+     one coherent interval — that is exactly where §6.1 re-entitles them. *)
   let reliable =
     config.assume_coherent
     || not (List.exists (Spec.disruptive spec) spec.Spec.events)
+  in
+  let window = params.P.delta_agr +. (8.0 *. d) in
+  (* The correct set a proposal's checks should use: the interval's cast
+     (pre-Reform windows must not demand returns from a node that only
+     rejoined later). [None] when the proposal is not entitled. *)
+  let entitlement (p : S.proposal) =
+    if p.S.at +. window > spec.Spec.horizon then None
+    else if reliable then Some res.H.Runner.correct
+    else
+      List.find_map
+        (fun (r : H.Checks.episode_report) ->
+          let iv = r.H.Checks.interval in
+          if
+            p.S.at >= r.H.Checks.checked_from
+            && p.S.at +. window <= iv.H.Coherence.t_end
+          then Some iv.H.Coherence.correct
+          else None)
+        reports
   in
   (* Invariant monitors stay calm-only: they watch per-message causality at
      a granularity where even masked link faults (residual loss, late
      retransmits) are observable without being protocol violations. *)
   if spec.Spec.events = [] && config.check_invariants then
     List.iter (fun v -> add "invariants" "%s" v) (H.Invariants.check res);
-  if reliable then begin
-    if config.check_timeliness then begin
-      let episodes = H.Metrics.episodes res in
-      List.iter
-        (fun ((p : S.proposal), outcome) ->
-          match outcome with
-          | H.Runner.Refused _ | H.Runner.No_general -> ()
-          | H.Runner.Accepted ->
-              if p.S.at +. params.P.delta_agr +. (8.0 *. d) <= spec.Spec.horizon
-              then begin
+  if config.check_timeliness then begin
+    let episodes = H.Metrics.episodes res in
+    List.iter
+      (fun ((p : S.proposal), outcome) ->
+        match outcome with
+        | H.Runner.Refused _ | H.Runner.No_general -> ()
+        | H.Runner.Accepted -> (
+            match entitlement p with
+            | None -> ()
+            | Some correct -> (
                 match episode_for episodes p ~params with
                 | None ->
                     add "termination"
                       "G=%d accepted %S at %g but no correct node returned" p.S.g
                       p.S.v p.S.at
                 | Some e ->
-                    if not (H.Checks.validity ~correct:res.H.Runner.correct ~v:p.S.v e)
-                    then
+                    if not (H.Checks.validity ~correct ~v:p.S.v e) then
                       add "validity"
                         "G=%d proposed %S at %g: not every correct node decided it"
                         p.S.g p.S.v p.S.at;
@@ -139,9 +178,7 @@ let run ?(config = default_config) spec =
                     if skew > bound +. 1e-12 then
                       add "timeliness-1a"
                         "G=%d decision skew %.3fd exceeds deadline %.3fd" p.S.g
-                        (skew /. d) (bound /. d)
-              end)
-        res.H.Runner.proposal_results
-    end
+                        (skew /. d) (bound /. d))))
+      res.H.Runner.proposal_results
   end;
   (res, { digest = H.Checks.result_digest res; failures = List.rev !failures })

@@ -1,15 +1,22 @@
 (** The fuzzer's verdict on one spec: run it and check every property the
     paper entitles us to under that spec's fault mix.
 
-    Always checked: message conservation. The pairwise Agreement oracle runs
-    after the run's re-stabilization point (last disruptive event plus
-    [Delta_stb]; from the start if nothing disrupts) — skipped only when
-    persistent link faults run without a transport, since such a run never
-    returns to the paper's model. On "reliable" specs — no disruptive events
-    at all, which includes transport-masked [Loss]/[Duplicate]/[Reorder] —
-    additionally, per accepted proposal: Validity, Termination and the
-    Timeliness-1a decision-skew deadline. On calm specs (no events of any
-    kind) the {!Ssba_harness.Invariants} IA/TPS monitor runs too. *)
+    Always checked: message conservation. Agreement is checked per
+    {!Ssba_harness.Coherence} interval via
+    {!Ssba_harness.Checks.recovery_report}: inside {e every} maximal
+    coherent interval, from [Delta_stb] after the interval opens — so
+    incoherent tails (unrecovered crashes, unmasked persistent link faults)
+    contribute nothing, while violations in early coherent windows that a
+    last-disruption-only cutoff would miss are caught. Each measured
+    per-episode stabilization time must stay within [Delta_stb]
+    (["recovery-time"] failures otherwise). Per accepted proposal, Validity,
+    Termination and the Timeliness-1a decision-skew deadline run on
+    "reliable" specs — no disruptive events at all, which includes
+    transport-masked [Loss]/[Duplicate]/[Reorder] — and, under disruptions,
+    on proposals whose full termination window fits inside the checked part
+    of one coherent interval (§6.1 re-entitles exactly those). On calm specs
+    (no events of any kind) the {!Ssba_harness.Invariants} IA/TPS monitor
+    runs too. *)
 
 type failure = { oracle : string; detail : string }
 
@@ -27,10 +34,17 @@ type config = {
           tolerance (used to prove the fuzzer catches violations) *)
   assume_coherent : bool;
       (** pretend every link fault is masked even without a transport: run
-          the full reliable-class oracles regardless of the event schedule.
+          the full reliable-class oracles regardless of the event schedule
+          (and the pre-coherence-timeline whole-run Agreement check).
           Unsound by design — it exists so the regression suite can show the
           bare protocol losing Termination over persistently lossy links
           that the transport would have masked *)
+  recovery_stb_scale : float;
+      (** scales the [Delta_stb] offset at which each coherent interval's
+          Agreement check begins; 1.0 is the paper's bound, smaller values
+          deliberately check before stabilization is owed (used to prove the
+          per-interval oracle catches pre-stabilization divergence that the
+          old last-disruption-only check never saw) *)
 }
 
 val default_config : config

@@ -71,30 +71,22 @@ let to_scenario t =
       (List.map (fun (id, c) -> (id, S.Byzantine (C.to_behavior ~d c))) t.cast)
     ~proposals:t.proposals ~events:t.events ?transport:t.transport params
 
-let event_time = function
-  | S.Crash { at; _ } | S.Recover { at; _ } | S.Scramble { at; _ }
-  | S.Drop_prob { at; _ } | S.Partition { at; _ } | S.Heal { at }
-  | S.Heal_partition { at } | S.Heal_drop { at } | S.Loss { at; _ }
-  | S.Duplicate { at; _ } | S.Reorder { at; _ } ->
-      at
+let event_time = S.event_time
 
 let event_nodes = function
-  | S.Crash { node; _ } | S.Recover { node; _ } -> [ node ]
+  | S.Crash { node; _ } | S.Recover { node; _ } | S.Reform { node; _ } ->
+      [ node ]
   | S.Partition { blocked = ga, gb; _ } -> ga @ gb
   | S.Scramble _ | S.Drop_prob _ | S.Heal _ | S.Heal_partition _
-  | S.Heal_drop _ | S.Loss _ | S.Duplicate _ | S.Reorder _ ->
+  | S.Heal_drop _ | S.Loss _ | S.Duplicate _ | S.Reorder _ | S.Delay_surge _
+  | S.Delay_restore _ ->
       []
 
 (* Events after which the paper's guarantees need a fresh [Delta_stb] before
-   they apply again. Heals only restore service; persistent link faults are
-   what the transport exists to mask, so with a transport in the loop they
-   are not disruptions at all — the fuzz oracle holds the transport to
-   exactly that. *)
-let disruptive t = function
-  | S.Heal _ | S.Heal_partition _ | S.Heal_drop _ -> false
-  | S.Loss _ | S.Duplicate _ | S.Reorder _ -> t.transport = None
-  | S.Crash _ | S.Recover _ | S.Scramble _ | S.Drop_prob _ | S.Partition _ ->
-      true
+   they apply again — {!Ssba_harness.Scenario.disruptive_event}, with link
+   faults masked exactly when the spec carries a transport. *)
+let disruptive t e =
+  S.disruptive_event ~masked_link_faults:(t.transport <> None) e
 
 let catalog_nodes = function
   | C.Partial_general { targets; _ } -> targets
@@ -144,9 +136,10 @@ let validate t =
               p < 0.0 || p > 1.0
           | S.Reorder { prob; extra; _ } ->
               prob < 0.0 || prob > 1.0 || extra < 0.0
+          | S.Delay_surge { factor; _ } -> factor <= 0.0
           | _ -> false)
         t.events
-    then err "event probability outside [0, 1] (or negative reorder extra)"
+    then err "event probability outside [0, 1] (or bad reorder/surge knob)"
     else
       match t.transport with
       | Some c when c.T.rto <= 0.0 || c.T.retries < 0 || c.T.window <= 0 || c.T.dedup <= 0
@@ -334,6 +327,12 @@ let event_to_json = function
           ("prob", num prob);
           ("extra", num extra);
         ]
+  | S.Delay_surge { at; factor } ->
+      J.Obj [ ("event", str "delay-surge"); ("at", num at); ("factor", num factor) ]
+  | S.Delay_restore { at } ->
+      J.Obj [ ("event", str "delay-restore"); ("at", num at) ]
+  | S.Reform { node; at } ->
+      J.Obj [ ("event", str "reform"); ("node", int node); ("at", num at) ]
 
 let event_of_json j =
   match get_str "event" j with
@@ -365,6 +364,10 @@ let event_of_json j =
           prob = get_float "prob" j;
           extra = get_float "extra" j;
         }
+  | "delay-surge" ->
+      S.Delay_surge { at = get_float "at" j; factor = get_float "factor" j }
+  | "delay-restore" -> S.Delay_restore { at = get_float "at" j }
+  | "reform" -> S.Reform { node = get_int "node" j; at = get_float "at" j }
   | e -> fail "unknown event %S" e
 
 let transport_to_json (c : T.config) =

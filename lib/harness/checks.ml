@@ -140,14 +140,18 @@ let network_conservation (res : Runner.result) =
    - Agreement + [IA-3]: if a correct node decides, every correct node
      returns the same value with an anchor within 6d.
 
-   Decisions within [settle] of the horizon are skipped as "still in flight"
-   (their counterparts may be truncated by the end of the run), and decisions
-   before [after] are skipped entirely — pass the stabilization time when the
-   run begins from a scrambled state, since the paper's properties only hold
-   once the system is stable (transient garbage can forge local quorums and
-   produce briefly divergent returns before it decays). Returns a list of
-   violation descriptions; empty means agreement holds. *)
-let pairwise_agreement ?settle ?(after = 0.0) (res : Runner.result) =
+   Decisions within [settle] of [until] (default: the horizon) are skipped as
+   "still in flight" (their counterparts may be truncated by the end of the
+   run — or corrupted by whatever disruption closes the interval at [until]),
+   and decisions before [after] are skipped entirely — pass the stabilization
+   time when the run begins from a scrambled state, since the paper's
+   properties only hold once the system is stable (transient garbage can
+   forge local quorums and produce briefly divergent returns before it
+   decays). [correct] overrides the result's correct set — pass a coherence
+   interval's cast when checking a window before a Reform rejoined a node.
+   Returns a list of violation descriptions; empty means agreement holds. *)
+let pairwise_agreement ?settle ?(after = 0.0) ?until ?correct
+    (res : Runner.result) =
   let params = (res.Runner.scenario).Scenario.params in
   let d = params.Ssba_core.Params.d in
   let settle =
@@ -155,7 +159,11 @@ let pairwise_agreement ?settle ?(after = 0.0) (res : Runner.result) =
     | Some s -> s
     | None -> params.Ssba_core.Params.delta_agr +. (10.0 *. d)
   in
-  let cutoff = (res.Runner.scenario).Scenario.horizon -. settle in
+  let until =
+    Option.value ~default:(res.Runner.scenario).Scenario.horizon until
+  in
+  let correct = Option.value ~default:res.Runner.correct correct in
+  let cutoff = until -. settle in
   let anchor_rt (r : return_info) = Metrics.rt_of res ~id:r.node r.tau_g in
   let violations = ref [] in
   let complain fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
@@ -221,10 +229,95 @@ let pairwise_agreement ?settle ?(after = 0.0) (res : Runner.result) =
                       complain
                         "G=%d: node %d decided %S but correct node %d aborted/diverged"
                         g r.node v q)
-            res.Runner.correct)
+            correct)
         decided)
     by_g;
   List.rev !violations
+
+(* The real time from which the paper's guarantees hold again given the
+   event schedule: Delta_stb after the last disruptive event (0 when nothing
+   disrupts). This is the one shared derivation every caller should use
+   instead of hand-computing "scramble time + Delta_stb". *)
+let stabilized_after (sc : Scenario.t) =
+  let stb = sc.Scenario.params.Ssba_core.Params.delta_stb in
+  List.fold_left
+    (fun acc e ->
+      if Scenario.disruptive sc e then
+        Float.max acc (Scenario.event_time e +. stb)
+      else acc)
+    0.0 sc.Scenario.events
+
+(* ----- per-disruption recovery oracle ---------------------------------- *)
+
+(* One coherence interval's verdict: agreement checked from [checked_from]
+   ([t_start + Delta_stb] when the interval follows a disruption), plus the
+   measured stabilization time — completion of the first unanimous agreement
+   episode whose first return lands within [Delta_stb] of coherence
+   resumption. [None] when the schedule placed no such probe: not a failure,
+   just unmeasured. *)
+type episode_report = {
+  interval : Coherence.interval;
+  checked_from : float;
+  violations : string list;
+  recovery_time : float option;
+}
+
+let pp_episode_report ppf (r : episode_report) =
+  Fmt.pf ppf "%a checked-from %.3f %s%s" Coherence.pp_interval r.interval
+    r.checked_from
+    (match r.violations with
+    | [] -> "OK"
+    | vs -> Printf.sprintf "FAIL (%d violations)" (List.length vs))
+    (match r.recovery_time with
+    | Some rt -> Printf.sprintf " recovery %.3fs" rt
+    | None -> "")
+
+let recovery_report ?settle ?stb (res : Runner.result) =
+  let sc = res.Runner.scenario in
+  let params = sc.Scenario.params in
+  let stb = Option.value ~default:params.Ssba_core.Params.delta_stb stb in
+  let episodes = Metrics.episodes res in
+  List.mapi
+    (fun idx (iv : Coherence.interval) ->
+      let checked_from =
+        iv.Coherence.t_start
+        +. (if iv.Coherence.after_disruption then stb else 0.0)
+      in
+      let violations =
+        pairwise_agreement ?settle ~after:checked_from
+          ~until:iv.Coherence.t_end ~correct:iv.Coherence.correct res
+      in
+      let recovery_time =
+        if not iv.Coherence.after_disruption then None
+        else
+          let window_end =
+            iv.Coherence.t_start +. params.Ssba_core.Params.delta_stb
+          in
+          List.find_map
+            (fun (e : Metrics.episode) ->
+              let fr = Metrics.first_return e in
+              let lr = Metrics.last_return e in
+              if
+                fr >= iv.Coherence.t_start && fr <= window_end
+                && lr <= iv.Coherence.t_end
+              then
+                match agreement ~correct:iv.Coherence.correct e with
+                | Unanimous _ -> Some (lr -. iv.Coherence.t_start)
+                | All_silent | All_aborted | Violated _ -> None
+              else None)
+            episodes
+      in
+      (* Post-hoc gauge: never part of the result digest, so recording the
+         measurement cannot disturb pinned corpus fingerprints. *)
+      (match recovery_time with
+      | Some rt ->
+          Ssba_sim.Metrics.set
+            (Ssba_sim.Metrics.gauge res.Runner.metrics
+               (Printf.sprintf "recovery.time.%d" idx))
+            rt
+      | None -> ());
+      { interval = iv; checked_from; violations; recovery_time })
+    (Coherence.intervals sc)
 
 (* A stable fingerprint of everything observable about a run. Two runs of the
    same scenario must produce the same digest (the simulator is a pure

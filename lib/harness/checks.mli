@@ -52,13 +52,49 @@ val network_conservation : Runner.result -> verdict
     continuously (episode clustering is ambiguous there). Checks IA-4a
     (decided values with anchors within 4d must match) and the relay
     consequence (a decision must be echoed, with an anchor within 6d, by
-    every correct node). [settle] skips decisions too close to the horizon
-    (default [Delta_agr + 10d]); [after] skips decisions before that real
-    time — pass the stabilization time for scrambled-start runs, since the
-    paper's properties only hold once the system is stable. Returns
-    violation descriptions; empty means agreement holds. *)
+    every correct node). [settle] skips decisions within that margin of
+    [until] (default: the horizon; default margin [Delta_agr + 10d]);
+    [after] skips decisions before that real time — pass the stabilization
+    time for scrambled-start runs, since the paper's properties only hold
+    once the system is stable. [correct] overrides the result's correct set
+    (pass a coherence interval's cast for windows before a [Reform]).
+    Returns violation descriptions; empty means agreement holds. *)
 val pairwise_agreement :
-  ?settle:float -> ?after:float -> Runner.result -> string list
+  ?settle:float ->
+  ?after:float ->
+  ?until:float ->
+  ?correct:node_id list ->
+  Runner.result ->
+  string list
+
+(** The real time from which the paper's guarantees hold again, derived from
+    the event schedule: [Delta_stb] after the last {!Scenario.disruptive}
+    event, or [0] when nothing disrupts. Use this instead of hand-computing
+    "scramble time + Delta_stb" at call sites. *)
+val stabilized_after : Scenario.t -> float
+
+(** Per-coherence-interval recovery verdict: {!pairwise_agreement} scoped to
+    the interval (checked from [t_start + Delta_stb] when the interval
+    follows a disruption), plus the measured stabilization time — completion
+    of the first unanimous agreement episode whose first return lands within
+    [Delta_stb] of coherence resumption ([None] when the schedule placed no
+    probe there: unmeasured, not a failure). *)
+type episode_report = {
+  interval : Coherence.interval;
+  checked_from : float;
+  violations : string list;
+  recovery_time : float option;
+}
+
+val pp_episode_report : Format.formatter -> episode_report -> unit
+
+(** One report per {!Coherence.intervals} entry, in time order. Every
+    measured recovery time is also recorded as a [recovery.time.<i>] gauge
+    in the result's metrics registry (never part of {!result_digest}).
+    [stb] overrides [Delta_stb] for the per-interval check offset — the
+    knob the oracle-sensitivity tests use to force premature checking. *)
+val recovery_report :
+  ?settle:float -> ?stb:float -> Runner.result -> episode_report list
 
 (** A stable hex fingerprint of a run's observable outcome (returns, proposal
     outcomes, message accounting, engine stats). Identical scenarios produce

@@ -1,0 +1,50 @@
+(** Coherence timeline: when does a scenario actually satisfy §2's coherence
+    assumptions?
+
+    ss-Byz-Agree promises nothing while the system is incoherent — nodes
+    crashed, messages dropped or delayed beyond [delta], the network
+    partitioned — and re-converges within [Delta_stb] of every return to
+    coherence (§6.1). This module derives, from a scenario's event schedule
+    and cast alone, the maximal intervals of real time during which the
+    coherence assumptions hold, so the recovery oracle can check the paper's
+    guarantees separately inside {e every} such interval instead of only
+    after the last disruption. *)
+
+open Ssba_core.Types
+
+type interval = {
+  t_start : float;
+  t_end : float;  (** exclusive; the horizon closes the final interval *)
+  after_disruption : bool;
+      (** [false] only for an initial interval starting at time 0: everything
+          else begins at the moment coherence (re-)establishes, so guarantees
+          are owed only from [t_start + Delta_stb] *)
+  correct : node_id list;
+      (** ids running the correct protocol during this interval: the
+          scenario's correct cast plus every node reformed at or before
+          [t_start], ascending *)
+}
+
+val pp_interval : Format.formatter -> interval -> unit
+
+(** The maximal coherent intervals of a scenario, in time order.
+
+    Incoherence sources, applied by walking the event schedule:
+    - a crashed node that is correct (or reformed) at that moment — a crash
+      of a still-Byzantine node changes nothing the paper cares about;
+    - transient drop probability > 0 ([Drop_prob]; lifted by [Heal] /
+      [Heal_drop]);
+    - an active [Partition] (lifted by [Heal] / [Heal_partition]);
+    - a delay surge with factor > 1 ([Delay_surge]; lifted by
+      [Delay_restore] or a factor-1 surge);
+    - persistent link faults ([Loss] / [Duplicate] / [Reorder]) with
+      probability > 0, {e unless} the scenario runs the reliable transport,
+      whose contract is to mask exactly those.
+
+    [Scramble] and an effective [Reform] are point disruptions: they close
+    the current interval and immediately reopen one with
+    [after_disruption = true]. Zero-length intervals are dropped. *)
+val intervals : Scenario.t -> interval list
+
+(** The interval containing real time [t], if any. *)
+val interval_at : interval list -> float -> interval option

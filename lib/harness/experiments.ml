@@ -828,6 +828,96 @@ let e11_scale ?ns ?seed ?repeats () =
     (e11_scale_rows ?ns ?seed ?repeats ());
   Table.print tbl
 
+(* ----- E12: recovery under continuous churn (§6.1, Delta_stb) ----------- *)
+
+(* The self-stabilization claim, measured: run each chaos pattern's episodic
+   disruption schedule (scramble waves, crash/recover waves, delay surges,
+   Byzantine rejoins) and, for every coherent interval the schedule opens,
+   measure the time from return-to-coherence until the first unanimous
+   probe agreement. Every measured recovery must come in under Delta_stb. *)
+let e12_churn ?(ns = [ 7; 10 ]) ?(seeds = [ 121; 122; 123 ]) ?(episodes = 3) ()
+    =
+  section "E12 — Recovery under continuous churn (per-episode, vs Delta_stb)";
+  let tbl =
+    Table.create
+      [
+        "n";
+        "pattern";
+        "runs";
+        "episodes";
+        "measured";
+        "recovery(mean)";
+        "recovery(max)";
+        "Dstb";
+        "max<=Dstb";
+        "agreement";
+      ]
+  in
+  List.iter
+    (fun n ->
+      let params = Params.default n in
+      let f = params.Params.f in
+      let byzantine = List.init f (fun i -> n - 1 - i) in
+      let correct =
+        List.filter (fun i -> not (List.mem i byzantine)) (List.init n Fun.id)
+      in
+      let roles =
+        List.map
+          (fun id ->
+            ( id,
+              Scenario.Byzantine
+                (Ssba_adversary.Strategies.spam ~period:(10.0 *. params.Params.d)
+                   ~values:[ "junk" ]) ))
+          byzantine
+      in
+      List.iter
+        (fun pattern ->
+          let sched =
+            Chaos.schedule ~episodes pattern ~params ~correct ~byzantine
+          in
+          let total = ref 0 and recoveries = ref [] in
+          let violations = ref 0 in
+          List.iter
+            (fun seed ->
+              let sc =
+                Scenario.default
+                  ~name:("e12-" ^ Chaos.pattern_name pattern)
+                  ~seed ~roles ~events:sched.Chaos.events
+                  ~proposals:sched.Chaos.proposals ~horizon:sched.Chaos.horizon
+                  params
+              in
+              let res = Runner.run sc in
+              List.iter
+                (fun (r : Checks.episode_report) ->
+                  if r.Checks.interval.Coherence.after_disruption then begin
+                    incr total;
+                    match r.Checks.recovery_time with
+                    | Some rt -> recoveries := rt :: !recoveries
+                    | None -> ()
+                  end;
+                  violations := !violations + List.length r.Checks.violations)
+                (Checks.recovery_report res))
+            seeds;
+          let stb = params.Params.delta_stb in
+          let max_rt = Metrics.maximum !recoveries in
+          Table.add_row tbl
+            [
+              string_of_int n;
+              Chaos.pattern_name pattern;
+              string_of_int (List.length seeds);
+              string_of_int !total;
+              string_of_int (List.length !recoveries);
+              Printf.sprintf "%.3fs" (Metrics.mean !recoveries);
+              Printf.sprintf "%.3fs" max_rt;
+              Printf.sprintf "%.3fs" stb;
+              Table.yn (max_rt <= stb);
+              (if !violations = 0 then "holds"
+               else Printf.sprintf "VIOLATED x%d" !violations);
+            ])
+        Chaos.all_patterns)
+    ns;
+  Table.print tbl
+
 let run_all () =
   e1_validity ();
   e2_agreement ();
@@ -839,4 +929,5 @@ let run_all () =
   e8_pulse ();
   e9_invariants ();
   e10_lossy_links ();
-  e11_scale ()
+  e11_scale ();
+  e12_churn ()

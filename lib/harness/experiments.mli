@@ -59,5 +59,11 @@ val e11_scale_rows :
 
 val e11_scale : ?ns:int list -> ?seed:int -> ?repeats:int -> unit -> unit
 
-(** Run E1 through E11 in order. *)
+(** E12 — Recovery under continuous churn: run each {!Chaos} pattern's
+    episodic disruption schedule and measure, per coherent interval, the
+    time from return-to-coherence to the first unanimous probe agreement;
+    every measured recovery must be within [Delta_stb] (§6.1). *)
+val e12_churn : ?ns:int list -> ?seeds:int list -> ?episodes:int -> unit -> unit
+
+(** Run E1 through E12 in order. *)
 val run_all : unit -> unit

@@ -101,6 +101,7 @@ type net_counts = {
 type net_iface = {
   link : message Ssba_net.Link.t;
   set_muted : int -> bool -> unit;
+  set_delay : Ssba_net.Delay.t -> unit;
   set_drop_prob : float -> unit;
   set_dup_prob : float -> unit;
   set_reorder : Network.reorder option -> unit;
@@ -119,6 +120,7 @@ let plain_iface ~engine ~params ~delay ~rng n =
   {
     link = Network.link net;
     set_muted = (fun node m -> Network.set_muted net node m);
+    set_delay = (fun d -> Network.set_delay net d);
     set_drop_prob = (fun p -> Network.set_drop_prob net p);
     set_dup_prob = (fun p -> Network.set_dup_prob net p);
     set_reorder = (fun r -> Network.set_reorder net r);
@@ -160,6 +162,7 @@ let transport_iface ~engine ~params ~delay ~rng ~config n =
   {
     link = Transport.link tr;
     set_muted = (fun node m -> Network.set_muted net node m);
+    set_delay = (fun d -> Network.set_delay net d);
     set_drop_prob = (fun p -> Network.set_drop_prob net p);
     set_dup_prob = (fun p -> Network.set_dup_prob net p);
     set_reorder = (fun r -> Network.set_reorder net r);
@@ -238,6 +241,22 @@ let run_with ~execute (sc : Scenario.t) =
     | Scenario.Byzantine _ -> ()
   done;
   let nodes = List.rev !nodes in
+  (* Reformed Byzantine nodes join this list mid-run (Reform events); the
+     behaviours they abandon keep their scheduled callbacks, so every
+     behaviour sends through a guard that silences reformed ids. *)
+  let live_nodes = ref nodes in
+  let reformed = Array.make n false in
+  let behavior_link =
+    {
+      iface.link with
+      Ssba_net.Link.send =
+        (fun ~src ~dst m ->
+          if not reformed.(src) then iface.link.Ssba_net.Link.send ~src ~dst m);
+      broadcast =
+        (fun ~src m ->
+          if not reformed.(src) then iface.link.Ssba_net.Link.broadcast ~src m);
+    }
+  in
   for id = 0 to n - 1 do
     match Scenario.role_of sc id with
     | Scenario.Correct -> ()
@@ -248,10 +267,18 @@ let run_with ~execute (sc : Scenario.t) =
             params;
             engine;
             rng = Rng.split adv_rng;
-            link = iface.link;
+            link = behavior_link;
             clock = clocks.(id);
           }
   done;
+  (* Arbitrary-state vocabulary for reformed nodes: the run's proposal values
+     plus one value nobody proposes, so reform-time garbage can collide with
+     real agreements and still be told apart. *)
+  let reform_values =
+    List.sort_uniq compare
+      (List.map (fun (p : Scenario.proposal) -> p.Scenario.v) sc.Scenario.proposals)
+    @ [ "~reform-garbage" ]
+  in
   (* Event schedule. Transient drop and persistent loss compose into the
      network's one drop knob: the message survives both hazards. *)
   let transient_drop = ref 0.0 in
@@ -271,7 +298,7 @@ let run_with ~execute (sc : Scenario.t) =
           Engine.schedule engine ~at (fun () ->
               List.iter
                 (fun (_, node) -> Node.scramble scramble_rng ~values node)
-                nodes;
+                !live_nodes;
               iface.scramble_transport ~rng:scramble_rng;
               iface.inject_garbage ~rng:scramble_rng ~values ~count:net_garbage;
               Engine.record engine ~node:(-1)
@@ -308,7 +335,39 @@ let run_with ~execute (sc : Scenario.t) =
       | Scenario.Heal_drop { at } ->
           Engine.schedule engine ~at (fun () ->
               transient_drop := 0.0;
-              apply_loss ()))
+              apply_loss ())
+      | Scenario.Delay_surge { at; factor } ->
+          Engine.schedule engine ~at (fun () ->
+              iface.set_delay (Ssba_net.Delay.scaled factor sc.Scenario.delay);
+              Engine.record engine ~node:(-1) (Trace.Delay_surge { factor }))
+      | Scenario.Delay_restore { at } ->
+          Engine.schedule engine ~at (fun () ->
+              iface.set_delay sc.Scenario.delay;
+              Engine.record engine ~node:(-1) (Trace.Delay_surge { factor = 0.0 }))
+      | Scenario.Reform { node; at } ->
+          Engine.schedule engine ~at (fun () ->
+              let byzantine =
+                match Scenario.role_of sc node with
+                | Scenario.Byzantine _ -> true
+                | Scenario.Correct -> false
+              in
+              if byzantine && not reformed.(node) then begin
+                (* Silence the abandoned behaviour first, then let the correct
+                   protocol take over the link handler from arbitrary state. *)
+                reformed.(node) <- true;
+                let nd =
+                  Node.reform ~rng:scramble_rng ~values:reform_values ~id:node
+                    ~params ~clock:clocks.(node) ~engine ~link:iface.link ()
+                in
+                Node.subscribe nd (fun r -> returns := r :: !returns);
+                if sc.Scenario.record_observations then
+                  Node.subscribe_observations nd (fun g obs ->
+                      observations :=
+                        { obs_node = node; obs_g = g; obs; obs_rt = Engine.now engine }
+                        :: !observations);
+                live_nodes := !live_nodes @ [ (node, nd) ];
+                Engine.record engine ~node (Trace.Reform { node })
+              end))
     sc.Scenario.events;
   (* Proposals by correct Generals. Every proposal — including one whose
      General is Byzantine or absent — is evaluated at its scheduled [at], so
@@ -319,7 +378,7 @@ let run_with ~execute (sc : Scenario.t) =
     (fun (p : Scenario.proposal) ->
       Engine.schedule engine ~at:p.Scenario.at (fun () ->
           let outcome =
-            match List.assoc_opt p.Scenario.g nodes with
+            match List.assoc_opt p.Scenario.g !live_nodes with
             | None -> No_general
             | Some node -> (
                 match Node.propose node p.Scenario.v with
@@ -335,9 +394,12 @@ let run_with ~execute (sc : Scenario.t) =
     returns =
       List.sort (fun a b -> compare a.rt_ret b.rt_ret) !returns;
     observations = List.rev !observations;
-    correct = Scenario.correct_ids sc;
+    correct =
+      List.sort compare
+        (Scenario.correct_ids sc
+        @ List.filter (fun id -> reformed.(id)) (Scenario.byzantine_ids sc));
     clocks;
-    nodes;
+    nodes = !live_nodes;
     proposal_results = List.rev !proposal_results;
     engine_stats;
     messages_sent = c.nc_sent;

@@ -25,8 +25,11 @@ type result = {
   observations : observation list;
       (** chronological; empty unless [record_observations] was set *)
   correct : node_id list;
+      (** ids running the correct protocol by the end of the run — the
+          scenario's correct cast plus every node a [Reform] event rejoined *)
   clocks : Ssba_sim.Clock.t array;  (** per node id, Byzantine slots included *)
-  nodes : (node_id * Ssba_core.Node.t) list;  (** the correct protocol nodes *)
+  nodes : (node_id * Ssba_core.Node.t) list;
+      (** the correct protocol nodes, reformed rejoiners last *)
   proposal_results : (Scenario.proposal * proposal_outcome) list;
       (** in chronological ([at]) order *)
   engine_stats : Ssba_sim.Engine.stats;

@@ -32,6 +32,14 @@ type event =
   | Duplicate of { at : float; p : float }  (* persistent duplication *)
   | Reorder of { at : float; prob : float; extra : float }
       (* persistent reordering: with prob, stretch a delivery by up to extra *)
+  | Delay_surge of { at : float; factor : float }
+      (* deliveries temporarily exceed delta (factor > 1 violates §2 Def. 2);
+         lifted by Delay_restore *)
+  | Delay_restore of { at : float }  (* reinstall the scenario's base delay *)
+  | Reform of { node : node_id; at : float }
+      (* a Byzantine node starts running the correct protocol from arbitrary
+         state — the classic self-stabilizing rejoin. No-op on a node that is
+         already correct (or already reformed). *)
 
 type proposal = { g : node_id; v : value; at : float }
 
@@ -70,6 +78,43 @@ let byzantine_ids t =
   List.filter
     (fun id -> match role_of t id with Correct -> false | Byzantine _ -> true)
     (List.init t.params.Ssba_core.Params.n (fun i -> i))
+
+let event_time = function
+  | Crash { at; _ } | Recover { at; _ } | Scramble { at; _ }
+  | Drop_prob { at; _ } | Partition { at; _ } | Heal { at }
+  | Heal_partition { at } | Heal_drop { at } | Loss { at; _ }
+  | Duplicate { at; _ } | Reorder { at; _ } | Delay_surge { at; _ }
+  | Delay_restore { at } | Reform { at; _ } ->
+      at
+
+(* Events after which the paper's guarantees need a fresh Delta_stb before
+   they apply again. Heals and Delay_restore only restore service; persistent
+   link faults (Loss/Duplicate/Reorder) are disruptive exactly when nothing
+   masks them — pass [masked_link_faults] true when the scenario runs the
+   reliable transport, whose contract is to re-establish the bounded-delay
+   channel under those faults. *)
+let disruptive_event ~masked_link_faults = function
+  | Heal _ | Heal_partition _ | Heal_drop _ | Delay_restore _ -> false
+  | Loss _ | Duplicate _ | Reorder _ -> not masked_link_faults
+  | Crash _ | Recover _ | Scramble _ | Drop_prob _ | Partition _
+  | Delay_surge _ | Reform _ ->
+      true
+
+let disruptive t = disruptive_event ~masked_link_faults:(t.transport <> None)
+
+(* Byzantine ids the event schedule reforms: they run the correct protocol
+   (from arbitrary state) from their Reform time on. *)
+let reformed_ids t =
+  List.sort_uniq compare
+    (List.filter_map
+       (function
+         | Reform { node; _ }
+           when (match role_of t node with
+                | Correct -> false
+                | Byzantine _ -> true) ->
+             Some node
+         | _ -> None)
+       t.events)
 
 (* A sensible default: random delays within the bound, small drift. *)
 let default ?(name = "scenario") ?(seed = 1) ?(horizon = 5.0) ?(record_trace = false)

@@ -35,6 +35,17 @@ type event =
   | Reorder of { at : float; prob : float; extra : float }
       (** persistent reordering: with [prob], stretch a delivery by a uniform
           extra delay in [\[0, extra\]] *)
+  | Delay_surge of { at : float; factor : float }
+      (** scale every delivery delay by [factor]; factor > 1 pushes
+          deliveries beyond [delta], violating the bounded-delay model of
+          §2 Def. 2 until [Delay_restore] *)
+  | Delay_restore of { at : float }
+      (** reinstall the scenario's base delay policy *)
+  | Reform of { node : node_id; at : float }
+      (** a Byzantine node starts running the correct protocol from
+          arbitrary state — the classic self-stabilizing rejoin. A no-op on
+          nodes that are already correct (or already reformed); the node
+          counts as correct for guarantees anchored [Delta_stb] after [at] *)
 
 type proposal = { g : node_id; v : value; at : float }
 (** A correct General [g] proposes [v] at real time [at]. *)
@@ -70,6 +81,23 @@ val correct_ids : t -> node_id list
 
 (** Ids running a Byzantine behaviour, ascending. *)
 val byzantine_ids : t -> node_id list
+
+(** The real time at which an event fires. *)
+val event_time : event -> float
+
+(** Whether an event invalidates the paper's guarantees until [Delta_stb]
+    later. Heals and [Delay_restore] never do; persistent link faults
+    ([Loss]/[Duplicate]/[Reorder]) do exactly when [masked_link_faults] is
+    false — masking them is the reliable transport's contract. *)
+val disruptive_event : masked_link_faults:bool -> event -> bool
+
+(** [disruptive_event] with the masking derived from the scenario itself
+    (link faults are masked iff it runs a transport). *)
+val disruptive : t -> event -> bool
+
+(** Byzantine ids with a [Reform] event: they run the correct protocol from
+    their reform time on, ascending. *)
+val reformed_ids : t -> node_id list
 
 (** Build a scenario with sensible defaults: random delays within the bound,
     small drift, no faults, 5 s horizon, nothing recorded. *)

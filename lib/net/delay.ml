@@ -15,6 +15,10 @@ type t =
       (* mostly-fast links with occasional worst-case stragglers *)
   | Per_link of (src:int -> dst:int -> float)
   | Custom of (rng:Ssba_sim.Rng.t -> src:int -> dst:int -> now:float -> float)
+  | Scaled of { factor : float; base : t }
+      (* a delay surge: every draw of [base], multiplied by [factor]. Drawing
+         consumes exactly the RNG values [base] would, so surging and
+         restoring a policy mid-run never shifts the random stream. *)
 
 let fixed d =
   if d < 0.0 then invalid_arg "Delay.fixed: negative delay";
@@ -32,7 +36,11 @@ let bimodal ~fast ~slow ~slow_prob =
 let per_link f = Per_link f
 let custom f = Custom f
 
-let draw t ~rng ~src ~dst ~now =
+let scaled factor base =
+  if factor <= 0.0 then invalid_arg "Delay.scaled: non-positive factor";
+  Scaled { factor; base }
+
+let rec draw t ~rng ~src ~dst ~now =
   match t with
   | Fixed d -> d
   | Uniform { lo; hi } -> Ssba_sim.Rng.float_in_range rng ~lo ~hi
@@ -40,3 +48,4 @@ let draw t ~rng ~src ~dst ~now =
       if Ssba_sim.Rng.float rng 1.0 < slow_prob then slow else fast
   | Per_link f -> f ~src ~dst
   | Custom f -> f ~rng ~src ~dst ~now
+  | Scaled { factor; base } -> factor *. draw base ~rng ~src ~dst ~now

@@ -20,5 +20,13 @@ val per_link : (src:int -> dst:int -> float) -> t
 (** Fully custom schedule. *)
 val custom : (rng:Ssba_sim.Rng.t -> src:int -> dst:int -> now:float -> float) -> t
 
+(** [scaled factor base]: every draw of [base] multiplied by [factor] — a
+    delay surge (factor > 1 pushes deliveries beyond the [delta] the base
+    policy respected, violating the bounded-delay model of §2 until the
+    original policy is restored). Draws consume exactly the RNG values
+    [base] would, so installing and removing the surge mid-run never shifts
+    the random stream. Raises [Invalid_argument] on a non-positive factor. *)
+val scaled : float -> t -> t
+
 (** Draw the delay for one message. *)
 val draw : t -> rng:Ssba_sim.Rng.t -> src:int -> dst:int -> now:float -> float

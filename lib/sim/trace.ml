@@ -25,6 +25,10 @@ type event =
   | Agree_return of { g : int; decided : string option; tau_g : float }
   | Ig3_failure of { g : int }
   | Scramble of { garbage : int }
+  | Reform of { node : int }
+      (* a Byzantine node rejoined the correct protocol from arbitrary state *)
+  | Delay_surge of { factor : float }
+      (* delivery delays scaled by [factor]; 0.0 marks the restore *)
   | Duplicate of { src : int; dst : int; msg : string }
       (* network-level duplication fault: a second copy of a sent message *)
   | Retransmit of { src : int; dst : int; msg : string; attempt : int }
@@ -50,6 +54,8 @@ let kind_of_event = function
   | Agree_return _ -> "agree-return"
   | Ig3_failure _ -> "ig3-failure"
   | Scramble _ -> "scramble"
+  | Reform _ -> "reform"
+  | Delay_surge _ -> "delay-surge"
   | Duplicate _ -> "duplicate"
   | Retransmit _ -> "retransmit"
   | Dup_suppress _ -> "dup-suppress"
@@ -75,6 +81,10 @@ let detail_of_event = function
       Printf.sprintf "G=%d aborted tauG=%.6f" g tau_g
   | Ig3_failure { g } -> Printf.sprintf "logical G=%d quiet for Dreset" g
   | Scramble { garbage } -> Printf.sprintf "%d garbage messages" garbage
+  | Reform { node } -> Printf.sprintf "node %d rejoins the correct protocol" node
+  | Delay_surge { factor } ->
+      if factor = 0.0 then "base delay restored"
+      else Printf.sprintf "delays scaled by %g" factor
   | Duplicate { src; dst; msg } -> Printf.sprintf "%s %d->%d (dup)" msg src dst
   | Retransmit { src; dst; msg; attempt } ->
       Printf.sprintf "%s %d->%d (attempt %d)" msg src dst attempt
@@ -163,6 +173,8 @@ let fields_of_event = function
       ]
   | Ig3_failure { g } -> [ ("g", i g) ]
   | Scramble { garbage } -> [ ("garbage", i garbage) ]
+  | Reform { node } -> [ ("reformed", i node) ]
+  | Delay_surge { factor } -> [ ("factor", Json.Num factor) ]
   | Duplicate { src; dst; msg } ->
       [ ("src", i src); ("dst", i dst); ("msg", Json.Str msg) ]
   | Retransmit { src; dst; msg; attempt } ->
@@ -217,6 +229,8 @@ let event_of_json ~kind j =
         }
   | "ig3-failure" -> Ig3_failure { g = gi "g" }
   | "scramble" -> Scramble { garbage = gi "garbage" }
+  | "reform" -> Reform { node = gi "reformed" }
+  | "delay-surge" -> Delay_surge { factor = gf "factor" }
   | "duplicate" -> Duplicate { src = gi "src"; dst = gi "dst"; msg = gs "msg" }
   | "retransmit" ->
       Retransmit

@@ -21,6 +21,11 @@ type event =
       (** [decided = None] is an abort *)
   | Ig3_failure of { g : int }
   | Scramble of { garbage : int }
+  | Reform of { node : int }
+      (** a Byzantine node rejoined the correct protocol from arbitrary
+          state *)
+  | Delay_surge of { factor : float }
+      (** delivery delays scaled by [factor]; [0.0] marks the restore *)
   | Duplicate of { src : int; dst : int; msg : string }
       (** network-level duplication fault: a second copy of a sent message *)
   | Retransmit of { src : int; dst : int; msg : string; attempt : int }

@@ -167,6 +167,11 @@ module Q = struct
         map3
           (fun at prob extra -> S.Reorder { at; prob; extra })
           at (float_range 0.0 1.0) (float_range 0.0 0.01);
+        map2
+          (fun at factor -> S.Delay_surge { at; factor })
+          at (float_range 1.0 8.0);
+        map (fun at -> S.Delay_restore { at }) at;
+        map2 (fun node at -> S.Reform { node; at }) node at;
       ]
 
   (* Simpler variants of one event: pull it to time 0, soften its knob. *)
@@ -190,7 +195,13 @@ module Q = struct
     | S.Reorder { at; prob; extra } ->
         if prob > 0.0 then yield (S.Reorder { at; prob = prob /. 2.0; extra });
         if extra > 0.0 then yield (S.Reorder { at; prob; extra = extra /. 2.0 })
-    | S.Heal _ | S.Heal_partition _ | S.Heal_drop _ -> ()
+    | S.Delay_surge { at; factor } ->
+        (* soften toward factor 1 (a surge that changes nothing) *)
+        if factor > 1.0 then
+          yield (S.Delay_surge { at; factor = 1.0 +. ((factor -. 1.0) /. 2.0) })
+    | S.Reform { node; at } ->
+        if at > 0.0 then yield (S.Reform { node; at = 0.0 })
+    | S.Heal _ | S.Heal_partition _ | S.Heal_drop _ | S.Delay_restore _ -> ()
 
   let arb_event ~n ~horizon =
     QCheck.make ~shrink:shrink_event

@@ -25,6 +25,7 @@ let () =
       ("baseline", Test_baseline.suite);
       ("pulse", Test_pulse.suite);
       ("harness", Test_harness.suite);
+      ("coherence", Test_coherence.suite);
       ("properties", Test_properties.suite);
       ("convergence", Test_convergence.suite);
       ("invariants", Test_invariants.suite);
