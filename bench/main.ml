@@ -187,6 +187,33 @@ let e12 () =
   let res = H.Runner.run sc in
   ignore (H.Checks.recovery_report res)
 
+(* 210 overlapping sessions per node over footnote-9 channels — the session
+   table under real load, with its memory bound asserted per node. *)
+let e13 () =
+  let n = 7 in
+  let k = 210 in
+  let params = Params.default n in
+  let t0 = 0.05 in
+  let sc =
+    H.Scenario.default ~name:"bench-sessions" ~seed:13
+      ~proposals:
+        (List.init k (fun i ->
+             {
+               H.Scenario.g = i;
+               v = Printf.sprintf "m%d" i;
+               at = t0 +. (float_of_int i /. float_of_int k *. params.Params.d);
+             }))
+      ~channels:((k + n - 1) / n)
+      ~horizon:(t0 +. (2.0 *. params.Params.delta_agr))
+      params
+  in
+  let res = H.Runner.run sc in
+  List.iter
+    (fun (_, nd) ->
+      let s = Core.Node.session_stats nd in
+      assert (s.Core.Session_table.peak_live <= s.Core.Session_table.capacity))
+    res.H.Runner.nodes
+
 (* ----- substrate micro-benchmarks --------------------------------------- *)
 
 let engine_throughput () =
@@ -247,6 +274,7 @@ let tests =
       Test.make ~name:"e7_msg_complexity (n=16 agreement)" (Staged.stage e7);
       Test.make ~name:"e8_pulse (3 cycles)" (Staged.stage e8);
       Test.make ~name:"e12_churn (crash wave + recovery report)" (Staged.stage e12);
+      Test.make ~name:"e13_sessions (210 concurrent per node)" (Staged.stage e13);
       Test.make ~name:"transport clean (n=7 framed)" (Staged.stage transport_clean);
       Test.make ~name:"transport lossy p=0.3 (n=7)" (Staged.stage transport_lossy);
       Test.make ~name:"engine 1k events" (Staged.stage engine_throughput);

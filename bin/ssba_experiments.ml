@@ -1,7 +1,7 @@
 (* Regenerate the experiment tables of EXPERIMENTS.md (DESIGN.md §4).
 
    With no arguments, runs every experiment; otherwise runs the named ones
-   (e1..e12). *)
+   (e1..e13). *)
 
 let experiments =
   [
@@ -17,6 +17,7 @@ let experiments =
     ("e10", "lossy links with/without transport", fun () -> Ssba_harness.Experiments.e10_lossy_links ());
     ("e11", "engine scale: events/sec across n", fun () -> Ssba_harness.Experiments.e11_scale ());
     ("e12", "recovery under continuous churn", fun () -> Ssba_harness.Experiments.e12_churn ());
+    ("e13", "concurrent sessions vs table bound", fun () -> Ssba_harness.Experiments.e13_sessions ());
   ]
 
 let () =

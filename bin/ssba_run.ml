@@ -26,7 +26,7 @@ let attacks =
     ("mimics", `Mimics);
   ]
 
-let run n seed general value attack scramble chaos propose_at horizon
+let run n seed general value attack scramble chaos sessions propose_at horizon
     trace_flag trace_out metrics_out realtime transport_flag rto loss dup
     reorder =
   let chaos =
@@ -138,6 +138,27 @@ let run n seed general value attack scramble chaos propose_at horizon
           proposals @ s.H.Chaos.proposals,
           s.H.Chaos.horizon )
   in
+  (* Multi-initiator schedule (footnote 9): --sessions K spreads K logical
+     Generals over the correct nodes via channels and fires them all inside
+     one [d], so every node hosts ~K overlapping sessions at once. *)
+  let channels = max 1 ((sessions + n - 1) / n) in
+  let proposals =
+    if sessions <= 1 then proposals
+    else
+      let byzantine = List.map fst roles in
+      proposals
+      @ List.filter_map
+          (fun i ->
+            if List.mem (i mod n) byzantine then None
+            else
+              Some
+                {
+                  H.Scenario.g = i;
+                  v = Printf.sprintf "%s-%d" value i;
+                  at = propose_at +. (float_of_int i /. float_of_int sessions *. d);
+                })
+          (List.init sessions Fun.id)
+  in
   let horizon =
     match horizon with
     | Some h -> h
@@ -148,7 +169,7 @@ let run n seed general value attack scramble chaos propose_at horizon
   let sc =
     H.Scenario.default ~name:"cli" ~seed ~roles ~proposals ~events ~horizon
       ~record_trace:(trace_flag || trace_out <> None)
-      ?transport params
+      ?transport ~channels params
   in
   (match realtime with
   | None -> ()
@@ -161,9 +182,11 @@ let run n seed general value attack scramble chaos propose_at horizon
   in
   Fmt.pr "@[<v>params: %a@]@." Core.Params.pp params;
   Fmt.pr "returns (%d):@." (List.length res.H.Runner.returns);
-  List.iter
-    (fun r -> Fmt.pr "  %a@." Core.Types.pp_return r)
-    res.H.Runner.returns;
+  if sessions <= 1 then
+    List.iter
+      (fun r -> Fmt.pr "  %a@." Core.Types.pp_return r)
+      res.H.Runner.returns
+  else Fmt.pr "  (elided: --sessions %d run)@." sessions;
   (* Judge each episode against the correct set in force at its time — a
      node that reformed later must not be expected in earlier episodes. *)
   let intervals = H.Coherence.intervals sc in
@@ -172,18 +195,26 @@ let run n seed general value attack scramble chaos propose_at horizon
     | Some iv -> iv.H.Coherence.correct
     | None -> res.H.Runner.correct
   in
+  let unanimous = ref 0 and aborted = ref 0 in
   List.iter
     (fun (e : H.Metrics.episode) ->
-      (match H.Checks.agreement ~correct:(correct_at e) e with
+      match H.Checks.agreement ~correct:(correct_at e) e with
       | H.Checks.Unanimous v ->
-          Fmt.pr "episode G=%d: unanimous %S (skew %.2fd, anchors %.2fd apart)@."
-            e.H.Metrics.g v
-            (H.Metrics.decision_skew res e /. d)
-            (H.Metrics.anchor_skew res e /. d)
-      | H.Checks.All_aborted -> Fmt.pr "episode G=%d: all aborted@." e.H.Metrics.g
+          incr unanimous;
+          if sessions <= 1 then
+            Fmt.pr "episode G=%d: unanimous %S (skew %.2fd, anchors %.2fd apart)@."
+              e.H.Metrics.g v
+              (H.Metrics.decision_skew res e /. d)
+              (H.Metrics.anchor_skew res e /. d)
+      | H.Checks.All_aborted ->
+          incr aborted;
+          if sessions <= 1 then Fmt.pr "episode G=%d: all aborted@." e.H.Metrics.g
       | H.Checks.All_silent -> ()
-      | H.Checks.Violated why -> Fmt.pr "episode G=%d: VIOLATED: %s@." e.H.Metrics.g why))
+      | H.Checks.Violated why -> Fmt.pr "episode G=%d: VIOLATED: %s@." e.H.Metrics.g why)
     (H.Metrics.episodes res);
+  if sessions > 1 then
+    Fmt.pr "episodes over %d concurrent sessions: %d unanimous, %d aborted@."
+      sessions !unanimous !aborted;
   let stabilized = H.Checks.stabilized_after sc in
   (match H.Checks.pairwise_agreement ~after:stabilized res with
   | [] ->
@@ -211,6 +242,24 @@ let run n seed general value attack scramble chaos propose_at horizon
   List.iter
     (fun (k, c) -> Fmt.pr "  %-10s %d@." k c)
     res.H.Runner.messages_by_kind;
+  (* Session-table health: the bounded-memory core in one line. [peak live]
+     staying under [capacity] is the memory bound; evictions say the bound
+     was enforced rather than merely unchallenged. *)
+  (match res.H.Runner.nodes with
+  | [] -> ()
+  | nodes ->
+      let stats = List.map (fun (_, nd) -> Core.Node.session_stats nd) nodes in
+      let top f = List.fold_left (fun a s -> max a (f s)) 0 stats in
+      let sum f = List.fold_left (fun a s -> a + f s) 0 stats in
+      Fmt.pr
+        "session tables (%d nodes): capacity %d, live %d, peak live %d, \
+         evicted %d, gced %d@."
+        (List.length nodes)
+        (top (fun s -> s.Core.Session_table.capacity))
+        (top (fun s -> s.Core.Session_table.live))
+        (top (fun s -> s.Core.Session_table.peak_live))
+        (sum (fun s -> s.Core.Session_table.evicted))
+        (sum (fun s -> s.Core.Session_table.gced)));
   let conservation = H.Checks.network_conservation res in
   if not conservation.H.Checks.ok then
     Fmt.pr "WARNING: %a@." H.Checks.pp_verdict conservation;
@@ -270,6 +319,17 @@ let chaos_arg =
            Adds 3 disruption episodes with probe proposals and prints a \
            per-episode recovery report (rejoin adds a Byzantine node to \
            reform if the attack has none).")
+
+let sessions_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "sessions" ] ~docv:"K"
+        ~doc:
+          "Host $(docv) concurrent overlapping agreement sessions per node: \
+           spreads $(docv) logical Generals over the nodes via invocation \
+           channels (paper footnote 9) and fires them all within one d of \
+           --propose-at. The report condenses to per-session verdict counts \
+           plus the session-table stats.")
 
 let propose_at_arg =
   Arg.(
@@ -353,7 +413,7 @@ let cmd =
     (Cmd.info "ssba-run" ~doc)
     Term.(
       const run $ n_arg $ seed_arg $ general_arg $ value_arg $ attack_arg
-      $ scramble_arg $ chaos_arg $ propose_at_arg $ horizon_arg $ trace_arg
+      $ scramble_arg $ chaos_arg $ sessions_arg $ propose_at_arg $ horizon_arg $ trace_arg
       $ trace_out_arg $ metrics_out_arg $ realtime_arg $ transport_arg
       $ rto_arg $ loss_arg $ dup_arg $ reorder_arg)
 

@@ -22,13 +22,17 @@
    State kept per instance (names follow the paper):
      i_values[m]   — candidate recording times;
      ready_flag[m] — the ready_{G,m} variable with its set-time (decays);
-     last_g        — last(G): set at N4, expires after Delta_0 - 6d;
-     last_gm[m]    — last(G,m): the set of recent set-times, because block K
-                     needs to know whether the variable was defined d time
-                     units in the past (Definition 8's freshness query);
-     sent_*        — last send time per value, one table per message kind,
-                     both for duplicate suppression and for K1's "no
-                     (support, G, *) sent within [tau-d, tau]" test. *)
+     guard         — the {!Separation} guard holding the persistent
+                     per-General rate limiters: last(G) (set at N4, expires
+                     after Delta_0 - 6d), last(G,m) (the set of recent
+                     set-times, because block K needs to know whether the
+                     variable was defined d time units in the past —
+                     Definition 8's freshness query), the per-kind send
+                     times (duplicate suppression plus K1's "no
+                     (support, G, *) sent within [tau-d, tau]" test), the
+                     re-initiation blackout, and the IG3 report stamps.
+                     The guard is shared by reference with the node so that
+                     these variables outlive session reset/eviction/GC. *)
 
 open Types
 
@@ -47,21 +51,13 @@ type t = {
   ready : (value, Recv_log.t) Hashtbl.t;
   i_values : (value, float) Hashtbl.t;
   ready_flag : (value, float) Hashtbl.t;  (* value -> set-time of ready_{G,m} *)
-  mutable last_g : float option;
-  last_gm : (value, Time_set.t) Hashtbl.t;  (* sorted set-times *)
-  sent_support : (value, float) Hashtbl.t;
-  sent_approve : (value, float) Hashtbl.t;
-  sent_ready : (value, float) Hashtbl.t;
+  guard : Separation.t;  (* persistent per-General separation state *)
   ignore_until : (value, float) Hashtbl.t;  (* N4's 3d ignore window *)
-  mutable invoked_at : float option;
-  mutable l4_at : float option;
-  mutable m4_at : float option;
-  mutable n4_at : float option;
   mutable accepted : (value * float * float) option;  (* (m, tau_g, tau_accept) *)
   mutable on_accept : value -> tau_g:float -> unit;
 }
 
-let create ~ctx ~g =
+let create ?guard ~ctx ~g () =
   {
     g;
     ctx;
@@ -70,19 +66,13 @@ let create ~ctx ~g =
     ready = Hashtbl.create 4;
     i_values = Hashtbl.create 4;
     ready_flag = Hashtbl.create 4;
-    last_g = None;
-    last_gm = Hashtbl.create 4;
-    sent_support = Hashtbl.create 4;
-    sent_approve = Hashtbl.create 4;
-    sent_ready = Hashtbl.create 4;
+    guard = (match guard with Some s -> s | None -> Separation.create ());
     ignore_until = Hashtbl.create 4;
-    invoked_at = None;
-    l4_at = None;
-    m4_at = None;
-    n4_at = None;
     accepted = None;
     on_accept = (fun _ ~tau_g:_ -> ());
   }
+
+let guard t = t.guard
 
 let set_on_accept t f = t.on_accept <- f
 
@@ -97,36 +87,16 @@ let log_of tbl v =
 let now t = t.ctx.local_time ()
 let p t = t.ctx.params
 
-(* last(G,m) expiry horizon: 2 * Delta_rmv + 9d (Figure 2, cleanup). *)
-let last_gm_expiry t = (2.0 *. (p t).Params.delta_rmv) +. (9.0 *. (p t).Params.d)
-
-(* last(G) expiry horizon: Delta_0 - 6d (Figure 2, cleanup). *)
-let last_g_expiry t = (p t).Params.delta_0 -. (6.0 *. (p t).Params.d)
-
-let set_last_gm t v =
-  let tau = now t in
-  let sets =
-    match Hashtbl.find_opt t.last_gm v with
-    | Some s -> s
-    | None ->
-        let s = Time_set.create () in
-        Hashtbl.replace t.last_gm v s;
-        s
-  in
-  Time_set.add sets tau
+(* The rate-limiting variables live in the separation guard (see the module
+   comment); these are thin wrappers binding in our clock and parameters. *)
+let set_last_gm t v = Separation.set_last_gm t.guard v ~at:(now t)
 
 (* Was last(G,m) defined at local time [at]? It was iff some set happened at
    [s <= at] and had not yet expired: [at - s <= expiry]. *)
 let last_gm_defined_at t v ~at =
-  match Hashtbl.find_opt t.last_gm v with
-  | None -> false
-  | Some sets -> Time_set.defined_at sets ~at ~expiry:(last_gm_expiry t)
+  Separation.last_gm_defined_at t.guard ~params:(p t) v ~at
 
-let last_g_defined t =
-  let tau = now t in
-  match t.last_g with
-  | None -> false
-  | Some s -> s <= tau && tau -. s <= last_g_expiry t
+let last_g_defined t = Separation.last_g_defined t.guard ~params:(p t) ~now:(now t)
 
 (* Current (unexpired, non-future) recording time for value [v]. *)
 let i_value t v =
@@ -144,7 +114,12 @@ let ready_flag_fresh t v =
 let accepted t = t.accepted
 
 let invocation_report t =
-  { invoked_at = t.invoked_at; l4_at = t.l4_at; m4_at = t.m4_at; n4_at = t.n4_at }
+  {
+    invoked_at = t.guard.Separation.invoked_at;
+    l4_at = t.guard.Separation.l4_at;
+    m4_at = t.guard.Separation.m4_at;
+    n4_at = t.guard.Separation.n4_at;
+  }
 
 let ignoring t v =
   match Hashtbl.find_opt t.ignore_until v with
@@ -157,9 +132,9 @@ let ignoring t v =
    structure implies, and every proof only needs each send to happen once per
    condition epoch. *)
 let sent_tbl t = function
-  | Support -> t.sent_support
-  | Approve -> t.sent_approve
-  | Ready -> t.sent_ready
+  | Support -> t.guard.Separation.sent_support
+  | Approve -> t.guard.Separation.sent_approve
+  | Ready -> t.guard.Separation.sent_ready
 
 let send t kind v =
   let tau = now t in
@@ -173,9 +148,14 @@ let send t kind v =
     Hashtbl.replace tbl v tau;
     t.ctx.send_all (Ia { kind; g = t.g; v });
     (* IG3 self-monitoring timestamps: first execution after invocation. *)
-    (match (kind, t.invoked_at) with
-    | Approve, Some inv -> if t.l4_at = None || t.l4_at < Some inv then t.l4_at <- Some tau
-    | Ready, Some inv -> if t.m4_at = None || t.m4_at < Some inv then t.m4_at <- Some tau
+    let sep = t.guard in
+    (match (kind, sep.Separation.invoked_at) with
+    | Approve, Some inv ->
+        if sep.Separation.l4_at = None || sep.Separation.l4_at < Some inv then
+          sep.Separation.l4_at <- Some tau
+    | Ready, Some inv ->
+        if sep.Separation.m4_at = None || sep.Separation.m4_at < Some inv then
+          sep.Separation.m4_at <- Some tau
     | (Support | Approve | Ready), _ -> ())
   end
 
@@ -184,7 +164,7 @@ let support_sent_recently t =
   let d = (p t).Params.d in
   Hashtbl.fold
     (fun _ s acc -> acc || (s <= tau && tau -. s >= 0.0 && tau -. s <= d))
-    t.sent_support false
+    t.guard.Separation.sent_support false
 
 (* Block N4: the I-accept. *)
 let do_accept t v =
@@ -198,8 +178,10 @@ let do_accept t v =
       t.ctx.trace
         (Ssba_sim.Trace.Ia_skip { g = t.g; reason = "no live recording time" })
   | Some tau_g ->
-      (match t.invoked_at with
-      | Some inv when t.n4_at = None || t.n4_at < Some inv -> t.n4_at <- Some tau
+      let sep = t.guard in
+      (match sep.Separation.invoked_at with
+      | Some inv when sep.Separation.n4_at = None || sep.Separation.n4_at < Some inv ->
+          sep.Separation.n4_at <- Some tau
       | Some _ | None -> ());
       Hashtbl.reset t.i_values;
       Hashtbl.remove t.support v;
@@ -208,7 +190,9 @@ let do_accept t v =
       Hashtbl.replace t.ignore_until v (tau +. (3.0 *. (p t).Params.d));
       t.accepted <- Some (v, tau_g, tau);
       set_last_gm t v;
-      t.last_g <- Some tau;
+      sep.Separation.last_g <- Some tau;
+      (* The blackout's job ends where last(G)'s begins. *)
+      Separation.clear_session_value sep;
       t.ctx.trace (Ssba_sim.Trace.I_accept { g = t.g; v; tau_g });
       t.on_accept v ~tau_g
 
@@ -232,6 +216,7 @@ let eval t v =
         | None -> recording
       in
       Hashtbl.replace t.i_values v updated;
+      Separation.note_session_value t.guard ~params:prm ~now:tau v;
       set_last_gm t v
   | Some _ | None -> ());
   (* L3/L4 *)
@@ -271,15 +256,22 @@ let handle_initiator t v =
       (not other_i_value_defined)
       && (not (last_g_defined t))
       && (not (support_sent_recently t))
-      && not (last_gm_defined_at t v ~at:(tau -. (p t).Params.d))
+      && (not (last_gm_defined_at t v ~at:(tau -. (p t).Params.d)))
+      (* Re-initiation blackout: the same test as other_i_value_defined, but
+         against the guard's persistent mirror, so a second initiation
+         cannot slip through after the session holding i_values was reset,
+         evicted or collected. *)
+      && not (Separation.blackout_blocks t.guard ~params:(p t) ~now:tau v)
     in
     if fresh then begin
       (* K2 *)
       Hashtbl.replace t.i_values v (tau -. (p t).Params.d);
-      t.invoked_at <- Some tau;
-      t.l4_at <- None;
-      t.m4_at <- None;
-      t.n4_at <- None;
+      Separation.note_session_value t.guard ~params:(p t) ~now:tau v;
+      let sep = t.guard in
+      sep.Separation.invoked_at <- Some tau;
+      sep.Separation.l4_at <- None;
+      sep.Separation.m4_at <- None;
+      sep.Separation.n4_at <- None;
       send t Support v;
       set_last_gm t v;
       t.ctx.trace (Ssba_sim.Trace.Ia_invoke { g = t.g; v });
@@ -325,28 +317,11 @@ let cleanup t =
   in
   prune t.i_values (fun r -> r <= tau && tau -. r <= prm.Params.delta_rmv);
   prune t.ready_flag (fun s -> s <= tau && tau -. s <= prm.Params.delta_rmv);
-  (match t.last_g with
-  | Some s when s > tau || tau -. s > last_g_expiry t -> t.last_g <- None
-  | Some _ | None -> ());
-  let gm_horizon = tau -. (last_gm_expiry t +. prm.Params.d) in
-  let gm_doomed = ref [] in
-  Hashtbl.iter
-    (fun v sets ->
-      Time_set.retain_range sets ~lo:gm_horizon ~hi:tau;
-      if Time_set.is_empty sets then gm_doomed := v :: !gm_doomed)
-    t.last_gm;
-  List.iter (Hashtbl.remove t.last_gm) !gm_doomed;
-  let keep_sent s = s <= tau && tau -. s <= 2.0 *. prm.Params.delta_rmv in
-  prune t.sent_support keep_sent;
-  prune t.sent_approve keep_sent;
-  prune t.sent_ready keep_sent;
   prune t.ignore_until (fun until ->
       until > tau && until <= tau +. (4.0 *. prm.Params.d));
-  let stale = function Some s when s > tau || tau -. s > prm.Params.delta_rmv -> true | Some _ | None -> false in
-  if stale t.invoked_at then t.invoked_at <- None;
-  if stale t.l4_at then t.l4_at <- None;
-  if stale t.m4_at then t.m4_at <- None;
-  if stale t.n4_at then t.n4_at <- None;
+  (* The persistent variables decay in the guard; its cleanup is idempotent,
+     so running it here *and* in the node's guard sweep is harmless. *)
+  Separation.cleanup t.guard ~params:prm ~now:tau;
   (* Self-stabilization safety net: an accepted tuple can only be corrupt if
      its timestamps are impossible or it outlived the whole agreement. *)
   match t.accepted with
@@ -364,11 +339,11 @@ let forget_messages t =
   Hashtbl.reset t.ready
 
 (* Reset driven by ss-Byz-Agree's cleanup, 3d after the agreement returns:
-   logs, candidate values and the accept are cleared; last(G)/last(G,m) and
-   send times persist so the separation guards keep holding. The invocation
-   report also persists (it is self-monitoring for [IG3], read by the General
-   up to 7d after proposing — possibly after this reset); it decays in
-   [cleanup] and is refreshed by the next block-K execution. *)
+   logs, candidate values and the accept are cleared. Everything in the
+   separation guard — last(G), last(G,m), send times, the blackout, the
+   [IG3] invocation report (read by the General up to 7d after proposing,
+   possibly after this reset) — persists by construction: it lives in the
+   guard, not here. *)
 let reset t =
   Hashtbl.reset t.support;
   Hashtbl.reset t.approve;
@@ -377,6 +352,18 @@ let reset t =
   Hashtbl.reset t.ready_flag;
   Hashtbl.reset t.ignore_until;
   t.accepted <- None
+
+(* Indistinguishable (to the protocol) from a freshly created session: every
+   session-local table empty and no live accept. The guard is *not*
+   consulted — it survives collection by design. *)
+let quiescent t =
+  Hashtbl.length t.support = 0
+  && Hashtbl.length t.approve = 0
+  && Hashtbl.length t.ready = 0
+  && Hashtbl.length t.i_values = 0
+  && Hashtbl.length t.ready_flag = 0
+  && Hashtbl.length t.ignore_until = 0
+  && t.accepted = None
 
 (* Transient-fault injection: fill every variable with plausible garbage.
    Times are drawn around the current local time, both past and future, so
@@ -414,15 +401,18 @@ let scramble rng ~values t =
         let sets = Time_set.create () in
         Time_set.add sets (rtime ());
         Time_set.add sets (rtime ());
-        Hashtbl.replace t.last_gm v sets
+        Hashtbl.replace t.guard.Separation.last_gm v sets
       end;
       if Ssba_sim.Rng.bool rng then
         Hashtbl.replace
           (sent_tbl t (Ssba_sim.Rng.pick rng [| Support; Approve; Ready |]))
           v (rtime ());
       if Ssba_sim.Rng.bool rng then Hashtbl.replace t.ignore_until v (rtime ()));
-  if Ssba_sim.Rng.bool rng then t.last_g <- Some (rtime ());
-  if Ssba_sim.Rng.bool rng then t.invoked_at <- Some (rtime ());
+  if Ssba_sim.Rng.bool rng then t.guard.Separation.last_g <- Some (rtime ());
+  if Ssba_sim.Rng.bool rng then t.guard.Separation.invoked_at <- Some (rtime ());
+  if Ssba_sim.Rng.bool rng then
+    t.guard.Separation.session_value <-
+      Some (Ssba_sim.Rng.pick_list rng values, rtime ());
   if Ssba_sim.Rng.bool rng then
     t.accepted <-
       Some (Ssba_sim.Rng.pick_list rng values, rtime (), rtime ())

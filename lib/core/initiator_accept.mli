@@ -18,7 +18,15 @@ type invocation_report = {
   n4_at : float option;  (** I-accept after invocation *)
 }
 
-val create : ctx:ctx -> g:general -> t
+(** [create ?guard ~ctx ~g ()] — the optional {!Separation.t} is the
+    persistent per-General rate-limiting state ([last(G)], [last(G,m)], send
+    times, the re-initiation blackout, the [IG3] report). The node supplies
+    one that outlives the session; omitting it (unit tests) makes the
+    instance self-contained. *)
+val create : ?guard:Separation.t -> ctx:ctx -> g:general -> unit -> t
+
+(** The separation guard this instance reads and writes. *)
+val guard : t -> Separation.t
 
 (** Set the I-accept callback [(value, tau_g)]. *)
 val set_on_accept : t -> (value -> tau_g:float -> unit) -> unit
@@ -37,8 +45,13 @@ val cleanup : t -> unit
 val forget_messages : t -> unit
 
 (** Full per-agreement reset (3d after the agreement returns); the
-    rate-limiting variables [last(G)], [last(G,m)] and send times survive. *)
+    rate-limiting variables [last(G)], [last(G,m)] and send times survive
+    (they live in the guard). *)
 val reset : t -> unit
+
+(** Indistinguishable from a freshly created session (the guard, which
+    survives collection, is not consulted) — eligible for session GC. *)
+val quiescent : t -> bool
 
 (** The I-accept issued in this execution, as [(value, tau_g, tau_accept)]. *)
 val accepted : t -> (value * float * float) option

@@ -149,9 +149,43 @@ let eval t ((p, v, k) as key) tr =
 (* Block V: this node broadcasts (p = self). *)
 let broadcast t ~v ~k = send t Init ~p:t.ctx.self ~v ~k
 
-(* Anchor management: set on I-accept, then replay all logged triplets. *)
+(* Anchor management: set on I-accept, then replay all logged triplets.
+
+   The anchor is the session key: everything logged before [tau_g - d]
+   belongs to an earlier (G, tau_g') session and is purged before the
+   replay. Messages of *this* session cannot arrive earlier than the
+   fastest accept (>= tau_g + 3d even under maximal anchor skew), while
+   stragglers of the previous session — whose tail can outlive the
+   3d-post-return reset and repopulate trips while no anchor is defined —
+   are at least 2d older than any anchor a fresh initiation can establish
+   (block K's last(G) guard separates initiations by 7d; the old session's
+   last correct sends happen within ~4d of its accept). Without the purge,
+   the untimed block Z counts those stragglers under the new anchor and
+   re-accepts the previous session's value: the [IA-4]/agreement split the
+   2027/133 churn repro pinned. *)
 let set_anchor t tau_g =
   t.tau_g <- Some tau_g;
+  let horizon = tau_g -. (prm t).Params.d in
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun key tr ->
+      Recv_log.decay tr.echo ~horizon;
+      Recv_log.decay tr.init2 ~horizon;
+      Recv_log.decay tr.echo2 ~horizon;
+      (match tr.init_from_p with
+      | Some at when at < horizon -> tr.init_from_p <- None
+      | Some _ | None -> ());
+      (match tr.accepted_at with
+      | Some at when at < horizon -> tr.accepted_at <- None
+      | Some _ | None -> ());
+      if
+        Recv_log.is_empty tr.echo && Recv_log.is_empty tr.init2
+        && Recv_log.is_empty tr.echo2
+        && tr.init_from_p = None && tr.accepted_at = None
+      then doomed := key :: !doomed)
+    t.trips;
+  List.iter (Hashtbl.remove t.trips) !doomed;
+  Recv_log.decay t.broadcasters ~horizon;
   t.ctx.trace (Ssba_sim.Trace.Anchor_set { g = t.g; tau_g });
   Hashtbl.iter (fun key tr -> eval t key tr) t.trips
 
@@ -208,6 +242,13 @@ let reset t =
   Hashtbl.reset t.trips;
   Recv_log.clear t.broadcasters;
   t.tau_g <- None
+
+(* Indistinguishable from a freshly created instance: eligible for session
+   garbage collection. *)
+let quiescent t =
+  Hashtbl.length t.trips = 0
+  && Recv_log.is_empty t.broadcasters
+  && t.tau_g = None
 
 (* Transient-fault injection. *)
 let scramble rng ~values t =

@@ -41,5 +41,9 @@ val cleanup : t -> unit
 (** Full per-agreement reset (3d after the agreement returns). *)
 val reset : t -> unit
 
+(** Indistinguishable from a freshly created instance (no trips, no
+    broadcasters, no anchor) — eligible for session garbage collection. *)
+val quiescent : t -> bool
+
 (** Transient-fault injection. *)
 val scramble : Ssba_sim.Rng.t -> values:value list -> t -> unit

@@ -29,7 +29,12 @@ type t = {
          g mod n, and the Sending Validity Criteria are enforced per logical
          General, which is exactly how the paper says the rate limits can be
          circumvented safely *)
-  instances : (general, Ss_byz_agree.t) Hashtbl.t;  (* keyed by logical id *)
+  instances : Ss_byz_agree.t Session_table.t;
+      (* the session table: one live (logical G, anchor) session per slot,
+         fixed capacity, deterministic eviction, quiescence GC *)
+  guards : (general, Separation.t) Hashtbl.t;
+      (* the per-General separation guards; they outlive their sessions and
+         are only dropped once fully decayed (and no session holds them) *)
   mutable returns : return_info list;  (* newest first *)
   mutable subscribers : (return_info -> unit) list;
   mutable observers : (general -> Ss_byz_agree.observation -> unit) list;
@@ -49,7 +54,8 @@ let params t = t.params
 let clock t = t.clock
 let engine t = t.engine
 let local_time t = Clock.read t.clock ~now:(Engine.now t.engine)
-let instance_count t = Hashtbl.length t.instances
+let instance_count t = Session_table.live t.instances
+let session_stats t = Session_table.stats t.instances
 let returns t = List.rev t.returns
 let subscribe t f = t.subscribers <- f :: t.subscribers
 let subscribe_observations t f = t.observers <- f :: t.observers
@@ -66,11 +72,25 @@ let ctx_of t =
     trace = (fun event -> Engine.record t.engine ~node:t.id event);
   }
 
-let instance t g =
-  match Hashtbl.find_opt t.instances g with
-  | Some inst -> inst
+let guard_of t g =
+  match Hashtbl.find_opt t.guards g with
+  | Some s -> s
   | None ->
-      let inst = Ss_byz_agree.create ~ctx:(ctx_of t) ~g in
+      let s = Separation.create () in
+      Hashtbl.replace t.guards g s;
+      s
+
+let instance t g =
+  match Session_table.find t.instances g with
+  | Some inst ->
+      Session_table.touch t.instances g ~now:(local_time t);
+      inst
+  | None ->
+      (* A fresh session joins the table as (g, None) and is re-keyed to
+         (g, Some tau_g) when its I-accept anchors it; the separation guard
+         is found-or-created independently so a session recreated after
+         eviction/GC still sees last(G), last(G,m) and the blackout. *)
+      let inst = Ss_byz_agree.create ~guard:(guard_of t g) ~ctx:(ctx_of t) ~g () in
       Ss_byz_agree.set_on_return inst (fun outcome ~tau_g ~tau_ret ->
           let r =
             {
@@ -88,8 +108,13 @@ let instance t g =
           | Aborted -> Metrics.incr t.c_aborted);
           List.iter (fun f -> f r) t.subscribers);
       Ss_byz_agree.set_observer inst (fun obs ->
+          (match obs with
+          | Ss_byz_agree.Obs_iaccept { tau_g; _ } ->
+              Session_table.set_anchor t.instances g tau_g
+          | Ss_byz_agree.Obs_mb_accept _ | Ss_byz_agree.Obs_broadcast _
+          | Ss_byz_agree.Obs_broadcaster _ -> ());
           List.iter (fun f -> f g obs) t.observers);
-      Hashtbl.replace t.instances g inst;
+      Session_table.insert t.instances ~g ~now:(local_time t) inst;
       inst
 
 (* The physical node behind a logical General id. *)
@@ -112,13 +137,36 @@ let handle_envelope t (env : message Ssba_net.Msg.t) =
     | Initiator _ | Ia _ | Mb _ ->
         Ss_byz_agree.handle_message (instance t g) ~sender msg
 
-(* Periodic cleanup at granularity d (local), per Figures 1–3. *)
+(* Periodic cleanup at granularity d (local), per Figures 1–3, plus the
+   session-table lifecycle: instances whose protocol state has fully decayed
+   are collected (their guards persist), and guards that have themselves
+   decayed to nothing — and are not referenced by a live session — are
+   dropped. Between them the node's memory is bounded by the table capacity
+   plus n * channels guards, regardless of how many agreements ever ran. *)
 let start_cleanup t =
   if not t.cleanup_running then begin
     t.cleanup_running <- true;
     let d = t.params.Params.d in
     let rec tick () =
-      Hashtbl.iter (fun _ inst -> Ss_byz_agree.cleanup inst) t.instances;
+      Session_table.iter t.instances (fun ~g:_ ~anchor:_ inst ->
+          Ss_byz_agree.cleanup inst);
+      let tau = local_time t in
+      (* The grace period covers the blind spot between a session's creation
+         and its first protocol message (a fresh session is quiescent): a
+         General's own proposal must not be collected while its self-addressed
+         Initiator is still in flight. *)
+      Session_table.gc t.instances ~dead:(fun ~active inst ->
+          tau -. active > 4.0 *. d && Ss_byz_agree.quiescent inst);
+      let doomed =
+        Hashtbl.fold
+          (fun g sep acc ->
+            Separation.cleanup sep ~params:t.params ~now:tau;
+            if Separation.is_idle sep && Session_table.find t.instances g = None
+            then g :: acc
+            else acc)
+          t.guards []
+      in
+      List.iter (Hashtbl.remove t.guards) doomed;
       Engine.schedule_after t.engine
         ~delay:(Clock.real_of_local_duration t.clock d)
         tick
@@ -126,8 +174,16 @@ let start_cleanup t =
     tick ()
   end
 
-let create_on ?(channels = 1) ~id ~params ~clock ~engine ~link () =
+let create_on ?(channels = 1) ?session_capacity ~id ~params ~clock ~engine ~link
+    () =
   if channels < 1 then invalid_arg "Node.create: channels must be >= 1";
+  let capacity =
+    (* Every logical General can be live at once, so that is the natural
+       floor; a smaller table would evict under normal operation. *)
+    match session_capacity with
+    | Some c -> c
+    | None -> max 8 (params.Params.n * channels)
+  in
   let t =
     {
       id;
@@ -136,7 +192,8 @@ let create_on ?(channels = 1) ~id ~params ~clock ~engine ~link () =
       engine;
       link;
       channels;
-      instances = Hashtbl.create 4;
+      instances = Session_table.create ~capacity;
+      guards = Hashtbl.create 4;
       returns = [];
       subscribers = [];
       observers = [];
@@ -159,8 +216,9 @@ let create_on ?(channels = 1) ~id ~params ~clock ~engine ~link () =
   start_cleanup t;
   t
 
-let create ?channels ~id ~params ~clock ~engine ~net () =
-  create_on ?channels ~id ~params ~clock ~engine ~link:(Ssba_net.Network.link net) ()
+let create ?channels ?session_capacity ~id ~params ~clock ~engine ~net () =
+  create_on ?channels ?session_capacity ~id ~params ~clock ~engine
+    ~link:(Ssba_net.Network.link net) ()
 
 (* ----- the General role ------------------------------------------------ *)
 
@@ -183,9 +241,11 @@ let string_of_propose_error = function
    quiet period on failure. *)
 let watch_own_invocation t ~logical =
   let d = t.params.Params.d in
-  let inst = instance t logical in
-  let ia = Ss_byz_agree.initiator_accept inst in
   (ctx_of t).after_local (7.0 *. d) (fun () ->
+      (* Resolve the session at fire time, not at proposal time: the report
+         lives in the separation guard, which survives the session being
+         collected and recreated in between. *)
+      let ia = Ss_byz_agree.initiator_accept (instance t logical) in
       let rep = Initiator_accept.invocation_report ia in
       let within bound = function
         | Some at -> (
@@ -257,9 +317,16 @@ let scramble rng ~values ?(extra = 2) t =
   for _ = 1 to extra do
     ignore (instance t (Ssba_sim.Rng.int rng (n * t.channels)))
   done;
-  Hashtbl.iter (fun _ inst -> Ss_byz_agree.scramble rng ~values inst) t.instances;
-  (* The General-side bookkeeping is state like any other. *)
+  (* Corrupt the sessions *and* the table's own keys/activity times; the
+     table's capacity and occupancy are structural and survive. *)
   let tau = local_time t in
+  let span = 2.0 *. t.params.Params.delta_rmv in
+  Session_table.scramble rng
+    ~rtime:(fun () ->
+      tau +. Ssba_sim.Rng.float_in_range rng ~lo:(-.span) ~hi:t.params.Params.delta_agr)
+    ~corrupt:(fun inst -> Ss_byz_agree.scramble rng ~values inst)
+    t.instances;
+  (* The General-side bookkeeping is state like any other. *)
   if Ssba_sim.Rng.bool rng then
     Hashtbl.replace t.last_init_at
       (Ssba_sim.Rng.int rng (n * t.channels))
@@ -277,7 +344,8 @@ let scramble rng ~values ?(extra = 2) t =
    installs arbitrary protocol and General-side state (§6's convergence
    argument assumes nothing better), so the paper only owes coherence-scoped
    guarantees [Delta_stb] after the reform point. *)
-let reform ?channels ~rng ~values ~id ~params ~clock ~engine ~link () =
-  let t = create_on ?channels ~id ~params ~clock ~engine ~link () in
+let reform ?channels ?session_capacity ~rng ~values ~id ~params ~clock ~engine
+    ~link () =
+  let t = create_on ?channels ?session_capacity ~id ~params ~clock ~engine ~link () in
   scramble rng ~values t;
   t

@@ -23,9 +23,15 @@ val string_of_propose_error : propose_error -> string
     concurrent invocations by one General are differentiated by an index.
     Logical General ids range over [0, n * channels); logical [g] is owned by
     physical node [g mod n], and the Sending Validity Criteria are enforced
-    per logical General. *)
+    per logical General.
+
+    [session_capacity] (default [max 8 (n * channels)]) fixes the session
+    table's slot count: sessions beyond it evict the least-recently-active
+    one deterministically. The default admits every logical General at once,
+    so eviction only ever fires under adversarial floods. *)
 val create :
   ?channels:int ->
+  ?session_capacity:int ->
   id:node_id ->
   params:Params.t ->
   clock:Ssba_sim.Clock.t ->
@@ -38,6 +44,7 @@ val create :
     or a reliable transport session ([Ssba_transport.Transport.link]). *)
 val create_on :
   ?channels:int ->
+  ?session_capacity:int ->
   id:node_id ->
   params:Params.t ->
   clock:Ssba_sim.Clock.t ->
@@ -61,16 +68,22 @@ val local_time : t -> float
     the channel is out of range. *)
 val propose : ?channel:int -> t -> value -> (unit, propose_error) result
 
-(** The per-General agreement instance (created on demand); the argument is
-    a logical General id. *)
+(** The per-General agreement session (found in the session table or created
+    on demand, keyed (logical G, anchor)); the argument is a logical General
+    id. Touches the session's activity time. *)
 val instance : t -> general -> Ss_byz_agree.t
 
 (** The physical node behind a logical General id ([g mod n]). *)
 val physical : t -> general -> node_id
 
-(** Number of live per-General agreement instances (bounded by
-    [n * channels], the memory-bound soak tests rely on this). *)
+(** Number of live sessions in the table (bounded by the table capacity,
+    default [max 8 (n * channels)] — the memory-bound soak tests rely on
+    this; quiescent sessions are garbage-collected by the cleanup tick). *)
 val instance_count : t -> int
+
+(** The session table's lifecycle counters: capacity, live, peak live,
+    evictions, collections. *)
+val session_stats : t -> Session_table.stats
 
 (** All values returned by this node's agreement instances, oldest first. *)
 val returns : t -> return_info list
@@ -95,6 +108,7 @@ val scramble : Ssba_sim.Rng.t -> values:value list -> ?extra:int -> t -> unit
     point — the paper owes guarantees only [Delta_stb] later. *)
 val reform :
   ?channels:int ->
+  ?session_capacity:int ->
   rng:Ssba_sim.Rng.t ->
   values:value list ->
   id:node_id ->

@@ -1,0 +1,164 @@
+(* The per-General separation guard.
+
+   Initiator-Accept's rate-limiting variables — last(G), last(G,m), the
+   per-kind send times — implement the paper's separation argument (the
+   Uniqueness proof of [IA-4] and Definition 8's freshness queries). They
+   must outlive any single execution of the primitive: sessions are created,
+   reset, evicted and garbage-collected, but "I supported an initiation by G
+   recently" is a fact about the *General*, not about one session.
+
+   This module owns exactly that persistent state, shared by reference with
+   the live session (if any) for the same General. It also holds:
+
+   - [session_value], the re-initiation blackout: the first value this node
+     engaged for G (block K or the first L1 recording). It mirrors the
+     session's own i_value — same freshness horizon (Delta_rmv), cleared on
+     I-accept when last(G) takes over the blocking — but, living here, it
+     survives session eviction and GC. While it is fresh, block K refuses
+     initiations for any *other* value, so a second initiation by G inside
+     the separation window cannot seed a fresh accept even if the first
+     session's state is gone — the sender-side half of the [IA-4] fix.
+     It gates block K only: the relay blocks (L-N) must stay value-blind or
+     a correct node engaged on the losing value of a two-faced General would
+     refuse to relay the winning one, trading the [IA-4] violation for an
+     [IA-3] one.
+
+   - the [IG3] invocation report timestamps. The General reads them up to 7d
+     after proposing, possibly after the session they were stamped in has
+     been reset or collected; keeping them here makes the self-watchdog
+     immune to session lifecycle.
+
+   All fields are deliberately transparent (see the .mli): the guard is
+   shared mutable state between Initiator_accept and Node, not an
+   abstraction boundary. *)
+
+open Types
+
+type t = {
+  mutable last_g : float option;  (* last(G): set at N4 *)
+  last_gm : (value, Time_set.t) Hashtbl.t;  (* last(G,m): sorted set-times *)
+  sent_support : (value, float) Hashtbl.t;
+  sent_approve : (value, float) Hashtbl.t;
+  sent_ready : (value, float) Hashtbl.t;
+  mutable session_value : (value * float) option;
+      (* (first engaged value, engagement time) — the blackout *)
+  mutable invoked_at : float option;
+  mutable l4_at : float option;
+  mutable m4_at : float option;
+  mutable n4_at : float option;
+}
+
+let create () =
+  {
+    last_g = None;
+    last_gm = Hashtbl.create 4;
+    sent_support = Hashtbl.create 4;
+    sent_approve = Hashtbl.create 4;
+    sent_ready = Hashtbl.create 4;
+    session_value = None;
+    invoked_at = None;
+    l4_at = None;
+    m4_at = None;
+    n4_at = None;
+  }
+
+(* last(G,m) expiry horizon: 2 * Delta_rmv + 9d (Figure 2, cleanup). *)
+let last_gm_expiry (p : Params.t) = (2.0 *. p.Params.delta_rmv) +. (9.0 *. p.Params.d)
+
+(* last(G) expiry horizon: Delta_0 - 6d (Figure 2, cleanup). *)
+let last_g_expiry (p : Params.t) = p.Params.delta_0 -. (6.0 *. p.Params.d)
+
+(* Blackout horizon: the i_value freshness window (Definition 8). *)
+let session_value_expiry (p : Params.t) = p.Params.delta_rmv
+
+let set_last_gm t v ~at =
+  let sets =
+    match Hashtbl.find_opt t.last_gm v with
+    | Some s -> s
+    | None ->
+        let s = Time_set.create () in
+        Hashtbl.replace t.last_gm v s;
+        s
+  in
+  Time_set.add sets at
+
+let last_gm_defined_at t ~params v ~at =
+  match Hashtbl.find_opt t.last_gm v with
+  | None -> false
+  | Some sets -> Time_set.defined_at sets ~at ~expiry:(last_gm_expiry params)
+
+let last_g_defined t ~params ~now =
+  match t.last_g with
+  | None -> false
+  | Some s -> s <= now && now -. s <= last_g_expiry params
+
+(* The blackout query: is there a fresh engagement for a *different* value? *)
+let blackout_blocks t ~params ~now v =
+  match t.session_value with
+  | Some (v', s) ->
+      (not (String.equal v' v))
+      && s <= now
+      && now -. s <= session_value_expiry params
+  | None -> false
+
+(* Record (or refresh) the engagement. First value wins while fresh: a later
+   engagement for a different value inside the window is exactly what the
+   blackout exists to reject, so it must not displace the original. *)
+let note_session_value t ~params ~now v =
+  match t.session_value with
+  | Some (v', s) when s <= now && now -. s <= session_value_expiry params ->
+      if String.equal v' v then t.session_value <- Some (v, now)
+  | Some _ | None -> t.session_value <- Some (v, now)
+
+(* I-accept reached: the blackout's job is done, last(G) takes over. Mirrors
+   N4 resetting the session's i_values. *)
+let clear_session_value t = t.session_value <- None
+
+(* Figure 2's decay rules for the persistent variables; run every d. Safe to
+   run both from the session's cleanup and from the node's guard sweep —
+   pruning is idempotent. *)
+let cleanup t ~params ~now =
+  let prune tbl keep =
+    let doomed = Hashtbl.fold (fun v x acc -> if keep x then acc else v :: acc) tbl [] in
+    List.iter (Hashtbl.remove tbl) doomed
+  in
+  (match t.last_g with
+  | Some s when s > now || now -. s > last_g_expiry params -> t.last_g <- None
+  | Some _ | None -> ());
+  let gm_horizon = now -. (last_gm_expiry params +. params.Params.d) in
+  let gm_doomed = ref [] in
+  Hashtbl.iter
+    (fun v sets ->
+      Time_set.retain_range sets ~lo:gm_horizon ~hi:now;
+      if Time_set.is_empty sets then gm_doomed := v :: !gm_doomed)
+    t.last_gm;
+  List.iter (Hashtbl.remove t.last_gm) !gm_doomed;
+  let keep_sent s = s <= now && now -. s <= 2.0 *. params.Params.delta_rmv in
+  prune t.sent_support keep_sent;
+  prune t.sent_approve keep_sent;
+  prune t.sent_ready keep_sent;
+  (match t.session_value with
+  | Some (_, s) when s > now || now -. s > session_value_expiry params ->
+      t.session_value <- None
+  | Some _ | None -> ());
+  let stale = function
+    | Some s when s > now || now -. s > params.Params.delta_rmv -> true
+    | Some _ | None -> false
+  in
+  if stale t.invoked_at then t.invoked_at <- None;
+  if stale t.l4_at then t.l4_at <- None;
+  if stale t.m4_at then t.m4_at <- None;
+  if stale t.n4_at then t.n4_at <- None
+
+(* Fully decayed: nothing left worth keeping — the node drops such guards. *)
+let is_idle t =
+  t.last_g = None
+  && Hashtbl.length t.last_gm = 0
+  && Hashtbl.length t.sent_support = 0
+  && Hashtbl.length t.sent_approve = 0
+  && Hashtbl.length t.sent_ready = 0
+  && t.session_value = None
+  && t.invoked_at = None
+  && t.l4_at = None
+  && t.m4_at = None
+  && t.n4_at = None

@@ -1,0 +1,61 @@
+(** The per-General separation guard: the rate-limiting state behind the
+    paper's Uniqueness argument ([IA-4]), factored out of the session so it
+    survives session reset, eviction and garbage collection.
+
+    One guard lives per (node, General); the live session for that General
+    (if any) holds it by reference. The fields are transparent on purpose —
+    the guard is shared mutable state between {!Initiator_accept} (which
+    reads and writes it on the protocol hot path) and {!Node} (which sweeps
+    and drops fully-decayed guards), not an abstraction boundary. *)
+
+open Types
+
+type t = {
+  mutable last_g : float option;  (** [last(G)]: set at N4 *)
+  last_gm : (value, Time_set.t) Hashtbl.t;  (** [last(G,m)] set-times *)
+  sent_support : (value, float) Hashtbl.t;
+  sent_approve : (value, float) Hashtbl.t;
+  sent_ready : (value, float) Hashtbl.t;
+  mutable session_value : (value * float) option;
+      (** re-initiation blackout: first value engaged for G, with time *)
+  mutable invoked_at : float option;  (** [IG3] report: block K executed *)
+  mutable l4_at : float option;
+  mutable m4_at : float option;
+  mutable n4_at : float option;
+}
+
+val create : unit -> t
+
+(** [last(G,m)] expiry horizon: [2 * Delta_rmv + 9d]. *)
+val last_gm_expiry : Params.t -> float
+
+(** [last(G)] expiry horizon: [Delta_0 - 6d]. *)
+val last_g_expiry : Params.t -> float
+
+(** Blackout horizon, mirroring i_value freshness: [Delta_rmv]. *)
+val session_value_expiry : Params.t -> float
+
+val set_last_gm : t -> value -> at:float -> unit
+
+(** Definition 8's freshness query: was [last(G,m)] defined at time [at]? *)
+val last_gm_defined_at : t -> params:Params.t -> value -> at:float -> bool
+
+val last_g_defined : t -> params:Params.t -> now:float -> bool
+
+(** Is there a fresh engagement for a {e different} value? While true,
+    block K must reject initiations of [v]. Gates block K only — the relay
+    blocks must stay value-blind to preserve [IA-3]. *)
+val blackout_blocks : t -> params:Params.t -> now:float -> value -> bool
+
+(** Record (or refresh) the engaged value; a fresh engagement for a
+    different value is never displaced. *)
+val note_session_value : t -> params:Params.t -> now:float -> value -> unit
+
+(** I-accept reached: drop the blackout ([last(G)] takes over). *)
+val clear_session_value : t -> unit
+
+(** Figure 2's decay rules for the persistent variables; idempotent. *)
+val cleanup : t -> params:Params.t -> now:float -> unit
+
+(** Fully decayed — eligible for dropping by the node's guard sweep. *)
+val is_idle : t -> bool

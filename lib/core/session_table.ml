@@ -1,0 +1,192 @@
+(* Fixed-capacity session table keyed by (General, tau_g anchor).
+
+   The protocol core multiplexes agreement sessions over a flat slot array —
+   the same bounded-memory discipline as the transport rings: capacity is
+   fixed at creation, a transient fault may corrupt every *value* in the
+   table but can never grow it, and overflow evicts deterministically
+   (least-recently-active, creation order as tie-break) with a counter
+   instead of allocating.
+
+   Keys. A session starts as (G, None) — created by the first message for G
+   — and is re-keyed in place to (G, Some tau_g) when the Initiator-Accept
+   anchor is established. At most one session per General is live at a time
+   (the protocol serializes executions per General; concurrency comes from
+   many Generals via the channels extension), so a side index general->slot
+   keeps lookup O(1); the anchor component is what monitors and the run
+   report key on.
+
+   Lifecycle. Dead sessions are garbage-collected by a caller-supplied
+   quiescence predicate — a session whose state has fully decayed back to
+   the freshly-created one is dropped and recreated on demand, which is
+   behaviorally invisible (stale epoch-guarded timers no-op) but keeps the
+   table's live count proportional to actual concurrency, not to the total
+   number of Generals ever heard from. *)
+
+type stats = {
+  capacity : int;
+  live : int;
+  peak_live : int;  (* high-water mark of [live] *)
+  evicted : int;  (* sessions dropped to make room *)
+  gced : int;  (* quiescent sessions collected *)
+}
+
+type 'a slot = {
+  mutable sl_g : Types.general;
+  mutable sl_anchor : float option;
+  mutable sl_payload : 'a option;  (* None = free slot *)
+  mutable sl_active : float;  (* last activity, local time *)
+  mutable sl_stamp : int;  (* creation sequence, eviction tie-break *)
+}
+
+type 'a t = {
+  slots : 'a slot array;
+  index : (Types.general, int) Hashtbl.t;
+  mutable seq : int;
+  mutable live : int;
+  mutable peak_live : int;
+  mutable evicted : int;
+  mutable gced : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Session_table.create: capacity must be >= 1";
+  {
+    slots =
+      Array.init capacity (fun _ ->
+          { sl_g = -1; sl_anchor = None; sl_payload = None; sl_active = 0.0; sl_stamp = 0 });
+    index = Hashtbl.create capacity;
+    seq = 0;
+    live = 0;
+    peak_live = 0;
+    evicted = 0;
+    gced = 0;
+  }
+
+let capacity t = Array.length t.slots
+let live t = t.live
+
+let stats t =
+  {
+    capacity = Array.length t.slots;
+    live = t.live;
+    peak_live = t.peak_live;
+    evicted = t.evicted;
+    gced = t.gced;
+  }
+
+let find t g =
+  match Hashtbl.find_opt t.index g with
+  | None -> None
+  | Some i -> t.slots.(i).sl_payload
+
+let anchor t g =
+  match Hashtbl.find_opt t.index g with
+  | None -> None
+  | Some i -> t.slots.(i).sl_anchor
+
+let free_slot t =
+  let rec scan i = if t.slots.(i).sl_payload = None then i else scan (i + 1) in
+  scan 0
+
+(* Deterministic eviction: the occupied slot with the smallest last-activity
+   time, creation order breaking ties. *)
+let evict t =
+  let best = ref (-1) in
+  Array.iteri
+    (fun i sl ->
+      if sl.sl_payload <> None then
+        match !best with
+        | -1 -> best := i
+        | b ->
+            let bs = t.slots.(b) in
+            if
+              sl.sl_active < bs.sl_active
+              || (sl.sl_active = bs.sl_active && sl.sl_stamp < bs.sl_stamp)
+            then best := i)
+    t.slots;
+  let i = !best in
+  let sl = t.slots.(i) in
+  Hashtbl.remove t.index sl.sl_g;
+  sl.sl_payload <- None;
+  t.live <- t.live - 1;
+  t.evicted <- t.evicted + 1;
+  i
+
+let insert t ~g ~now payload =
+  (match Hashtbl.find_opt t.index g with
+  | Some i ->
+      (* replacing the session for g in place *)
+      let sl = t.slots.(i) in
+      sl.sl_payload <- None;
+      Hashtbl.remove t.index g;
+      t.live <- t.live - 1
+  | None -> ());
+  let i = if t.live >= Array.length t.slots then evict t else free_slot t in
+  let sl = t.slots.(i) in
+  t.seq <- t.seq + 1;
+  sl.sl_g <- g;
+  sl.sl_anchor <- None;
+  sl.sl_payload <- Some payload;
+  sl.sl_active <- now;
+  sl.sl_stamp <- t.seq;
+  Hashtbl.replace t.index g i;
+  t.live <- t.live + 1;
+  if t.live > t.peak_live then t.peak_live <- t.live
+
+let touch t g ~now =
+  match Hashtbl.find_opt t.index g with
+  | None -> ()
+  | Some i ->
+      let sl = t.slots.(i) in
+      if now > sl.sl_active then sl.sl_active <- now
+
+let set_anchor t g anchor =
+  match Hashtbl.find_opt t.index g with
+  | None -> ()
+  | Some i -> t.slots.(i).sl_anchor <- Some anchor
+
+let remove t g =
+  match Hashtbl.find_opt t.index g with
+  | None -> ()
+  | Some i ->
+      t.slots.(i).sl_payload <- None;
+      Hashtbl.remove t.index g;
+      t.live <- t.live - 1
+
+let iter t f =
+  Array.iter
+    (fun sl ->
+      match sl.sl_payload with
+      | None -> ()
+      | Some p -> f ~g:sl.sl_g ~anchor:sl.sl_anchor p)
+    t.slots
+
+let gc t ~dead =
+  Array.iter
+    (fun sl ->
+      match sl.sl_payload with
+      | None -> ()
+      | Some p ->
+          if dead ~active:sl.sl_active p then begin
+            Hashtbl.remove t.index sl.sl_g;
+            sl.sl_payload <- None;
+            t.live <- t.live - 1;
+            t.gced <- t.gced + 1
+          end)
+    t.slots
+
+(* Transient-fault injection: corrupt anchors, activity times and (via the
+   callback) the session payloads — but occupancy, the index and above all
+   the capacity are structural and survive any scramble, exactly like the
+   transport rings. *)
+let scramble rng ~rtime ~corrupt t =
+  Array.iter
+    (fun sl ->
+      match sl.sl_payload with
+      | None -> ()
+      | Some p ->
+          if Ssba_sim.Rng.bool rng then
+            sl.sl_anchor <- (if Ssba_sim.Rng.bool rng then Some (rtime ()) else None);
+          if Ssba_sim.Rng.bool rng then sl.sl_active <- rtime ();
+          corrupt p)
+    t.slots

@@ -1,0 +1,62 @@
+(** Fixed-capacity session table keyed by (General, [tau_g] anchor).
+
+    The bounded-memory discipline of the transport rings applied to protocol
+    sessions: capacity is fixed at creation, overflow evicts the
+    least-recently-active session deterministically (counted, never
+    allocated around), quiescent sessions are garbage-collected by
+    predicate, and a Scramble can corrupt every value in the table but
+    never its capacity or occupancy structure.
+
+    A session enters as [(G, None)] and is re-keyed in place to
+    [(G, Some tau_g)] when its anchor is established; at most one session
+    per General is live at a time (per-General executions are serialized by
+    the protocol — concurrency comes from distinct (channelled) Generals). *)
+
+type stats = {
+  capacity : int;
+  live : int;
+  peak_live : int;  (** high-water mark of [live] *)
+  evicted : int;  (** sessions dropped to make room *)
+  gced : int;  (** quiescent sessions collected *)
+}
+
+type 'a t
+
+(** Raises [Invalid_argument] unless [capacity >= 1]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+val live : 'a t -> int
+val stats : 'a t -> stats
+
+(** The live session for [g], if any. *)
+val find : 'a t -> Types.general -> 'a option
+
+(** The anchor component of [g]'s session key. *)
+val anchor : 'a t -> Types.general -> float option
+
+(** Insert a fresh [(g, None)] session. Replaces any existing session for
+    [g]; evicts the least-recently-active session when full. *)
+val insert : 'a t -> g:Types.general -> now:float -> 'a -> unit
+
+(** Refresh the session's activity time (monotone). *)
+val touch : 'a t -> Types.general -> now:float -> unit
+
+(** Re-key the session to [(g, Some anchor)]. *)
+val set_anchor : 'a t -> Types.general -> float -> unit
+
+val remove : 'a t -> Types.general -> unit
+val iter : 'a t -> (g:Types.general -> anchor:float option -> 'a -> unit) -> unit
+
+(** Collect every session the predicate declares dead. The predicate also
+    sees the session's last-activity time: callers must grace-period
+    recently-active sessions, because a session is momentarily
+    indistinguishable from a dead one between its creation and its first
+    protocol message (e.g. a General's own proposal racing its self-addressed
+    Initiator). *)
+val gc : 'a t -> dead:(active:float -> 'a -> bool) -> unit
+
+(** Corrupt anchors, activity times and payloads (via [corrupt]); capacity
+    and occupancy are structural and survive. *)
+val scramble :
+  Ssba_sim.Rng.t -> rtime:(unit -> float) -> corrupt:('a -> unit) -> 'a t -> unit

@@ -252,8 +252,8 @@ let invoke t ~v =
   | Returned _ -> ()  (* stopped; participates in primitives only *)
   | Idle | Running -> Initiator_accept.handle_initiator t.ia v
 
-let create ~ctx ~g =
-  let ia = Initiator_accept.create ~ctx ~g in
+let create ?guard ~ctx ~g () =
+  let ia = Initiator_accept.create ?guard ~ctx ~g () in
   let mb = Msgd_broadcast.create ~ctx ~g in
   let t =
     {
@@ -315,6 +315,17 @@ let cleanup t =
   | Returned (_, tr), _ when tau -. tr > 4.0 *. pm.Params.d || tr > tau ->
       full_reset t
   | (Idle | Running | Returned _), _ -> ())
+
+(* Indistinguishable from a freshly created instance — nothing running,
+   nothing logged in either primitive — and hence eligible for session
+   garbage collection (the separation guard persists independently). *)
+let quiescent t =
+  t.st = Idle
+  && t.tau_g = None
+  && t.own_iaccept = None
+  && Hashtbl.length t.accepts = 0
+  && Initiator_accept.quiescent t.ia
+  && Msgd_broadcast.quiescent t.mb
 
 (* Transient-fault injection: corrupt this instance and both primitives. *)
 let scramble rng ~values t =

@@ -30,7 +30,10 @@ type observation =
 
 type t
 
-val create : ctx:ctx -> g:general -> t
+(** [create ?guard ~ctx ~g ()] — [guard] is the persistent per-General
+    separation state threaded through to {!Initiator_accept}; the node
+    supplies one that outlives this session. *)
+val create : ?guard:Separation.t -> ctx:ctx -> g:general -> unit -> t
 
 (** Callback fired when the instance stops (decides or aborts). *)
 val set_on_return : t -> (outcome -> tau_g:float -> tau_ret:float -> unit) -> unit
@@ -51,6 +54,10 @@ val cleanup : t -> unit
 
 val state : t -> state
 val anchor : t -> float option
+
+(** Indistinguishable from a freshly created instance (the separation guard
+    is held elsewhere) — eligible for session garbage collection. *)
+val quiescent : t -> bool
 val general : t -> general
 val initiator_accept : t -> Initiator_accept.t
 val msgd_broadcast : t -> Msgd_broadcast.t

@@ -131,14 +131,18 @@ let network_conservation (res : Runner.result) =
     label = "net conservation attempts = delivered+dropped+in_flight";
   }
 
-(* Pairwise agreement oracle, sound under Byzantine Generals that initiate
-   continuously (where time-clustering returns into episodes is ambiguous).
-   It checks exactly what the paper's properties promise:
+(* Session-keyed agreement oracle, sound under Byzantine Generals that
+   initiate continuously (where time-clustering returns into episodes is
+   ambiguous). Returns are grouped into (G, tau_g) sessions — keyed by the
+   session's root anchor, membership within 6d of the root ([IA-3]'s anchor
+   skew), deliberately non-transitive so that a smear of anchors cannot weld
+   distinct sessions together — and every session is judged independently:
 
    - [IA-4a]: two correct decisions whose anchors rt(tau_g) are within 4d
-     must carry the same value;
-   - Agreement + [IA-3]: if a correct node decides, every correct node
-     returns the same value with an anchor within 6d.
+     must carry the same value (checked pairwise, across session borders
+     too, so conflation can never excuse a uniqueness violation);
+   - Agreement + [IA-3]: a session in which any correct node decides must
+     contain a same-valued return from every correct node.
 
    Decisions within [settle] of [until] (default: the horizon) are skipped as
    "still in flight" (their counterparts may be truncated by the end of the
@@ -181,7 +185,8 @@ let pairwise_agreement ?settle ?(after = 0.0) ?until ?correct
                     && r.rt_ret <= cutoff && r.rt_ret >= after)
           returns
       in
-      (* IA-4a: close anchors, equal values. *)
+      (* IA-4a: close anchors, equal values — pairwise and blind to session
+         borders, so no grouping choice can excuse a uniqueness violation. *)
       List.iter
         (fun r1 ->
           List.iter
@@ -197,40 +202,97 @@ let pairwise_agreement ?settle ?(after = 0.0) ?until ?correct
               | (Decided _ | Aborted), _ -> ())
             decided)
         decided;
-      (* Agreement/relay: a decision must be echoed by every correct node. *)
+      (* (G, tau_g) sessions over all of G's returns: root anchor keys the
+         session, membership is within 6d of the root (non-transitive). *)
+      let sessions =
+        let sorted =
+          List.filter (fun r -> not (Float.is_nan (anchor_rt r))) returns
+          |> List.sort (fun a b -> compare (anchor_rt a) (anchor_rt b))
+        in
+        let rec go root cur acc = function
+          | [] -> List.rev (match cur with [] -> acc | _ -> List.rev cur :: acc)
+          | r :: tl -> (
+              match cur with
+              | [] -> go (anchor_rt r) [ r ] acc tl
+              | _ when anchor_rt r -. root <= (6.0 *. d) +. 1e-9 ->
+                  go root (r :: cur) acc tl
+              | _ -> go (anchor_rt r) [ r ] (List.rev cur :: acc) tl)
+        in
+        go nan [] [] sorted
+      in
+      (* One agreement wave can legitimately spread its anchors past the 6d
+         cluster width under churn: the weak-quorum accept path re-estimates
+         the recording time from straggling supports, so recovering nodes
+         anchor a few d later than nodes that heard the General directly.
+         Its decisions, however, land within the 3d skew deadline, while
+         decisions of genuinely distinct sessions of one General are >= 7d
+         apart (last(G) retention gates re-initiation).  So adjacent anchor
+         clusters whose decided returns are within the skew deadline are one
+         session split by the cluster width, not two sessions. *)
+      let sessions =
+        let decided_rts session =
+          List.filter_map
+            (fun (r : return_info) ->
+              match r.outcome with
+              | Decided _ -> Some r.rt_ret
+              | Aborted -> None)
+            session
+        in
+        let rec merge = function
+          | a :: b :: tl ->
+              let ra = decided_rts a and rb = decided_rts b in
+              if
+                ra <> [] && rb <> []
+                && Metrics.minimum rb -. List.fold_left Float.max neg_infinity ra
+                   <= (3.0 *. d) +. 1e-9
+              then merge ((a @ b) :: tl)
+              else a :: merge (b :: tl)
+          | l -> l
+        in
+        merge sessions
+      in
+      (* Agreement/relay per session: each (G, tau_g) session in which a
+         correct node decided (inside the checked window) must contain a
+         same-valued return from every correct node. Judged independently
+         per session — a matching decision in a *different* session of the
+         same General excuses nothing. *)
       List.iter
-        (fun r ->
-          let v = match r.outcome with Decided v -> v | Aborted -> assert false in
+        (fun session ->
+          let root = Metrics.minimum (List.map anchor_rt session) in
           List.iter
-            (fun q ->
-              if q <> r.node then
-                let near =
-                  List.filter
-                    (fun (r' : return_info) ->
-                      r'.node = q
-                      && Float.abs (anchor_rt r' -. anchor_rt r) <= (6.0 *. d) +. 1e-9)
-                    returns
-                in
-                match near with
-                | [] ->
-                    complain
-                      "G=%d: node %d decided %S but correct node %d has no return nearby"
-                      g r.node v q
-                | _ ->
-                    if
-                      not
-                        (List.exists
-                           (fun r' ->
-                             match r'.outcome with
-                             | Decided v' -> String.equal v v'
-                             | Aborted -> false)
-                           near)
-                    then
-                      complain
-                        "G=%d: node %d decided %S but correct node %d aborted/diverged"
-                        g r.node v q)
-            correct)
-        decided)
+            (fun r ->
+              match r.outcome with
+              | Aborted -> ()
+              | Decided v ->
+                  List.iter
+                    (fun q ->
+                      if q <> r.node then
+                        let mine =
+                          List.filter (fun (r' : return_info) -> r'.node = q) session
+                        in
+                        match mine with
+                        | [] ->
+                            complain
+                              "G=%d session tau_g=%.4f: node %d decided %S but \
+                               correct node %d has no return in the session"
+                              g root r.node v q
+                        | _ ->
+                            if
+                              not
+                                (List.exists
+                                   (fun (r' : return_info) ->
+                                     match r'.outcome with
+                                     | Decided v' -> String.equal v v'
+                                     | Aborted -> false)
+                                   mine)
+                            then
+                              complain
+                                "G=%d session tau_g=%.4f: node %d decided %S but \
+                                 correct node %d aborted/diverged"
+                                g root r.node v q)
+                    correct)
+            (List.filter (fun r -> List.mem r decided) session))
+        sessions)
     by_g;
   List.rev !violations
 

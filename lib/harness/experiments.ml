@@ -918,6 +918,84 @@ let e12_churn ?(ns = [ 7; 10 ]) ?(seeds = [ 121; 122; 123 ]) ?(episodes = 3) ()
     ns;
   Table.print tbl
 
+(* ----- E13: concurrent sessions vs the session-table bound -------------- *)
+
+(* The footnote-9 extension under load: k logical Generals spread over the
+   nodes via invocation channels, all firing within one [d], so every node
+   hosts ~k overlapping (G, tau_g) sessions at once. The session table's
+   memory bound is asserted, not just reported: peak live sessions must stay
+   within the fixed capacity, and by the horizon every quiescent session must
+   have been collected. *)
+let e13_sessions ?(n = 7) ?(sessions = [ 35; 105; 210 ]) ?(seed = 131) () =
+  section
+    "E13 — Concurrent overlapping sessions per node (footnote 9), bounded \
+     session tables";
+  let tbl =
+    Table.create
+      [
+        "n";
+        "sessions";
+        "unanimous";
+        "capacity";
+        "peak live";
+        "peak<=cap";
+        "evicted";
+        "gced";
+        "live(end)";
+      ]
+  in
+  List.iter
+    (fun k ->
+      let params = Params.default n in
+      let channels = (k + n - 1) / n in
+      let t0 = 0.05 in
+      let proposals =
+        List.init k (fun i ->
+            {
+              Scenario.g = i;
+              v = Printf.sprintf "m%d" i;
+              at = t0 +. (float_of_int i /. float_of_int k *. params.Params.d);
+            })
+      in
+      let sc =
+        Scenario.default ~name:"e13" ~seed ~proposals ~channels
+          ~horizon:(t0 +. (3.0 *. params.Params.delta_agr))
+          params
+      in
+      let res = Runner.run sc in
+      let unanimous =
+        List.length
+          (List.filter
+             (fun (e : Metrics.episode) ->
+               match Checks.agreement ~correct:res.Runner.correct e with
+               | Checks.Unanimous _ -> true
+               | _ -> false)
+             (Metrics.episodes res))
+      in
+      let stats =
+        List.map (fun (_, nd) -> Node.session_stats nd) res.Runner.nodes
+      in
+      let top f = List.fold_left (fun a s -> max a (f s)) 0 stats in
+      let sum f = List.fold_left (fun a s -> a + f s) 0 stats in
+      let capacity = top (fun s -> s.Ssba_core.Session_table.capacity) in
+      let peak = top (fun s -> s.Ssba_core.Session_table.peak_live) in
+      (* the memory bound itself — a violation is a bug, not a data point *)
+      assert (peak <= capacity);
+      Table.add_row tbl
+        [
+          string_of_int n;
+          string_of_int k;
+          Printf.sprintf "%d/%d" unanimous k;
+          string_of_int capacity;
+          string_of_int peak;
+          Table.yn (peak <= capacity);
+          string_of_int (sum (fun s -> s.Ssba_core.Session_table.evicted));
+          string_of_int (sum (fun s -> s.Ssba_core.Session_table.gced));
+          string_of_int (top (fun s -> s.Ssba_core.Session_table.live));
+        ])
+    sessions;
+  Table.print tbl
+
 let run_all () =
   e1_validity ();
   e2_agreement ();
@@ -930,4 +1008,5 @@ let run_all () =
   e9_invariants ();
   e10_lossy_links ();
   e11_scale ();
-  e12_churn ()
+  e12_churn ();
+  e13_sessions ()

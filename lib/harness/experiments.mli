@@ -65,5 +65,11 @@ val e11_scale : ?ns:int list -> ?seed:int -> ?repeats:int -> unit -> unit
     every measured recovery must be within [Delta_stb] (§6.1). *)
 val e12_churn : ?ns:int list -> ?seeds:int list -> ?episodes:int -> unit -> unit
 
-(** Run E1 through E12 in order. *)
+(** E13 — Concurrent overlapping sessions per node (paper footnote 9): for
+    each count [k] in [sessions], spread [k] logical Generals over the nodes
+    via invocation channels and fire them all within one [d]. Asserts the
+    session-table memory bound (peak live <= capacity) on every node. *)
+val e13_sessions : ?n:int -> ?sessions:int list -> ?seed:int -> unit -> unit
+
+(** Run E1 through E13 in order. *)
 val run_all : unit -> unit

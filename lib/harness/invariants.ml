@@ -57,22 +57,27 @@ let generals (res : Runner.result) =
   List.sort_uniq compare
     (List.map (fun (o : Runner.observation) -> o.Runner.obs_g) res.Runner.observations)
 
-(* Cluster I-accepts for one General into "executions": anchors within 6d
-   belong together (IA-3A); recurrent invocations are > 4d apart (IA-4a) or
-   vastly apart (IA-4b). The 6d-linkage transitive closure is exactly how the
-   paper groups them. *)
+(* Cluster I-accepts for one General into (G, tau_g) sessions: a session is
+   keyed by its root anchor — the earliest rt(tau_g) — and an accept belongs
+   to it iff its own anchor is within 6d of that root ([IA-3]'s anchor-skew
+   bound). The membership test is deliberately *non-transitive*: chaining
+   consecutive accepts (a <= 6d from its predecessor) would let a long smear
+   of anchors weld genuinely distinct sessions into one cluster, and a
+   monitor that conflates sessions both misattributes [IA-3A] coverage and
+   waters down the [IA-4] uniqueness judgement. Each session is judged
+   independently against the session key, exactly like the protocol core
+   keys its state. *)
 let cluster_iaccepts ~d accepts =
   let sorted = List.sort (fun a b -> compare a.rt_anchor b.rt_anchor) accepts in
-  let rec go cur acc = function
+  let rec go root cur acc = function
     | [] -> List.rev (match cur with [] -> acc | _ -> List.rev cur :: acc)
     | a :: tl -> (
         match cur with
-        | [] -> go [ a ] acc tl
-        | prev :: _ when a.rt_anchor -. prev.rt_anchor <= (6.0 *. d) +. tol ->
-            go (a :: cur) acc tl
-        | _ -> go [ a ] (List.rev cur :: acc) tl)
+        | [] -> go a.rt_anchor [ a ] acc tl
+        | _ when a.rt_anchor -. root <= (6.0 *. d) +. tol -> go root (a :: cur) acc tl
+        | _ -> go a.rt_anchor [ a ] (List.rev cur :: acc) tl)
   in
-  go [] [] sorted
+  go nan [] [] sorted
 
 let check_ia_1 (res : Runner.result) ~g ~t0 =
   let params = (res.Runner.scenario).Scenario.params in

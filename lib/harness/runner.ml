@@ -228,8 +228,8 @@ let run_with ~execute (sc : Scenario.t) =
     match Scenario.role_of sc id with
     | Scenario.Correct ->
         let node =
-          Node.create_on ~id ~params ~clock:clocks.(id) ~engine
-            ~link:iface.link ()
+          Node.create_on ~channels:sc.Scenario.channels ~id ~params
+            ~clock:clocks.(id) ~engine ~link:iface.link ()
         in
         Node.subscribe node (fun r -> returns := r :: !returns);
         if sc.Scenario.record_observations then
@@ -356,8 +356,9 @@ let run_with ~execute (sc : Scenario.t) =
                    protocol take over the link handler from arbitrary state. *)
                 reformed.(node) <- true;
                 let nd =
-                  Node.reform ~rng:scramble_rng ~values:reform_values ~id:node
-                    ~params ~clock:clocks.(node) ~engine ~link:iface.link ()
+                  Node.reform ~channels:sc.Scenario.channels ~rng:scramble_rng
+                    ~values:reform_values ~id:node ~params ~clock:clocks.(node)
+                    ~engine ~link:iface.link ()
                 in
                 Node.subscribe nd (fun r -> returns := r :: !returns);
                 if sc.Scenario.record_observations then
@@ -372,16 +373,19 @@ let run_with ~execute (sc : Scenario.t) =
   (* Proposals by correct Generals. Every proposal — including one whose
      General is Byzantine or absent — is evaluated at its scheduled [at], so
      [proposal_results] comes out in chronological order (engine ties break
-     by scheduling order). *)
+     by scheduling order). [p.g] is a logical General id: node [g mod n]
+     initiates on channel [g / n] (the identity decoding when channels = 1). *)
   let proposal_results = ref [] in
   List.iter
     (fun (p : Scenario.proposal) ->
       Engine.schedule engine ~at:p.Scenario.at (fun () ->
           let outcome =
-            match List.assoc_opt p.Scenario.g !live_nodes with
+            match List.assoc_opt (p.Scenario.g mod n) !live_nodes with
             | None -> No_general
             | Some node -> (
-                match Node.propose node p.Scenario.v with
+                match
+                  Node.propose ~channel:(p.Scenario.g / n) node p.Scenario.v
+                with
                 | Ok () -> Accepted
                 | Error e -> Refused e)
           in

@@ -42,6 +42,8 @@ type event =
          already correct (or already reformed). *)
 
 type proposal = { g : node_id; v : value; at : float }
+(* [g] is a *logical* General id: with [channels] > 1 it ranges over
+   [0, n * channels) and node [g mod n] initiates on channel [g / n]. *)
 
 type clocks =
   | Perfect
@@ -57,6 +59,9 @@ type t = {
   proposals : proposal list;
   events : event list;
   horizon : float;  (* stop the engine at this real time *)
+  channels : int;
+      (* concurrent-invocation channels per General (paper footnote 9);
+         logical General ids range over [0, n * channels) *)
   record_trace : bool;
   record_observations : bool;
       (* collect fine-grained protocol events for the invariant monitor *)
@@ -120,7 +125,7 @@ let reformed_ids t =
 let default ?(name = "scenario") ?(seed = 1) ?(horizon = 5.0) ?(record_trace = false)
     ?(record_observations = false) ?delay
     ?(clocks = Drifting { rho = 1e-4; max_offset = 0.1 }) ?(roles = [])
-    ?(proposals = []) ?(events = []) ?transport params =
+    ?(proposals = []) ?(events = []) ?transport ?(channels = 1) params =
   let delay =
     match delay with
     | Some d -> d
@@ -138,6 +143,7 @@ let default ?(name = "scenario") ?(seed = 1) ?(horizon = 5.0) ?(record_trace = f
     proposals;
     events;
     horizon;
+    channels;
     record_trace;
     record_observations;
     transport;

@@ -65,6 +65,10 @@ type t = {
   proposals : proposal list;
   events : event list;
   horizon : float;  (** stop the engine at this real time *)
+  channels : int;
+      (** concurrent-invocation channels per General (paper footnote 9):
+          logical General ids range over [0, n * channels); the node hosting
+          logical id [g] is [g mod n] *)
   record_trace : bool;
   record_observations : bool;
       (** collect fine-grained protocol events for {!Invariants} *)
@@ -113,5 +117,6 @@ val default :
   ?proposals:proposal list ->
   ?events:event list ->
   ?transport:Ssba_transport.Transport.config ->
+  ?channels:int ->
   Ssba_core.Params.t ->
   t

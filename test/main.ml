@@ -31,6 +31,7 @@ let () =
       ("invariants", Test_invariants.suite);
       ("eig", Test_eig.suite);
       ("channels", Test_channels.suite);
+      ("sessions", Test_sessions.suite);
       ("separation", Test_separation.suite);
       ("replicated-log", Test_replicated_log.suite);
       ("transport", Test_transport.suite);

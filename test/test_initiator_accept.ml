@@ -19,7 +19,7 @@ type h = {
 
 let mk ?(g = 0) () =
   let fake, ctx = Fake.make params in
-  let ia = Ia.create ~ctx ~g in
+  let ia = Ia.create ~ctx ~g () in
   let accepted = ref None in
   Ia.set_on_accept ia (fun v ~tau_g -> accepted := Some (v, tau_g));
   { fake; ia; accepted }

@@ -146,6 +146,109 @@ let test_monitor_detects_unforgeability_break () =
        (fun s -> String.length s >= 5 && String.sub s 0 5 = "TPS-2")
        (H.Invariants.check res'))
 
+let trips prefix vs =
+  List.exists
+    (fun s ->
+      String.length s >= String.length prefix
+      && String.sub s 0 (String.length prefix) = prefix)
+    vs
+
+(* Perfect clocks so forged local anchors are also the real-time anchors the
+   monitors cluster on. *)
+let run_perfect () =
+  let params = Params.default 7 in
+  let sc =
+    H.Scenario.default ~name:"inv" ~seed:41 ~clocks:H.Scenario.Perfect
+      ~proposals:[ { H.Scenario.g = 0; v = "m"; at = 0.05 } ]
+      ~horizon:1.0 ~record_observations:true params
+  in
+  (params, H.Runner.run sc)
+
+let test_monitor_session_keying_sensitivity () =
+  (* The session-keyed IA monitor must judge each (G, tau_g) session
+     independently: conflated sessions must trip, and a weakened monitor
+     that chains nearby anchors transitively or excuses one session with
+     another's accepts would pass exactly these shapes. *)
+  let params, res = run_perfect () in
+  let d = params.Params.d in
+  let session ~anchor ~v =
+    List.map
+      (fun node ->
+        {
+          H.Runner.obs_node = node;
+          obs_g = 5;
+          obs = Ss_byz_agree.Obs_iaccept { v; tau_g = anchor; tau = anchor +. d };
+          obs_rt = anchor +. d;
+        })
+      (List.init 7 Fun.id)
+  in
+  let with_obs obs =
+    { res with H.Runner.observations = res.H.Runner.observations @ obs }
+  in
+  (* cross-session conflation: anchors 3d apart are ONE session; two values
+     inside it are a uniqueness violation, not two excusable executions *)
+  let conflated =
+    with_obs (session ~anchor:0.3 ~v:"a" @ session ~anchor:(0.3 +. (3.0 *. d)) ~v:"b")
+  in
+  check_bool "same-session divergence trips IA-4" true
+    (trips "IA-4" (H.Invariants.check_ia_3_4 conflated));
+  (* forbidden zone: same value re-anchored 10d apart is two sessions, and
+     exactly what IA-4b outlaws *)
+  let forbidden =
+    with_obs (session ~anchor:0.3 ~v:"a" @ session ~anchor:(0.3 +. (10.0 *. d)) ~v:"a")
+  in
+  check_bool "forbidden-zone re-accept trips IA-4b" true
+    (trips "IA-4b" (H.Invariants.check_ia_3_4 forbidden));
+  (* legal distinct sessions: past the separation window nothing may trip —
+     a monitor that conflates them would see a spurious violation here *)
+  let legal_gap = (2.0 *. params.Params.delta_rmv /. d) +. 10.0 in
+  let legal =
+    with_obs
+      (session ~anchor:0.3 ~v:"a" @ session ~anchor:(0.3 +. (legal_gap *. d)) ~v:"a")
+  in
+  (match H.Invariants.check_ia_3_4 legal with
+  | [] -> ()
+  | vs -> Alcotest.failf "legal distinct sessions flagged: %s" (String.concat "; " vs))
+
+let test_checks_relay_judged_per_session () =
+  (* Same sensitivity at the returns level: a node's decision in a *later*
+     session of the same General must not excuse its absence from an earlier
+     one (the General-keyed monitor's blind spot that hid the IA-4 gap). *)
+  let params, res = run_perfect () in
+  let d = params.Params.d in
+  let ret ~node ~anchor ~v =
+    {
+      Types.node;
+      g = 5;
+      outcome = Types.Decided v;
+      tau_g = anchor;
+      tau_ret = anchor +. (20.0 *. d);
+      rt_ret = anchor +. (20.0 *. d);
+    }
+  in
+  let session ~anchor ~v ~nodes = List.map (fun n -> ret ~node:n ~anchor ~v) nodes in
+  let all = List.init 7 Fun.id in
+  let with_returns rs =
+    { res with H.Runner.returns = res.H.Runner.returns @ rs }
+  in
+  (* complete sessions: nothing to flag *)
+  let clean =
+    with_returns
+      (session ~anchor:0.3 ~v:"a" ~nodes:all
+      @ session ~anchor:(0.3 +. (100.0 *. d)) ~v:"b" ~nodes:all)
+  in
+  (match H.Checks.pairwise_agreement clean with
+  | [] -> ()
+  | vs -> Alcotest.failf "complete sessions flagged: %s" (String.concat "; " vs));
+  (* node 6 absent from session 1, present in session 2: must trip *)
+  let split =
+    with_returns
+      (session ~anchor:0.3 ~v:"a" ~nodes:[ 0; 1; 2; 3; 4; 5 ]
+      @ session ~anchor:(0.3 +. (100.0 *. d)) ~v:"b" ~nodes:all)
+  in
+  check_bool "cross-session excusal rejected" true
+    (H.Checks.pairwise_agreement split <> [])
+
 (* qcheck: invariants hold across random clean and adversarial scenarios. *)
 let prop_invariants_random =
   QCheck.Test.make ~name:"IA/TPS invariants across random scenarios" ~count:25
@@ -178,5 +281,7 @@ let suite =
     case "IA/TPS under recurrent agreements" test_invariants_recurrent;
     case "monitor detects divergence" test_monitor_detects_forged_divergence;
     case "monitor detects TPS-2 forgery" test_monitor_detects_unforgeability_break;
+    case "session keying sensitivity" test_monitor_session_keying_sensitivity;
+    case "relay judged per session" test_checks_relay_judged_per_session;
     Helpers.qcheck prop_invariants_random;
   ]

@@ -9,14 +9,27 @@ module Ia = Initiator_accept
 let params = Params.default 7
 let d = params.Params.d
 
-type h = { fake : Fake.t; ia : Ia.t; accepted : (Types.value * float) list ref }
+type h = {
+  fake : Fake.t;
+  ctx : Types.ctx;
+  ia : Ia.t;
+  accepted : (Types.value * float) list ref;
+}
 
 let mk () =
   let fake, ctx = Fake.make params in
-  let ia = Ia.create ~ctx ~g:0 in
+  let ia = Ia.create ~ctx ~g:0 () in
   let accepted = ref [] in
   Ia.set_on_accept ia (fun v ~tau_g -> accepted := (v, tau_g) :: !accepted);
-  { fake; ia; accepted }
+  { fake; ctx; ia; accepted }
+
+(* A successor session for the same General: the previous one was reset,
+   evicted or garbage-collected, but the separation guard survives by
+   reference — the exact situation the re-initiation blackout exists for. *)
+let succ_session h =
+  let ia = Ia.create ~guard:(Ia.guard h.ia) ~ctx:h.ctx ~g:0 () in
+  Ia.set_on_accept ia (fun v ~tau_g -> h.accepted := (v, tau_g) :: !(h.accepted));
+  { h with ia }
 
 let feed h kind senders v =
   List.iter (fun s -> Ia.handle_message h.ia ~kind ~sender:s ~v) senders
@@ -112,6 +125,52 @@ let test_i_value_decays () =
   Fake.advance h.fake (params.Params.delta_rmv +. d);
   check_bool "i_value expired (freshness check)" true (Ia.i_value h.ia "a" = None)
 
+(* ---- the re-initiation blackout (sender side of the IA-4 fix) ---------- *)
+
+(* An engagement for "a" whose session is then destroyed (no accept, so no
+   last(G)); a re-initiation for "b" through a successor session is judged
+   purely by the guard. *)
+let blackout_case ~gap_in_d ~blocked () =
+  let h = mk () in
+  Ia.handle_initiator h.ia "a";
+  check_int "engaged a" 1 (Fake.count_kind h.fake "support");
+  Fake.advance h.fake (gap_in_d *. d);
+  let h = succ_session h in
+  Ia.cleanup h.ia;
+  Fake.clear_sent h.fake;
+  Ia.handle_initiator h.ia "b";
+  check_int
+    (Printf.sprintf "support for b at gap %.0fd" gap_in_d)
+    (if blocked then 0 else 1)
+    (Fake.count_kind h.fake "support")
+
+let test_blackout_under_1d = blackout_case ~gap_in_d:0.5 ~blocked:true
+let test_blackout_exactly_1d = blackout_case ~gap_in_d:1.0 ~blocked:true
+
+(* Past the per-send rate limit (1d) but inside the blackout window: only the
+   guard's [session_value] stands between the 2027/133 shape and a second
+   wave of supports. *)
+let test_blackout_mid_window = blackout_case ~gap_in_d:2.0 ~blocked:true
+
+let test_blackout_past_separation_window =
+  (* session_value expires at Delta_rmv = 37d; beyond it a fresh initiation
+     is legitimate again *)
+  blackout_case ~gap_in_d:(params.Params.delta_rmv /. d +. 1.0) ~blocked:false
+
+let test_blackout_keeps_relay_value_blind () =
+  (* IA-3 must survive the fix: a node engaged on the losing value of a
+     two-faced General still relays — and accepts — the winning one. The
+     blackout gates block K only. *)
+  let h = mk () in
+  Ia.handle_initiator h.ia "a";
+  Fake.advance h.fake (2.0 *. d);
+  let h = succ_session h in
+  Fake.clear_sent h.fake;
+  drive h "b";
+  (match !(h.accepted) with
+  | [ ("b", _) ] -> ()
+  | _ -> Alcotest.fail "expected the relay path to accept \"b\"")
+
 let suite =
   [
     case "other value blocked within last(G)" test_accept_then_other_value_blocked_within_4d;
@@ -119,4 +178,9 @@ let suite =
     case "same value after full decay" test_same_value_reaccept_after_full_decay;
     case "ready flag decays" test_ready_flag_decays;
     case "i_value decays" test_i_value_decays;
+    case "blackout: re-initiation < 1d apart" test_blackout_under_1d;
+    case "blackout: re-initiation exactly 1d apart" test_blackout_exactly_1d;
+    case "blackout: mid-window re-initiation" test_blackout_mid_window;
+    case "blackout: expires past the separation window" test_blackout_past_separation_window;
+    case "blackout: relay blocks stay value-blind" test_blackout_keeps_relay_value_blind;
   ]

@@ -1,0 +1,148 @@
+(* The session table (transport-ring discipline applied to protocol
+   sessions): fixed capacity, deterministic least-recently-active eviction,
+   predicate GC with the creation blind-spot grace, and scramble-safety —
+   a transient fault corrupts values, never the capacity or occupancy. *)
+
+open Helpers
+module St = Ssba_core.Session_table
+module Rng = Ssba_sim.Rng
+
+let test_capacity_validated () =
+  (match St.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | (_ : int St.t) -> Alcotest.fail "capacity 0 accepted");
+  check_int "capacity stored" 4 (St.capacity (St.create ~capacity:4))
+
+let test_insert_find_rekey () =
+  let t : string St.t = St.create ~capacity:4 in
+  St.insert t ~g:3 ~now:1.0 "alpha";
+  check_bool "found" true (St.find t 3 = Some "alpha");
+  check_bool "starts unanchored" true (St.anchor t 3 = None);
+  St.set_anchor t 3 1.25;
+  check_bool "re-keyed in place" true (St.anchor t 3 = Some 1.25);
+  check_bool "payload survives re-keying" true (St.find t 3 = Some "alpha");
+  (* replacing the session for the same General resets the anchor *)
+  St.insert t ~g:3 ~now:2.0 "beta";
+  check_bool "replaced" true (St.find t 3 = Some "beta");
+  check_bool "fresh key" true (St.anchor t 3 = None);
+  check_int "replacement is not growth" 1 (St.live t)
+
+let test_eviction_least_recently_active () =
+  let t : int St.t = St.create ~capacity:3 in
+  St.insert t ~g:1 ~now:1.0 10;
+  St.insert t ~g:2 ~now:2.0 20;
+  St.insert t ~g:3 ~now:3.0 30;
+  (* full: g=1 is least recently active *)
+  St.insert t ~g:4 ~now:4.0 40;
+  check_bool "g=1 evicted" true (St.find t 1 = None);
+  check_bool "g=2 kept" true (St.find t 2 = Some 20);
+  (* touching g=2 makes g=3 the victim *)
+  St.touch t 2 ~now:5.0;
+  St.insert t ~g:5 ~now:6.0 50;
+  check_bool "g=3 evicted after g=2 touch" true (St.find t 3 = None);
+  check_bool "g=2 survived" true (St.find t 2 = Some 20);
+  let s = St.stats t in
+  check_int "two evictions counted" 2 s.St.evicted;
+  check_int "live stays at capacity" 3 s.St.live;
+  check_int "peak is the capacity" 3 s.St.peak_live
+
+let test_eviction_tie_breaks_by_creation () =
+  let t : int St.t = St.create ~capacity:2 in
+  St.insert t ~g:1 ~now:1.0 10;
+  St.insert t ~g:2 ~now:1.0 20;
+  (* equal activity times: the older creation loses *)
+  St.insert t ~g:3 ~now:2.0 30;
+  check_bool "older creation evicted" true (St.find t 1 = None);
+  check_bool "younger kept" true (St.find t 2 = Some 20)
+
+let test_touch_is_monotone () =
+  let t : int St.t = St.create ~capacity:2 in
+  St.insert t ~g:1 ~now:5.0 10;
+  St.insert t ~g:2 ~now:1.0 20;
+  (* a backwards touch (scrambled clock) must not demote g=1 *)
+  St.touch t 1 ~now:0.5;
+  St.insert t ~g:3 ~now:6.0 30;
+  check_bool "backwards touch ignored" true (St.find t 1 = Some 10);
+  check_bool "g=2 was still the victim" true (St.find t 2 = None)
+
+(* Thousands of sequential sessions through a small table: the GC keeps live
+   proportional to actual concurrency, the counters account for every
+   insertion, and the capacity is never exceeded. *)
+let test_gc_bound_under_sequential_sessions () =
+  let capacity = 8 in
+  let t : int ref St.t = St.create ~capacity in
+  let grace = 4.0 in
+  let rounds = 5000 in
+  for i = 1 to rounds do
+    let now = float_of_int i in
+    (* a fresh session per round, cycling over many Generals *)
+    St.insert t ~g:(i mod 64) ~now (ref 1);
+    (* the session quiesces two rounds later *)
+    St.iter t (fun ~g:_ ~anchor:_ p ->
+        if !p >= 0 then incr p;
+        if !p > 2 then p := -1);
+    St.gc t ~dead:(fun ~active p -> now -. active > grace && !p < 0);
+    check_bool
+      (Printf.sprintf "live bounded at round %d" i)
+      true
+      (St.live t <= capacity)
+  done;
+  let s = St.stats t in
+  check_bool "peak never exceeded capacity" true (s.St.peak_live <= capacity);
+  check_bool "GC did the work, in the thousands" true (s.St.gced > rounds / 2);
+  check_int "every insertion accounted for" rounds
+    (s.St.live + s.St.evicted + s.St.gced)
+
+let test_gc_grace_spares_newborns () =
+  let t : int St.t = St.create ~capacity:4 in
+  St.insert t ~g:1 ~now:10.0 0;
+  (* a newborn session is indistinguishable from a dead one; the activity
+     time is what lets callers grace it *)
+  St.gc t ~dead:(fun ~active p -> 10.1 -. active > 1.0 && p = 0);
+  check_bool "newborn spared" true (St.find t 1 = Some 0);
+  St.gc t ~dead:(fun ~active p -> 20.0 -. active > 1.0 && p = 0);
+  check_bool "collected once past the grace" true (St.find t 1 = None);
+  check_int "counted as gced" 1 (St.stats t).St.gced
+
+let test_scramble_corrupts_values_never_structure () =
+  let t : int ref St.t = St.create ~capacity:8 in
+  for g = 0 to 5 do
+    St.insert t ~g ~now:(float_of_int g) (ref g)
+  done;
+  List.iter (fun g -> St.set_anchor t g (0.5 +. float_of_int g)) [ 0; 2; 4 ];
+  let rng = Rng.create 7 in
+  let corrupted = ref 0 in
+  St.scramble rng
+    ~rtime:(fun () -> Rng.float rng 100.0)
+    ~corrupt:(fun p ->
+      incr corrupted;
+      p := -1)
+    t;
+  check_int "capacity untouched" 8 (St.capacity t);
+  check_int "occupancy untouched" 6 (St.live t);
+  check_int "every payload visited" 6 !corrupted;
+  for g = 0 to 5 do
+    match St.find t g with
+    | Some p -> check_int (Printf.sprintf "g=%d payload corrupted" g) (-1) !p
+    | None -> Alcotest.fail "scramble dropped a session"
+  done;
+  (* the table still functions: eviction and GC survive arbitrary anchors
+     and activity times *)
+  for g = 6 to 9 do
+    St.insert t ~g ~now:200.0 (ref g)
+  done;
+  check_int "still at capacity" 8 (St.live t);
+  St.gc t ~dead:(fun ~active:_ p -> !p = -1);
+  check_bool "scrambled sessions collectable" true (St.live t <= 4)
+
+let suite =
+  [
+    case "capacity validated" test_capacity_validated;
+    case "insert, find, re-key" test_insert_find_rekey;
+    case "evicts least recently active" test_eviction_least_recently_active;
+    case "eviction tie-break by creation" test_eviction_tie_breaks_by_creation;
+    case "touch is monotone" test_touch_is_monotone;
+    case "GC bound over 5000 sequential sessions" test_gc_bound_under_sequential_sessions;
+    case "GC grace spares newborns" test_gc_grace_spares_newborns;
+    case "scramble corrupts values, never structure" test_scramble_corrupts_values_never_structure;
+  ]

@@ -141,11 +141,11 @@ let test_fuzz_batch () =
   | _ -> Fmt.epr "fuzz batch skipped (set SSBA_SOAK=1 to enable)@."
 
 (* The churn counterpart: 200 continuous-churn scenarios through the
-   per-interval recovery oracle, same SSBA_SOAK=1 gate. Seed 2028, not 2027:
-   the 2027 batch hits the known initiator-accept uniqueness gap under a
-   fast-equivocating flip-flop General (see ROADMAP "Open items" and the
-   regression pin in test_fuzz.ml), which is a protocol issue independent of
-   the churn layer. *)
+   per-interval recovery oracle, same SSBA_SOAK=1 gate. Seed 2027 — the
+   batch that used to hit the initiator-accept uniqueness gap under a
+   fast-equivocating flip-flop General. The session-keyed core closed it
+   (see the 2027/133 pin in test_fuzz.ml), so the once-poisoned batch now
+   doubles as the regression gate for the fix. *)
 let test_churn_batch () =
   match Sys.getenv_opt "SSBA_SOAK" with
   | Some "1" ->
@@ -153,7 +153,7 @@ let test_churn_batch () =
       let config =
         {
           F.Campaign.default_config with
-          F.Campaign.seed = 2028;
+          F.Campaign.seed = 2027;
           runs = 200;
           gen = { F.Gen.chaos_config with F.Gen.max_cast = 2 };
         }

@@ -105,7 +105,7 @@ let test_matching_block_s () =
   let params = Params.default 7 in
   let fake, ctx = Fake.make params in
   ignore fake;
-  let agree = Ss_byz_agree.create ~ctx ~g:6 in
+  let agree = Ss_byz_agree.create ~ctx ~g:6 () in
   (* drive the instance by hand: anchor via the Initiator-Accept of value m *)
   let ia = Ss_byz_agree.initiator_accept agree in
   List.iter
@@ -152,7 +152,7 @@ let test_termination_u_block () =
      Delta_agr *)
   let params = Params.default 7 in
   let fake, ctx = Fake.make params in
-  let agree = Ss_byz_agree.create ~ctx ~g:6 in
+  let agree = Ss_byz_agree.create ~ctx ~g:6 () in
   let returned = ref None in
   Ss_byz_agree.set_on_return agree (fun outcome ~tau_g:_ ~tau_ret ->
       returned := Some (outcome, tau_ret));
@@ -183,7 +183,7 @@ let test_termination_u_block () =
 let test_cleanup_repairs_corrupt_running_state () =
   let params = Params.default 7 in
   let fake, ctx = Fake.make params in
-  let agree = Ss_byz_agree.create ~ctx ~g:3 in
+  let agree = Ss_byz_agree.create ~ctx ~g:3 () in
   let rng = Ssba_sim.Rng.create 17 in
   Ss_byz_agree.scramble rng ~values:[ "x"; "y" ] agree;
   (* periodic cleanup over a stabilization period must drive the instance
