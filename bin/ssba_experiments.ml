@@ -1,7 +1,7 @@
 (* Regenerate the experiment tables of EXPERIMENTS.md (DESIGN.md §4).
 
    With no arguments, runs every experiment; otherwise runs the named ones
-   (e1..e13). *)
+   (e1..e14). *)
 
 let experiments =
   [
@@ -18,6 +18,7 @@ let experiments =
     ("e11", "engine scale: events/sec across n", fun () -> Ssba_harness.Experiments.e11_scale ());
     ("e12", "recovery under continuous churn", fun () -> Ssba_harness.Experiments.e12_churn ());
     ("e13", "concurrent sessions vs table bound", fun () -> Ssba_harness.Experiments.e13_sessions ());
+    ("e14", "exhaustive small-model checking", fun () -> Ssba_mc.Mc.e14 ());
   ]
 
 let () =

@@ -1,0 +1,161 @@
+(* ssba-mc: bounded exhaustive checking of the protocol core on tiny worlds.
+
+     ssba-mc --config smoke --depth 24              # explore, print report
+     ssba-mc --config split --blackout off --export ce.json
+                                                    # hunt the IA-4 split and
+                                                    # pin it as a replay file
+     ssba-mc --smoke                                # the CI gate: smoke config
+                                                    # under both POR modes,
+                                                    # zero violations, POR
+                                                    # factor > 1, equal sets
+
+   Exit status 0 means the explored space met the config's expectation
+   (smoke/split-blackout-on: no violations and no splits; split with the
+   blackout off: the split IS found — absence is the failure). *)
+
+open Cmdliner
+module Mc = Ssba_mc.Mc
+module Config = Ssba_mc.Config
+
+let key_of (s, _) = s
+
+let explore_and_report cfg ~por ~depth ~max_runs =
+  let r = Mc.explore ~max_runs cfg ~por ~depth in
+  Fmt.pr "%a" Mc.pp_report r;
+  r
+
+let export_counterexample cfg (r : Mc.report) path =
+  match r.Mc.counterexample with
+  | None -> Fmt.pr "no counterexample to export@."
+  | Some run ->
+      let spec = Mc.spec_of_run cfg run ~name:(Filename.basename path) in
+      Ssba_fuzz.Spec.save path spec;
+      Fmt.pr "counterexample (prefix %a) saved to %s@." Mc.pp_prefix
+        run.Mc.prefix path;
+      Fmt.pr "replay with: ssba_fuzz --replay %s@." path
+
+(* Verdicts per config. [smoke] must be clean outright. [split] is a
+   sensitivity check on *split decisions* only: the capacity-2 scarcity it
+   runs under strands correct sessions through eviction with or without the
+   blackout, so relay/coverage oracle noise is expected either way — what the
+   knob controls is whether the IA-4 split itself is reachable. *)
+let run_one config blackout por depth max_runs export =
+  let cfg, split_config =
+    match config with
+    | "smoke" -> (Config.smoke (), false)
+    | "split" -> (Config.split ~blackout (), true)
+    | other -> Fmt.failwith "unknown config %S (smoke|split)" other
+  in
+  let r = explore_and_report cfg ~por ~depth ~max_runs in
+  (match export with None -> () | Some path -> export_counterexample cfg r path);
+  if r.Mc.truncated then begin
+    Fmt.pr "exploration truncated by --max-runs: no verdict@.";
+    2
+  end
+  else if split_config then
+    if blackout then
+      if r.Mc.splits = [] then begin
+        Fmt.pr "verdict: no split decision reachable with the blackout on@.";
+        0
+      end
+      else begin
+        Fmt.pr "verdict: SPLIT DECISION despite the blackout@.";
+        1
+      end
+    else if r.Mc.splits <> [] then begin
+      Fmt.pr "verdict: split decision found (as expected with the blackout \
+              off)@.";
+      0
+    end
+    else begin
+      Fmt.pr "verdict: FAILED to find the expected split decision@.";
+      1
+    end
+  else if r.Mc.violations = [] && r.Mc.splits = [] then begin
+    Fmt.pr "verdict: no oracle violations over the explored space@.";
+    0
+  end
+  else begin
+    Fmt.pr "verdict: VIOLATIONS in a configuration expected clean@.";
+    1
+  end
+
+(* The CI gate: exhaust the smoke config under both POR modes. Passing means
+   zero violations either way, the same verdict set (POR soundness
+   cross-check), and a reduction factor strictly above 1. *)
+let run_smoke depth max_runs =
+  let on = explore_and_report (Config.smoke ()) ~por:true ~depth ~max_runs in
+  let off = explore_and_report (Config.smoke ()) ~por:false ~depth ~max_runs in
+  let factor = float_of_int off.Mc.explored /. float_of_int on.Mc.explored in
+  Fmt.pr "POR reduction factor: %.2fx (%d -> %d runs)@." factor
+    off.Mc.explored on.Mc.explored;
+  let problems = ref [] in
+  let check cond msg = if not cond then problems := msg :: !problems in
+  check (not on.Mc.truncated && not off.Mc.truncated) "exploration truncated";
+  check (on.Mc.violations = []) "violations under POR";
+  check (off.Mc.violations = []) "violations under full exploration";
+  check (on.Mc.splits = []) "split decisions under POR";
+  check (off.Mc.splits = []) "split decisions under full exploration";
+  check
+    (List.map key_of on.Mc.violations = List.map key_of off.Mc.violations
+    && List.map key_of on.Mc.splits = List.map key_of off.Mc.splits)
+    "POR and full exploration disagree on the verdict set";
+  check (factor > 1.0) "POR reduction factor not > 1";
+  match !problems with
+  | [] ->
+      Fmt.pr "smoke gate passed@.";
+      0
+  | ps ->
+      List.iter (fun p -> Fmt.pr "smoke gate FAILED: %s@." p) ps;
+      1
+
+let main config blackout por depth max_runs export smoke =
+  if smoke then run_smoke depth max_runs
+  else run_one config blackout por depth max_runs export
+
+let config_t =
+  Arg.(value & opt string "smoke" & info [ "config" ] ~docv:"NAME"
+         ~doc:"Configuration to explore: smoke or split.")
+
+let on_off name ~default ~doc =
+  let on_off_conv =
+    Arg.conv
+      ( (function
+        | "on" -> Ok true
+        | "off" -> Ok false
+        | s -> Error (`Msg (Fmt.str "expected on|off, got %S" s))),
+        fun ppf b -> Fmt.string ppf (if b then "on" else "off") )
+  in
+  Arg.(value & opt on_off_conv default & info [ name ] ~docv:"on|off" ~doc)
+
+let blackout_t =
+  on_off "blackout" ~default:true
+    ~doc:"Re-initiation blackout knob for the split config."
+
+let por_t = on_off "por" ~default:true ~doc:"Partial-order reduction."
+
+let depth_t =
+  Arg.(value & opt int 24 & info [ "depth" ] ~docv:"N"
+         ~doc:"Maximum choice-vector length to expand.")
+
+let max_runs_t =
+  Arg.(value & opt int 200_000 & info [ "max-runs" ] ~docv:"N"
+         ~doc:"Safety valve on executed runs.")
+
+let export_t =
+  Arg.(value & opt (some string) None & info [ "export" ] ~docv:"PATH"
+         ~doc:"Save the minimal split counterexample as a fuzz replay spec.")
+
+let smoke_t =
+  Arg.(value & flag & info [ "smoke" ]
+         ~doc:"CI gate: exhaust the smoke config under both POR modes.")
+
+let cmd =
+  let doc = "bounded exhaustive checker for the ss-Byz-Agree core" in
+  Cmd.v
+    (Cmd.info "ssba-mc" ~doc)
+    Term.(
+      const main $ config_t $ blackout_t $ por_t $ depth_t $ max_runs_t
+      $ export_t $ smoke_t)
+
+let () = exit (Cmd.eval' cmd)

@@ -18,6 +18,9 @@ type t =
   | Partial_general of { v : value; at : float; targets : node_id list }
   | Equivocator of { v1 : value; v2 : value }
   | Flip_flop of { period_d : float; values : value list }
+  | Scripted of { steps : (float * node_id option * message) list }
+      (* absolute-time send transcript; the model checker's counterexample
+         export. Never drawn by [generate] — only written by ssba_mc. *)
 
 let name = function
   | Silent -> "silent"
@@ -28,6 +31,7 @@ let name = function
   | Partial_general _ -> "partial-general"
   | Equivocator _ -> "equivocator"
   | Flip_flop _ -> "flip-flop"
+  | Scripted _ -> "scripted"
 
 let to_behavior ~d = function
   | Silent -> Strategies.silent
@@ -40,11 +44,13 @@ let to_behavior ~d = function
   | Equivocator { v1; v2 } -> Strategies.equivocator ~v1 ~v2
   | Flip_flop { period_d; values } ->
       Strategies.flip_flop ~period:(period_d *. d) ~values
+  | Scripted { steps } -> Strategies.scripted ~steps
 
 let activity_times = function
   | Two_faced_general { at; _ } | Stagger_general { at; _ }
   | Partial_general { at; _ } ->
       [ at ]
+  | Scripted { steps } -> List.map (fun (at, _, _) -> at) steps
   | Silent | Spam _ | Mimic _ | Equivocator _ | Flip_flop _ -> []
 
 (* Toward Silent: periodic attackers lose their payload diversity first, then
@@ -63,6 +69,15 @@ let simplify = function
   | Partial_general { targets; v; at } when List.length targets > 1 ->
       [ Partial_general { v; at; targets = [ List.hd targets ] }; Silent ]
   | Partial_general _ -> [ Silent ]
+  (* A scripted transcript shrinks one step at a time, from the end — later
+     steps usually depend on the reactions to earlier ones. *)
+  | Scripted { steps = [] } -> [ Silent ]
+  | Scripted { steps } ->
+      [
+        Scripted
+          { steps = List.filteri (fun i _ -> i < List.length steps - 1) steps };
+        Silent;
+      ]
 
 let generate rng ~values ~at_lo ~at_hi ~n =
   let v () = Rng.pick_list rng values in
@@ -99,5 +114,6 @@ let pp ppf t =
   | Equivocator { v1; v2 } -> Fmt.pf ppf "equivocator(%S/%S)" v1 v2
   | Flip_flop { period_d; values } ->
       Fmt.pf ppf "flip-flop(period=%gd, %d values)" period_d (List.length values)
+  | Scripted { steps } -> Fmt.pf ppf "scripted(%d steps)" (List.length steps)
 
 let equal (a : t) (b : t) = a = b

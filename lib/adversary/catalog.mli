@@ -18,6 +18,10 @@ type t =
   | Partial_general of { v : value; at : float; targets : node_id list }
   | Equivocator of { v1 : value; v2 : value }
   | Flip_flop of { period_d : float; values : value list }
+  | Scripted of { steps : (float * node_id option * message) list }
+      (** a fixed absolute-time send transcript ([None] dst = broadcast):
+          the model checker's counterexample export. {!generate} never
+          draws it. *)
 
 (** The strategy's name, matching {!Behavior.name} of its instantiation. *)
 val name : t -> string

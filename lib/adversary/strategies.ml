@@ -129,6 +129,21 @@ let equivocator ~v1 ~v2 =
               end
           | Mb _ -> ()))
 
+(* A fully scripted adversary: a fixed list of (absolute engine time,
+   destination, payload) sends and nothing else. The model checker's
+   counterexample export compiles a Byzantine node's chosen menu into this —
+   a deterministic, input-oblivious transcript the fuzzer CLI can replay. *)
+let scripted ~steps =
+  B.make ~name:"scripted" (fun env ->
+      B.on_message env (fun _ -> ());
+      List.iter
+        (fun (time, dst, msg) ->
+          B.at env ~time (fun () ->
+              match dst with
+              | None -> B.send_all env msg
+              | Some dst -> B.send env ~dst msg))
+        steps)
+
 let flip_flop ~period ~values =
   B.make ~name:"flip-flop" (fun env ->
       B.on_message env (fun _ -> ());

@@ -35,3 +35,9 @@ val equivocator : v1:value -> v2:value -> Behavior.t
 (** Alternates silence and spam in bursts of [period]: an intermittently
     faulty node. *)
 val flip_flop : period:float -> values:value list -> Behavior.t
+
+(** A fully scripted adversary: each step [(at, dst, msg)] sends [msg] at
+    absolute engine time [at] to [dst] ([None] broadcasts); deterministic
+    and input-oblivious. The model checker exports counterexamples as
+    these. *)
+val scripted : steps:(float * node_id option * message) list -> Behavior.t

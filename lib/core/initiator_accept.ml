@@ -53,11 +53,12 @@ type t = {
   ready_flag : (value, float) Hashtbl.t;  (* value -> set-time of ready_{G,m} *)
   guard : Separation.t;  (* persistent per-General separation state *)
   ignore_until : (value, float) Hashtbl.t;  (* N4's 3d ignore window *)
+  blackout : bool;  (* false disables the re-initiation blackout (checker knob) *)
   mutable accepted : (value * float * float) option;  (* (m, tau_g, tau_accept) *)
   mutable on_accept : value -> tau_g:float -> unit;
 }
 
-let create ?guard ~ctx ~g () =
+let create ?(blackout = true) ?guard ~ctx ~g () =
   {
     g;
     ctx;
@@ -68,6 +69,7 @@ let create ?guard ~ctx ~g () =
     ready_flag = Hashtbl.create 4;
     guard = (match guard with Some s -> s | None -> Separation.create ());
     ignore_until = Hashtbl.create 4;
+    blackout;
     accepted = None;
     on_accept = (fun _ ~tau_g:_ -> ());
   }
@@ -260,8 +262,11 @@ let handle_initiator t v =
       (* Re-initiation blackout: the same test as other_i_value_defined, but
          against the guard's persistent mirror, so a second initiation
          cannot slip through after the session holding i_values was reset,
-         evicted or collected. *)
-      && not (Separation.blackout_blocks t.guard ~params:(p t) ~now:tau v)
+         evicted or collected. The [blackout] knob exists so the model
+         checker can demonstrate the split this guard prevents. *)
+      && not
+           (t.blackout
+           && Separation.blackout_blocks t.guard ~params:(p t) ~now:tau v)
     in
     if fresh then begin
       (* K2 *)
@@ -364,6 +369,43 @@ let quiescent t =
   && Hashtbl.length t.ready_flag = 0
   && Hashtbl.length t.ignore_until = 0
   && t.accepted = None
+
+(* Canonical state fingerprint for the model checker's visited set. Covers
+   every field that influences future behaviour except the guard (the node
+   fingerprints guards separately — they are shared by reference and would
+   otherwise be written twice) and the static [blackout] knob. Hashtables
+   are iterated in sorted key order; receive logs are already canonical
+   (ascending (time, sender)); floats are printed exactly (%h). *)
+let fingerprint buf t =
+  let sorted tbl =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  let logs tag tbl =
+    List.iter
+      (fun (v, log) ->
+        Printf.bprintf buf "%s:%s=" tag v;
+        Recv_log.iter_entries log (fun ~sender ~at ->
+            Printf.bprintf buf "%d@%h," sender at);
+        Buffer.add_char buf ';')
+      (sorted tbl)
+  in
+  let times tag tbl =
+    List.iter
+      (fun (v, x) -> Printf.bprintf buf "%s:%s=%h;" tag v x)
+      (sorted tbl)
+  in
+  Printf.bprintf buf "ia{g=%d;" t.g;
+  logs "s" t.support;
+  logs "a" t.approve;
+  logs "r" t.ready;
+  times "iv" t.i_values;
+  times "rf" t.ready_flag;
+  times "ig" t.ignore_until;
+  (match t.accepted with
+  | None -> Buffer.add_string buf "acc=-}"
+  | Some (v, tau_g, ta) -> Printf.bprintf buf "acc=%s@%h/%h}" v tau_g ta)
 
 (* Transient-fault injection: fill every variable with plausible garbage.
    Times are drawn around the current local time, both past and future, so

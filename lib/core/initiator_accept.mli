@@ -18,12 +18,15 @@ type invocation_report = {
   n4_at : float option;  (** I-accept after invocation *)
 }
 
-(** [create ?guard ~ctx ~g ()] — the optional {!Separation.t} is the
-    persistent per-General rate-limiting state ([last(G)], [last(G,m)], send
-    times, the re-initiation blackout, the [IG3] report). The node supplies
-    one that outlives the session; omitting it (unit tests) makes the
-    instance self-contained. *)
-val create : ?guard:Separation.t -> ctx:ctx -> g:general -> unit -> t
+(** [create ?blackout ?guard ~ctx ~g ()] — the optional {!Separation.t} is
+    the persistent per-General rate-limiting state ([last(G)], [last(G,m)],
+    send times, the re-initiation blackout, the [IG3] report). The node
+    supplies one that outlives the session; omitting it (unit tests) makes
+    the instance self-contained. [?blackout] (default [true]) gates the
+    PR-6 re-initiation blackout conjunct in block K; the model checker
+    disables it to exhibit the split decision the guard prevents. *)
+val create :
+  ?blackout:bool -> ?guard:Separation.t -> ctx:ctx -> g:general -> unit -> t
 
 (** The separation guard this instance reads and writes. *)
 val guard : t -> Separation.t
@@ -66,6 +69,11 @@ val invocation_report : t -> invocation_report
 
 (** Whether (G,m) messages are inside the 3d post-accept ignore window. *)
 val ignoring : t -> value -> bool
+
+(** Append a canonical state fingerprint (sorted keys, exact float text).
+    The shared separation guard is {e not} included — the node fingerprints
+    guards separately. *)
+val fingerprint : Buffer.t -> t -> unit
 
 (** Transient-fault injection: overwrite variables with random garbage drawn
     around the current local time (past and future). *)

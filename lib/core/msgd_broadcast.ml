@@ -250,6 +250,40 @@ let quiescent t =
   && Recv_log.is_empty t.broadcasters
   && t.tau_g = None
 
+(* Canonical state fingerprint for the model checker's visited set: trips in
+   sorted key order, receive logs in their canonical entry order, floats
+   printed exactly. *)
+let fingerprint buf t =
+  let fopt buf = function
+    | None -> Buffer.add_string buf "-"
+    | Some x -> Printf.bprintf buf "%h" x
+  in
+  let log l =
+    Recv_log.iter_entries l (fun ~sender ~at ->
+        Printf.bprintf buf "%d@%h," sender at)
+  in
+  Printf.bprintf buf "mb{g=%d;tg=%a;" t.g fopt t.tau_g;
+  Buffer.add_string buf "bc=";
+  log t.broadcasters;
+  Buffer.add_char buf ';';
+  let trips =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.trips [])
+  in
+  List.iter
+    (fun ((p, v, k), tr) ->
+      Printf.bprintf buf "t:%d/%s/%d=ip%a|e" p v k fopt tr.init_from_p;
+      log tr.echo;
+      Buffer.add_string buf "|i2";
+      log tr.init2;
+      Buffer.add_string buf "|e2";
+      log tr.echo2;
+      Printf.bprintf buf "|%b%b%b|a%a|la%h;" tr.sent_echo tr.sent_init2
+        tr.sent_echo2 fopt tr.accepted_at tr.last_activity)
+    trips;
+  Buffer.add_char buf '}'
+
 (* Transient-fault injection. *)
 let scramble rng ~values t =
   let tau = now t in

@@ -45,5 +45,9 @@ val reset : t -> unit
     broadcasters, no anchor) — eligible for session garbage collection. *)
 val quiescent : t -> bool
 
+(** Append a canonical state fingerprint (sorted trip keys, exact float
+    text) — the model checker's visited-set encoding. *)
+val fingerprint : Buffer.t -> t -> unit
+
 (** Transient-fault injection. *)
 val scramble : Ssba_sim.Rng.t -> values:value list -> t -> unit

@@ -35,6 +35,9 @@ type t = {
   guards : (general, Separation.t) Hashtbl.t;
       (* the per-General separation guards; they outlive their sessions and
          are only dropped once fully decayed (and no session holds them) *)
+  blackout : bool;
+      (* the Initiator-Accept re-initiation blackout knob; false only in the
+         model checker's weakened-oracle sensitivity runs *)
   mutable returns : return_info list;  (* newest first *)
   mutable subscribers : (return_info -> unit) list;
   mutable observers : (general -> Ss_byz_agree.observation -> unit) list;
@@ -90,7 +93,10 @@ let instance t g =
          (g, Some tau_g) when its I-accept anchors it; the separation guard
          is found-or-created independently so a session recreated after
          eviction/GC still sees last(G), last(G,m) and the blackout. *)
-      let inst = Ss_byz_agree.create ~guard:(guard_of t g) ~ctx:(ctx_of t) ~g () in
+      let inst =
+        Ss_byz_agree.create ~blackout:t.blackout ~guard:(guard_of t g)
+          ~ctx:(ctx_of t) ~g ()
+      in
       Ss_byz_agree.set_on_return inst (fun outcome ~tau_g ~tau_ret ->
           let r =
             {
@@ -174,8 +180,8 @@ let start_cleanup t =
     tick ()
   end
 
-let create_on ?(channels = 1) ?session_capacity ~id ~params ~clock ~engine ~link
-    () =
+let create_on ?(channels = 1) ?session_capacity ?(blackout = true) ~id ~params
+    ~clock ~engine ~link () =
   if channels < 1 then invalid_arg "Node.create: channels must be >= 1";
   let capacity =
     (* Every logical General can be live at once, so that is the natural
@@ -192,6 +198,7 @@ let create_on ?(channels = 1) ?session_capacity ~id ~params ~clock ~engine ~link
       engine;
       link;
       channels;
+      blackout;
       instances = Session_table.create ~capacity;
       guards = Hashtbl.create 4;
       returns = [];
@@ -216,8 +223,9 @@ let create_on ?(channels = 1) ?session_capacity ~id ~params ~clock ~engine ~link
   start_cleanup t;
   t
 
-let create ?channels ?session_capacity ~id ~params ~clock ~engine ~net () =
-  create_on ?channels ?session_capacity ~id ~params ~clock ~engine
+let create ?channels ?session_capacity ?blackout ~id ~params ~clock ~engine
+    ~net () =
+  create_on ?channels ?session_capacity ?blackout ~id ~params ~clock ~engine
     ~link:(Ssba_net.Network.link net) ()
 
 (* ----- the General role ------------------------------------------------ *)
@@ -306,6 +314,54 @@ let propose ?(channel = 0) t v =
     watch_own_invocation t ~logical;
     Ok ()
   end
+
+(* Canonical whole-node state fingerprint for the model checker's visited
+   set: sessions (with the lifecycle bookkeeping that drives eviction),
+   separation guards, General-side rate-limiting state and the return
+   history, every table in sorted key order. The local clock reading is not
+   included — the checker runs perfect clocks and appends the engine time
+   itself. *)
+let fingerprint buf t =
+  Printf.bprintf buf "n%d{" t.id;
+  let sessions = ref [] in
+  Session_table.iter_detail t.instances
+    (fun ~g ~anchor ~active ~stamp inst ->
+      sessions := (g, anchor, active, stamp, inst) :: !sessions);
+  List.iter
+    (fun (g, anchor, active, stamp, inst) ->
+      Printf.bprintf buf "sess%d[%s;%h;%d]=" g
+        (match anchor with None -> "-" | Some a -> Printf.sprintf "%h" a)
+        active stamp;
+      Ss_byz_agree.fingerprint buf inst;
+      Buffer.add_char buf ';')
+    (List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a b) !sessions);
+  let sorted tbl =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  List.iter
+    (fun (g, sep) ->
+      Printf.bprintf buf "guard%d=" g;
+      Separation.fingerprint buf sep;
+      Buffer.add_char buf ';')
+    (sorted t.guards);
+  List.iter
+    (fun (g, s) -> Printf.bprintf buf "ig1:%d=%h;" g s)
+    (sorted t.last_init_at);
+  List.iter
+    (fun ((g, v), s) -> Printf.bprintf buf "ig2:%d/%s=%h;" g v s)
+    (sorted t.last_value_init_at);
+  List.iter
+    (fun (g, s) -> Printf.bprintf buf "ig3:%d=%h;" g s)
+    (sorted t.blocked_until);
+  List.iter
+    (fun (r : return_info) ->
+      Printf.bprintf buf "ret:%d/%s@%h;" r.g
+        (match r.outcome with Decided v -> v | Aborted -> "!")
+        r.rt_ret)
+    t.returns;
+  Buffer.add_char buf '}'
 
 (* ----- fault injection -------------------------------------------------- *)
 

@@ -28,10 +28,15 @@ val string_of_propose_error : propose_error -> string
     [session_capacity] (default [max 8 (n * channels)]) fixes the session
     table's slot count: sessions beyond it evict the least-recently-active
     one deterministically. The default admits every logical General at once,
-    so eviction only ever fires under adversarial floods. *)
+    so eviction only ever fires under adversarial floods.
+
+    [blackout] (default [true]) gates the {!Initiator_accept} re-initiation
+    blackout; the model checker disables it in sensitivity runs to exhibit
+    the split decision the guard prevents. *)
 val create :
   ?channels:int ->
   ?session_capacity:int ->
+  ?blackout:bool ->
   id:node_id ->
   params:Params.t ->
   clock:Ssba_sim.Clock.t ->
@@ -45,6 +50,7 @@ val create :
 val create_on :
   ?channels:int ->
   ?session_capacity:int ->
+  ?blackout:bool ->
   id:node_id ->
   params:Params.t ->
   clock:Ssba_sim.Clock.t ->
@@ -96,6 +102,13 @@ val subscribe : t -> (return_info -> unit) -> unit
     this node's agreement instances, tagged with the General. *)
 val subscribe_observations :
   t -> (general -> Ss_byz_agree.observation -> unit) -> unit
+
+(** Append a canonical whole-node state fingerprint: sessions (with the
+    lifecycle bookkeeping that drives eviction), separation guards,
+    General-side rate-limiting state and the return history — the model
+    checker's visited-set encoding. The clock is not included; the checker
+    appends the engine time itself. *)
+val fingerprint : Buffer.t -> t -> unit
 
 (** Transient-fault injection: corrupt every instance (plus [extra] conjured
     ones) and the General-side bookkeeping. *)

@@ -158,6 +158,14 @@ let sanitize t ~now =
     t.size <- keep
   end
 
+(* Iterate live entries in ascending (time, sender) order — a canonical
+   order independent of arrival interleaving; the model checker's state
+   fingerprints rely on it. *)
+let iter_entries t f =
+  for i = 0 to t.size - 1 do
+    f ~sender:t.who.(i) ~at:t.times.(i)
+  done
+
 let clear t =
   Hashtbl.reset t.arrivals;
   t.size <- 0

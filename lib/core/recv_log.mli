@@ -44,6 +44,11 @@ val decay : t -> horizon:float -> unit
 (** Drop entries with future timestamps (transient-fault residue). *)
 val sanitize : t -> now:float -> unit
 
+(** Iterate live entries in ascending (time, sender) order — a canonical
+    order independent of arrival interleaving. The model checker's state
+    fingerprints rely on this canonicity. *)
+val iter_entries : t -> (sender:int -> at:float -> unit) -> unit
+
 val clear : t -> unit
 val is_empty : t -> bool
 

@@ -150,6 +150,40 @@ let cleanup t ~params ~now =
   if stale t.m4_at then t.m4_at <- None;
   if stale t.n4_at then t.n4_at <- None
 
+(* Canonical state fingerprint for the model checker's visited set: every
+   behaviour-relevant field, hashtables in sorted key order, floats printed
+   exactly (%h). *)
+let fingerprint buf t =
+  let fopt buf = function
+    | None -> Buffer.add_string buf "-"
+    | Some x -> Printf.bprintf buf "%h" x
+  in
+  let sorted tbl =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  Printf.bprintf buf "sep{lg=%a;" fopt t.last_g;
+  List.iter
+    (fun (v, sets) ->
+      Printf.bprintf buf "gm:%s=" v;
+      List.iter (fun at -> Printf.bprintf buf "%h," at) (Time_set.to_list sets);
+      Buffer.add_char buf ';')
+    (sorted t.last_gm);
+  let sent tag tbl =
+    List.iter
+      (fun (v, s) -> Printf.bprintf buf "%s:%s=%h;" tag v s)
+      (sorted tbl)
+  in
+  sent "ss" t.sent_support;
+  sent "sa" t.sent_approve;
+  sent "sr" t.sent_ready;
+  (match t.session_value with
+  | None -> Buffer.add_string buf "sv=-;"
+  | Some (v, s) -> Printf.bprintf buf "sv=%s@%h;" v s);
+  Printf.bprintf buf "ig3=%a,%a,%a,%a}" fopt t.invoked_at fopt t.l4_at fopt
+    t.m4_at fopt t.n4_at
+
 (* Fully decayed: nothing left worth keeping — the node drops such guards. *)
 let is_idle t =
   t.last_g = None

@@ -59,3 +59,7 @@ val cleanup : t -> params:Params.t -> now:float -> unit
 
 (** Fully decayed — eligible for dropping by the node's guard sweep. *)
 val is_idle : t -> bool
+
+(** Append a canonical state fingerprint (hashtables in sorted key order,
+    exact float text) — the model checker's visited-set encoding. *)
+val fingerprint : Buffer.t -> t -> unit

@@ -161,6 +161,20 @@ let iter t f =
       | Some p -> f ~g:sl.sl_g ~anchor:sl.sl_anchor p)
     t.slots
 
+(* Like [iter], but exposing the lifecycle bookkeeping (last activity,
+   creation stamp) that determines eviction order — the model checker's
+   fingerprints must cover it, since two tables with the same sessions but
+   different activity orders evict differently under pressure. *)
+let iter_detail t f =
+  Array.iter
+    (fun sl ->
+      match sl.sl_payload with
+      | None -> ()
+      | Some p ->
+          f ~g:sl.sl_g ~anchor:sl.sl_anchor ~active:sl.sl_active
+            ~stamp:sl.sl_stamp p)
+    t.slots
+
 let gc t ~dead =
   Array.iter
     (fun sl ->

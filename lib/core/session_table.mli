@@ -48,6 +48,19 @@ val set_anchor : 'a t -> Types.general -> float -> unit
 val remove : 'a t -> Types.general -> unit
 val iter : 'a t -> (g:Types.general -> anchor:float option -> 'a -> unit) -> unit
 
+(** Like {!iter}, but also exposing each session's last-activity time and
+    creation stamp — the bookkeeping that determines eviction order, which
+    state fingerprints must cover. *)
+val iter_detail :
+  'a t ->
+  (g:Types.general ->
+  anchor:float option ->
+  active:float ->
+  stamp:int ->
+  'a ->
+  unit) ->
+  unit
+
 (** Collect every session the predicate declares dead. The predicate also
     sees the session's last-activity time: callers must grace-period
     recently-active sessions, because a session is momentarily

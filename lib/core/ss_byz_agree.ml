@@ -252,8 +252,8 @@ let invoke t ~v =
   | Returned _ -> ()  (* stopped; participates in primitives only *)
   | Idle | Running -> Initiator_accept.handle_initiator t.ia v
 
-let create ?guard ~ctx ~g () =
-  let ia = Initiator_accept.create ?guard ~ctx ~g () in
+let create ?blackout ?guard ~ctx ~g () =
+  let ia = Initiator_accept.create ?blackout ?guard ~ctx ~g () in
   let mb = Msgd_broadcast.create ~ctx ~g in
   let t =
     {
@@ -326,6 +326,41 @@ let quiescent t =
   && Hashtbl.length t.accepts = 0
   && Initiator_accept.quiescent t.ia
   && Msgd_broadcast.quiescent t.mb
+
+(* Canonical state fingerprint for the model checker's visited set: the
+   instance's own fields plus both primitives. The [epoch] counter is
+   deliberately excluded — it only invalidates already-scheduled timers, and
+   the checker's state abstraction treats pending timers as reconstructible
+   from protocol state (stale ones no-op by construction). The guard is
+   fingerprinted by the node. *)
+let fingerprint buf t =
+  let fopt buf = function
+    | None -> Buffer.add_string buf "-"
+    | Some x -> Printf.bprintf buf "%h" x
+  in
+  Printf.bprintf buf "ag{g=%d;tg=%a;own=%s;" t.g fopt t.tau_g
+    (match t.own_iaccept with None -> "-" | Some v -> v);
+  (match t.st with
+  | Idle -> Buffer.add_string buf "st=I;"
+  | Running -> Buffer.add_string buf "st=R;"
+  | Returned (Decided v, at) -> Printf.bprintf buf "st=D:%s@%h;" v at
+  | Returned (Aborted, at) -> Printf.bprintf buf "st=A@%h;" at);
+  let rounds =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.accepts [])
+  in
+  List.iter
+    (fun (k, l) ->
+      Printf.bprintf buf "k%d=" k;
+      List.iter
+        (fun (p, v, at) -> Printf.bprintf buf "%d/%s@%h," p v at)
+        (List.sort compare l);
+      Buffer.add_char buf ';')
+    rounds;
+  Initiator_accept.fingerprint buf t.ia;
+  Msgd_broadcast.fingerprint buf t.mb;
+  Buffer.add_char buf '}'
 
 (* Transient-fault injection: corrupt this instance and both primitives. *)
 let scramble rng ~values t =

@@ -30,10 +30,12 @@ type observation =
 
 type t
 
-(** [create ?guard ~ctx ~g ()] — [guard] is the persistent per-General
-    separation state threaded through to {!Initiator_accept}; the node
-    supplies one that outlives this session. *)
-val create : ?guard:Separation.t -> ctx:ctx -> g:general -> unit -> t
+(** [create ?blackout ?guard ~ctx ~g ()] — [guard] is the persistent
+    per-General separation state threaded through to {!Initiator_accept};
+    the node supplies one that outlives this session. [?blackout] (default
+    [true]) is the {!Initiator_accept} re-initiation blackout knob. *)
+val create :
+  ?blackout:bool -> ?guard:Separation.t -> ctx:ctx -> g:general -> unit -> t
 
 (** Callback fired when the instance stops (decides or aborts). *)
 val set_on_return : t -> (outcome -> tau_g:float -> tau_ret:float -> unit) -> unit
@@ -61,6 +63,11 @@ val quiescent : t -> bool
 val general : t -> general
 val initiator_accept : t -> Initiator_accept.t
 val msgd_broadcast : t -> Msgd_broadcast.t
+
+(** Append a canonical state fingerprint of the instance and both
+    primitives (the shared separation guard and the timer-invalidations
+    [epoch] counter excluded) — the model checker's visited-set encoding. *)
+val fingerprint : Buffer.t -> t -> unit
 
 (** Transient-fault injection: corrupt the instance and both primitives. *)
 val scramble : Ssba_sim.Rng.t -> values:value list -> t -> unit

@@ -131,6 +131,8 @@ let spec rng cfg =
         events = sched.Ch.events;
         transport = cfg.transport;
         horizon = 0.0;
+        session_capacity = None;
+        blackout = true;
       }
     in
     { draft with Spec.horizon = Float.max sched.Ch.horizon (min_horizon draft) }
@@ -251,6 +253,8 @@ let spec rng cfg =
       events;
       transport = cfg.transport;
       horizon = 0.0;
+      session_capacity = None;
+      blackout = true;
     }
   in
   { draft with Spec.horizon = min_horizon draft }

@@ -87,6 +87,8 @@ let candidates spec =
     | Fixed _ -> []
     | Uniform { lo; hi } | Bimodal { fast = lo; slow = hi; _ } ->
         [ { spec with delay = Fixed (0.5 *. (lo +. hi)) } ]
+    (* a scripted schedule collapses to its default delay *)
+    | Scripted { default; _ } -> [ { spec with delay = Fixed default } ]
   in
   let clocks =
     match spec.clocks with

@@ -16,6 +16,15 @@ type delay =
   | Fixed of float
   | Uniform of { lo : float; hi : float }
   | Bimodal of { fast : float; slow : float; slow_prob : float }
+  | Scripted of {
+      default : float;
+      links : ((node_id * node_id) * float list) list;
+          (* per (src, dst): the delay of that link's k-th send, in send
+             order; [default] once the list is exhausted (and for unlisted
+             links). The model checker's counterexample export — correct
+             nodes' send order is deterministic, so indexing by send count
+             reproduces the explored schedule exactly. *)
+    }
 
 type t = {
   name : string;
@@ -29,6 +38,9 @@ type t = {
   events : S.event list;
   transport : T.config option;
   horizon : float;
+  session_capacity : int option;
+      (* override Node's session-table capacity (None = the Node default) *)
+  blackout : bool;  (* the re-initiation blackout knob (default true) *)
 }
 
 let max_loss t =
@@ -61,6 +73,20 @@ let compile_delay = function
   | Fixed x -> Ssba_net.Delay.fixed x
   | Uniform { lo; hi } -> Ssba_net.Delay.uniform ~lo ~hi
   | Bimodal { fast; slow; slow_prob } -> Ssba_net.Delay.bimodal ~fast ~slow ~slow_prob
+  | Scripted { default; links } ->
+      (* Stateful per-link send counters: the k-th send on (src, dst) gets
+         the k-th scripted delay. Compile once per run — [to_scenario] is
+         called per execution, so the counters start fresh each time. *)
+      let scripts = Hashtbl.create 16 in
+      List.iter (fun (key, ds) -> Hashtbl.replace scripts key (Array.of_list ds)) links;
+      let counters = Hashtbl.create 16 in
+      Ssba_net.Delay.custom (fun ~rng:_ ~src ~dst ~now:_ ->
+          match Hashtbl.find_opt scripts (src, dst) with
+          | None -> default
+          | Some arr ->
+              let k = Option.value ~default:0 (Hashtbl.find_opt counters (src, dst)) in
+              Hashtbl.replace counters (src, dst) (k + 1);
+              if k < Array.length arr then arr.(k) else default)
 
 let to_scenario t =
   let params = params t in
@@ -69,7 +95,8 @@ let to_scenario t =
     ~record_observations:true ~delay:(compile_delay t.delay) ~clocks:t.clocks
     ~roles:
       (List.map (fun (id, c) -> (id, S.Byzantine (C.to_behavior ~d c))) t.cast)
-    ~proposals:t.proposals ~events:t.events ?transport:t.transport params
+    ~proposals:t.proposals ~events:t.events ?transport:t.transport
+    ?session_capacity:t.session_capacity ~blackout:t.blackout params
 
 let event_time = S.event_time
 
@@ -90,15 +117,21 @@ let disruptive t e =
 
 let catalog_nodes = function
   | C.Partial_general { targets; _ } -> targets
+  | C.Scripted { steps } -> List.filter_map (fun (_, dst, _) -> dst) steps
   | C.Silent | C.Spam _ | C.Mimic _ | C.Two_faced_general _
   | C.Stagger_general _ | C.Equivocator _ | C.Flip_flop _ ->
       []
+
+let delay_nodes = function
+  | Scripted { links; _ } -> List.concat_map (fun ((s, d), _) -> [ s; d ]) links
+  | Fixed _ | Uniform _ | Bimodal _ -> []
 
 let max_referenced_id t =
   let ids =
     List.concat_map (fun (id, c) -> id :: catalog_nodes c) t.cast
     @ List.map (fun (p : S.proposal) -> p.S.g) t.proposals
     @ List.concat_map event_nodes t.events
+    @ delay_nodes t.delay
   in
   List.fold_left max (-1) ids
 
@@ -129,6 +162,9 @@ let validate t =
     in
     if not (sorted t.events) then err "events not sorted by time"
     else if t.horizon <= 0.0 then err "non-positive horizon"
+    else if
+      match t.session_capacity with Some c -> c < 1 | None -> false
+    then err "session_capacity must be >= 1"
     else if
       List.exists
         (function
@@ -207,6 +243,31 @@ let delay_to_json = function
           ("slow", num slow);
           ("slow_prob", num slow_prob);
         ]
+  | Scripted { default; links } ->
+      J.Obj
+        [
+          ("model", str "scripted");
+          ("default", num default);
+          ( "links",
+            J.Arr
+              (List.map
+                 (fun ((src, dst), ds) ->
+                   J.Obj
+                     [
+                       ("src", int src);
+                       ("dst", int dst);
+                       ("delays", J.Arr (List.map num ds));
+                     ])
+                 links) );
+        ]
+
+let float_list name j =
+  List.map
+    (fun v ->
+      match J.to_float_opt v with
+      | Some x -> x
+      | None -> fail "field %S: expected numbers" name)
+    (get_list name j)
 
 let delay_of_json j =
   match get_str "model" j with
@@ -218,6 +279,16 @@ let delay_of_json j =
           fast = get_float "fast" j;
           slow = get_float "slow" j;
           slow_prob = get_float "slow_prob" j;
+        }
+  | "scripted" ->
+      Scripted
+        {
+          default = get_float "default" j;
+          links =
+            List.map
+              (fun lj ->
+                ((get_int "src" lj, get_int "dst" lj), float_list "delays" lj))
+              (get_list "links" j);
         }
   | m -> fail "unknown delay model %S" m
 
@@ -233,6 +304,91 @@ let clocks_of_json j =
   | "drifting" ->
       S.Drifting { rho = get_float "rho" j; max_offset = get_float "max_offset" j }
   | m -> fail "unknown clock model %S" m
+
+(* Protocol-message codec, for the Scripted strategy's transcript steps. *)
+
+let ia_kind_to_string = function
+  | Support -> "support"
+  | Approve -> "approve"
+  | Ready -> "ready"
+
+let ia_kind_of_string = function
+  | "support" -> Support
+  | "approve" -> Approve
+  | "ready" -> Ready
+  | s -> fail "unknown ia kind %S" s
+
+let mb_kind_to_string = function
+  | Init -> "init"
+  | Echo -> "echo"
+  | Init2 -> "init2"
+  | Echo2 -> "echo2"
+
+let mb_kind_of_string = function
+  | "init" -> Init
+  | "echo" -> Echo
+  | "init2" -> Init2
+  | "echo2" -> Echo2
+  | s -> fail "unknown mb kind %S" s
+
+let message_to_json = function
+  | Initiator { g; v } ->
+      J.Obj [ ("msg", str "initiator"); ("g", int g); ("v", str v) ]
+  | Ia { kind; g; v } ->
+      J.Obj
+        [
+          ("msg", str "ia");
+          ("kind", str (ia_kind_to_string kind));
+          ("g", int g);
+          ("v", str v);
+        ]
+  | Mb { kind; p; g; v; k } ->
+      J.Obj
+        [
+          ("msg", str "mb");
+          ("kind", str (mb_kind_to_string kind));
+          ("p", int p);
+          ("g", int g);
+          ("v", str v);
+          ("k", int k);
+        ]
+
+let message_of_json j =
+  match get_str "msg" j with
+  | "initiator" -> Initiator { g = get_int "g" j; v = get_str "v" j }
+  | "ia" ->
+      Ia
+        {
+          kind = ia_kind_of_string (get_str "kind" j);
+          g = get_int "g" j;
+          v = get_str "v" j;
+        }
+  | "mb" ->
+      Mb
+        {
+          kind = mb_kind_of_string (get_str "kind" j);
+          p = get_int "p" j;
+          g = get_int "g" j;
+          v = get_str "v" j;
+          k = get_int "k" j;
+        }
+  | m -> fail "unknown message class %S" m
+
+let step_to_json (at, dst, msg) =
+  J.Obj
+    ([ ("at", num at) ]
+    @ (match dst with None -> [] | Some d -> [ ("dst", int d) ])
+    @ [ ("msg", message_to_json msg) ])
+
+let step_of_json j =
+  ( get_float "at" j,
+    (match J.member "dst" j with
+    | None -> None
+    | Some d -> (
+        match J.to_int_opt d with
+        | Some i -> Some i
+        | None -> fail "field \"dst\": expected integer")),
+    message_of_json (get_field "msg" j) )
 
 let strategy_to_json = function
   | C.Silent -> J.Obj [ ("strategy", str "silent") ]
@@ -268,6 +424,9 @@ let strategy_to_json = function
           ("period_d", num period_d);
           ("values", J.Arr (List.map str values));
         ]
+  | C.Scripted { steps } ->
+      J.Obj
+        [ ("strategy", str "scripted"); ("steps", J.Arr (List.map step_to_json steps)) ]
 
 let strategy_of_json j =
   match get_str "strategy" j with
@@ -287,6 +446,7 @@ let strategy_of_json j =
   | "equivocator" -> C.Equivocator { v1 = get_str "v1" j; v2 = get_str "v2" j }
   | "flip-flop" ->
       C.Flip_flop { period_d = get_float "period_d" j; values = str_list "values" j }
+  | "scripted" -> C.Scripted { steps = List.map step_of_json (get_list "steps" j) }
   | s -> fail "unknown strategy %S" s
 
 let event_to_json = function
@@ -414,12 +574,16 @@ let to_json t =
       ("events", J.Arr (List.map event_to_json t.events));
       ("horizon", num t.horizon);
     ]
-    @
-    (* omitted when absent, so pre-transport replay files keep loading and
-       transport-free specs serialize unchanged *)
-    match t.transport with
-    | None -> []
-    | Some c -> [ ("transport", transport_to_json c) ])
+    (* optional fields are omitted at their defaults, so older replay files
+       keep loading and default-valued specs serialize unchanged (the corpus
+       digests depend on this) *)
+    @ (match t.transport with
+      | None -> []
+      | Some c -> [ ("transport", transport_to_json c) ])
+    @ (match t.session_capacity with
+      | None -> []
+      | Some c -> [ ("session_capacity", int c) ])
+    @ match t.blackout with true -> [] | false -> [ ("blackout", J.Bool false) ])
 
 let of_json j =
   try
@@ -439,6 +603,18 @@ let of_json j =
         events = List.map event_of_json (get_list "events" j);
         transport = Option.map transport_of_json (J.member "transport" j);
         horizon = get_float "horizon" j;
+        session_capacity =
+          (match J.member "session_capacity" j with
+          | None -> None
+          | Some c -> (
+              match J.to_int_opt c with
+              | Some i -> Some i
+              | None -> fail "field \"session_capacity\": expected integer"));
+        blackout =
+          (match J.member "blackout" j with
+          | None -> true
+          | Some (J.Bool b) -> b
+          | Some _ -> fail "field \"blackout\": expected boolean");
       }
   with Decode msg -> Error msg
 

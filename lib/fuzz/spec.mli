@@ -12,11 +12,18 @@
 open Ssba_core.Types
 
 (** Enumerable subset of {!Ssba_net.Delay} (the closure-based policies are
-    not serializable and are never generated). *)
+    not serializable and are never generated — except [Scripted], which the
+    model checker writes to pin an explored delivery schedule). *)
 type delay =
   | Fixed of float
   | Uniform of { lo : float; hi : float }
   | Bimodal of { fast : float; slow : float; slow_prob : float }
+  | Scripted of {
+      default : float;
+      links : ((node_id * node_id) * float list) list;
+          (** per (src, dst): the delay of that link's k-th send, in send
+              order; [default] once exhausted and for unlisted links *)
+    }
 
 type t = {
   name : string;
@@ -34,6 +41,12 @@ type t = {
           {!Ssba_core.Params.delta_eff} for the worst persistent loss and
           reordering the event schedule installs *)
   horizon : float;
+  session_capacity : int option;
+      (** override the nodes' session-table capacity ([None] keeps the
+          {!Ssba_core.Node} default); serialized only when set *)
+  blackout : bool;
+      (** the re-initiation blackout knob (default [true]); serialized only
+          when [false] — older replay files keep loading unchanged *)
 }
 
 (** The protocol constants the compiled scenario runs under:

@@ -63,9 +63,12 @@ let span = function
       let hi = List.fold_left Float.max x tl in
       hi -. lo
 
-(* Max pairwise |rt(tau_q) - rt(tau_q')| over the episode's return times. *)
+(* Max pairwise |rt(tau_q) - rt(tau_q')| over the episode's *decision*
+   times. [Timeliness-1a] bounds the skew between decision events only; an
+   abort is not a decision, so mixed decide/abort episodes (e.g. the block-R
+   knife-edge, seed 7404/173) contribute no decide-vs-abort spans. *)
 let decision_skew (_res : Runner.result) e =
-  span (List.map (fun r -> r.rt_ret) e.returns)
+  span (List.map (fun (r, _) -> r.rt_ret) (decided e))
 
 (* Max pairwise anchor skew |rt(tau_g_q) - rt(tau_g_q')|. *)
 let anchor_skew (res : Runner.result) e =

@@ -228,8 +228,10 @@ let run_with ~execute (sc : Scenario.t) =
     match Scenario.role_of sc id with
     | Scenario.Correct ->
         let node =
-          Node.create_on ~channels:sc.Scenario.channels ~id ~params
-            ~clock:clocks.(id) ~engine ~link:iface.link ()
+          Node.create_on ~channels:sc.Scenario.channels
+            ?session_capacity:sc.Scenario.session_capacity
+            ~blackout:sc.Scenario.blackout ~id ~params ~clock:clocks.(id)
+            ~engine ~link:iface.link ()
         in
         Node.subscribe node (fun r -> returns := r :: !returns);
         if sc.Scenario.record_observations then
@@ -356,9 +358,10 @@ let run_with ~execute (sc : Scenario.t) =
                    protocol take over the link handler from arbitrary state. *)
                 reformed.(node) <- true;
                 let nd =
-                  Node.reform ~channels:sc.Scenario.channels ~rng:scramble_rng
-                    ~values:reform_values ~id:node ~params ~clock:clocks.(node)
-                    ~engine ~link:iface.link ()
+                  Node.reform ~channels:sc.Scenario.channels
+                    ?session_capacity:sc.Scenario.session_capacity
+                    ~rng:scramble_rng ~values:reform_values ~id:node ~params
+                    ~clock:clocks.(node) ~engine ~link:iface.link ()
                 in
                 Node.subscribe nd (fun r -> returns := r :: !returns);
                 if sc.Scenario.record_observations then

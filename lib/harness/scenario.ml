@@ -69,6 +69,13 @@ type t = {
       (* run all protocol traffic through the reliable transport; params
          should then be built at Params.delta_eff for the worst persistent
          loss the event schedule installs *)
+  session_capacity : int option;
+      (* override the nodes' session-table capacity (default: the Node
+         default, max 8 (n * channels)); tiny values force eviction under
+         session floods — the model checker's split-hunt configuration *)
+  blackout : bool;
+      (* the Initiator-Accept re-initiation blackout knob (default true);
+         false only in weakened-checker sensitivity runs *)
 }
 
 let role_of t id =
@@ -125,7 +132,8 @@ let reformed_ids t =
 let default ?(name = "scenario") ?(seed = 1) ?(horizon = 5.0) ?(record_trace = false)
     ?(record_observations = false) ?delay
     ?(clocks = Drifting { rho = 1e-4; max_offset = 0.1 }) ?(roles = [])
-    ?(proposals = []) ?(events = []) ?transport ?(channels = 1) params =
+    ?(proposals = []) ?(events = []) ?transport ?(channels = 1)
+    ?session_capacity ?(blackout = true) params =
   let delay =
     match delay with
     | Some d -> d
@@ -147,4 +155,6 @@ let default ?(name = "scenario") ?(seed = 1) ?(horizon = 5.0) ?(record_trace = f
     record_trace;
     record_observations;
     transport;
+    session_capacity;
+    blackout;
   }

@@ -76,6 +76,14 @@ type t = {
       (** run all protocol traffic (correct nodes and behaviours) through the
           reliable transport; build [params] at {!Ssba_core.Params.delta_eff}
           for the worst persistent loss the event schedule installs *)
+  session_capacity : int option;
+      (** override the nodes' session-table capacity ([None] keeps the
+          {!Ssba_core.Node} default, [max 8 (n * channels)]); tiny values
+          force eviction under session floods *)
+  blackout : bool;
+      (** the {!Ssba_core.Initiator_accept} re-initiation blackout knob
+          (default [true]); [false] only in weakened-checker sensitivity
+          runs *)
 }
 
 val role_of : t -> node_id -> role
@@ -118,5 +126,7 @@ val default :
   ?events:event list ->
   ?transport:Ssba_transport.Transport.config ->
   ?channels:int ->
+  ?session_capacity:int ->
+  ?blackout:bool ->
   Ssba_core.Params.t ->
   t

@@ -1,0 +1,230 @@
+(* Small-model configurations for the bounded checker.
+
+   A configuration fixes everything about a tiny world except the choices the
+   checker branches over: the Byzantine script menus and the delivery-delay
+   lattice. The choice space is explicit and finite by construction — the
+   checker is exhaustive over *this* space up to its depth bound, which is the
+   honest statement a bounded model checker can make (DESIGN.md §10).
+
+   Delays branch per *class*, not per send: [branch] maps a send to a group
+   key, and every send in the same group shares one lattice choice within a
+   run. Grouping is what keeps the space enumerable (branching every delivery
+   independently is 2^hundreds); the key function is part of the
+   configuration, i.e. part of the claim. *)
+
+open Ssba_core.Types
+module Params = Ssba_core.Params
+module Scenario = Ssba_harness.Scenario
+
+type script_step = {
+  step_at : float;  (* absolute engine real time *)
+  step_label : string;
+  options : (node_id option * message) list list;
+      (* menu of send batches; the checker branches over the index (option 0
+         is the default path), then performs every send of the chosen batch.
+         A [None] destination broadcasts. A single-option step never
+         branches: it is the deterministic part of the script. *)
+}
+
+type byz = { byz_id : node_id; steps : script_step list }
+
+type t = {
+  name : string;
+  params : Params.t;
+  byz : byz list;
+  proposals : Scenario.proposal list;
+  session_capacity : int option;
+  blackout : bool;
+  horizon : float;
+  default_delay : float;
+  lattice : float array;
+      (* delay options for branched deliveries; index 0 is explored first *)
+  branch : src:node_id -> dst:node_id -> message -> string option;
+      (* [Some key]: the send's delay is a lattice choice shared by every
+         send mapping to [key] within the run; [None]: [default_delay].
+         Deliveries to Byzantine nodes are additionally filtered out when
+         partial-order reduction is on (the scripts are input-oblivious, so
+         those deliveries commute with everything). *)
+}
+
+let byz_ids t = List.map (fun b -> b.byz_id) t.byz
+let is_byz t id = List.exists (fun b -> b.byz_id = id) t.byz
+
+let correct_ids t =
+  List.filter (fun id -> not (is_byz t id)) (List.init t.params.Params.n Fun.id)
+
+(* ----- smoke: n=4/f=1, natural capacity, a correct proposal plus a meddling
+   Byzantine General. The paper's theorems say no oracle can fire anywhere in
+   this space; the CI gate holds the checker to that. *)
+let smoke () =
+  let params = Params.default ~f:1 4 in
+  let d = params.Params.d in
+  let dd x = x *. d in
+  let ia kind v = Ia { kind; g = 3; v } in
+  {
+    name = "smoke";
+    params;
+    byz =
+      [
+        {
+          byz_id = 3;
+          steps =
+            [
+              {
+                step_at = dd 1.0;
+                step_label = "g3";
+                options =
+                  [
+                    [];
+                    (* a partial initiation: engaged nodes must all abort *)
+                    [
+                      (Some 0, Initiator { g = 3; v = "x" });
+                      (Some 1, Initiator { g = 3; v = "x" });
+                    ];
+                    (* unbacked support: must decay without a quorum *)
+                    [ (None, ia Support "x") ];
+                  ];
+              };
+            ];
+        };
+      ];
+    proposals = [ { Scenario.g = 0; v = "a"; at = dd 0.5 } ];
+    session_capacity = None;
+    blackout = true;
+    horizon = dd 34.0;
+    default_delay = dd 0.4;
+    lattice = [| dd 0.4; dd 1.1 |];
+    branch =
+      (fun ~src:_ ~dst msg ->
+        match msg with
+        | Ia { kind = Support; g; v; _ } -> Some (Fmt.str "S%d>%d:%s" g dst v)
+        | Ia { kind = Ready; g; v; _ } -> Some (Fmt.str "R%d>%d:%s" g dst v)
+        | _ -> None);
+  }
+
+(* ----- split: the IA-4 split-decision hunt (ISSUE 7 / ROADMAP item 3).
+
+   Capacity 2 puts the session table under pressure; two interleaved correct
+   proposals (g=0, g=2) force per-node LRU divergence, steered by the delay
+   choices on Ready deliveries and on g=2's Initiator deliveries. The
+   Byzantine General g=3 drives value v1 to a decision at node 1 while nodes
+   0 and 2 lose their g=3 session to eviction *before* accepting, then
+   re-initiates v2 towards exactly those nodes. With the re-initiation
+   blackout on, the Separation guard (which survives eviction) blocks the
+   second engagement; with the knob off, the checker must find the run where
+   node 1 decides v1 and nodes 0/2 decide v2 with anchors within 4d — the
+   split PR-6 closed.
+
+   Eviction under scarcity also strands the correct proposals mid-flight at
+   some nodes, so relay ("decided but peer never returned") violations are
+   reachable in this config regardless of the knob — the sensitivity verdict
+   therefore counts *split decisions*, not raw violations. *)
+let split ~blackout () =
+  let params = Params.default ~f:1 4 in
+  let d = params.Params.d in
+  let dd x = x *. d in
+  let ia kind v = Ia { kind; g = 3; v } in
+  let to_01 m = [ (Some 0, m); (Some 1, m) ] in
+  let to_02 m = [ (Some 0, m); (Some 2, m) ] in
+  {
+    name = (if blackout then "split-blackout-on" else "split-blackout-off");
+    params;
+    byz =
+      [
+        {
+          byz_id = 3;
+          steps =
+            [
+              (* the v1 wave: initiate towards 0 and 1 only, and feed the
+                 support/approve quorums so exactly node 1 can accept (node 2
+                 sees two supports — enough for L1's anchor recording and the
+                 session-value note, not enough to approve). *)
+              {
+                step_at = dd 0.05;
+                step_label = "init1";
+                options = [ to_01 (Initiator { g = 3; v = "v1" }) ];
+              };
+              { step_at = dd 0.6; step_label = "sup1"; options = [ to_01 (ia Support "v1") ] };
+              { step_at = dd 1.0; step_label = "app1"; options = [ to_01 (ia Approve "v1") ] };
+              (* third Ready for node 1's accept quorum *)
+              { step_at = dd 1.5; step_label = "rdy1"; options = [ [ (Some 1, ia Ready "v1") ] ] };
+              (* the re-initiation menu: stay silent, push a fresh value at
+                 the evicted nodes, or retry v1 (which the per-value
+                 freshness guard last_gm blocks even without the blackout) *)
+              {
+                step_at = dd 3.2;
+                step_label = "reinit";
+                options =
+                  [
+                    [];
+                    to_02 (Initiator { g = 3; v = "v2" });
+                    to_02 (Initiator { g = 3; v = "v1" });
+                  ];
+              };
+              { step_at = dd 3.7; step_label = "sup2"; options = [ to_02 (ia Support "v2") ] };
+              { step_at = dd 4.0; step_label = "app2"; options = [ to_02 (ia Approve "v2") ] };
+              { step_at = dd 4.3; step_label = "rdy2"; options = [ to_02 (ia Ready "v2") ] };
+            ];
+        };
+      ];
+    proposals =
+      [
+        { Scenario.g = 0; v = "p0"; at = dd 0.9 };
+        { Scenario.g = 2; v = "p2"; at = dd 1.0 };
+      ];
+    session_capacity = Some 2;
+    blackout;
+    horizon = dd 40.0;
+    default_delay = dd 0.4;
+    lattice = [| dd 0.4; dd 1.2 |];
+    branch =
+      (fun ~src:_ ~dst msg ->
+        match msg with
+        | Ia { kind = Ready; g = 3; v; _ } -> Some (Fmt.str "R>%d:%s" dst v)
+        | Initiator { g = 2; _ } -> Some (Fmt.str "I2>%d" dst)
+        | _ -> None);
+  }
+
+(* ----- commute probe: two menu options that perform the *same two sends in
+   opposite order*, then a second menu step while both messages are still in
+   flight. Under partial-order reduction the state fingerprints at the second
+   step must coincide (canonical in-flight encoding) and the checker prunes
+   one branch; without it the raw insertion order keeps them apart. The
+   canonicalization unit tests drive this config directly. *)
+let commute_probe () =
+  let params = Params.default ~f:1 4 in
+  let d = params.Params.d in
+  let dd x = x *. d in
+  let m0 = Initiator { g = 3; v = "x" } in
+  let m1 = Ia { kind = Support; g = 3; v = "x" } in
+  {
+    name = "commute-probe";
+    params;
+    byz =
+      [
+        {
+          byz_id = 3;
+          steps =
+            [
+              {
+                step_at = dd 1.0;
+                step_label = "order";
+                options =
+                  [ [ (Some 0, m0); (Some 1, m1) ]; [ (Some 1, m1); (Some 0, m0) ] ];
+              };
+              {
+                step_at = dd 1.1;
+                step_label = "probe";
+                options = [ []; [ (Some 2, m1) ] ];
+              };
+            ];
+        };
+      ];
+    proposals = [];
+    session_capacity = None;
+    blackout = true;
+    horizon = dd 20.0;
+    default_delay = dd 0.4;
+    lattice = [| dd 0.4 |];
+    branch = (fun ~src:_ ~dst:_ _ -> None);
+  }

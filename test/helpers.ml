@@ -219,6 +219,8 @@ module Q = struct
             events = [ e ];
             transport = None;
             horizon;
+            session_capacity = None;
+            blackout = true;
           }))
       (gen_event ~n ~horizon)
 

@@ -36,5 +36,6 @@ let () =
       ("replicated-log", Test_replicated_log.suite);
       ("transport", Test_transport.suite);
       ("fuzz", Test_fuzz.suite);
+      ("mc", Test_mc.suite);
       ("soak", Test_soak.suite);
     ]

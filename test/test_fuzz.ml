@@ -60,6 +60,8 @@ let prop_event_roundtrip =
           events = [ e ];
           transport = None;
           horizon = 2.0;
+          session_capacity = None;
+          blackout = true;
         }
       in
       match F.Spec.of_json (F.Spec.to_json spec) with
@@ -208,6 +210,53 @@ let test_known_ia4_gap_fixed () =
   check_bool "the 2027/133 repro passes every oracle" false
     (F.Oracle.failed report)
 
+(* The block-R knife-edge, pinned: iteration 173 of the seed-7404 batch
+   (chaos generator capped at 2 Byzantine casts, events stripped so the run
+   is one coherent interval). The flip-flop General's interference leaves
+   G=0's late proposal exactly on the fast-path acceptance boundary: node 0
+   accepts within the 4d window and decides in round 0 while nodes 2 and 3
+   miss it and abort — a genuine mixed decide/abort episode. Two things are
+   pinned. First, the outcome itself (agreement + validity failures; this is
+   a stranded-abort divergence the protocol does not excuse, kept as a
+   knife-edge sentinel — if it shifts, block R's acceptance window moved).
+   Second, the *absence* of a Timeliness-1a failure: the aborts return
+   ~19.9d after the decide, and the old skew metric counted their return
+   times as decision timestamps, reporting a phantom deadline breach. *)
+let test_knife_edge_pinned () =
+  let spec =
+    F.Campaign.spec_of_iteration ~seed:7404
+      ~gen:{ F.Gen.chaos_config with F.Gen.max_cast = 2 }
+      173
+  in
+  let spec = { spec with F.Spec.events = [] } in
+  let res, report = F.Oracle.run spec in
+  let by_oracle name =
+    List.filter (fun f -> f.F.Oracle.oracle = name) report.F.Oracle.failures
+  in
+  check_int "two agreement failures (nodes 2 and 3)" 2
+    (List.length (by_oracle "agreement"));
+  check_int "one validity failure" 1 (List.length (by_oracle "validity"));
+  check_int "no timeliness failure: aborts carry no decision timestamp" 0
+    (List.length (by_oracle "timeliness-1a"));
+  check_int "nothing else fired" 3 (List.length report.F.Oracle.failures);
+  let knife =
+    List.filter
+      (fun (r : Ssba_core.Types.return_info) ->
+        r.Ssba_core.Types.g = 0 && r.Ssba_core.Types.tau_g > 1.0)
+      res.Ssba_harness.Runner.returns
+  in
+  let outcome_of id =
+    List.find_map
+      (fun (r : Ssba_core.Types.return_info) ->
+        if r.Ssba_core.Types.node = id then Some r.Ssba_core.Types.outcome
+        else None)
+      knife
+  in
+  check_bool "node 0 decided on the fast path" true
+    (outcome_of 0 = Some (Ssba_core.Types.Decided "p1-crash-wave-b"));
+  check_bool "node 2 aborted" true (outcome_of 2 = Some Ssba_core.Types.Aborted);
+  check_bool "node 3 aborted" true (outcome_of 3 = Some Ssba_core.Types.Aborted)
+
 let test_campaign_deterministic () =
   let s1 = F.Campaign.run { smoke_config with F.Campaign.runs = 15 } in
   let s2 = F.Campaign.run { smoke_config with F.Campaign.runs = 15 } in
@@ -280,6 +329,7 @@ let suite =
       test_churn_campaign;
     case "campaign corpus digest is deterministic" test_campaign_deterministic;
     case "IA-4 gap fixed: the 2027/133 repro passes" test_known_ia4_gap_fixed;
+    case "block-R knife-edge pinned: 7404/173 stranded abort" test_knife_edge_pinned;
     slow_case "injected deadline violation is caught and shrunk"
       test_injected_violation_caught_and_shrunk;
   ]

@@ -104,6 +104,42 @@ let test_metrics_skews () =
         && H.Metrics.latency ~proposed_at:0.05 e < 0.1)
   | _ -> Alcotest.fail "expected one episode"
 
+(* Regression: decision skew is the span of *decision* times only. An abort
+   is not a decision (Timeliness-1a bounds decide events), so a mixed
+   decide/abort episode — e.g. the block-R knife-edge, fuzz seed 7404
+   iteration 173 — must not count the abort's return time. The old metric
+   spanned every rt_ret and flagged phantom 19.9d skews. *)
+let test_decision_skew_ignores_aborts () =
+  let res = H.Runner.run (base_scenario ()) in
+  let ret node outcome rt_ret =
+    { Types.node; g = 0; outcome; tau_g = 0.0; tau_ret = rt_ret; rt_ret }
+  in
+  let mixed =
+    {
+      H.Metrics.g = 0;
+      returns =
+        [ ret 0 (Types.Decided "v") 0.010; ret 1 Types.Aborted 0.032;
+          ret 2 Types.Aborted 0.030 ];
+    }
+  in
+  check_float "single decide, aborts excluded" 0.0
+    (H.Metrics.decision_skew res mixed);
+  let two_decides =
+    {
+      H.Metrics.g = 0;
+      returns =
+        [ ret 0 (Types.Decided "v") 0.010; ret 1 (Types.Decided "v") 0.012;
+          ret 2 Types.Aborted 0.030 ];
+    }
+  in
+  check_float "span over decides only" 0.002
+    (H.Metrics.decision_skew res two_decides);
+  let all_aborted =
+    { H.Metrics.g = 0; returns = [ ret 0 Types.Aborted 0.010; ret 1 Types.Aborted 0.030 ] }
+  in
+  check_float "abort-only episode has no skew" 0.0
+    (H.Metrics.decision_skew res all_aborted)
+
 let test_stats_helpers () =
   check_float "mean" 2.0 (H.Metrics.mean [ 1.0; 2.0; 3.0 ]);
   check_float "max" 3.0 (H.Metrics.maximum [ 1.0; 3.0; 2.0 ]);
@@ -244,6 +280,7 @@ let suite =
     case "network conservation" test_network_conservation;
     case "episode clustering" test_episode_clustering;
     case "metrics skews" test_metrics_skews;
+    case "decision skew ignores aborts" test_decision_skew_ignores_aborts;
     case "stats helpers" test_stats_helpers;
     case "agreement classes" test_checks_agreement_classes;
     case "divergence detected" test_checks_detect_divergence;
