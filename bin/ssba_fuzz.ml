@@ -68,7 +68,7 @@ let rebuild seed iteration =
   if report.F.Oracle.failures = [] then 0 else 1
 
 let fuzz seed runs time_budget replay_file iteration out max_n max_disruptions
-    lossy chaos no_shrink verbose =
+    lossy chaos r_slack edge_delays no_shrink verbose =
   match (replay_file, iteration) with
   | Some path, _ -> replay path
   | None, Some i -> rebuild seed i
@@ -94,6 +94,8 @@ let fuzz seed runs time_budget replay_file iteration out max_n max_disruptions
                  else max max_n 4);
               max_disruptions;
               disruptions = base_gen.F.Gen.disruptions && max_disruptions > 0;
+              r_slack;
+              edge_delays;
             };
         }
       in
@@ -191,6 +193,41 @@ let chaos_arg =
            recovery window, with per-episode recovery times measured and \
            bounded by the oracle.")
 
+let r_slack_arg =
+  let module P = Ssba_core.Params in
+  let rs_conv =
+    Arg.conv
+      ( (fun s ->
+          match P.r_slack_of_string s with
+          | Some r -> Ok r
+          | None -> Error (`Msg (Fmt.str "expected legacy|widen|general, got %S" s))),
+        fun ppf r -> Fmt.string ppf (P.r_slack_to_string r) )
+  in
+  Arg.(
+    value & opt rs_conv P.default_r_slack
+    & info [ "r-slack" ] ~docv:"legacy|widen|general"
+        ~doc:
+          "Block-R gate variant every generated scenario runs under. \
+           $(b,legacy) together with --edge-delays off reproduces the \
+           pre-fix corpus digests.")
+
+let edge_delays_arg =
+  let on_off =
+    Arg.conv
+      ( (function
+        | "on" -> Ok true
+        | "off" -> Ok false
+        | s -> Error (`Msg (Fmt.str "expected on|off, got %S" s))),
+        fun ppf b -> Fmt.string ppf (if b then "on" else "off") )
+  in
+  Arg.(
+    value & opt on_off true
+    & info [ "edge-delays" ] ~docv:"on|off"
+        ~doc:
+          "Sample boundary-straddling delay lattices (Edge model) and the \
+           gate-edge adversary; $(b,off) restores the pre-edge generator \
+           streams byte for byte.")
+
 let no_shrink_arg =
   Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures unminimized.")
 
@@ -204,6 +241,6 @@ let cmd =
     Term.(
       const fuzz $ seed_arg $ runs_arg $ time_budget_arg $ replay_arg
       $ iteration_arg $ out_arg $ max_n_arg $ max_disruptions_arg $ lossy_arg
-      $ chaos_arg $ no_shrink_arg $ verbose_arg)
+      $ chaos_arg $ r_slack_arg $ edge_delays_arg $ no_shrink_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,16 +8,28 @@
                                                     # under both POR modes,
                                                     # zero violations, POR
                                                     # factor > 1, equal sets
+     ssba-mc --config knife --r-slack legacy        # rediscover the 7404/173
+                                                    # stranded abort
+     ssba-mc --config knife --smoke                 # the knife gate: clean
+                                                    # under the default gate,
+                                                    # >= 1 violation under
+                                                    # legacy, POR-equivalent
+                                                    # verdicts throughout
 
    Exit status 0 means the explored space met the config's expectation
-   (smoke/split-blackout-on: no violations and no splits; split with the
-   blackout off: the split IS found — absence is the failure). *)
+   (smoke/split-blackout-on/knife-default: no violations and no splits; split
+   with the blackout off and knife under --r-slack legacy: the violation IS
+   found — absence is the failure). *)
 
 open Cmdliner
 module Mc = Ssba_mc.Mc
 module Config = Ssba_mc.Config
+module P = Ssba_core.Params
 
 let key_of (s, _) = s
+
+let apply_r_slack cfg r_slack =
+  { cfg with Config.params = P.with_r_slack cfg.Config.params r_slack }
 
 let explore_and_report cfg ~por ~depth ~max_runs =
   let r = Mc.explore ~max_runs cfg ~por ~depth in
@@ -39,20 +51,47 @@ let export_counterexample cfg (r : Mc.report) path =
    runs under strands correct sessions through eviction with or without the
    blackout, so relay/coverage oracle noise is expected either way — what the
    knob controls is whether the IA-4 split itself is reachable. *)
-let run_one config blackout por depth max_runs export =
-  let cfg, split_config =
+let run_one config blackout r_slack por depth max_runs export =
+  let cfg, kind =
     match config with
-    | "smoke" -> (Config.smoke (), false)
-    | "split" -> (Config.split ~blackout (), true)
-    | other -> Fmt.failwith "unknown config %S (smoke|split)" other
+    | "smoke" -> (Config.smoke (), `Clean)
+    | "split" -> (Config.split ~blackout (), `Split)
+    | "knife" -> (Config.knife (), `Knife)
+    | other -> Fmt.failwith "unknown config %S (smoke|split|knife)" other
   in
+  let cfg = apply_r_slack cfg r_slack in
   let r = explore_and_report cfg ~por ~depth ~max_runs in
   (match export with None -> () | Some path -> export_counterexample cfg r path);
   if r.Mc.truncated then begin
     Fmt.pr "exploration truncated by --max-runs: no verdict@.";
     2
   end
-  else if split_config then
+  else if kind = `Knife then
+    (* The knife verdict inverts with the gate variant: the legacy gate must
+       rediscover the 7404/173-class stranded abort somewhere in the space;
+       either fixed variant must exhaust it clean. *)
+    if r_slack = P.Legacy then
+      if r.Mc.violations <> [] then begin
+        Fmt.pr "verdict: stranded abort rediscovered under the legacy gate \
+                (as expected)@.";
+        0
+      end
+      else begin
+        Fmt.pr "verdict: FAILED to rediscover the stranded abort under the \
+                legacy gate@.";
+        1
+      end
+    else if r.Mc.violations = [] && r.Mc.splits = [] then begin
+      Fmt.pr "verdict: knife space exhausts clean under the %s gate@."
+        (P.r_slack_to_string r_slack);
+      0
+    end
+    else begin
+      Fmt.pr "verdict: VIOLATIONS under the %s gate@."
+        (P.r_slack_to_string r_slack);
+      1
+    end
+  else if kind = `Split then
     if blackout then
       if r.Mc.splits = [] then begin
         Fmt.pr "verdict: no split decision reachable with the blackout on@.";
@@ -109,13 +148,69 @@ let run_smoke depth max_runs =
       List.iter (fun p -> Fmt.pr "smoke gate FAILED: %s@." p) ps;
       1
 
-let main config blackout por depth max_runs export smoke =
-  if smoke then run_smoke depth max_runs
-  else run_one config blackout por depth max_runs export
+(* The knife gate (ISSUE 8): the same config explored under the shipped
+   default gate and under --r-slack legacy, each in both POR modes. Passing
+   means the default exhausts clean, the legacy gate rediscovers at least one
+   stranded-abort violation, and POR never changes a verdict set. *)
+let run_knife depth max_runs =
+  let half label r_slack ~expect_violation =
+    let cfg = apply_r_slack (Config.knife ()) r_slack in
+    Fmt.pr "--- knife under the %s gate ---@." label;
+    let on = explore_and_report cfg ~por:true ~depth ~max_runs in
+    let off = explore_and_report cfg ~por:false ~depth ~max_runs in
+    let problems = ref [] in
+    let check cond msg =
+      if not cond then problems := Fmt.str "%s: %s" label msg :: !problems
+    in
+    check (not on.Mc.truncated && not off.Mc.truncated) "exploration truncated";
+    check
+      (List.map key_of on.Mc.violations = List.map key_of off.Mc.violations
+      && List.map key_of on.Mc.splits = List.map key_of off.Mc.splits)
+      "POR and full exploration disagree on the verdict set";
+    if expect_violation then
+      check (on.Mc.violations <> [])
+        "expected >= 1 stranded-abort violation, found none"
+    else begin
+      check (on.Mc.violations = []) "violations in a space expected clean";
+      check (on.Mc.splits = []) "split decisions in a space expected clean"
+    end;
+    !problems
+  in
+  let problems =
+    half (P.r_slack_to_string P.default_r_slack) P.default_r_slack
+      ~expect_violation:false
+    @ half "legacy" P.Legacy ~expect_violation:true
+  in
+  match problems with
+  | [] ->
+      Fmt.pr "knife gate passed@.";
+      0
+  | ps ->
+      List.iter (fun p -> Fmt.pr "knife gate FAILED: %s@." p) ps;
+      1
+
+let main config blackout r_slack por depth max_runs export smoke =
+  if smoke then
+    if config = "knife" then run_knife depth max_runs
+    else run_smoke depth max_runs
+  else run_one config blackout r_slack por depth max_runs export
 
 let config_t =
   Arg.(value & opt string "smoke" & info [ "config" ] ~docv:"NAME"
-         ~doc:"Configuration to explore: smoke or split.")
+         ~doc:"Configuration to explore: smoke, split or knife.")
+
+let r_slack_t =
+  let rs_conv =
+    Arg.conv
+      ( (fun s ->
+          match P.r_slack_of_string s with
+          | Some r -> Ok r
+          | None -> Error (`Msg (Fmt.str "expected legacy|widen|general, got %S" s))),
+        fun ppf r -> Fmt.string ppf (P.r_slack_to_string r) )
+  in
+  Arg.(value & opt rs_conv P.default_r_slack
+       & info [ "r-slack" ] ~docv:"legacy|widen|general"
+           ~doc:"Block-R gate variant to run the protocol core under.")
 
 let on_off name ~default ~doc =
   let on_off_conv =
@@ -155,7 +250,7 @@ let cmd =
   Cmd.v
     (Cmd.info "ssba-mc" ~doc)
     Term.(
-      const main $ config_t $ blackout_t $ por_t $ depth_t $ max_runs_t
-      $ export_t $ smoke_t)
+      const main $ config_t $ blackout_t $ r_slack_t $ por_t $ depth_t
+      $ max_runs_t $ export_t $ smoke_t)
 
 let () = exit (Cmd.eval' cmd)

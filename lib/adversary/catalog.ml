@@ -18,6 +18,11 @@ type t =
   | Partial_general of { v : value; at : float; targets : node_id list }
   | Equivocator of { v1 : value; v2 : value }
   | Flip_flop of { period_d : float; values : value list }
+  | Gate_edge of { v : value; at : float }
+      (* boundary-timing General: paces the IA stages so I-accepts land
+         exactly on block R's gate boundary, then re-initiates at the
+         2 Delta_rmv + 9d separation-decay boundary. Drawn by [generate]
+         only when the caller opts into [~edges:true]. *)
   | Scripted of { steps : (float * node_id option * message) list }
       (* absolute-time send transcript; the model checker's counterexample
          export. Never drawn by [generate] — only written by ssba_mc. *)
@@ -31,6 +36,7 @@ let name = function
   | Partial_general _ -> "partial-general"
   | Equivocator _ -> "equivocator"
   | Flip_flop _ -> "flip-flop"
+  | Gate_edge _ -> "gate-edge"
   | Scripted _ -> "scripted"
 
 let to_behavior ~d = function
@@ -44,11 +50,12 @@ let to_behavior ~d = function
   | Equivocator { v1; v2 } -> Strategies.equivocator ~v1 ~v2
   | Flip_flop { period_d; values } ->
       Strategies.flip_flop ~period:(period_d *. d) ~values
+  | Gate_edge { v; at } -> Strategies.gate_edge ~v ~at
   | Scripted { steps } -> Strategies.scripted ~steps
 
 let activity_times = function
   | Two_faced_general { at; _ } | Stagger_general { at; _ }
-  | Partial_general { at; _ } ->
+  | Partial_general { at; _ } | Gate_edge { at; _ } ->
       [ at ]
   | Scripted { steps } -> List.map (fun (at, _, _) -> at) steps
   | Silent | Spam _ | Mimic _ | Equivocator _ | Flip_flop _ -> []
@@ -66,6 +73,8 @@ let simplify = function
       [ Partial_general { v = v1; at; targets = [ 0 ] }; Silent ]
   | Stagger_general { v; at; _ } ->
       [ Partial_general { v; at; targets = [ 0 ] }; Silent ]
+  | Gate_edge { v; at } ->
+      [ Partial_general { v; at; targets = [ 0 ] }; Silent ]
   | Partial_general { targets; v; at } when List.length targets > 1 ->
       [ Partial_general { v; at; targets = [ List.hd targets ] }; Silent ]
   | Partial_general _ -> [ Silent ]
@@ -79,10 +88,13 @@ let simplify = function
         Silent;
       ]
 
-let generate rng ~values ~at_lo ~at_hi ~n =
+let generate ?(edges = false) rng ~values ~at_lo ~at_hi ~n =
   let v () = Rng.pick_list rng values in
   let at () = Rng.float_in_range rng ~lo:at_lo ~hi:at_hi in
-  match Rng.int rng 8 with
+  (* With [edges] the menu grows a 9th entry; without it the draw sequence is
+     bit-identical to the historical 8-way dispatch, which the legacy corpus
+     digests depend on. *)
+  match (if edges then Rng.int rng 9 else Rng.int rng 8) with
   | 0 -> Silent
   | 1 -> Spam { period_d = Rng.float_in_range rng ~lo:4.0 ~hi:16.0; values }
   | 2 -> Mimic { delay_d = Rng.float_in_range rng ~lo:0.5 ~hi:4.0 }
@@ -95,7 +107,8 @@ let generate rng ~values ~at_lo ~at_hi ~n =
       let targets = Array.to_list (Rng.subset rng ~k (Array.init n Fun.id)) in
       Partial_general { v = v (); at = at (); targets = List.sort compare targets }
   | 6 -> Equivocator { v1 = v (); v2 = v () ^ "'" }
-  | _ -> Flip_flop { period_d = Rng.float_in_range rng ~lo:8.0 ~hi:24.0; values }
+  | 7 -> Flip_flop { period_d = Rng.float_in_range rng ~lo:8.0 ~hi:24.0; values }
+  | _ -> Gate_edge { v = v (); at = at () }
 
 let pp ppf t =
   match t with
@@ -114,6 +127,7 @@ let pp ppf t =
   | Equivocator { v1; v2 } -> Fmt.pf ppf "equivocator(%S/%S)" v1 v2
   | Flip_flop { period_d; values } ->
       Fmt.pf ppf "flip-flop(period=%gd, %d values)" period_d (List.length values)
+  | Gate_edge { v; at } -> Fmt.pf ppf "gate-edge(%S at %g)" v at
   | Scripted { steps } -> Fmt.pf ppf "scripted(%d steps)" (List.length steps)
 
 let equal (a : t) (b : t) = a = b

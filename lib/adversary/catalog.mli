@@ -18,6 +18,10 @@ type t =
   | Partial_general of { v : value; at : float; targets : node_id list }
   | Equivocator of { v1 : value; v2 : value }
   | Flip_flop of { period_d : float; values : value list }
+  | Gate_edge of { v : value; at : float }
+      (** boundary-timing General ({!Strategies.gate_edge}): paces the IA
+          stages so I-accepts land exactly on block R's gate boundary.
+          {!generate} draws it only under [~edges:true]. *)
   | Scripted of { steps : (float * node_id option * message) list }
       (** a fixed absolute-time send transcript ([None] dst = broadcast):
           the model checker's counterexample export. {!generate} never
@@ -39,11 +43,14 @@ val activity_times : t -> float list
 val simplify : t -> t list
 
 (** Draw a random entry over [values]; General-role attacks ([Two_faced],
-    [Stagger], [Partial]) place their initiation time uniformly in
-    [\[at_lo, at_hi\]] and their targets within [\[0, n)]. *)
+    [Stagger], [Partial], [Gate_edge]) place their initiation time uniformly
+    in [\[at_lo, at_hi\]] and their targets within [\[0, n)]. Without
+    [~edges:true] the menu (and hence the RNG draw sequence) is the
+    historical 8-way dispatch, bit-identical for corpus reproduction;
+    with it, [Gate_edge] joins as a 9th equally-likely entry. *)
 val generate :
-  Ssba_sim.Rng.t -> values:value list -> at_lo:float -> at_hi:float ->
-  n:int -> t
+  ?edges:bool -> Ssba_sim.Rng.t -> values:value list -> at_lo:float ->
+  at_hi:float -> n:int -> t
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

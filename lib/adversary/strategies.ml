@@ -18,6 +18,9 @@
    - [partial_general]    initiates towards a subset only; the Relay property
                           [IA-3] must either bring everyone to the same value
                           or nobody to any.
+   - [gate_edge]          a General pacing Initiator-Accept so I-accepts land
+                          exactly on block R's gate boundary and decision
+                          skew stretches against the 3d deadline.
    - [equivocator]        participates in Initiator-Accept with different
                           values towards different halves.
    - [flip_flop]          alternates silence and spam in bursts, modelling an
@@ -99,6 +102,40 @@ let partial_general ~v ~at ~targets =
           let d = env.B.params.Ssba_core.Params.d in
           B.after env ~delay:(0.5 *. d) (fun () ->
               B.send_to env ~dsts:targets (Ia { kind = Support; g; v }))))
+
+(* A faulty General that paces the Initiator-Accept stages so correct nodes'
+   decisions land exactly on the protocol's comparison boundaries instead of
+   safely inside them. One burst: Initiator at [at], Support a d later,
+   Approve a d after that — anchoring every correct node early — then the
+   Ready wave is withheld and released per destination, staggered from
+   [at + 4d] across a 3d window to [at + 7d]. The resulting I-accepts probe
+   block R's [tau - tau_g <= 4d] (or 5d) gate from both sides and stretch
+   decision skew against the 3d deadline; the burst repeats at
+   [at + 2 Delta_rmv + 9d], the same-value separation guard's own decay
+   boundary, so the second initiation lands exactly where block K's guard
+   flips from rejecting to admitting. *)
+let gate_edge ~v ~at =
+  B.make ~name:"gate-edge" (fun env ->
+      B.on_message env (fun _ -> ());
+      let g = env.B.self in
+      let p = env.B.params in
+      let d = p.Ssba_core.Params.d in
+      let n = p.Ssba_core.Params.n in
+      let burst start =
+        B.at env ~time:start (fun () -> B.send_all env (Initiator { g; v }));
+        B.at env ~time:(start +. d) (fun () ->
+            B.send_all env (Ia { kind = Support; g; v }));
+        B.at env ~time:(start +. (2.0 *. d)) (fun () ->
+            B.send_all env (Ia { kind = Approve; g; v }));
+        let step = 3.0 *. d /. float_of_int (max 1 (n - 1)) in
+        for dst = 0 to n - 1 do
+          let off = (4.0 *. d) +. (float_of_int dst *. step) in
+          B.at env ~time:(start +. off) (fun () ->
+              B.send env ~dst (Ia { kind = Ready; g; v }))
+        done
+      in
+      burst at;
+      burst (at +. (2.0 *. p.Ssba_core.Params.delta_rmv) +. (9.0 *. d)))
 
 (* A Byzantine *participant* (not General): echoes support/approve/ready for
    value [v1] to one half and [v2] to the other, for any General it hears

@@ -28,6 +28,14 @@ val stagger_general : v:value -> at:float -> gap:float -> Behavior.t
     [IA-3] must bring every correct node to the same outcome. *)
 val partial_general : v:value -> at:float -> targets:node_id list -> Behavior.t
 
+(** A faulty General pacing the Initiator-Accept stages so correct nodes'
+    I-accepts land exactly on block R's gate boundary: anchor early
+    (Initiator at [at], Support/Approve a d apart), then release the Ready
+    wave per destination staggered from [at + 4d] across a 3d window. The
+    burst repeats at [at + 2 Delta_rmv + 9d], the same-value separation
+    guard's decay boundary. *)
+val gate_edge : v:value -> at:float -> Behavior.t
+
 (** A Byzantine participant echoing support/approve/ready for [v1] to one
     half and [v2] to the other, for any General it hears about. *)
 val equivocator : v1:value -> v2:value -> Behavior.t

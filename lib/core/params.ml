@@ -15,6 +15,33 @@
      Delta_reset = 20d + 4 Delta_rmv  General quiet period after a failure
      Delta_stb   = 2 Delta_reset      stabilization time of the system *)
 
+(* Block R's fast-path gate (Figure 1) compares [tau - tau_g] against a
+   slack budget. The figure as written uses 4d, but [IA-1D] guarantees the
+   General's value reaches every correct node within 5d of the earliest
+   anchor, so the 4d gate is one d tighter than the proof needs. The knob
+   keeps all three behaviours co-resident so the model checker and the fuzz
+   corpora can compare them:
+     Legacy        — Figure 1 verbatim: gate at 4d, block S counts only
+                     broadcasters distinct from the General;
+     Widen         — gate at 5d (the [IA-1D] slack), block S unchanged;
+     Count_general — gate stays at 4d, but a node that already I-accepted m
+                     counts the General's own msgd-broadcast of m as the
+                     r = 1 proof in block S. *)
+type r_slack = Legacy | Widen | Count_general
+
+let default_r_slack = Widen
+
+let r_slack_to_string = function
+  | Legacy -> "legacy"
+  | Widen -> "widen"
+  | Count_general -> "general"
+
+let r_slack_of_string = function
+  | "legacy" -> Some Legacy
+  | "widen" -> Some Widen
+  | "general" -> Some Count_general
+  | _ -> None
+
 type t = {
   n : int;  (* number of nodes *)
   f : int;  (* bound on concurrent permanent faults; requires n > 3f *)
@@ -31,6 +58,7 @@ type t = {
   delta_node : float;
   delta_reset : float;
   delta_stb : float;
+  r_slack : r_slack;  (* block R gate variant; see above *)
 }
 
 let make ~n ~f ~delta ~pi ~rho =
@@ -65,14 +93,24 @@ let make ~n ~f ~delta ~pi ~rho =
     delta_node;
     delta_reset;
     delta_stb;
+    r_slack = default_r_slack;
   }
+
+let with_r_slack t r_slack = { t with r_slack }
 
 (* Largest f satisfying n > 3f. *)
 let max_faults n = (n - 1) / 3
 
-let default ?f ?(delta = 0.001) ?(pi = 0.0001) ?(rho = 1e-4) n =
+let default ?f ?(delta = 0.001) ?(pi = 0.0001) ?(rho = 1e-4)
+    ?(r_slack = default_r_slack) n =
   let f = match f with Some f -> f | None -> max_faults n in
-  make ~n ~f ~delta ~pi ~rho
+  with_r_slack (make ~n ~f ~delta ~pi ~rho) r_slack
+
+(* Block R's fast-path deadline: [tau - tau_g <= r_gate t] admits the round-0
+   decide. Under [Count_general] the gate itself stays at the figure's 4d —
+   the slack is recovered on the block-S side instead. *)
+let r_gate t =
+  (match t.r_slack with Widen -> 5.0 | Legacy | Count_general -> 4.0) *. t.d
 
 (* Effective delay bound over a lossy link masked by the reliable transport
    (lib/transport). A frame lost with probability [p] is retransmitted on an
@@ -110,6 +148,7 @@ let weak_quorum t = t.n - (2 * t.f)
 
 let pp ppf t =
   Fmt.pf ppf
-    "n=%d f=%d delta=%g pi=%g rho=%g d=%g Phi=%g Dagr=%g D0=%g Drmv=%g Dv=%g Dnode=%g Dreset=%g Dstb=%g"
+    "n=%d f=%d delta=%g pi=%g rho=%g d=%g Phi=%g Dagr=%g D0=%g Drmv=%g Dv=%g Dnode=%g Dreset=%g Dstb=%g R=%s"
     t.n t.f t.delta t.pi t.rho t.d t.phi t.delta_agr t.delta_0 t.delta_rmv
     t.delta_v t.delta_node t.delta_reset t.delta_stb
+    (r_slack_to_string t.r_slack)

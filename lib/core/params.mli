@@ -4,6 +4,23 @@
     local-time lapse from a correct send to every correct node having
     processed the message. *)
 
+(** Variant of block R's fast-path gate (Figure 1). [Legacy] is the figure
+    verbatim (4d gate, block S excludes the General); [Widen] raises the gate
+    to the 5d slack [IA-1D] actually guarantees; [Count_general] keeps the 4d
+    gate but lets a node that already I-accepted [m] count the General's own
+    msgd-broadcast as the [r = 1] proof in block S. *)
+type r_slack = Legacy | Widen | Count_general
+
+(** The shipped default: [Widen], certified exhaustively by the [ssba_mc]
+    [knife] config (experiment E15). *)
+val default_r_slack : r_slack
+
+val r_slack_to_string : r_slack -> string
+
+(** Inverse of {!r_slack_to_string}; accepts ["legacy"], ["widen"],
+    ["general"]. *)
+val r_slack_of_string : string -> r_slack option
+
 type t = {
   n : int;  (** number of nodes *)
   f : int;  (** bound on concurrent permanent Byzantine faults; [n > 3f] *)
@@ -20,18 +37,29 @@ type t = {
   delta_node : float;  (** [Delta_v + Delta_agr] — non-faulty -> correct *)
   delta_reset : float;  (** [20d + 4 Delta_rmv] — General quiet period *)
   delta_stb : float;  (** [2 Delta_reset] — stabilization time *)
+  r_slack : r_slack;  (** block R gate variant *)
 }
 
-(** Build the full constant cascade from the base quantities.
-    Raises [Invalid_argument] on nonsensical inputs. *)
+(** Build the full constant cascade from the base quantities, with
+    [r_slack = default_r_slack]. Raises [Invalid_argument] on nonsensical
+    inputs. *)
 val make : n:int -> f:int -> delta:float -> pi:float -> rho:float -> t
+
+(** Same cascade, different block-R gate variant. *)
+val with_r_slack : t -> r_slack -> t
 
 (** Largest [f] with [n > 3f]. *)
 val max_faults : int -> int
 
 (** [default n] uses [f = max_faults n], millisecond-scale delays and a small
     drift, overridable per argument. *)
-val default : ?f:int -> ?delta:float -> ?pi:float -> ?rho:float -> int -> t
+val default :
+  ?f:int -> ?delta:float -> ?pi:float -> ?rho:float -> ?r_slack:r_slack -> int -> t
+
+(** Block R's fast-path deadline: the round-0 decide fires when
+    [tau - tau_g <= r_gate t]. [5d] under [Widen], [4d] otherwise
+    ([Count_general] recovers the slack in block S instead). *)
+val r_gate : t -> float
 
 (** [delta_eff ~delta ~p ~rto ~retries] is the effective message-delay bound
     over a link that loses each frame with probability [p], masked by the

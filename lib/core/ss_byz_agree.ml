@@ -226,8 +226,8 @@ let handle_iaccept t v ~tau_g =
         (* Timeliness 1(d): an anchor this old cannot lead to a timely
            decision; abort right away. *)
         do_return t Aborted
-      else if tau -. tau_g <= 4.0 *. (prm t).Params.d then decide t v ~round:0
-        (* block R *)
+      else if tau -. tau_g <= Params.r_gate (prm t) then decide t v ~round:0
+        (* block R; the gate is 4d or 5d depending on [Params.r_slack] *)
       else begin
         schedule_boundaries t ~tau_g;
         try_block_s t
@@ -239,12 +239,23 @@ let handle_mb_accept t ~p ~v ~k =
        { p; v; k; tau = now t; tau_g = Option.value ~default:Float.nan t.tau_g });
   (* block S excludes the General; [t.g] may be a logical (channelled) id,
      so compare against the physical node behind it *)
-  if p <> t.g mod (prm t).Params.n then begin
+  let general = t.g mod (prm t).Params.n in
+  let record () =
     let cur = Option.value ~default:[] (Hashtbl.find_opt t.accepts k) in
     if not (List.exists (fun (p', v', _) -> p' = p && String.equal v v') cur)
     then Hashtbl.replace t.accepts k ((p, v, now t) :: cur);
     try_block_s t
-  end
+  in
+  if p <> general then record ()
+  else if
+    (* [Count_general] relaxation: a node that already I-accepted m may
+       count the General's own round-1 broadcast of m as the r = 1 proof —
+       the I-accept corroborates the value, so this broadcast is no longer
+       the General's unsupported word. Other rounds stay excluded. *)
+    (prm t).Params.r_slack = Params.Count_general
+    && k = 1
+    && (match t.own_iaccept with Some v' -> String.equal v v' | None -> false)
+  then record ()
 
 (* Block Q1: a node invokes the protocol upon the General's message. *)
 let invoke t ~v =

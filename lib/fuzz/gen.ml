@@ -26,6 +26,11 @@ type config = {
   transport : T.config option;
   max_link_faults : int;
   chaos : bool;
+  r_slack : P.r_slack;  (* block R gate variant for every generated spec *)
+  edge_delays : bool;
+      (* boundary sampling: admit the Edge delay model and the Gate_edge
+         catalog entry into the draw menus. Off reproduces the historical
+         RNG draw sequence bit-for-bit (the legacy corpus digests). *)
 }
 
 let default_config =
@@ -40,6 +45,8 @@ let default_config =
     transport = None;
     max_link_faults = 0;
     chaos = false;
+    r_slack = P.default_r_slack;
+    edge_delays = true;
   }
 
 (* The lossy campaign: every spec runs the transport over links with
@@ -99,8 +106,31 @@ let spec rng cfg =
   let cast =
     List.map
       (fun id ->
-        (id, C.generate rng ~values:cfg.values ~at_lo:0.01 ~at_hi:active ~n))
+        ( id,
+          C.generate ~edges:cfg.edge_delays rng ~values:cfg.values ~at_lo:0.01
+            ~at_hi:active ~n ))
       byz_ids
+  in
+  (* Boundary atoms for the Edge delay model: for each comparison boundary
+     [b*d] (the 3d skew deadline, the 4d and 5d block-R gates), a legal
+     per-hop delay that divides it exactly — so a chain of hops can land on
+     the boundary to the last float bit — plus the interior extremes. *)
+  let edge_atoms () =
+    let boundary b =
+      let target = b *. params.P.d in
+      target /. Float.of_int (int_of_float (Float.ceil (target /. params.P.delta)))
+    in
+    Spec.Edge
+      {
+        atoms =
+          [
+            0.05 *. params.P.delta;
+            boundary 3.0;
+            boundary 4.0;
+            boundary 5.0;
+            params.P.delta;
+          ];
+      }
   in
   let correct = List.filter (fun id -> not (List.mem id byz_ids)) (List.init n Fun.id) in
   if cfg.chaos then begin
@@ -122,7 +152,12 @@ let spec rng cfg =
         seed;
         n;
         f;
-        delay = Spec.Uniform { lo = 0.05 *. params.P.delta; hi = params.P.delta };
+        delay =
+          (* Half the churn specs run on boundary atoms so recovery windows
+             get probed at the comparison edges too; the extra draw only
+             happens when [edge_delays] is on, keeping the legacy stream. *)
+          (if cfg.edge_delays && Rng.bool rng then edge_atoms ()
+           else Spec.Uniform { lo = 0.05 *. params.P.delta; hi = params.P.delta });
         clocks =
           (if Rng.bool rng then S.Perfect
            else S.Drifting { rho = params.P.rho; max_offset = 0.1 });
@@ -133,6 +168,7 @@ let spec rng cfg =
         horizon = 0.0;
         session_capacity = None;
         blackout = true;
+        r_slack = cfg.r_slack;
       }
     in
     { draft with Spec.horizon = Float.max sched.Ch.horizon (min_horizon draft) }
@@ -228,18 +264,22 @@ let spec rng cfg =
       n;
       f;
       delay =
-        (match Rng.int rng 3 with
+        (* With [edge_delays] the menu grows the boundary-sampling model as a
+           4th equally-likely entry; without it the 3-way draw is the
+           historical one, bit-for-bit. *)
+        (match (if cfg.edge_delays then Rng.int rng 4 else Rng.int rng 3) with
         | 0 -> Spec.Fixed (Rng.float_in_range rng ~lo:(0.05 *. params.P.delta) ~hi:params.P.delta)
         | 1 ->
             let lo = Rng.float_in_range rng ~lo:(0.05 *. params.P.delta) ~hi:(0.5 *. params.P.delta) in
             Spec.Uniform { lo; hi = Rng.float_in_range rng ~lo ~hi:params.P.delta }
-        | _ ->
+        | 2 ->
             Spec.Bimodal
               {
                 fast = Rng.float_in_range rng ~lo:(0.05 *. params.P.delta) ~hi:(0.3 *. params.P.delta);
                 slow = params.P.delta;
                 slow_prob = Rng.float_in_range rng ~lo:0.01 ~hi:0.3;
-              });
+              }
+        | _ -> edge_atoms ());
       clocks =
         (if Rng.bool rng then S.Perfect
          else
@@ -255,6 +295,7 @@ let spec rng cfg =
       horizon = 0.0;
       session_capacity = None;
       blackout = true;
+      r_slack = cfg.r_slack;
     }
   in
   { draft with Spec.horizon = min_horizon draft }

@@ -26,6 +26,14 @@ type config = {
           {!Ssba_harness.Chaos} schedule (random pattern, fixed episode
           count), so every spec is a continuous-churn run whose recovery
           times the per-interval oracle measures and bounds *)
+  r_slack : Ssba_core.Params.r_slack;
+      (** block R gate variant stamped on every generated spec *)
+  edge_delays : bool;
+      (** boundary sampling: admit the {!Spec.Edge} delay model (atoms that
+          divide the 3d/4d/5d comparison boundaries exactly) and the
+          {!Ssba_adversary.Catalog.Gate_edge} entry into the draw menus.
+          [false] reproduces the historical RNG draw sequence bit-for-bit —
+          the legacy corpus digests. *)
 }
 
 val default_config : config

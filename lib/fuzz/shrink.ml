@@ -87,6 +87,10 @@ let candidates spec =
     | Fixed _ -> []
     | Uniform { lo; hi } | Bimodal { fast = lo; slow = hi; _ } ->
         [ { spec with delay = Fixed (0.5 *. (lo +. hi)) } ]
+    (* boundary atoms flatten to the largest one — the boundary-dividing
+       delay is usually the one doing the damage *)
+    | Edge { atoms } ->
+        [ { spec with delay = Fixed (List.fold_left Float.max 0.0 atoms) } ]
     (* a scripted schedule collapses to its default delay *)
     | Scripted { default; _ } -> [ { spec with delay = Fixed default } ]
   in
@@ -103,12 +107,19 @@ let candidates spec =
     | None -> []
     | Some _ -> [ { spec with transport = None } ]
   in
+  (* Reset a non-default gate variant: survives exactly when the failure
+     isn't about the legacy/experimental gate, so minimized counterexamples
+     don't carry a gratuitous [r_slack] override. *)
+  let r_slack =
+    if spec.r_slack = P.default_r_slack then []
+    else [ { spec with r_slack = P.default_r_slack } ]
+  in
   let horizon =
     let h = Gen.min_horizon spec in
     if h < spec.horizon *. 0.99 then [ { spec with horizon = h } ] else []
   in
   events @ proposals @ cast_drops @ cast_simpler @ retargets @ nodes @ delay
-  @ clocks @ transport @ horizon
+  @ clocks @ transport @ r_slack @ horizon
 
 let minimize ?config ?(max_attempts = 400) spec (report : Oracle.report) =
   let original_oracles =

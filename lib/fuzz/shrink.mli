@@ -13,6 +13,12 @@ type stats = {
   accepted : int;  (** simplification steps kept *)
 }
 
+(** One round of candidate simplifications for [spec], in the order
+    {!minimize} tries them. Exposed so tests can pin the candidate set
+    (e.g. that a non-default [r_slack] offers a reduction to the default
+    gate) without running the oracle. *)
+val candidates : Spec.t -> Spec.t list
+
 (** [minimize ?config ?max_attempts spec report] requires [report] to be the
     (failing) {!Oracle.run} report for [spec]; returns the minimized spec,
     its report, and shrink statistics. *)

@@ -16,6 +16,12 @@ type delay =
   | Fixed of float
   | Uniform of { lo : float; hi : float }
   | Bimodal of { fast : float; slow : float; slow_prob : float }
+  | Edge of { atoms : float list }
+      (* boundary sampling: every hop picks uniformly among a small set of
+         atoms chosen so that short chains of hops land exactly on the
+         protocol's comparison boundaries (4d, 5d, the 3d skew deadline, the
+         tau_g - d purge horizon). Interior draws never hit a [<=] boundary
+         exactly; this model exists to hammer them. *)
   | Scripted of {
       default : float;
       links : ((node_id * node_id) * float list) list;
@@ -41,6 +47,7 @@ type t = {
   session_capacity : int option;
       (* override Node's session-table capacity (None = the Node default) *)
   blackout : bool;  (* the re-initiation blackout knob (default true) *)
+  r_slack : P.r_slack;  (* block R gate variant (default [P.default_r_slack]) *)
 }
 
 let max_loss t =
@@ -59,7 +66,7 @@ let max_reorder_extra t =
    worst persistent loss rate. Without transport, the plain cascade. *)
 let params t =
   match t.transport with
-  | None -> P.default ~f:t.f t.n
+  | None -> P.default ~f:t.f ~r_slack:t.r_slack t.n
   | Some c ->
       let base = P.default ~f:t.f t.n in
       let delta =
@@ -67,12 +74,16 @@ let params t =
           ~delta:(base.P.delta +. max_reorder_extra t)
           ~p:(max_loss t) ~rto:c.T.rto ~retries:c.T.retries
       in
-      P.default ~f:t.f ~delta t.n
+      P.default ~f:t.f ~delta ~r_slack:t.r_slack t.n
 
 let compile_delay = function
   | Fixed x -> Ssba_net.Delay.fixed x
   | Uniform { lo; hi } -> Ssba_net.Delay.uniform ~lo ~hi
   | Bimodal { fast; slow; slow_prob } -> Ssba_net.Delay.bimodal ~fast ~slow ~slow_prob
+  | Edge { atoms } ->
+      let arr = Array.of_list atoms in
+      Ssba_net.Delay.custom (fun ~rng ~src:_ ~dst:_ ~now:_ ->
+          arr.(Ssba_sim.Rng.int rng (Array.length arr)))
   | Scripted { default; links } ->
       (* Stateful per-link send counters: the k-th send on (src, dst) gets
          the k-th scripted delay. Compile once per run — [to_scenario] is
@@ -119,12 +130,12 @@ let catalog_nodes = function
   | C.Partial_general { targets; _ } -> targets
   | C.Scripted { steps } -> List.filter_map (fun (_, dst, _) -> dst) steps
   | C.Silent | C.Spam _ | C.Mimic _ | C.Two_faced_general _
-  | C.Stagger_general _ | C.Equivocator _ | C.Flip_flop _ ->
+  | C.Stagger_general _ | C.Equivocator _ | C.Flip_flop _ | C.Gate_edge _ ->
       []
 
 let delay_nodes = function
   | Scripted { links; _ } -> List.concat_map (fun ((s, d), _) -> [ s; d ]) links
-  | Fixed _ | Uniform _ | Bimodal _ -> []
+  | Fixed _ | Uniform _ | Bimodal _ | Edge _ -> []
 
 let max_referenced_id t =
   let ids =
@@ -162,6 +173,11 @@ let validate t =
     in
     if not (sorted t.events) then err "events not sorted by time"
     else if t.horizon <= 0.0 then err "non-positive horizon"
+    else if
+      match t.delay with
+      | Edge { atoms } -> atoms = [] || List.exists (fun x -> x < 0.0) atoms
+      | Fixed _ | Uniform _ | Bimodal _ | Scripted _ -> false
+    then err "edge delay model needs a non-empty list of non-negative atoms"
     else if
       match t.session_capacity with Some c -> c < 1 | None -> false
     then err "session_capacity must be >= 1"
@@ -243,6 +259,8 @@ let delay_to_json = function
           ("slow", num slow);
           ("slow_prob", num slow_prob);
         ]
+  | Edge { atoms } ->
+      J.Obj [ ("model", str "edge"); ("atoms", J.Arr (List.map num atoms)) ]
   | Scripted { default; links } ->
       J.Obj
         [
@@ -280,6 +298,7 @@ let delay_of_json j =
           slow = get_float "slow" j;
           slow_prob = get_float "slow_prob" j;
         }
+  | "edge" -> Edge { atoms = float_list "atoms" j }
   | "scripted" ->
       Scripted
         {
@@ -424,6 +443,8 @@ let strategy_to_json = function
           ("period_d", num period_d);
           ("values", J.Arr (List.map str values));
         ]
+  | C.Gate_edge { v; at } ->
+      J.Obj [ ("strategy", str "gate-edge"); ("v", str v); ("at", num at) ]
   | C.Scripted { steps } ->
       J.Obj
         [ ("strategy", str "scripted"); ("steps", J.Arr (List.map step_to_json steps)) ]
@@ -446,6 +467,7 @@ let strategy_of_json j =
   | "equivocator" -> C.Equivocator { v1 = get_str "v1" j; v2 = get_str "v2" j }
   | "flip-flop" ->
       C.Flip_flop { period_d = get_float "period_d" j; values = str_list "values" j }
+  | "gate-edge" -> C.Gate_edge { v = get_str "v" j; at = get_float "at" j }
   | "scripted" -> C.Scripted { steps = List.map step_of_json (get_list "steps" j) }
   | s -> fail "unknown strategy %S" s
 
@@ -583,7 +605,11 @@ let to_json t =
     @ (match t.session_capacity with
       | None -> []
       | Some c -> [ ("session_capacity", int c) ])
-    @ match t.blackout with true -> [] | false -> [ ("blackout", J.Bool false) ])
+    @ (match t.blackout with true -> [] | false -> [ ("blackout", J.Bool false) ])
+    @
+    match t.r_slack = P.default_r_slack with
+    | true -> []
+    | false -> [ ("r_slack", str (P.r_slack_to_string t.r_slack)) ])
 
 let of_json j =
   try
@@ -615,6 +641,13 @@ let of_json j =
           | None -> true
           | Some (J.Bool b) -> b
           | Some _ -> fail "field \"blackout\": expected boolean");
+        r_slack =
+          (match J.member "r_slack" j with
+          | None -> P.default_r_slack
+          | Some s -> (
+              match Option.bind (J.to_string_opt s) P.r_slack_of_string with
+              | Some r -> r
+              | None -> fail "field \"r_slack\": expected legacy|widen|general"));
       }
   with Decode msg -> Error msg
 

@@ -18,6 +18,11 @@ type delay =
   | Fixed of float
   | Uniform of { lo : float; hi : float }
   | Bimodal of { fast : float; slow : float; slow_prob : float }
+  | Edge of { atoms : float list }
+      (** boundary sampling: every hop picks uniformly among [atoms], chosen
+          so short chains of hops land exactly on the protocol's comparison
+          boundaries (4d, 5d, the 3d skew deadline); interior models never
+          hit a [<=] boundary exactly *)
   | Scripted of {
       default : float;
       links : ((node_id * node_id) * float list) list;
@@ -47,6 +52,9 @@ type t = {
   blackout : bool;
       (** the re-initiation blackout knob (default [true]); serialized only
           when [false] — older replay files keep loading unchanged *)
+  r_slack : Ssba_core.Params.r_slack;
+      (** block R gate variant threaded into {!params}; serialized only when
+          it differs from {!Ssba_core.Params.default_r_slack} *)
 }
 
 (** The protocol constants the compiled scenario runs under:

@@ -39,6 +39,11 @@ type t = {
   default_delay : float;
   lattice : float array;
       (* delay options for branched deliveries; index 0 is explored first *)
+  lattices : (string * float array) list;
+      (* per-class lattice overrides, keyed by the [branch] key; classes not
+         listed here fall back to [lattice]. Lets one config straddle a
+         comparison boundary on exactly the deliveries that feed it while
+         keeping every other class binary. *)
   branch : src:node_id -> dst:node_id -> message -> string option;
       (* [Some key]: the send's delay is a lattice choice shared by every
          send mapping to [key] within the run; [None]: [default_delay].
@@ -46,6 +51,11 @@ type t = {
          partial-order reduction is on (the scripts are input-oblivious, so
          those deliveries commute with everything). *)
 }
+
+let lattice_for t key =
+  match List.assoc_opt key t.lattices with
+  | Some l -> l
+  | None -> t.lattice
 
 let byz_ids t = List.map (fun b -> b.byz_id) t.byz
 let is_byz t id = List.exists (fun b -> b.byz_id = id) t.byz
@@ -94,6 +104,7 @@ let smoke () =
     horizon = dd 34.0;
     default_delay = dd 0.4;
     lattice = [| dd 0.4; dd 1.1 |];
+    lattices = [];
     branch =
       (fun ~src:_ ~dst msg ->
         match msg with
@@ -177,6 +188,7 @@ let split ~blackout () =
     horizon = dd 40.0;
     default_delay = dd 0.4;
     lattice = [| dd 0.4; dd 1.2 |];
+    lattices = [];
     branch =
       (fun ~src:_ ~dst msg ->
         match msg with
@@ -226,5 +238,74 @@ let commute_probe () =
     horizon = dd 20.0;
     default_delay = dd 0.4;
     lattice = [| dd 0.4 |];
+    lattices = [];
     branch = (fun ~src:_ ~dst:_ _ -> None);
+  }
+
+(* ----- knife: the block-R gate boundary, exhaustively (ISSUE 8 / E15).
+
+   No Byzantine sender at all — node 3 is simply silent, so n-f = 3 and the
+   three correct nodes 0..2 are exactly the quorum. Node 0 proposes once;
+   every delivery class that feeds the I-accept time of a correct node gets
+   its own lattice, built so the resulting block-R slack [tau_q - tau_g]
+   lands on {3.99d, 4d, 4.01d, 4.55d, 4.95d} at nodes 1 and 2 while node 0
+   stays at <= 3.7d and always decides round 0.
+
+   The slack arithmetic (per-class delay sharing makes all arrival times
+   common across correct nodes; t0 = the proposal time):
+     inv_j    = t0 + I_j            Initiator arrival (class I>j)
+     tau_g_j  = inv_j - d           block K2's i_value; L1's refresh
+                                    (2nd support arrival - 2d) stays below
+     s3       = t0 + 0.9d + DS0     third Support arrival (node 0's, S0)
+     a3       = s3 + DA0            third Approve arrival (node 0's, A0)
+     tau_q_j  = a3 + DR_j           Ready wave lands, N3/N4 accepts (R>j)
+     slack_j  = 0.9d + DS0 + DA0 + DR_j + d - I_j
+   At DS0 = DA0 = 0.9d, I_j = 0.05d the R>j lattice maps slack onto the
+   probe points above: 0.34d/0.35d/0.36d straddle the 4d gate (the 0.35d
+   point lands on the boundary up to one float ulp — either side is a sound
+   outcome, and the exact <=-semantics are pinned by unit tests), 1.3d
+   probes the 5d gate from 4.95d with a safe margin (exactly 5d would make
+   the Widen verdict hang on an ulp).
+
+   Under [Legacy], runs where *both* nodes 1 and 2 exceed 4d strand: block S
+   never fires because the only broadcaster is node 0 — the General, whom
+   block S excludes — so both abort at the block-U boundary while node 0
+   decides alone: the 7404/173 stranded-abort, rediscovered exhaustively.
+   Under [Widen] every slack is < 5d and the space must exhaust clean; under
+   [Count_general] the stranded nodes count the General's own round-1
+   broadcast and decide in round 1 instead. The CLI's knife verdict asserts
+   exactly this split. *)
+let knife () =
+  let params = Params.default ~f:1 4 in
+  let d = params.Params.d in
+  let dd x = x *. d in
+  let edge = [| dd 0.1; dd 0.34; dd 0.35; dd 0.36; dd 0.9; dd 1.3 |] in
+  {
+    name = "knife";
+    params;
+    byz = [ { byz_id = 3; steps = [] } ];
+    proposals = [ { Scenario.g = 0; v = "a"; at = dd 0.5 } ];
+    session_capacity = None;
+    blackout = true;
+    horizon = dd 32.0;
+    default_delay = dd 0.1;
+    lattice = [| dd 0.9 |];
+    lattices =
+      [
+        ("I>1", [| dd 0.05; dd 0.9 |]);
+        ("I>2", [| dd 0.05; dd 0.9 |]);
+        ("S0", [| dd 0.05; dd 0.9 |]);
+        ("A0", [| dd 0.1; dd 0.9 |]);
+        ("R>0", [| dd 0.1; dd 0.9 |]);
+        ("R>1", edge);
+        ("R>2", edge);
+      ];
+    branch =
+      (fun ~src ~dst msg ->
+        match msg with
+        | Initiator { g = 0; _ } -> Some (Fmt.str "I>%d" dst)
+        | Ia { kind = Support; g = 0; _ } when src = 0 -> Some "S0"
+        | Ia { kind = Approve; g = 0; _ } when src = 0 -> Some "A0"
+        | Ia { kind = Ready; g = 0; _ } -> Some (Fmt.str "R>%d" dst)
+        | _ -> None);
   }

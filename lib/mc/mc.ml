@@ -175,11 +175,11 @@ let execute (cfg : Config.t) ~por ~visited ~judge prefix =
            with
            | None -> cfg.Config.default_delay
            | Some key ->
+               let lattice = Config.lattice_for cfg key in
                let k =
-                 choose ~label:("d:" ^ key) ~group:key
-                   (Array.length cfg.Config.lattice)
+                 choose ~label:("d:" ^ key) ~group:key (Array.length lattice)
                in
-               cfg.Config.lattice.(k)
+               lattice.(k)
          in
          in_flight := !in_flight @ [ (Engine.now engine +. delay, src, dst, payload) ];
          sends := ((src, dst), delay) :: !sends;
@@ -477,6 +477,7 @@ let spec_of_run (cfg : Config.t) (r : run) ~name =
     horizon = cfg.Config.horizon;
     session_capacity = cfg.Config.session_capacity;
     blackout = cfg.Config.blackout;
+    r_slack = cfg.Config.params.Params.r_slack;
   }
 
 (* ----- E14: states explored, POR reduction, verdicts -------------------- *)

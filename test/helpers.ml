@@ -221,6 +221,7 @@ module Q = struct
             horizon;
             session_capacity = None;
             blackout = true;
+            r_slack = Ssba_core.Params.default_r_slack;
           }))
       (gen_event ~n ~horizon)
 

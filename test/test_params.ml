@@ -74,7 +74,7 @@ let test_pp_golden () =
   let p = P.make ~n:10 ~f:3 ~delta:1.0 ~pi:0.0 ~rho:0.0 in
   check_str "pp prints the full cascade"
     "n=10 f=3 delta=1 pi=0 rho=0 d=1 Phi=8 Dagr=56 D0=13 Drmv=69 Dv=153 \
-     Dnode=209 Dreset=296 Dstb=592"
+     Dnode=209 Dreset=296 Dstb=592 R=widen"
     (Fmt.str "%a" P.pp p)
 
 (* qcheck: the ordering relations between the constants hold for all valid

@@ -147,6 +147,105 @@ let test_matching_block_s () =
   | Ss_byz_agree.Returned (Types.Decided v, _) -> check_str "decided m" "m" v
   | _ -> Alcotest.fail "expected a decision through block S")
 
+(* --- block R gate boundary pins ----------------------------------------- *)
+
+(* Drive a hand-fed instance to its I-accept with an exact [tau - tau_g].
+   Power-of-two parameters (d = 0.125, rho = 0) make every timestamp and
+   every gate multiple exact in floating point, so "exactly 4d" means
+   exactly, not within an ulp. The anchor comes from L1's recording rule:
+   five simultaneous supports give tau_g = support time - 2d, so delivering
+   the ready quorum at support time + (gap - 2)d lands the accept at
+   tau_g + gap*d on the nose. *)
+let gate_params r_slack =
+  Params.with_r_slack (Params.default ~delta:0.125 ~pi:0.0 ~rho:0.0 7) r_slack
+
+let drive_accept ~params ~gap_in_d =
+  let fake, ctx = Fake.make params in
+  let agree = Ss_byz_agree.create ~ctx ~g:6 () in
+  let ia = Ss_byz_agree.initiator_accept agree in
+  let d = params.Params.d in
+  let quorum kind =
+    List.iter
+      (fun s -> Initiator_accept.handle_message ia ~kind ~sender:s ~v:"m")
+      [ 0; 1; 2; 3; 4 ]
+  in
+  quorum Types.Support;
+  Fake.advance fake d;
+  quorum Types.Approve;
+  Fake.advance fake ((gap_in_d -. 3.0) *. d);
+  quorum Types.Ready;
+  (fake, agree)
+
+let decided agree =
+  match Ss_byz_agree.state agree with
+  | Ss_byz_agree.Returned (Types.Decided v, _) -> Some v
+  | Ss_byz_agree.Idle | Ss_byz_agree.Running
+  | Ss_byz_agree.Returned (Types.Aborted, _) ->
+      None
+
+(* The gate comparison is <=, not <: an accept exactly ON the boundary takes
+   the fast path; one ulp past it does not. Pinned for both the legacy 4d
+   gate and the widen 5d default — if either flips to strict-less-than, the
+   knife-edge slack argument (EXPERIMENTS E15) no longer matches the code. *)
+let test_block_r_gate_boundaries () =
+  let case ~r_slack ~gap_in_d expect =
+    let _, agree = drive_accept ~params:(gate_params r_slack) ~gap_in_d in
+    check_bool
+      (Printf.sprintf "%s gate at gap %gd"
+         (Params.r_slack_to_string r_slack)
+         gap_in_d)
+      expect
+      (decided agree = Some "m")
+  in
+  (* legacy: <= 4d decides in round 0; anything past it does not *)
+  case ~r_slack:Params.Legacy ~gap_in_d:4.0 true;
+  case ~r_slack:Params.Legacy ~gap_in_d:4.125 false;
+  case ~r_slack:Params.Legacy ~gap_in_d:5.0 false;
+  (* widen (the default): the gate moved to <= 5d, covered by [IA-1D] *)
+  case ~r_slack:Params.Widen ~gap_in_d:4.0 true;
+  case ~r_slack:Params.Widen ~gap_in_d:5.0 true;
+  case ~r_slack:Params.Widen ~gap_in_d:5.125 false;
+  (* general keeps the 4d gate itself (its relaxation lives in block S) *)
+  case ~r_slack:Params.Count_general ~gap_in_d:4.0 true;
+  case ~r_slack:Params.Count_general ~gap_in_d:4.125 false
+
+(* The Count_general variant's block-S relaxation: a node that missed block
+   R but I-accepted m counts the General's own round-1 broadcast as the
+   r = 1 proof and decides in round 1. The same broadcast stays excluded
+   when the value differs from the node's own I-accept, and under the other
+   two variants entirely. *)
+let test_count_general_block_s () =
+  let general_broadcast agree ~v =
+    let mb = Ss_byz_agree.msgd_broadcast agree in
+    List.iter
+      (fun s ->
+        Msgd_broadcast.handle_message mb ~sender:s ~kind:Types.Echo2 ~p:6 ~v
+          ~k:1)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  (* missed the 4d gate by a full d: stranded in Running *)
+  let _, agree =
+    drive_accept ~params:(gate_params Params.Count_general) ~gap_in_d:5.0
+  in
+  check_bool "stranded past the 4d gate" true
+    (Ss_byz_agree.state agree = Ss_byz_agree.Running);
+  (* a General broadcast of a DIFFERENT value is still no proof *)
+  general_broadcast agree ~v:"x";
+  check_bool "General's broadcast of another value does not count" true
+    (Ss_byz_agree.state agree = Ss_byz_agree.Running);
+  (* ...but his round-1 broadcast of the I-accepted value decides round 1 *)
+  general_broadcast agree ~v:"m";
+  check_bool "General's own broadcast completes r = 1" true
+    (decided agree = Some "m");
+  (* under the widen default the General stays excluded from block S: the
+     same stranding (one ulp past 5d) is not rescued by his broadcast *)
+  let _, agree =
+    drive_accept ~params:(gate_params Params.Widen) ~gap_in_d:5.125
+  in
+  general_broadcast agree ~v:"m";
+  check_bool "widen still excludes the General from block S" true
+    (Ss_byz_agree.state agree = Ss_byz_agree.Running)
+
 let test_termination_u_block () =
   (* anchor with no broadcasts at all: block T or U must abort within
      Delta_agr *)
@@ -205,6 +304,9 @@ let suite =
     case "instance resets (recurrent)" test_instance_resets_after_agreement;
     case "concurrent Generals" test_concurrent_generals;
     case "block S round matching" test_matching_block_s;
+    case "block R gate boundaries (4d/5d, <= not <)" test_block_r_gate_boundaries;
+    case "Count_general: General's broadcast is the r=1 proof"
+      test_count_general_block_s;
     case "block U aborts" test_termination_u_block;
     case "cleanup repairs scrambled state" test_cleanup_repairs_corrupt_running_state;
   ]

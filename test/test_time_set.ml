@@ -35,6 +35,27 @@ let test_retain_range () =
   T.retain_range s ~lo:10.0 ~hi:20.0;
   check_bool "disjoint range empties" true (T.is_empty s)
 
+(* Boundary pin for the predecessor-witness search (companion to the block-R
+   gate pins in test_ss_byz_agree): [defined_at] is an inclusive <= at the
+   expiry boundary, the witness must be the LARGEST stamp <= at, and a stamp
+   exactly at [at] is its own witness. Block K's freshness query (was
+   last(G,m) defined d ago?) rides on these exact semantics. *)
+let test_predecessor_witness_boundary () =
+  let s = T.create () in
+  T.add s 10.0;
+  T.add s 12.0;
+  check_bool "exactly at the expiry boundary counts (<=, not <)" true
+    (T.defined_at s ~at:11.0 ~expiry:1.0);
+  check_bool "one ulp past the boundary does not" false
+    (T.defined_at s ~at:(11.0 +. 0x1p-20) ~expiry:1.0);
+  check_bool "a stamp exactly at [at] is a witness even with zero expiry" true
+    (T.defined_at s ~at:12.0 ~expiry:0.0);
+  check_bool "a stamp later than [at] is never a witness" false
+    (T.defined_at s ~at:11.5 ~expiry:0.25);
+  (* the witness is the predecessor: 12.0 (not 10.0) answers at = 12.25 *)
+  check_bool "largest stamp <= at is the witness" true
+    (T.defined_at s ~at:12.25 ~expiry:0.25)
+
 let test_clear () =
   let s = T.create () in
   T.add s 1.0;
@@ -106,6 +127,7 @@ let suite =
     case "basics" test_basics;
     case "defined_at" test_defined_at;
     case "retain_range" test_retain_range;
+    case "predecessor-witness boundary" test_predecessor_witness_boundary;
     case "clear" test_clear;
     Helpers.qcheck prop_model;
   ]

@@ -228,8 +228,30 @@ let test_lossy_campaign () =
   in
   check_int "executed all 50 scenarios" 50 summary.F.Campaign.executed;
   check_int "no oracle failures" 0 (List.length summary.F.Campaign.failed);
-  check_str "corpus digest pinned" "414d11485c99614faf7fa25524629b8a"
-    summary.F.Campaign.corpus_digest
+  check_str "corpus digest pinned" "7a08e9d2c32ec6be5c67c4da01d5aad5"
+    summary.F.Campaign.corpus_digest;
+  (* the pre-fix lossy corpus is frozen behind the legacy gate and the
+     pre-edge generator streams (`--lossy --r-slack legacy --edge-delays
+     off` on the CLI) *)
+  let legacy =
+    F.Campaign.run
+      {
+        F.Campaign.default_config with
+        F.Campaign.seed = 42;
+        runs = 50;
+        gen =
+          {
+            F.Gen.lossy_config with
+            F.Gen.r_slack = Ssba_core.Params.Legacy;
+            F.Gen.edge_delays = false;
+          };
+        shrink = false;
+      }
+  in
+  check_int "legacy lossy corpus has no failures" 0
+    (List.length legacy.F.Campaign.failed);
+  check_str "legacy lossy corpus digest unchanged"
+    "414d11485c99614faf7fa25524629b8a" legacy.F.Campaign.corpus_digest
 
 (* Acceptance regression: the SAME lossy corpus, transport stripped, loses
    Termination/Validity. [assume_coherent] keeps the reliable-class oracles
