@@ -358,8 +358,9 @@ let bench_transport_json path =
 (* Machine-readable engine throughput: the E11 scale sweep (one
    correct-General agreement per n, best-of-repeats wall time) written to
    BENCH_engine.json. [pre_pr_baseline] records the n=25 throughput measured
-   on this machine before the hot-path overhaul, so the file documents the
-   speedup it gates. *)
+   on this machine before the hot-path overhaul, and [pre_batching_baseline]
+   the n=61 throughput before broadcast fan-out batching and the pooled
+   delivery arena, so the file documents both speedups it gates. *)
 let engine_rows_json rows =
   let module J = Ssba_sim.Json in
   let row (r : H.Experiments.scale_row) =
@@ -384,6 +385,8 @@ let engine_rows_json rows =
             );
             ( "pre_pr_baseline",
               J.Obj [ ("n", J.Num 25.0); ("events_per_sec", J.Num 308924.0) ] );
+            ( "pre_batching_baseline",
+              J.Obj [ ("n", J.Num 61.0); ("events_per_sec", J.Num 344144.0) ] );
             ("rows", J.Arr (List.map row rows));
           ] );
     ]
@@ -397,8 +400,13 @@ let write_engine_json path rows =
   Printf.printf "engine benchmark written to %s\n%!" path
 
 (* The committed baseline and the pre-PR measurement were both taken as
-   best-of-many in one process (warm heap); match that methodology here so
-   the file's speedup ratio compares like with like. *)
+   best-of-many in one process (warm heap) under `--profile release`; match
+   that methodology here so the file's speedup ratio compares like with
+   like. Dune's dev profile passes `-opaque`, which strips cross-module
+   Clambda approximations and with them all cross-module inlining — float
+   returns box on every call and throughput drops ~25%. Regenerate with
+     dune exec --profile release bench/main.exe -- --engine-json
+   never from a dev build. *)
 let bench_engine_json path =
   write_engine_json path (H.Experiments.e11_scale_rows ~repeats:25 ())
 
@@ -434,10 +442,14 @@ let read_engine_baseline path =
 (* CI smoke mode: a reduced sweep, gated against the committed baseline.
    Fails (exit 1) only on a >3x events/sec regression at some shared n —
    loose enough to absorb shared-runner noise, tight enough to catch a
-   hot-path falling back to a quadratic or allocating implementation. *)
+   hot-path falling back to a quadratic or allocating implementation. The
+   sweep tops out at n=101 so a scale regression that only bites past the
+   historical n=61 ceiling (fan-out batching is what made n=101 routine)
+   still trips the gate. Best-of-5 wall-ms per row: single-shot timings on
+   shared runners swing far more than any real regression. *)
 let engine_smoke ?baseline () =
-  let ns = [ 7; 13; 25 ] in
-  let rows = H.Experiments.e11_scale_rows ~ns () in
+  let ns = [ 7; 13; 25; 61; 101 ] in
+  let rows = H.Experiments.e11_scale_rows ~ns ~repeats:5 () in
   let tbl = H.Table.create [ "n"; "events"; "wall(ms)"; "events/sec"; "vs baseline" ] in
   let failed = ref false in
   let base =

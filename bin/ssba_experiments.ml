@@ -1,7 +1,7 @@
 (* Regenerate the experiment tables of EXPERIMENTS.md (DESIGN.md §4).
 
    With no arguments, runs every experiment; otherwise runs the named ones
-   (e1..e14). *)
+   (e1..e16; e15 is the knife gate on the ssba_mc CLI). *)
 
 let experiments =
   [
@@ -19,6 +19,7 @@ let experiments =
     ("e12", "recovery under continuous churn", fun () -> Ssba_harness.Experiments.e12_churn ());
     ("e13", "concurrent sessions vs table bound", fun () -> Ssba_harness.Experiments.e13_sessions ());
     ("e14", "exhaustive small-model checking", fun () -> Ssba_mc.Mc.e14 ());
+    ("e16", "scale curve + multi-core campaign speedup", fun () -> Ssba_fuzz.E16.run ());
   ]
 
 let () =

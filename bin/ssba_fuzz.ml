@@ -68,7 +68,7 @@ let rebuild seed iteration =
   if report.F.Oracle.failures = [] then 0 else 1
 
 let fuzz seed runs time_budget replay_file iteration out max_n max_disruptions
-    lossy chaos r_slack edge_delays no_shrink verbose =
+    lossy chaos r_slack edge_delays no_shrink verbose jobs =
   match (replay_file, iteration) with
   | Some path, _ -> replay path
   | None, Some i -> rebuild seed i
@@ -110,7 +110,7 @@ let fuzz seed runs time_budget replay_file iteration out max_n max_disruptions
                 (if F.Oracle.failed r then "FAIL" else "ok"))
         else None
       in
-      let summary = F.Campaign.run ?progress config in
+      let summary = F.Campaign.run ?progress ~jobs config in
       List.iter
         (fun fc ->
           pp_failure_case ~verbose fc;
@@ -231,6 +231,15 @@ let edge_delays_arg =
 let no_shrink_arg =
   Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures unminimized.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Run scenarios on $(docv) domains (cores). Every iteration is a \
+           pure function of (seed, i) and the corpus digest folds results \
+           in iteration order, so the summary is byte-identical to --jobs 1.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose" ] ~doc:"Print every scenario verdict.")
 
@@ -241,6 +250,7 @@ let cmd =
     Term.(
       const fuzz $ seed_arg $ runs_arg $ time_budget_arg $ replay_arg
       $ iteration_arg $ out_arg $ max_n_arg $ max_disruptions_arg $ lossy_arg
-      $ chaos_arg $ r_slack_arg $ edge_delays_arg $ no_shrink_arg $ verbose_arg)
+      $ chaos_arg $ r_slack_arg $ edge_delays_arg $ no_shrink_arg $ verbose_arg
+      $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -43,6 +43,11 @@ type t = {
   mutable tau_g : float option;
   mutable on_accept : p:node_id -> v:value -> k:int -> unit;
   mutable on_broadcaster : node_id -> unit;
+  (* One-entry lookup cache: during an agreement almost every message hits
+     the same (p, v, k) triplet, so caching the last key dodges the tuple
+     allocation and polymorphic hash per arrival. Invalidated wherever trips
+     are removed. *)
+  mutable cached : ((node_id * value * int) * trip) option;
 }
 
 let create ~ctx ~g =
@@ -54,6 +59,7 @@ let create ~ctx ~g =
     tau_g = None;
     on_accept = (fun ~p:_ ~v:_ ~k:_ -> ());
     on_broadcaster = (fun _ -> ());
+    cached = None;
   }
 
 let set_on_accept t f = t.on_accept <- f
@@ -82,22 +88,36 @@ let trip_of t key =
       Hashtbl.replace t.trips key tr;
       tr
 
+(* Cached variant for the arrival path: [p]/[v]/[k] arrive unpacked, so a
+   cache hit allocates neither the key tuple nor an option. *)
+let trip_of_parts t ~p ~v ~k =
+  match t.cached with
+  | Some (((cp, cv, ck) as key), tr)
+    when cp = p && ck = k && (cv == v || String.equal cv v) ->
+      (key, tr)
+  | Some _ | None ->
+      let key = (p, v, k) in
+      let tr = trip_of t key in
+      t.cached <- Some (key, tr);
+      (key, tr)
+
 let broadcaster_count t = Recv_log.count t.broadcasters
 let broadcasters t = Recv_log.senders t.broadcasters
 
 let send t kind ~p ~v ~k = t.ctx.send_all (Mb { kind; p; g = t.g; v; k })
 
-let do_accept t (p, v, k) tr =
-  tr.accepted_at <- Some (now t);
+let do_accept t ~tau (p, v, k) tr =
+  tr.accepted_at <- Some tau;
   t.ctx.trace (Ssba_sim.Trace.Mb_accept { g = t.g; p; v; k });
   t.on_accept ~p ~v ~k
 
-(* Evaluate blocks W–Z for one triplet; no-op until the anchor is known. *)
-let eval t ((p, v, k) as key) tr =
+(* Evaluate blocks W–Z for one triplet; no-op until the anchor is known.
+   [tau] is the caller's local time — threaded in so the arrival path reads
+   the clock exactly once. *)
+let eval t ~tau ((p, v, k) as key) tr =
   match t.tau_g with
   | None -> ()
   | Some tg ->
-      let tau = now t in
       let pm = prm t in
       let phi = pm.Params.phi in
       let n_f = Params.quorum pm in
@@ -121,7 +141,7 @@ let eval t ((p, v, k) as key) tr =
           send t Init2 ~p ~v ~k
         end;
         if Recv_log.count tr.echo >= n_f && tr.accepted_at = None then
-          do_accept t key tr
+          do_accept t ~tau key tr
       end;
       (* Y *)
       if tau <= deadline2 then begin
@@ -144,7 +164,7 @@ let eval t ((p, v, k) as key) tr =
         send t Echo2 ~p ~v ~k
       end;
       if Recv_log.count tr.echo2 >= n_f && tr.accepted_at = None then
-        do_accept t key tr
+        do_accept t ~tau key tr
 
 (* Block V: this node broadcasts (p = self). *)
 let broadcast t ~v ~k = send t Init ~p:t.ctx.self ~v ~k
@@ -185,9 +205,11 @@ let set_anchor t tau_g =
       then doomed := key :: !doomed)
     t.trips;
   List.iter (Hashtbl.remove t.trips) !doomed;
+  t.cached <- None;
   Recv_log.decay t.broadcasters ~horizon;
   t.ctx.trace (Ssba_sim.Trace.Anchor_set { g = t.g; tau_g });
-  Hashtbl.iter (fun key tr -> eval t key tr) t.trips
+  let tau = now t in
+  Hashtbl.iter (fun key tr -> eval t ~tau key tr) t.trips
 
 let anchor t = t.tau_g
 
@@ -197,14 +219,14 @@ let handle_message t ~sender ~kind ~p ~v ~k =
      cannot inflate memory. *)
   if k >= 1 && k <= (prm t).Params.f + 1 then begin
     let tau = now t in
-    let tr = trip_of t (p, v, k) in
+    let key, tr = trip_of_parts t ~p ~v ~k in
     tr.last_activity <- tau;
     (match kind with
     | Init -> if sender = p && tr.init_from_p = None then tr.init_from_p <- Some tau
     | Echo -> Recv_log.note tr.echo ~sender ~at:tau
     | Init2 -> Recv_log.note tr.init2 ~sender ~at:tau
     | Echo2 -> Recv_log.note tr.echo2 ~sender ~at:tau);
-    eval t (p, v, k) tr
+    eval t ~tau key tr
   end
 
 (* Figure 3's cleanup: decay anything older than (2f+3) * Phi. *)
@@ -232,6 +254,7 @@ let cleanup t =
       then doomed := key :: !doomed)
     t.trips;
   List.iter (Hashtbl.remove t.trips) !doomed;
+  t.cached <- None;
   Recv_log.sanitize t.broadcasters ~now:tau;
   Recv_log.decay t.broadcasters ~horizon;
   match t.tau_g with
@@ -240,6 +263,7 @@ let cleanup t =
 
 let reset t =
   Hashtbl.reset t.trips;
+  t.cached <- None;
   Recv_log.clear t.broadcasters;
   t.tau_g <- None
 

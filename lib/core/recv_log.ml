@@ -8,33 +8,36 @@
    can never enlarge a suffix window's sender count.
 
    Window queries run on every arrival, so they are the broadcast hot path.
-   Alongside the sender -> latest-arrival table the log incrementally
-   maintains a sorted array of (time, sender) pairs — parallel flat
+   The log is a sorted array of (time, sender) pairs — parallel flat
    float/int arrays, ascending by (time, sender) — so every query is a
-   binary search: O(log m), monomorphic comparisons, no allocation. Updates
-   (a refresh moves one entry towards the end; decay cuts a prefix, sanitize
-   a suffix) are a binary search plus one [Array.blit] over at most m <= n
-   entries, which is far cheaper than the former fold + sort + nth on every
-   query.
+   binary search: O(log m), monomorphic comparisons, no allocation. Each
+   sender appears at most once, so the sender -> latest-arrival lookup is a
+   linear scan of the int column (m <= n entries, allocation-free) — it
+   replaced a side Hashtbl whose [note] allocated an option and a bucket per
+   arrival on the hottest path in the simulator. Updates (a refresh moves
+   one entry towards the end; decay cuts a prefix, sanitize a suffix) are a
+   scan plus one [Array.blit] over at most m entries.
 
    The log also implements the paper's decay rules: entries older than a
    horizon are removed, and entries with "clearly wrong" (future) timestamps
    — which only a transient fault can produce — are dropped by [sanitize]. *)
 
 type t = {
-  arrivals : (int, float) Hashtbl.t;  (* sender -> latest arrival *)
   mutable times : float array;  (* ascending by (time, sender); size live *)
   mutable who : int array;
   mutable size : int;
 }
 
-let create () =
-  {
-    arrivals = Hashtbl.create 8;
-    times = Array.make 8 0.0;
-    who = Array.make 8 0;
-    size = 0;
-  }
+let create () = { times = Array.make 8 0.0; who = Array.make 8 0; size = 0 }
+
+(* Index of [sender]'s (unique) entry, or -1. *)
+let find_sender t sender =
+  let n = t.size in
+  let who = t.who in
+  let rec go i =
+    if i >= n then -1 else if Array.unsafe_get who i = sender then i else go (i + 1)
+  in
+  go 0
 
 (* First index whose (time, sender) is >= (at, sender) lexicographically. *)
 let lower_bound t ~at ~sender =
@@ -66,10 +69,7 @@ let upper_bound_time t x =
   done;
   !lo
 
-let remove_entry t ~at ~sender =
-  let i = lower_bound t ~at ~sender in
-  (* the entry exists by construction: arrivals and the array stay in sync *)
-  assert (i < t.size && t.times.(i) = at && t.who.(i) = sender);
+let remove_at t i =
   Array.blit t.times (i + 1) t.times i (t.size - i - 1);
   Array.blit t.who (i + 1) t.who i (t.size - i - 1);
   t.size <- t.size - 1
@@ -91,26 +91,21 @@ let insert_entry t ~at ~sender =
   t.size <- t.size + 1
 
 let replace t ~sender ~at =
-  (match Hashtbl.find_opt t.arrivals sender with
-  | Some prev -> remove_entry t ~at:prev ~sender
-  | None -> ());
-  insert_entry t ~at ~sender;
-  Hashtbl.replace t.arrivals sender at
+  (match find_sender t sender with i when i >= 0 -> remove_at t i | _ -> ());
+  insert_entry t ~at ~sender
 
 let note t ~sender ~at =
-  match Hashtbl.find_opt t.arrivals sender with
-  | Some prev when prev >= at -> ()
-  | Some prev ->
-      remove_entry t ~at:prev ~sender;
-      insert_entry t ~at ~sender;
-      Hashtbl.replace t.arrivals sender at
-  | None ->
-      insert_entry t ~at ~sender;
-      Hashtbl.replace t.arrivals sender at
+  match find_sender t sender with
+  | i when i >= 0 ->
+      if Array.unsafe_get t.times i < at then begin
+        remove_at t i;
+        insert_entry t ~at ~sender
+      end
+  | _ -> insert_entry t ~at ~sender
 
 let count t = t.size
 
-let mem t ~sender = Hashtbl.mem t.arrivals sender
+let mem t ~sender = find_sender t sender >= 0
 
 let senders t =
   let rec collect i acc =
@@ -139,9 +134,6 @@ let latest t = if t.size = 0 then None else Some t.times.(t.size - 1)
 let decay t ~horizon =
   let cut = lower_bound_time t horizon in
   if cut > 0 then begin
-    for i = 0 to cut - 1 do
-      Hashtbl.remove t.arrivals t.who.(i)
-    done;
     Array.blit t.times cut t.times 0 (t.size - cut);
     Array.blit t.who cut t.who 0 (t.size - cut);
     t.size <- t.size - cut
@@ -151,12 +143,7 @@ let decay t ~horizon =
    residue, a suffix of the sorted array. *)
 let sanitize t ~now =
   let keep = upper_bound_time t now in
-  if keep < t.size then begin
-    for i = keep to t.size - 1 do
-      Hashtbl.remove t.arrivals t.who.(i)
-    done;
-    t.size <- keep
-  end
+  if keep < t.size then t.size <- keep
 
 (* Iterate live entries in ascending (time, sender) order — a canonical
    order independent of arrival interleaving; the model checker's state
@@ -166,9 +153,7 @@ let iter_entries t f =
     f ~sender:t.who.(i) ~at:t.times.(i)
   done
 
-let clear t =
-  Hashtbl.reset t.arrivals;
-  t.size <- 0
+let clear t = t.size <- 0
 
 let is_empty t = t.size = 0
 

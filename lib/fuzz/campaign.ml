@@ -48,7 +48,100 @@ let rng_of_iteration ~seed i =
 
 let spec_of_iteration ~seed ~gen i = Gen.spec (rng_of_iteration ~seed i) gen
 
-let run ?progress config =
+(* The campaign digest folds the per-run digests IN ITERATION ORDER — the
+   fold must be order-dependent, or a parallel scheduler that completed
+   iterations out of order would go unnoticed. Byte-compatible with the
+   historical serial implementation (digest ^ "\n" per run, MD5 over the
+   concatenation), so every pinned corpus digest stays put. *)
+let digest_of_digests arr =
+  let buf = Buffer.create ((Array.length arr * 33) + 16) in
+  Array.iter
+    (fun d ->
+      Buffer.add_string buf d;
+      Buffer.add_char buf '\n')
+    arr;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Failures surface in iteration order with shrinking deferred to a single
+   serial pass, so a parallel campaign reports byte-identically to a serial
+   one (shrinking is a pure function of the failing spec). *)
+let finalize config raw_failures =
+  List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) raw_failures
+  |> List.map (fun (index, spec, report) ->
+         let shrunk =
+           if config.shrink then
+             Some
+               (Shrink.minimize ~config:config.oracle
+                  ~max_attempts:config.max_shrink_attempts spec report)
+           else None
+         in
+         { index; spec; report; shrunk })
+
+(* One deterministic engine per domain: workers pull the next iteration
+   index from an atomic counter, run it in isolation (every scenario builds
+   its own engine/RNG from (seed, i) alone), and write the result digest
+   into slot [i]. The index-ordered fold over the slot array then matches
+   the serial digest byte for byte, whatever order the slots were filled
+   in. With a time budget the digest covers the completed *prefix* —
+   stragglers past the first unfinished slot are discarded from the digest
+   (budgeted campaigns are not digest-stable in either mode). *)
+let run_parallel ?progress ~jobs config =
+  let deadline =
+    Option.map (fun b -> Unix.gettimeofday () +. b) config.time_budget
+  in
+  let runs = config.runs in
+  let digests = Array.make runs "" in
+  let completed = Array.make runs false in
+  let next = Atomic.make 0 in
+  let failures = Atomic.make [] in
+  let progress_mutex = Mutex.create () in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= runs then continue := false
+      else
+        match deadline with
+        | Some t when Unix.gettimeofday () > t -> continue := false
+        | Some _ | None ->
+            let spec = spec_of_iteration ~seed:config.seed ~gen:config.gen i in
+            let _, report = Oracle.run ~config:config.oracle spec in
+            digests.(i) <- report.Oracle.digest;
+            completed.(i) <- true;
+            (match progress with
+            | Some f ->
+                Mutex.lock progress_mutex;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock progress_mutex)
+                  (fun () -> f i spec report)
+            | None -> ());
+            if Oracle.failed report then begin
+              let rec push () =
+                let cur = Atomic.get failures in
+                if
+                  not
+                    (Atomic.compare_and_set failures cur
+                       ((i, spec, report) :: cur))
+                then push ()
+              in
+              push ()
+            end
+    done
+  in
+  let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join helpers;
+  let executed = ref 0 in
+  while !executed < runs && completed.(!executed) do
+    incr executed
+  done;
+  {
+    executed = !executed;
+    failed = finalize config (Atomic.get failures);
+    corpus_digest = digest_of_digests (Array.sub digests 0 !executed);
+  }
+
+let run_serial ?progress config =
   let deadline =
     Option.map (fun b -> Unix.gettimeofday () +. b) config.time_budget
   in
@@ -82,3 +175,7 @@ let run ?progress config =
     failed = List.rev !failed;
     corpus_digest = Digest.to_hex (Digest.string (Buffer.contents digests));
   }
+
+let run ?progress ?(jobs = 1) config =
+  if jobs <= 1 then run_serial ?progress config
+  else run_parallel ?progress ~jobs config

@@ -40,6 +40,24 @@ val rng_of_iteration : seed:int -> int -> Ssba_sim.Rng.t
     path). *)
 val spec_of_iteration : seed:int -> gen:Gen.config -> int -> Spec.t
 
-(** Run a campaign. [progress] is called after every scenario. *)
+(** The campaign digest: MD5 over the per-run result digests folded in
+    iteration order ([digest ^ "\n"] each). The fold is deliberately
+    order-DEPENDENT — it is the observable that pins a parallel campaign to
+    its serial schedule; an order-independent fold would hide a scheduler
+    that permuted iterations. Exposed so tests can probe exactly that
+    sensitivity. *)
+val digest_of_digests : string array -> string
+
+(** Run a campaign. [progress] is called after every scenario (under a
+    mutex when [jobs > 1]). [jobs] > 1 runs scenarios on that many domains
+    — one deterministic engine per domain, scenarios pulled from a shared
+    counter; every iteration is a pure function of [(seed, i)], and the
+    digest folds per-iteration results in index order, so the summary
+    (digest, executed count, failure set, shrunk reproductions) is
+    byte-identical to [jobs = 1]. With a [time_budget] the parallel digest
+    covers only the completed prefix of iterations. *)
 val run :
-  ?progress:(int -> Spec.t -> Oracle.report -> unit) -> config -> summary
+  ?progress:(int -> Spec.t -> Oracle.report -> unit) ->
+  ?jobs:int ->
+  config ->
+  summary

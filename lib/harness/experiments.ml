@@ -777,7 +777,7 @@ let e11_workload ~seed n =
       ~horizon params,
     horizon )
 
-let e11_scale_rows ?(ns = [ 7; 13; 25; 31; 41; 51; 61 ]) ?(seed = 111)
+let e11_scale_rows ?(ns = [ 7; 13; 25; 31; 41; 51; 61; 81; 101 ]) ?(seed = 111)
     ?(repeats = 3) () =
   List.map
     (fun n ->

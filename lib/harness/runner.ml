@@ -108,6 +108,9 @@ type net_iface = {
   set_partition : (src:int -> dst:int -> bool) option -> unit;
   inject_garbage : rng:Rng.t -> values:value list -> count:int -> unit;
   scramble_transport : rng:Rng.t -> unit;
+  scramble_pool : values:value list -> unit;
+      (* trash the delivery arena's free envelope slots (its own RNG stream;
+         armed descriptors and results untouched) *)
   counts : unit -> net_counts;
 }
 
@@ -135,6 +138,10 @@ let plain_iface ~engine ~params ~delay ~rng n =
           Network.inject_forged net ~claimed_src ~dst ~delay payload
         done);
     scramble_transport = (fun ~rng:_ -> ());
+    scramble_pool =
+      (fun ~values ->
+        Network.scramble_pool net ~payload:(fun rng ->
+            garbage_message ~rng ~params ~values));
     counts =
       (fun () ->
         {
@@ -186,6 +193,14 @@ let transport_iface ~engine ~params ~delay ~rng ~config n =
           Network.inject_forged net ~claimed_src ~dst ~delay frame
         done);
     scramble_transport = (fun ~rng -> Transport.scramble tr ~rng);
+    scramble_pool =
+      (fun ~values ->
+        Network.scramble_pool net ~payload:(fun rng ->
+            Transport.Data
+              {
+                seq = Rng.int rng 1_000_000;
+                payload = garbage_message ~rng ~params ~values;
+              }));
     counts =
       (fun () ->
         {
@@ -302,6 +317,7 @@ let run_with ~execute (sc : Scenario.t) =
                 (fun (_, node) -> Node.scramble scramble_rng ~values node)
                 !live_nodes;
               iface.scramble_transport ~rng:scramble_rng;
+              iface.scramble_pool ~values;
               iface.inject_garbage ~rng:scramble_rng ~values ~count:net_garbage;
               Engine.record engine ~node:(-1)
                 (Trace.Scramble { garbage = net_garbage }))

@@ -40,7 +40,10 @@ let scaled factor base =
   if factor <= 0.0 then invalid_arg "Delay.scaled: non-positive factor";
   Scaled { factor; base }
 
-let rec draw t ~rng ~src ~dst ~now =
+(* Split so the overwhelmingly common policies ([Uniform]/[Fixed]) can be
+   inlined — with the RNG draw chain unboxed — straight into the network's
+   per-destination send loop; a recursive [draw] would defeat inlining. *)
+let rec draw_rare t ~rng ~src ~dst ~now =
   match t with
   | Fixed d -> d
   | Uniform { lo; hi } -> Ssba_sim.Rng.float_in_range rng ~lo ~hi
@@ -48,4 +51,10 @@ let rec draw t ~rng ~src ~dst ~now =
       if Ssba_sim.Rng.float rng 1.0 < slow_prob then slow else fast
   | Per_link f -> f ~src ~dst
   | Custom f -> f ~rng ~src ~dst ~now
-  | Scaled { factor; base } -> factor *. draw base ~rng ~src ~dst ~now
+  | Scaled { factor; base } -> factor *. draw_rare base ~rng ~src ~dst ~now
+
+let[@inline always] draw t ~rng ~src ~dst ~now =
+  match t with
+  | Fixed d -> d
+  | Uniform { lo; hi } -> Ssba_sim.Rng.float_in_range rng ~lo ~hi
+  | other -> draw_rare other ~rng ~src ~dst ~now

@@ -5,14 +5,20 @@
    [src] stamped by the network itself — protocol code and Byzantine nodes
    alike cannot forge it. The [forged] flag exists only so the transient-fault
    injector can model the *incoherent* period, during which the network may
-   deliver arbitrary garbage; property checks never trust forged envelopes. *)
+   deliver arbitrary garbage; property checks never trust forged envelopes.
+
+   Fields are mutable solely so the network can pool envelope records for
+   in-flight messages (the delivery arena): only the network writes them, and
+   only between deliveries. Handlers must treat envelopes as read-only
+   snapshots valid for the duration of the call — copy fields out, never
+   retain the record. *)
 
 type 'a t = {
-  src : int;
-  dst : int;
-  sent_at : float;  (* real time at which the send was issued *)
-  forged : bool;  (* true only for incoherent-period garbage *)
-  payload : 'a;
+  mutable src : int;
+  mutable dst : int;
+  mutable sent_at : float;  (* real time at which the send was issued *)
+  mutable forged : bool;  (* true only for incoherent-period garbage *)
+  mutable payload : 'a;
 }
 
 let make ~src ~dst ~sent_at payload =
@@ -23,6 +29,13 @@ let forge ~claimed_src ~dst ~sent_at payload =
 
 let with_payload m payload =
   { src = m.src; dst = m.dst; sent_at = m.sent_at; forged = m.forged; payload }
+
+let set m ~src ~dst ~sent_at ~forged payload =
+  m.src <- src;
+  m.dst <- dst;
+  m.sent_at <- sent_at;
+  m.forged <- forged;
+  m.payload <- payload
 
 let pp pp_payload ppf m =
   Fmt.pf ppf "%d->%d%s %a" m.src m.dst (if m.forged then "(forged)" else "") pp_payload m.payload

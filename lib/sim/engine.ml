@@ -17,7 +17,7 @@ type stats = {
 }
 
 type t = {
-  mutable now : float;
+  now_cell : float array;  (* 1 slot: raw float stores, no per-event boxing *)
   queue : Event_queue.t;
   mutable seq : int;
   trace : Trace.t;
@@ -31,7 +31,7 @@ let create ?trace ?metrics () =
   let trace = match trace with Some tr -> tr | None -> Trace.create ~enabled:false () in
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   {
-    now = 0.0;
+    now_cell = [| 0.0 |];
     queue = Event_queue.create ();
     seq = 0;
     trace;
@@ -41,7 +41,7 @@ let create ?trace ?metrics () =
     stopped = false;
   }
 
-let now t = t.now
+let now t = Array.unsafe_get t.now_cell 0
 let trace t = t.trace
 let metrics t = t.metrics
 let pending t = Event_queue.size t.queue
@@ -49,18 +49,32 @@ let pending t = Event_queue.size t.queue
 let schedule t ~at run =
   (* Scheduling in the past would break causality; clamp to the present so a
      zero-delay event still runs after the current one. *)
-  let at = if at < t.now then t.now else at in
+  let here = Array.unsafe_get t.now_cell 0 in
+  let at = if at < here then here else at in
   Event_queue.push t.queue ~at ~seq:t.seq run;
   t.seq <- t.seq + 1;
   Metrics.incr t.c_scheduled
 
 let schedule_after t ~delay run =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
-  schedule t ~at:(t.now +. delay) run
+  schedule t ~at:(Array.unsafe_get t.now_cell 0 +. delay) run
+
+(* Fan-out batches: the caller (network broadcast) reserves one sequence
+   number per sub-event via [next_seq] — in the exact order the per-entry
+   scheme would have called [schedule] — then arms the filled descriptor.
+   Each reservation counts as one scheduled event so metrics are identical
+   to n separate [schedule] calls. *)
+let next_seq t =
+  let s = t.seq in
+  t.seq <- t.seq + 1;
+  Metrics.incr t.c_scheduled;
+  s
+
+let schedule_batch t b = Event_queue.push_batch t.queue b
 
 let stop t = t.stopped <- true
 
-let record t ~node event = Trace.record t.trace ~time:t.now ~node event
+let record t ~node event = Trace.record t.trace ~time:(now t) ~node event
 
 (* Real-time pacing: process events exactly like [run], but sleep until each
    event's virtual time, mapped onto the wall clock at [speed] virtual
@@ -70,7 +84,7 @@ let record t ~node event = Trace.record t.trace ~time:t.now ~node event
 let run_realtime ?(speed = 1.0) ?(until = infinity) ?(max_events = max_int) t =
   if speed <= 0.0 then invalid_arg "Engine.run_realtime: speed must be positive";
   let epoch_wall = Unix.gettimeofday () in
-  let epoch_virtual = t.now in
+  let epoch_virtual = now t in
   t.stopped <- false;
   let processed = ref 0 in
   let exhausted = ref false in
@@ -84,22 +98,21 @@ let run_realtime ?(speed = 1.0) ?(until = infinity) ?(max_events = max_int) t =
     else begin
       let at = Event_queue.min_at t.queue in
       if at > until then begin
-        t.now <- until;
+        Array.unsafe_set t.now_cell 0 until;
         continue := false
       end
       else begin
-        let run = Event_queue.pop_run t.queue in
         let wall_target = epoch_wall +. ((at -. epoch_virtual) /. speed) in
         let lag = wall_target -. Unix.gettimeofday () in
         if lag > 0.0 then Unix.sleepf lag;
-        t.now <- at;
+        Array.unsafe_set t.now_cell 0 at;
         incr processed;
         Metrics.incr t.c_processed;
-        run ()
+        Event_queue.pop_invoke t.queue
       end
     end
   done;
-  { events_processed = !processed; end_time = t.now; queue_exhausted = !exhausted }
+  { events_processed = !processed; end_time = now t; queue_exhausted = !exhausted }
 
 let run ?(until = infinity) ?(max_events = max_int) t =
   t.stopped <- false;
@@ -116,16 +129,17 @@ let run ?(until = infinity) ?(max_events = max_int) t =
       let at = Event_queue.min_at t.queue in
       if at > until then begin
         (* Leave future events queued; advance time to the horizon. *)
-        t.now <- until;
+        Array.unsafe_set t.now_cell 0 until;
         continue := false
       end
       else begin
-        let run = Event_queue.pop_run t.queue in
-        t.now <- at;
+        Array.unsafe_set t.now_cell 0 at;
         incr processed;
         Metrics.incr t.c_processed;
-        run ()
+        (* Pop-and-run without materialising a closure for batch
+           sub-events: the engine's steady state allocates nothing. *)
+        Event_queue.pop_invoke t.queue
       end
     end
   done;
-  { events_processed = !processed; end_time = t.now; queue_exhausted = !exhausted }
+  { events_processed = !processed; end_time = now t; queue_exhausted = !exhausted }

@@ -39,6 +39,19 @@ val schedule : t -> at:float -> (unit -> unit) -> unit
 (** [schedule_after t ~delay f] runs [f] after [delay] (must be >= 0). *)
 val schedule_after : t -> delay:float -> (unit -> unit) -> unit
 
+(** Reserve the next tie-break sequence number for a fan-out sub-event.
+    Counts as one scheduled event (metrics-identical to {!schedule}); the
+    caller must arm the sub-event under exactly this seq via
+    {!schedule_batch}. Reserving in the same order the per-entry scheme
+    called {!schedule} is what keeps batched runs bit-identical. *)
+val next_seq : t -> int
+
+(** Arm a filled fan-out descriptor (see {!Event_queue.push_batch}): one
+    heap entry expanding to its sub-events in exact (at, seq) order. All
+    sub-event times must be >= {!now} — the network computes them as
+    [now + delay] with validated non-negative delays. *)
+val schedule_batch : t -> Event_queue.batch -> unit
+
 (** Abort the current {!run} after the event being processed. *)
 val stop : t -> unit
 

@@ -1,27 +1,75 @@
 (* Monomorphic event queue: the engine's innermost data structure.
 
    A binary min-heap over (at, seq) keys held in parallel arrays: a flat
-   [float array] for times, an [int array] for sequence numbers and a closure
-   array for the scheduled thunks. Keeping the keys out of a record means the
-   hot loop does raw float/int comparisons on unboxed values — no closure
-   indirection, no polymorphic [compare] (a C call per comparison), and no
-   per-event allocation: [push] stores three fields and [pop_run] returns the
-   closure that already existed.
+   [float array] for times, an [int array] for sequence numbers, a closure
+   array for the scheduled thunks and a batch array for fan-out descriptors.
+   Keeping the keys out of a record means the hot loop does raw float/int
+   comparisons on unboxed values — no closure indirection, no polymorphic
+   [compare] (a C call per comparison), and no per-event allocation: [push]
+   stores four fields and [pop_invoke] runs the closure that already existed.
 
    Ordering is (at, seq) lexicographic, so events at equal times pop in
    scheduling order — the engine's determinism contract. Both sifts move a
    "hole" instead of swapping, storing each displaced slot once.
 
-   Vacated closure slots are overwritten with [nop] so drained events are not
-   retained; the float/int arrays need no such care. *)
+   Fan-out batches (broadcast deliveries): a [batch] is ONE heap entry
+   carrying [b_count] sub-events whose (at, seq) keys are pre-sorted
+   ascending. The entry sits in the heap keyed at its next unfired sub-event;
+   popping a non-final sub-event re-keys the root to the following sub-key
+   and sifts it down in place — one sift instead of a pop + push — so the
+   heap holds one entry per broadcast instead of one per receiver while the
+   global pop order stays exactly what n separate entries would produce
+   (each sub-event keeps the key the per-entry scheme would have given it,
+   and keys are unique because seqs are).
+
+   Vacated closure/batch slots are overwritten with [nop]/[null_batch] so
+   drained events are not retained; the float/int arrays need no such
+   care. *)
 
 let nop () = ()
+
+type batch = {
+  mutable b_ats : float array;  (* sub-event keys, sorted by (at, seq) *)
+  mutable b_seqs : int array;
+  mutable b_count : int;        (* sub-events armed in this cycle *)
+  mutable b_next : int;         (* next sub-event to fire *)
+  mutable b_fire : int -> unit; (* receives the sub-event index *)
+}
+
+let null_batch =
+  { b_ats = [||]; b_seqs = [||]; b_count = 0; b_next = 0; b_fire = ignore }
+
+let make_batch ?(capacity = 8) () =
+  let capacity = max capacity 1 in
+  {
+    b_ats = Array.make capacity 0.0;
+    b_seqs = Array.make capacity 0;
+    b_count = 0;
+    b_next = 0;
+    b_fire = ignore;
+  }
+
+let batch_capacity b = Array.length b.b_ats
+
+let ensure_batch_capacity b want =
+  let cap = Array.length b.b_ats in
+  if want > cap then begin
+    let cap' = max want (2 * max cap 1) in
+    let ats = Array.make cap' 0.0 in
+    let seqs = Array.make cap' 0 in
+    Array.blit b.b_ats 0 ats 0 cap;
+    Array.blit b.b_seqs 0 seqs 0 cap;
+    b.b_ats <- ats;
+    b.b_seqs <- seqs
+  end
 
 type t = {
   mutable ats : float array;  (* flat float array: unboxed time keys *)
   mutable seqs : int array;
   mutable runs : (unit -> unit) array;
-  mutable size : int;
+  mutable bats : batch array; (* null_batch for plain entries *)
+  mutable n : int;            (* heap entries *)
+  mutable live : int;         (* pending sub-events (>= n) *)
 }
 
 let create ?(capacity = 64) () =
@@ -30,11 +78,14 @@ let create ?(capacity = 64) () =
     ats = Array.make capacity 0.0;
     seqs = Array.make capacity 0;
     runs = Array.make capacity nop;
-    size = 0;
+    bats = Array.make capacity null_batch;
+    n = 0;
+    live = 0;
   }
 
-let size t = t.size
-let is_empty t = t.size = 0
+let size t = t.live
+let entries t = t.n
+let is_empty t = t.live = 0
 let capacity t = Array.length t.ats
 
 let grow t =
@@ -42,20 +93,23 @@ let grow t =
   let ats = Array.make cap 0.0 in
   let seqs = Array.make cap 0 in
   let runs = Array.make cap nop in
-  Array.blit t.ats 0 ats 0 t.size;
-  Array.blit t.seqs 0 seqs 0 t.size;
-  Array.blit t.runs 0 runs 0 t.size;
+  let bats = Array.make cap null_batch in
+  Array.blit t.ats 0 ats 0 t.n;
+  Array.blit t.seqs 0 seqs 0 t.n;
+  Array.blit t.runs 0 runs 0 t.n;
+  Array.blit t.bats 0 bats 0 t.n;
   t.ats <- ats;
   t.seqs <- seqs;
-  t.runs <- runs
+  t.runs <- runs;
+  t.bats <- bats
 
-(* All unsafe accesses below are at indices < t.size <= Array.length t.ats,
-   with the three arrays always of equal length. *)
+(* All unsafe accesses below are at indices < t.n <= Array.length t.ats,
+   with the four arrays always of equal length. *)
 
-let push t ~at ~seq run =
-  if t.size = Array.length t.ats then grow t;
-  let i = ref t.size in
-  t.size <- t.size + 1;
+let sift_up t ~at ~seq run batch =
+  if t.n = Array.length t.ats then grow t;
+  let i = ref t.n in
+  t.n <- t.n + 1;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
@@ -64,64 +118,136 @@ let push t ~at ~seq run =
       Array.unsafe_set t.ats !i pat;
       Array.unsafe_set t.seqs !i (Array.unsafe_get t.seqs parent);
       Array.unsafe_set t.runs !i (Array.unsafe_get t.runs parent);
+      Array.unsafe_set t.bats !i (Array.unsafe_get t.bats parent);
       i := parent
     end
     else continue := false
   done;
   Array.unsafe_set t.ats !i at;
   Array.unsafe_set t.seqs !i seq;
-  Array.unsafe_set t.runs !i run
+  Array.unsafe_set t.runs !i run;
+  Array.unsafe_set t.bats !i batch
+
+let push t ~at ~seq run =
+  sift_up t ~at ~seq run null_batch;
+  t.live <- t.live + 1
+
+let push_batch t b =
+  if b.b_count < 1 then invalid_arg "Event_queue.push_batch: empty batch";
+  if b.b_next <> 0 then invalid_arg "Event_queue.push_batch: batch in flight";
+  if b.b_count > Array.length b.b_ats || b.b_count > Array.length b.b_seqs
+  then invalid_arg "Event_queue.push_batch: count exceeds key arrays";
+  for i = 0 to b.b_count - 2 do
+    let a0 = b.b_ats.(i) and a1 = b.b_ats.(i + 1) in
+    if a0 > a1 || (a0 = a1 && b.b_seqs.(i) >= b.b_seqs.(i + 1)) then
+      invalid_arg "Event_queue.push_batch: sub-events not sorted by (at, seq)"
+  done;
+  sift_up t ~at:b.b_ats.(0) ~seq:b.b_seqs.(0) nop b;
+  t.live <- t.live + b.b_count
 
 let min_at t =
-  if t.size = 0 then invalid_arg "Event_queue.min_at: empty";
+  if t.n = 0 then invalid_arg "Event_queue.min_at: empty";
   t.ats.(0)
 
-let pop_run t =
-  if t.size = 0 then invalid_arg "Event_queue.pop_run: empty";
-  let top = t.runs.(0) in
-  let last = t.size - 1 in
-  t.size <- last;
-  if last = 0 then t.runs.(0) <- nop
+(* Place (at, seq, run, batch) into the hole at the root and sift it down
+   within heap prefix [0, bound). *)
+let sift_down t ~bound ~at ~seq run batch =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= bound then continue := false
+    else begin
+      let r = l + 1 in
+      let c =
+        if r < bound then begin
+          let lat = Array.unsafe_get t.ats l and rat = Array.unsafe_get t.ats r in
+          if
+            rat < lat
+            || (rat = lat && Array.unsafe_get t.seqs r < Array.unsafe_get t.seqs l)
+          then r
+          else l
+        end
+        else l
+      in
+      let cat = Array.unsafe_get t.ats c in
+      if cat < at || (cat = at && Array.unsafe_get t.seqs c < seq) then begin
+        Array.unsafe_set t.ats !i cat;
+        Array.unsafe_set t.seqs !i (Array.unsafe_get t.seqs c);
+        Array.unsafe_set t.runs !i (Array.unsafe_get t.runs c);
+        Array.unsafe_set t.bats !i (Array.unsafe_get t.bats c);
+        i := c
+      end
+      else continue := false
+    end
+  done;
+  Array.unsafe_set t.ats !i at;
+  Array.unsafe_set t.seqs !i seq;
+  Array.unsafe_set t.runs !i run;
+  Array.unsafe_set t.bats !i batch
+
+(* Remove the root entry outright (plain event, or batch on its last
+   sub-event): the classic last-element-through-the-root-hole sift. *)
+let remove_root t =
+  let last = t.n - 1 in
+  t.n <- last;
+  if last = 0 then begin
+    t.runs.(0) <- nop;
+    t.bats.(0) <- null_batch
+  end
   else begin
-    (* Re-insert the last element through the hole left at the root. *)
     let at = Array.unsafe_get t.ats last in
     let seq = Array.unsafe_get t.seqs last in
     let run = Array.unsafe_get t.runs last in
+    let batch = Array.unsafe_get t.bats last in
     Array.unsafe_set t.runs last nop;
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 in
-      if l >= last then continue := false
-      else begin
-        let r = l + 1 in
-        let c =
-          if r < last then begin
-            let lat = Array.unsafe_get t.ats l and rat = Array.unsafe_get t.ats r in
-            if
-              rat < lat
-              || (rat = lat && Array.unsafe_get t.seqs r < Array.unsafe_get t.seqs l)
-            then r
-            else l
-          end
-          else l
-        in
-        let cat = Array.unsafe_get t.ats c in
-        if cat < at || (cat = at && Array.unsafe_get t.seqs c < seq) then begin
-          Array.unsafe_set t.ats !i cat;
-          Array.unsafe_set t.seqs !i (Array.unsafe_get t.seqs c);
-          Array.unsafe_set t.runs !i (Array.unsafe_get t.runs c);
-          i := c
-        end
-        else continue := false
-      end
-    done;
-    Array.unsafe_set t.ats !i at;
-    Array.unsafe_set t.seqs !i seq;
-    Array.unsafe_set t.runs !i run
-  end;
-  top
+    Array.unsafe_set t.bats last null_batch;
+    sift_down t ~bound:last ~at ~seq run batch
+  end
+
+(* Advance the root past its next sub-event: a batch with remaining subs is
+   re-keyed to the following sub-key and sifted down in place (the new key is
+   >= the old one, so it only moves toward the leaves — one sift instead of a
+   pop + push); a plain event or exhausted batch is removed outright. *)
+let advance_batch t b j =
+  if j + 1 < b.b_count then
+    sift_down t ~bound:t.n ~at:b.b_ats.(j + 1) ~seq:b.b_seqs.(j + 1) nop b
+  else remove_root t
+
+let pop_invoke t =
+  if t.n = 0 then invalid_arg "Event_queue.pop_invoke: empty";
+  t.live <- t.live - 1;
+  let b = Array.unsafe_get t.bats 0 in
+  if b == null_batch then begin
+    let run = t.runs.(0) in
+    remove_root t;
+    run ()
+  end
+  else begin
+    let j = b.b_next in
+    b.b_next <- j + 1;
+    advance_batch t b j;
+    b.b_fire j
+  end
+
+let pop_run t =
+  if t.n = 0 then invalid_arg "Event_queue.pop_run: empty";
+  t.live <- t.live - 1;
+  let b = Array.unsafe_get t.bats 0 in
+  if b == null_batch then begin
+    let run = t.runs.(0) in
+    remove_root t;
+    run
+  end
+  else begin
+    let j = b.b_next in
+    b.b_next <- j + 1;
+    advance_batch t b j;
+    fun () -> b.b_fire j
+  end
 
 let clear t =
-  Array.fill t.runs 0 t.size nop;
-  t.size <- 0
+  Array.fill t.runs 0 t.n nop;
+  Array.fill t.bats 0 t.n null_batch;
+  t.n <- 0;
+  t.live <- 0

@@ -1,22 +1,61 @@
 (** Monomorphic (at, seq)-keyed event queue, the engine's hot path.
 
     A binary min-heap over parallel arrays: a flat float array of times, an
-    int array of sequence numbers and the scheduled closures. Compared to the
-    generic {!Heap}, all comparisons are raw float/int operations on unboxed
-    keys and no per-event or per-query allocation happens.
+    int array of sequence numbers, the scheduled closures and fan-out batch
+    descriptors. Compared to the generic {!Heap}, all comparisons are raw
+    float/int operations on unboxed keys and no per-event or per-query
+    allocation happens.
 
     Ordering is (at, seq) lexicographic: events at equal [at] pop in
     ascending [seq] order, which is what run determinism hangs on — the
     engine assigns [seq] monotonically, so ties resolve in scheduling
-    order. *)
+    order. Fan-out batches preserve that order exactly: each sub-event
+    carries the very (at, seq) key the per-entry scheme would have given it,
+    and the batch entry always sits in the heap keyed at its next unfired
+    sub-event. *)
 
 type t
+
+(** A fan-out descriptor: one heap entry expanding to [b_count] sub-events.
+
+    Contract for {!push_batch}: slots [0 .. b_count-1] of [b_ats]/[b_seqs]
+    filled, sorted ascending by (at, seq) (strict — seqs are unique),
+    [b_next = 0], and [b_fire] set. The queue calls [b_fire i] once per
+    sub-event [i], in sorted order interleaved with the rest of the heap
+    exactly as [b_count] separate entries would have been. After the last
+    sub-event fires the queue drops its reference ([b_fire] observes
+    [b_next = b_count] then), so the owner may recycle the record. *)
+type batch = {
+  mutable b_ats : float array;
+  mutable b_seqs : int array;
+  mutable b_count : int;
+  mutable b_next : int;
+  mutable b_fire : int -> unit;
+}
+
+(** Fresh descriptor with [b_count = 0], reusable across {!push_batch}
+    cycles. Key arrays start at [capacity] slots (default 8). *)
+val make_batch : ?capacity:int -> unit -> batch
+
+(** Current length of the descriptor's key arrays. *)
+val batch_capacity : batch -> int
+
+(** [ensure_batch_capacity b n] grows the key arrays to at least [n] slots,
+    preserving filled prefixes. *)
+val ensure_batch_capacity : batch -> int -> unit
 
 (** [create ?capacity ()] builds an empty queue. The backing arrays grow by
     doubling and are retained across {!clear}. *)
 val create : ?capacity:int -> unit -> t
 
+(** Pending sub-events: plain events count 1, an armed batch counts its
+    unfired sub-events. *)
 val size : t -> int
+
+(** Heap entries (a whole batch counts 1) — the sift depth driver; exposed so
+    tests can assert batching actually shrinks the heap. *)
+val entries : t -> int
+
 val is_empty : t -> bool
 
 (** Length of the backing arrays (grows with the queue). *)
@@ -25,12 +64,26 @@ val capacity : t -> int
 (** [push t ~at ~seq run] schedules [run] under key (at, seq). *)
 val push : t -> at:float -> seq:int -> (unit -> unit) -> unit
 
-(** Time key of the minimum event. Raises [Invalid_argument] when empty. *)
+(** [push_batch t b] arms descriptor [b] (see {!type-batch} for the fill
+    contract). Raises [Invalid_argument] on an empty, in-flight, overflowing
+    or unsorted descriptor. *)
+val push_batch : t -> batch -> unit
+
+(** Time key of the minimum pending sub-event. Raises [Invalid_argument]
+    when empty. *)
 val min_at : t -> float
 
-(** Remove the minimum event and return its closure (without running it).
-    Raises [Invalid_argument] when empty. *)
+(** Remove the minimum sub-event and return its closure (without running
+    it). For a batch sub-event the structural advance happens now and the
+    returned closure merely fires it — allocating one closure; the engine's
+    hot loop uses {!pop_invoke} instead. Raises [Invalid_argument] when
+    empty. *)
 val pop_run : t -> unit -> unit
 
-(** Drop all events (closure slots are released); capacity is retained. *)
+(** Remove the minimum sub-event and run it, allocation-free. Raises
+    [Invalid_argument] when empty. *)
+val pop_invoke : t -> unit
+
+(** Drop all events (closure and batch slots are released); capacity is
+    retained, including under armed fan-out descriptors. *)
 val clear : t -> unit

@@ -13,7 +13,10 @@
      node<i>.proposals / node<i>.returns.*       per-node protocol counters *)
 
 type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+(* The gauge value lives in a 1-slot float array: float stores into a mixed
+   record box a fresh float on every update, and the network bumps gauges
+   four times per delivery on the hot path; float-array stores are raw. *)
+type gauge = { g_name : string; g_cell : float array }
 
 type metric = Counter of counter | Gauge of gauge
 
@@ -44,7 +47,7 @@ let gauge t name =
   | Some (Counter _) ->
       invalid_arg (Printf.sprintf "Metrics.gauge: %S is a counter" name)
   | None ->
-      let g = { g_name = name; g_value = 0.0 } in
+      let g = { g_name = name; g_cell = [| 0.0 |] } in
       register t name (Gauge g);
       g
 
@@ -55,9 +58,9 @@ let incr ?(by = 1) c =
 let value c = c.c_value
 let counter_name c = c.c_name
 
-let set g x = g.g_value <- x
-let add g dx = g.g_value <- g.g_value +. dx
-let gauge_value g = g.g_value
+let set g x = Array.unsafe_set g.g_cell 0 x
+let add g dx = Array.unsafe_set g.g_cell 0 (Array.unsafe_get g.g_cell 0 +. dx)
+let gauge_value g = g.g_cell.(0)
 let gauge_name g = g.g_name
 
 let find_counter t name =
@@ -67,7 +70,7 @@ let find_counter t name =
 
 let find_gauge t name =
   match Hashtbl.find_opt t.by_name name with
-  | Some (Gauge g) -> Some g.g_value
+  | Some (Gauge g) -> Some g.g_cell.(0)
   | Some (Counter _) | None -> None
 
 (* Scenario-reuse escape hatch: zero everything but keep registrations (the
@@ -76,12 +79,12 @@ let find_gauge t name =
 let reset t =
   Hashtbl.iter
     (fun _ m ->
-      match m with Counter c -> c.c_value <- 0 | Gauge g -> g.g_value <- 0.0)
+      match m with Counter c -> c.c_value <- 0 | Gauge g -> g.g_cell.(0) <- 0.0)
     t.by_name
 
 (* Scoped variants for a substrate that resets only its own handles. *)
 let reset_counter c = c.c_value <- 0
-let reset_gauge g = g.g_value <- 0.0
+let reset_gauge g = g.g_cell.(0) <- 0.0
 
 (* Snapshot in ascending name order (explicitly by [String.compare], not the
    polymorphic [compare] on pairs — names are unique so the key alone
@@ -89,7 +92,7 @@ let reset_gauge g = g.g_value <- 0.0
 let to_list t =
   Hashtbl.fold
     (fun name m acc ->
-      let v = match m with Counter c -> float_of_int c.c_value | Gauge g -> g.g_value in
+      let v = match m with Counter c -> float_of_int c.c_value | Gauge g -> g.g_cell.(0) in
       (name, v) :: acc)
     t.by_name []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -98,7 +101,7 @@ let json_of_metric name m =
   let kind, v =
     match m with
     | Counter c -> ("counter", float_of_int c.c_value)
-    | Gauge g -> ("gauge", g.g_value)
+    | Gauge g -> ("gauge", g.g_cell.(0))
   in
   Json.Obj [ ("metric", Json.Str name); ("type", Json.Str kind); ("value", Json.Num v) ]
 

@@ -6,6 +6,7 @@ let () =
       ("rng", Test_rng.suite);
       ("heap", Test_heap.suite);
       ("event-queue", Test_event_queue.suite);
+      ("event-queue-differential", Test_differential.suite);
       ("time-set", Test_time_set.suite);
       ("clock", Test_clock.suite);
       ("engine", Test_engine.suite);
@@ -13,6 +14,7 @@ let () =
       ("json", Test_json.suite);
       ("metrics", Test_metrics.suite);
       ("net", Test_net.suite);
+      ("pool", Test_pool.suite);
       ("delay", Test_delay.suite);
       ("recv-log", Test_recv_log.suite);
       ("params", Test_params.suite);
@@ -37,5 +39,6 @@ let () =
       ("transport", Test_transport.suite);
       ("fuzz", Test_fuzz.suite);
       ("mc", Test_mc.suite);
+      ("parallel", Test_parallel.suite);
       ("soak", Test_soak.suite);
     ]

@@ -1,0 +1,135 @@
+(* Tests for the network's pooled delivery arena.
+
+   The fan-out pool is the tentpole's "steady-state delivery allocates
+   nothing" claim made checkable: descriptors and envelope slots are counted
+   by monotonic metrics ([net.pool.fanouts] / [net.pool.slots]), so a
+   recycling bug shows up as counter growth, not as a profiler session. The
+   scramble tests hold the arena to the Session_table safety pattern: a
+   transient fault may trash pooled VALUES, never the pool's capacity or
+   occupancy — and since free slots are fully overwritten on acquire,
+   delivered payloads are unaffected. *)
+
+open Helpers
+module Engine = Ssba_sim.Engine
+module Metrics = Ssba_sim.Metrics
+module Rng = Ssba_sim.Rng
+module Net = Ssba_net.Network
+module Delay = Ssba_net.Delay
+
+let mk ?(n = 5) ?(delay = Delay.fixed 0.1) () =
+  let engine = Engine.create () in
+  let net = Net.create ~engine ~n ~delay ~rng:(Rng.create 1) () in
+  (engine, net)
+
+(* One broadcast = one descriptor armed; draining returns it to the free
+   stack. Repeating the cycle must reuse the same descriptor and slots. *)
+let test_slot_reuse_after_pop () =
+  let engine, net = mk () in
+  Net.broadcast net ~src:0 "warm";
+  ignore (Engine.run engine);
+  let fanouts = Net.pool_fanouts_allocated net in
+  let slots = Net.pool_slots_allocated net in
+  let free = Net.pool_free net in
+  check_bool "warm-up allocated a descriptor" true (fanouts >= 1);
+  check_bool "descriptor back in the free stack" true (free >= 1);
+  for i = 1 to 50 do
+    Net.broadcast net ~src:(i mod 5) "again";
+    ignore (Engine.run engine)
+  done;
+  check_int "no new descriptors in steady state" fanouts
+    (Net.pool_fanouts_allocated net);
+  check_int "no new envelope slots in steady state" slots
+    (Net.pool_slots_allocated net);
+  check_int "free stack back to its resting level" free (Net.pool_free net)
+
+(* The allocation-counter assertion, against the shared metrics registry:
+   after the peak concurrent need is reached, the monotonic pool counters
+   freeze — delivery allocates zero pool slots beyond peak. *)
+let test_zero_alloc_beyond_peak () =
+  let engine, net = mk () in
+  (* peak: 8 overlapping broadcasts in flight at once *)
+  for k = 0 to 7 do
+    Engine.schedule engine ~at:(0.01 *. float_of_int k) (fun () ->
+        Net.broadcast net ~src:(k mod 5) "peak")
+  done;
+  ignore (Engine.run engine);
+  let m = Engine.metrics engine in
+  let peak_fanouts = Metrics.find_counter m "net.pool.fanouts" in
+  let peak_slots = Metrics.find_counter m "net.pool.slots" in
+  check_bool "counters registered" true
+    (peak_fanouts <> None && peak_slots <> None);
+  check_float "nothing armed after the drain" 0.0
+    (Option.value ~default:(-1.0) (Metrics.find_gauge m "net.pool.in_use"));
+  (* steady state: the same pattern, many times over *)
+  for round = 1 to 20 do
+    for k = 0 to 7 do
+      Engine.schedule engine
+        ~at:(Engine.now engine +. (0.01 *. float_of_int k))
+        (fun () -> Net.broadcast net ~src:((round + k) mod 5) "steady")
+    done;
+    ignore (Engine.run engine)
+  done;
+  check_bool "zero descriptors allocated beyond peak" true
+    (Metrics.find_counter m "net.pool.fanouts" = peak_fanouts);
+  check_bool "zero envelope slots allocated beyond peak" true
+    (Metrics.find_counter m "net.pool.slots" = peak_slots)
+
+(* Scrambling the free pool: occupancy and capacity invariant, deliveries
+   unaffected (acquire fully overwrites a slot before arming it). *)
+let test_scramble_preserves_pool_shape () =
+  let engine, net = mk () in
+  Net.broadcast net ~src:0 "warm";
+  ignore (Engine.run engine);
+  let fanouts = Net.pool_fanouts_allocated net in
+  let slots = Net.pool_slots_allocated net in
+  let free = Net.pool_free net in
+  Net.scramble_pool net ~payload:(fun rng ->
+      Printf.sprintf "garbage-%d" (Rng.int rng 1000));
+  check_int "scramble kept every descriptor" fanouts
+    (Net.pool_fanouts_allocated net);
+  check_int "scramble kept every slot" slots (Net.pool_slots_allocated net);
+  check_int "scramble kept occupancy" free (Net.pool_free net);
+  (* recycled slots were trashed, yet the next broadcast delivers clean *)
+  let got = ref [] in
+  for i = 0 to 4 do
+    Net.set_handler net i (fun msg -> got := msg.Ssba_net.Msg.payload :: !got)
+  done;
+  Net.broadcast net ~src:2 "clean";
+  ignore (Engine.run engine);
+  check_int "all deliveries arrived" 5 (List.length !got);
+  check_bool "no garbage leaked into deliveries" true
+    (List.for_all (String.equal "clean") !got);
+  check_int "and still no fresh allocation" fanouts
+    (Net.pool_fanouts_allocated net)
+
+(* Scrambling must not perturb the delivery schedule either: the arena has
+   its own RNG stream, so a run with mid-flight pool scrambles draws the
+   same delays as one without. *)
+let test_scramble_digest_neutral () =
+  let deliveries scramble =
+    let engine, net = mk ~delay:(Delay.uniform ~lo:0.01 ~hi:0.2) () in
+    let log = ref [] in
+    for i = 0 to 4 do
+      Net.set_handler net i (fun msg ->
+          log := (Engine.now engine, i, msg.Ssba_net.Msg.payload) :: !log)
+    done;
+    for k = 0 to 9 do
+      Engine.schedule engine ~at:(0.05 *. float_of_int k) (fun () ->
+          if scramble then
+            Net.scramble_pool net ~payload:(fun rng ->
+                Printf.sprintf "junk-%d" (Rng.int rng 1000));
+          Net.broadcast net ~src:(k mod 5) (Printf.sprintf "m%d" k))
+    done;
+    ignore (Engine.run engine);
+    List.rev !log
+  in
+  check_bool "scrambled and clean runs deliver identically" true
+    (deliveries false = deliveries true)
+
+let suite =
+  [
+    case "slot reuse after pop" test_slot_reuse_after_pop;
+    case "zero pool allocation beyond peak" test_zero_alloc_beyond_peak;
+    case "scramble preserves pool shape" test_scramble_preserves_pool_shape;
+    case "scramble is digest-neutral" test_scramble_digest_neutral;
+  ]

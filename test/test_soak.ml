@@ -104,6 +104,18 @@ let test_minimal_cluster () =
   check_int "3 of 4 decide with 1 crashed" 3
     (List.length (Cluster.decided_values c))
 
+(* SSBA_SOAK_RUNS / SSBA_SOAK_JOBS scale the two batches below without a
+   recompile: e.g. `SSBA_SOAK=1 SSBA_SOAK_RUNS=10000 SSBA_SOAK_JOBS=4 dune
+   runtest` runs the 10k-scenario churn soak one engine per core. The
+   campaign summary is byte-identical at every job count, so the jobs knob
+   buys wall-clock only. *)
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let soak_jobs () = env_int "SSBA_SOAK_JOBS" 1
+
 (* A deep fuzzing batch: 500 scenarios with a larger cast/disruption budget
    than the tier-1 smoke run. Gated behind SSBA_SOAK=1 so `dune runtest`
    stays fast; run it with `SSBA_SOAK=1 dune runtest` (or via the ssba-fuzz
@@ -112,11 +124,12 @@ let test_fuzz_batch () =
   match Sys.getenv_opt "SSBA_SOAK" with
   | Some "1" ->
       let module F = Ssba_fuzz in
+      let runs = env_int "SSBA_SOAK_RUNS" 500 in
       let config =
         {
           F.Campaign.default_config with
           F.Campaign.seed = 2026;
-          runs = 500;
+          runs;
           gen =
             {
               F.Gen.default_config with
@@ -126,8 +139,8 @@ let test_fuzz_batch () =
             };
         }
       in
-      let s = F.Campaign.run config in
-      check_int "all 500 soak scenarios executed" 500 s.F.Campaign.executed;
+      let s = F.Campaign.run ~jobs:(soak_jobs ()) config in
+      check_int "all soak scenarios executed" runs s.F.Campaign.executed;
       List.iter
         (fun (fc : F.Campaign.failure_case) ->
           List.iter
@@ -150,16 +163,17 @@ let test_churn_batch () =
   match Sys.getenv_opt "SSBA_SOAK" with
   | Some "1" ->
       let module F = Ssba_fuzz in
+      let runs = env_int "SSBA_SOAK_RUNS" 200 in
       let config =
         {
           F.Campaign.default_config with
           F.Campaign.seed = 2027;
-          runs = 200;
+          runs;
           gen = { F.Gen.chaos_config with F.Gen.max_cast = 2 };
         }
       in
-      let s = F.Campaign.run config in
-      check_int "all 200 churn scenarios executed" 200 s.F.Campaign.executed;
+      let s = F.Campaign.run ~jobs:(soak_jobs ()) config in
+      check_int "all churn scenarios executed" runs s.F.Campaign.executed;
       List.iter
         (fun (fc : F.Campaign.failure_case) ->
           List.iter
