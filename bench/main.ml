@@ -355,6 +355,68 @@ let bench_transport_json path =
   close_out oc;
   Printf.printf "transport benchmark written to %s\n%!" path
 
+(* Machine-readable service benchmark: the recurrent-agreement service loop
+   (DESIGN.md §12) under a calm open-loop workload and under arrival bursts,
+   with the latency percentiles, throughput and shed accounting, written to
+   BENCH_service.json for CI trend tracking. *)
+let bench_service_json path =
+  let module J = Ssba_sim.Json in
+  let module W = Ssba_service.Workload in
+  let module Svc = Ssba_service.Service in
+  let n = 4 and seed = 23 in
+  let params = Core.Params.default n in
+  let row ~label ~(arrivals : W.arrivals) =
+    let w =
+      {
+        W.default with
+        W.arrivals;
+        start_at = 0.05;
+        stop_at = 10.0;
+        channels = 8;
+      }
+    in
+    let sc =
+      H.Scenario.default ~name:"bench-service" ~seed
+        ~horizon:(w.W.stop_at +. (1.5 *. params.Core.Params.delta_stb))
+        ~channels:w.W.channels ~admission:true params
+    in
+    let t0 = Sys.time () in
+    let _, r = Svc.run ~seed w sc in
+    let cpu_ms = (Sys.time () -. t0) *. 1e3 in
+    J.Obj
+      [
+        ("workload", J.Str label);
+        ("n", J.Num (float_of_int n));
+        ("arrivals", J.Num (float_of_int r.Svc.arrivals));
+        ("admitted", J.Num (float_of_int r.Svc.admitted));
+        ("decided", J.Num (float_of_int r.Svc.decided));
+        ("timed_out", J.Num (float_of_int r.Svc.timed_out));
+        ("shed", J.Num (float_of_int r.Svc.shed));
+        ("retries", J.Num (float_of_int r.Svc.retries));
+        ("p50_latency_s", J.Num r.Svc.p50_latency);
+        ("p99_latency_s", J.Num r.Svc.p99_latency);
+        ("max_latency_s", J.Num r.Svc.max_latency);
+        ("throughput_per_s", J.Num r.Svc.throughput);
+        ("peak_queue", J.Num (float_of_int r.Svc.peak_queue));
+        ( "degraded_episodes",
+          J.Num (float_of_int (List.length r.Svc.degraded_episodes)) );
+        ("max_degraded_span_s", J.Num r.Svc.max_degraded_span);
+        ("cpu_ms", J.Num cpu_ms);
+      ]
+  in
+  let rows =
+    [
+      row ~label:"poisson-75" ~arrivals:(W.Poisson { rate = 75.0 });
+      row ~label:"bursty-40x0.5s"
+        ~arrivals:(W.Bursty { rate = 50.0; burst = 40; every = 0.5 });
+    ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string (J.Obj [ ("service_bench", J.Arr rows) ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "service benchmark written to %s\n%!" path
+
 (* Machine-readable engine throughput: the E11 scale sweep (one
    correct-General agreement per n, best-of-repeats wall time) written to
    BENCH_engine.json. [pre_pr_baseline] records the n=25 throughput measured
@@ -502,12 +564,16 @@ let () =
   | [ _; "--engine-json" ] ->
       (* Regenerate just BENCH_engine.json (full sweep, no bechamel). *)
       bench_engine_json "BENCH_engine.json"
+  | [ _; "--service-json" ] ->
+      (* Regenerate just BENCH_service.json (no bechamel). *)
+      bench_service_json "BENCH_service.json"
   | _ ->
       print_endline "## Bechamel benchmarks (one per experiment + substrates)";
       print_endline "";
       benchmark ();
       print_endline "";
       bench_transport_json "BENCH_transport.json";
+      bench_service_json "BENCH_service.json";
       bench_engine_json "BENCH_engine.json";
       print_endline "";
       print_endline "## Experiment tables (paper reproduction, see EXPERIMENTS.md)";

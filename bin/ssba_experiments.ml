@@ -1,7 +1,7 @@
 (* Regenerate the experiment tables of EXPERIMENTS.md (DESIGN.md §4).
 
    With no arguments, runs every experiment; otherwise runs the named ones
-   (e1..e16; e15 is the knife gate on the ssba_mc CLI). *)
+   (e1..e17; e15 is the knife gate on the ssba_mc CLI). *)
 
 let experiments =
   [
@@ -20,6 +20,7 @@ let experiments =
     ("e13", "concurrent sessions vs table bound", fun () -> Ssba_harness.Experiments.e13_sessions ());
     ("e14", "exhaustive small-model checking", fun () -> Ssba_mc.Mc.e14 ());
     ("e16", "scale curve + multi-core campaign speedup", fun () -> Ssba_fuzz.E16.run ());
+    ("e17", "recurrent-agreement service soak", fun () -> Ssba_service.E17.run ());
   ]
 
 let () =

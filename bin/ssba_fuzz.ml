@@ -56,10 +56,8 @@ let replay path =
           List.iter (fun f -> Fmt.pr "%a@." F.Oracle.pp_failure f) fs;
           1)
 
-let rebuild seed iteration =
-  let spec =
-    F.Campaign.spec_of_iteration ~seed ~gen:F.Gen.default_config iteration
-  in
+let rebuild ~gen seed iteration =
+  let spec = F.Campaign.spec_of_iteration ~seed ~gen iteration in
   Fmt.pr "scenario %d of seed %d:@.%a@." iteration seed F.Spec.pp spec;
   Fmt.pr "%s@." (Ssba_sim.Json.to_string (F.Spec.to_json spec));
   let _, report = F.Oracle.run spec in
@@ -68,16 +66,17 @@ let rebuild seed iteration =
   if report.F.Oracle.failures = [] then 0 else 1
 
 let fuzz seed runs time_budget replay_file iteration out max_n max_disruptions
-    lossy chaos r_slack edge_delays no_shrink verbose jobs =
+    lossy chaos overload r_slack edge_delays no_shrink verbose jobs =
+  let base_gen =
+    if overload then F.Gen.overload_config
+    else if chaos then F.Gen.chaos_config
+    else if lossy then F.Gen.lossy_config
+    else F.Gen.default_config
+  in
   match (replay_file, iteration) with
   | Some path, _ -> replay path
-  | None, Some i -> rebuild seed i
+  | None, Some i -> rebuild ~gen:base_gen seed i
   | None, None ->
-      let base_gen =
-        if chaos then F.Gen.chaos_config
-        else if lossy then F.Gen.lossy_config
-        else F.Gen.default_config
-      in
       let config =
         {
           F.Campaign.default_config with
@@ -89,10 +88,15 @@ let fuzz seed runs time_budget replay_file iteration out max_n max_disruptions
             {
               base_gen with
               F.Gen.max_n =
-                (* the churn tier keeps its own (smaller) cluster cap *)
-                (if chaos then min (max max_n 4) base_gen.F.Gen.max_n
+                (* the churn and overload tiers keep their own (smaller)
+                   cluster caps *)
+                (if chaos || overload then min (max max_n 4) base_gen.F.Gen.max_n
                  else max max_n 4);
-              max_disruptions;
+              max_disruptions =
+                (* likewise the overload tier's one-churn-group cap *)
+                (if chaos || overload then
+                   min max_disruptions base_gen.F.Gen.max_disruptions
+                 else max_disruptions);
               disruptions = base_gen.F.Gen.disruptions && max_disruptions > 0;
               r_slack;
               edge_delays;
@@ -193,6 +197,18 @@ let chaos_arg =
            recovery window, with per-episode recovery times measured and \
            bounded by the oracle.")
 
+let overload_arg =
+  Arg.(
+    value & flag
+    & info [ "overload" ]
+        ~doc:
+          "Fuzz the recurrent-agreement service under open-loop overload \
+           (Gen.overload_config): arrival bursts against the \
+           admission-controlled session tables, over a lossy transport with \
+           optional churn. The oracle additionally asserts the bounded \
+           retry queue, shed-only-under-pressure and the eventual drain \
+           back out of degraded mode.")
+
 let r_slack_arg =
   let module P = Ssba_core.Params in
   let rs_conv =
@@ -250,7 +266,7 @@ let cmd =
     Term.(
       const fuzz $ seed_arg $ runs_arg $ time_budget_arg $ replay_arg
       $ iteration_arg $ out_arg $ max_n_arg $ max_disruptions_arg $ lossy_arg
-      $ chaos_arg $ r_slack_arg $ edge_delays_arg $ no_shrink_arg $ verbose_arg
-      $ jobs_arg)
+      $ chaos_arg $ overload_arg $ r_slack_arg $ edge_delays_arg
+      $ no_shrink_arg $ verbose_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -28,7 +28,7 @@ let attacks =
 
 let run n seed general value attack scramble chaos sessions propose_at horizon
     trace_flag trace_out metrics_out realtime transport_flag rto loss dup
-    reorder =
+    reorder service service_rate =
   let chaos =
     match chaos with
     | None -> None
@@ -159,34 +159,69 @@ let run n seed general value attack scramble chaos sessions propose_at horizon
                 })
           (List.init sessions Fun.id)
   in
+  (* Service mode: all agreement traffic comes from the recurrent-agreement
+     driver (open-loop Poisson arrivals over rotating logical Generals), so
+     the scheduled one-shot proposal is dropped and the horizon leaves the
+     drain slack the degraded-mode recovery needs. *)
+  let module W = Ssba_service.Workload in
+  let workload =
+    match service with
+    | None -> None
+    | Some dur ->
+        Some
+          {
+            W.default with
+            W.arrivals = W.Poisson { rate = service_rate };
+            start_at = propose_at;
+            stop_at = propose_at +. dur;
+          }
+  in
+  let proposals = if workload = None then proposals else [] in
+  let channels =
+    match workload with Some w -> w.W.channels | None -> channels
+  in
   let horizon =
-    match horizon with
-    | Some h -> h
-    | None ->
+    match (horizon, workload) with
+    | Some h, _ -> h
+    | None, Some w ->
+        w.W.stop_at +. (1.5 *. params.Core.Params.delta_stb)
+    | None, None ->
         Float.max chaos_horizon
           (propose_at +. (4.0 *. params.Core.Params.delta_agr))
   in
   let sc =
     H.Scenario.default ~name:"cli" ~seed ~roles ~proposals ~events ~horizon
       ~record_trace:(trace_flag || trace_out <> None)
-      ?transport ~channels params
+      ?transport ~channels
+      ~admission:(workload <> None)
+      params
   in
   (match realtime with
   | None -> ()
   | Some speed ->
       Fmt.pr "(running in real time at %gx; virtual horizon %.3fs)@." speed horizon);
+  let svc = ref None in
+  let on_driver drv =
+    match workload with
+    | Some w -> svc := Some (Ssba_service.Service.attach ~seed w drv)
+    | None -> ()
+  in
   let res =
     match realtime with
-    | None -> H.Runner.run sc
-    | Some speed -> H.Runner.run_paced ~speed sc
+    | None -> H.Runner.run ~on_driver sc
+    | Some speed when workload = None -> H.Runner.run_paced ~speed sc
+    | Some _ ->
+        Fmt.pr "(--realtime is ignored in --service mode)@.";
+        H.Runner.run ~on_driver sc
   in
+  let elide = sessions > 1 || workload <> None in
   Fmt.pr "@[<v>params: %a@]@." Core.Params.pp params;
   Fmt.pr "returns (%d):@." (List.length res.H.Runner.returns);
-  if sessions <= 1 then
+  if not elide then
     List.iter
       (fun r -> Fmt.pr "  %a@." Core.Types.pp_return r)
       res.H.Runner.returns
-  else Fmt.pr "  (elided: --sessions %d run)@." sessions;
+  else Fmt.pr "  (elided: multi-session run)@.";
   (* Judge each episode against the correct set in force at its time — a
      node that reformed later must not be expected in earlier episodes. *)
   let intervals = H.Coherence.intervals sc in
@@ -201,20 +236,20 @@ let run n seed general value attack scramble chaos sessions propose_at horizon
       match H.Checks.agreement ~correct:(correct_at e) e with
       | H.Checks.Unanimous v ->
           incr unanimous;
-          if sessions <= 1 then
+          if not elide then
             Fmt.pr "episode G=%d: unanimous %S (skew %.2fd, anchors %.2fd apart)@."
               e.H.Metrics.g v
               (H.Metrics.decision_skew res e /. d)
               (H.Metrics.anchor_skew res e /. d)
       | H.Checks.All_aborted ->
           incr aborted;
-          if sessions <= 1 then Fmt.pr "episode G=%d: all aborted@." e.H.Metrics.g
+          if not elide then Fmt.pr "episode G=%d: all aborted@." e.H.Metrics.g
       | H.Checks.All_silent -> ()
       | H.Checks.Violated why -> Fmt.pr "episode G=%d: VIOLATED: %s@." e.H.Metrics.g why)
     (H.Metrics.episodes res);
-  if sessions > 1 then
-    Fmt.pr "episodes over %d concurrent sessions: %d unanimous, %d aborted@."
-      sessions !unanimous !aborted;
+  if elide then
+    Fmt.pr "episodes over concurrent sessions: %d unanimous, %d aborted@."
+      !unanimous !aborted;
   let stabilized = H.Checks.stabilized_after sc in
   (match H.Checks.pairwise_agreement ~after:stabilized res with
   | [] ->
@@ -236,9 +271,10 @@ let run n seed general value attack scramble chaos sessions propose_at horizon
   if res.H.Runner.messages_duplicated <> 0 || transport <> None then
     Fmt.pr
       "lossy link: duplicated %d; transport: retransmits %d, dup-suppressed \
-       %d, expired %d@."
+       %d, expired %d, retries-exhausted %d@."
       res.H.Runner.messages_duplicated res.H.Runner.transport_retransmits
-      res.H.Runner.transport_dup_suppressed res.H.Runner.transport_expired;
+      res.H.Runner.transport_dup_suppressed res.H.Runner.transport_expired
+      res.H.Runner.transport_retries_exhausted;
   List.iter
     (fun (k, c) -> Fmt.pr "  %-10s %d@." k c)
     res.H.Runner.messages_by_kind;
@@ -253,13 +289,19 @@ let run n seed general value attack scramble chaos sessions propose_at horizon
       let sum f = List.fold_left (fun a s -> a + f s) 0 stats in
       Fmt.pr
         "session tables (%d nodes): capacity %d, live %d, peak live %d, \
-         evicted %d, gced %d@."
+         evicted %d, gced %d, rejected-at-capacity %d@."
         (List.length nodes)
         (top (fun s -> s.Core.Session_table.capacity))
         (top (fun s -> s.Core.Session_table.live))
         (top (fun s -> s.Core.Session_table.peak_live))
         (sum (fun s -> s.Core.Session_table.evicted))
-        (sum (fun s -> s.Core.Session_table.gced)));
+        (sum (fun s -> s.Core.Session_table.gced))
+        (sum (fun s -> s.Core.Session_table.rejected_at_capacity)));
+  (match !svc with
+  | None -> ()
+  | Some s ->
+      Fmt.pr "@.service report:@.%a@." Ssba_service.Service.pp_report
+        (Ssba_service.Service.report s));
   let conservation = H.Checks.network_conservation res in
   if not conservation.H.Checks.ok then
     Fmt.pr "WARNING: %a@." H.Checks.pp_verdict conservation;
@@ -407,6 +449,24 @@ let reorder_arg =
           "Persistent reordering probability (stretches a delivery by up to \
            2 delta), from time 0.")
 
+let service_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "service" ] ~docv:"SEC"
+        ~doc:
+          "Run the recurrent-agreement service for $(docv) seconds of \
+           open-loop arrivals (admission control, watermark load-shedding, \
+           capped-backoff retries), then drain; prints the service \
+           latency/throughput report. The one-shot --value proposal is \
+           replaced by the arrival stream.")
+
+let service_rate_arg =
+  Arg.(
+    value & opt float 40.0
+    & info [ "service-rate" ] ~docv:"R"
+        ~doc:"Arrival rate (jobs/second) for --service mode.")
+
 let cmd =
   let doc = "run one self-stabilizing Byzantine agreement scenario" in
   Cmd.v
@@ -415,6 +475,7 @@ let cmd =
       const run $ n_arg $ seed_arg $ general_arg $ value_arg $ attack_arg
       $ scramble_arg $ chaos_arg $ sessions_arg $ propose_at_arg $ horizon_arg $ trace_arg
       $ trace_out_arg $ metrics_out_arg $ realtime_arg $ transport_arg
-      $ rto_arg $ loss_arg $ dup_arg $ reorder_arg)
+      $ rto_arg $ loss_arg $ dup_arg $ reorder_arg $ service_arg
+      $ service_rate_arg)
 
 let () = exit (Cmd.eval cmd)

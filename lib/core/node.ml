@@ -38,6 +38,12 @@ type t = {
   blackout : bool;
       (* the Initiator-Accept re-initiation blackout knob; false only in the
          model checker's weakened-oracle sensitivity runs *)
+  admission : bool;
+      (* when set, the General's own proposals never evict: a full session
+         table refuses the proposal ([At_capacity], counted by the table as
+         [rejected_at_capacity]) instead of dropping a live session. Message
+         receipt keeps the evicting path — admission guards new local work,
+         not the protocol's reaction to the network. *)
   mutable returns : return_info list;  (* newest first *)
   mutable subscribers : (return_info -> unit) list;
   mutable observers : (general -> Ss_byz_agree.observation -> unit) list;
@@ -83,45 +89,66 @@ let guard_of t g =
       Hashtbl.replace t.guards g s;
       s
 
+(* A fresh session joins the table as (g, None) and is re-keyed to
+   (g, Some tau_g) when its I-accept anchors it; the separation guard is
+   found-or-created independently so a session recreated after eviction/GC
+   still sees last(G), last(G,m) and the blackout. *)
+let make_instance t g =
+  let inst =
+    Ss_byz_agree.create ~blackout:t.blackout ~guard:(guard_of t g)
+      ~ctx:(ctx_of t) ~g ()
+  in
+  Ss_byz_agree.set_on_return inst (fun outcome ~tau_g ~tau_ret ->
+      let r =
+        {
+          node = t.id;
+          g;
+          outcome;
+          tau_g;
+          tau_ret;
+          rt_ret = Engine.now t.engine;
+        }
+      in
+      t.returns <- r :: t.returns;
+      (match outcome with
+      | Decided _ -> Metrics.incr t.c_decided
+      | Aborted -> Metrics.incr t.c_aborted);
+      List.iter (fun f -> f r) t.subscribers);
+  Ss_byz_agree.set_observer inst (fun obs ->
+      (match obs with
+      | Ss_byz_agree.Obs_iaccept { tau_g; _ } ->
+          Session_table.set_anchor t.instances g tau_g
+      | Ss_byz_agree.Obs_mb_accept _ | Ss_byz_agree.Obs_broadcast _
+      | Ss_byz_agree.Obs_broadcaster _ -> ());
+      List.iter (fun f -> f g obs) t.observers);
+  inst
+
 let instance t g =
   match Session_table.find t.instances g with
   | Some inst ->
       Session_table.touch t.instances g ~now:(local_time t);
       inst
   | None ->
-      (* A fresh session joins the table as (g, None) and is re-keyed to
-         (g, Some tau_g) when its I-accept anchors it; the separation guard
-         is found-or-created independently so a session recreated after
-         eviction/GC still sees last(G), last(G,m) and the blackout. *)
-      let inst =
-        Ss_byz_agree.create ~blackout:t.blackout ~guard:(guard_of t g)
-          ~ctx:(ctx_of t) ~g ()
-      in
-      Ss_byz_agree.set_on_return inst (fun outcome ~tau_g ~tau_ret ->
-          let r =
-            {
-              node = t.id;
-              g;
-              outcome;
-              tau_g;
-              tau_ret;
-              rt_ret = Engine.now t.engine;
-            }
-          in
-          t.returns <- r :: t.returns;
-          (match outcome with
-          | Decided _ -> Metrics.incr t.c_decided
-          | Aborted -> Metrics.incr t.c_aborted);
-          List.iter (fun f -> f r) t.subscribers);
-      Ss_byz_agree.set_observer inst (fun obs ->
-          (match obs with
-          | Ss_byz_agree.Obs_iaccept { tau_g; _ } ->
-              Session_table.set_anchor t.instances g tau_g
-          | Ss_byz_agree.Obs_mb_accept _ | Ss_byz_agree.Obs_broadcast _
-          | Ss_byz_agree.Obs_broadcaster _ -> ());
-          List.iter (fun f -> f g obs) t.observers);
-      Session_table.insert t.instances ~g ~now:(local_time t) inst;
+      let inst = make_instance t g in
+      (match Session_table.insert_reporting t.instances ~g ~now:(local_time t) inst with
+      | Some victim ->
+          Engine.record t.engine ~node:t.id (Trace.Session_evict { g = victim })
+      | None -> ());
       inst
+
+(* Admission-controlled session lookup for the General's own proposals:
+   never evicts — [None] means the table is full and the proposal must be
+   refused (the table counts it in [rejected_at_capacity]). *)
+let instance_admit t g =
+  match Session_table.find t.instances g with
+  | Some inst ->
+      Session_table.touch t.instances g ~now:(local_time t);
+      Some inst
+  | None ->
+      let inst = make_instance t g in
+      if Session_table.try_insert t.instances ~g ~now:(local_time t) inst then
+        Some inst
+      else None
 
 (* The physical node behind a logical General id. *)
 let physical t g = g mod t.params.Params.n
@@ -180,8 +207,8 @@ let start_cleanup t =
     tick ()
   end
 
-let create_on ?(channels = 1) ?session_capacity ?(blackout = true) ~id ~params
-    ~clock ~engine ~link () =
+let create_on ?(channels = 1) ?session_capacity ?(blackout = true)
+    ?(admission = false) ~id ~params ~clock ~engine ~link () =
   if channels < 1 then invalid_arg "Node.create: channels must be >= 1";
   let capacity =
     (* Every logical General can be live at once, so that is the natural
@@ -199,6 +226,7 @@ let create_on ?(channels = 1) ?session_capacity ?(blackout = true) ~id ~params
       link;
       channels;
       blackout;
+      admission;
       instances = Session_table.create ~capacity;
       guards = Hashtbl.create 4;
       returns = [];
@@ -223,10 +251,10 @@ let create_on ?(channels = 1) ?session_capacity ?(blackout = true) ~id ~params
   start_cleanup t;
   t
 
-let create ?channels ?session_capacity ?blackout ~id ~params ~clock ~engine
-    ~net () =
-  create_on ?channels ?session_capacity ?blackout ~id ~params ~clock ~engine
-    ~link:(Ssba_net.Network.link net) ()
+let create ?channels ?session_capacity ?blackout ?admission ~id ~params ~clock
+    ~engine ~net () =
+  create_on ?channels ?session_capacity ?blackout ?admission ~id ~params
+    ~clock ~engine ~link:(Ssba_net.Network.link net) ()
 
 (* ----- the General role ------------------------------------------------ *)
 
@@ -235,12 +263,14 @@ type propose_error =
   | Value_too_soon  (* IG2: within Delta_v of initiating the same value *)
   | Blocked  (* IG3: within Delta_reset of a noticed failure *)
   | Busy  (* own agreement instance still running *)
+  | At_capacity  (* admission mode: session table full, no eviction *)
 
 let string_of_propose_error = function
   | Too_soon -> "IG1: within Delta_0 of the previous initiation"
   | Value_too_soon -> "IG2: within Delta_v of initiating the same value"
   | Blocked -> "IG3: quiet period after a noticed failure"
   | Busy -> "previous agreement instance still active"
+  | At_capacity -> "session table at capacity (admission refused)"
 
 (* IG3 watchdog: §4 declares an invocation failed when the General's own
    L4 / M4 / N4 did not complete within 2d / 3d / 4d of its invocation. We
@@ -297,9 +327,14 @@ let propose ?(channel = 0) t v =
   if blocked then Error Blocked
   else if ig1_violation then Error Too_soon
   else if ig2_violation then Error Value_too_soon
-  else if Ss_byz_agree.state (instance t logical) <> Ss_byz_agree.Idle then
-    Error Busy
-  else begin
+  else
+    match
+      if t.admission then instance_admit t logical
+      else Some (instance t logical)
+    with
+  | None -> Error At_capacity
+  | Some inst when Ss_byz_agree.state inst <> Ss_byz_agree.Idle -> Error Busy
+  | Some _ -> begin
     (* Before initiating, the General removes all previously received
        messages associated with previous invocations with him as General. *)
     Initiator_accept.forget_messages
@@ -400,8 +435,11 @@ let scramble rng ~values ?(extra = 2) t =
    installs arbitrary protocol and General-side state (§6's convergence
    argument assumes nothing better), so the paper only owes coherence-scoped
    guarantees [Delta_stb] after the reform point. *)
-let reform ?channels ?session_capacity ~rng ~values ~id ~params ~clock ~engine
-    ~link () =
-  let t = create_on ?channels ?session_capacity ~id ~params ~clock ~engine ~link () in
+let reform ?channels ?session_capacity ?admission ~rng ~values ~id ~params
+    ~clock ~engine ~link () =
+  let t =
+    create_on ?channels ?session_capacity ?admission ~id ~params ~clock
+      ~engine ~link ()
+  in
   scramble rng ~values t;
   t

@@ -13,6 +13,9 @@ type propose_error =
   | Value_too_soon  (** [IG2]: within [Delta_v] of initiating the same value *)
   | Blocked  (** [IG3]: within [Delta_reset] of a noticed failure *)
   | Busy  (** own agreement instance still active *)
+  | At_capacity
+      (** admission mode only: the session table is full and the proposal
+          was refused rather than evicting a live session *)
 
 val string_of_propose_error : propose_error -> string
 
@@ -32,11 +35,18 @@ val string_of_propose_error : propose_error -> string
 
     [blackout] (default [true]) gates the {!Initiator_accept} re-initiation
     blackout; the model checker disables it in sensitivity runs to exhibit
-    the split decision the guard prevents. *)
+    the split decision the guard prevents.
+
+    [admission] (default [false]) makes the General's own proposals
+    admission-controlled: a full session table refuses them ([At_capacity],
+    counted by the table as [rejected_at_capacity]) instead of evicting the
+    least-recently-active session. Message receipt keeps the evicting
+    path. *)
 val create :
   ?channels:int ->
   ?session_capacity:int ->
   ?blackout:bool ->
+  ?admission:bool ->
   id:node_id ->
   params:Params.t ->
   clock:Ssba_sim.Clock.t ->
@@ -51,6 +61,7 @@ val create_on :
   ?channels:int ->
   ?session_capacity:int ->
   ?blackout:bool ->
+  ?admission:bool ->
   id:node_id ->
   params:Params.t ->
   clock:Ssba_sim.Clock.t ->
@@ -122,6 +133,7 @@ val scramble : Ssba_sim.Rng.t -> values:value list -> ?extra:int -> t -> unit
 val reform :
   ?channels:int ->
   ?session_capacity:int ->
+  ?admission:bool ->
   rng:Ssba_sim.Rng.t ->
   values:value list ->
   id:node_id ->

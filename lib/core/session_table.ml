@@ -28,6 +28,7 @@ type stats = {
   peak_live : int;  (* high-water mark of [live] *)
   evicted : int;  (* sessions dropped to make room *)
   gced : int;  (* quiescent sessions collected *)
+  rejected_at_capacity : int;  (* non-evicting inserts refused when full *)
 }
 
 type 'a slot = {
@@ -46,6 +47,7 @@ type 'a t = {
   mutable peak_live : int;
   mutable evicted : int;
   mutable gced : int;
+  mutable rejected_at_capacity : int;
 }
 
 let create ~capacity =
@@ -60,6 +62,7 @@ let create ~capacity =
     peak_live = 0;
     evicted = 0;
     gced = 0;
+    rejected_at_capacity = 0;
   }
 
 let capacity t = Array.length t.slots
@@ -72,6 +75,7 @@ let stats t =
     peak_live = t.peak_live;
     evicted = t.evicted;
     gced = t.gced;
+    rejected_at_capacity = t.rejected_at_capacity;
   }
 
 let find t g =
@@ -106,13 +110,14 @@ let evict t =
     t.slots;
   let i = !best in
   let sl = t.slots.(i) in
-  Hashtbl.remove t.index sl.sl_g;
+  let victim = sl.sl_g in
+  Hashtbl.remove t.index victim;
   sl.sl_payload <- None;
   t.live <- t.live - 1;
   t.evicted <- t.evicted + 1;
-  i
+  (i, victim)
 
-let insert t ~g ~now payload =
+let insert_reporting t ~g ~now payload =
   (match Hashtbl.find_opt t.index g with
   | Some i ->
       (* replacing the session for g in place *)
@@ -121,7 +126,12 @@ let insert t ~g ~now payload =
       Hashtbl.remove t.index g;
       t.live <- t.live - 1
   | None -> ());
-  let i = if t.live >= Array.length t.slots then evict t else free_slot t in
+  let i, victim =
+    if t.live >= Array.length t.slots then
+      let i, v = evict t in
+      (i, Some v)
+    else (free_slot t, None)
+  in
   let sl = t.slots.(i) in
   t.seq <- t.seq + 1;
   sl.sl_g <- g;
@@ -131,7 +141,29 @@ let insert t ~g ~now payload =
   sl.sl_stamp <- t.seq;
   Hashtbl.replace t.index g i;
   t.live <- t.live + 1;
-  if t.live > t.peak_live then t.peak_live <- t.live
+  if t.live > t.peak_live then t.peak_live <- t.live;
+  victim
+
+let insert t ~g ~now payload = ignore (insert_reporting t ~g ~now payload)
+
+(* Admission-controlled insertion: like [insert], but refuses instead of
+   evicting when the table is full and [g] holds no slot to replace. The
+   refusal is counted separately from eviction so overload reports can tell
+   "we turned work away" apart from "we dropped someone else's state". *)
+let try_insert t ~g ~now payload =
+  match Hashtbl.find_opt t.index g with
+  | Some _ ->
+      insert t ~g ~now payload;
+      true
+  | None ->
+      if t.live >= Array.length t.slots then begin
+        t.rejected_at_capacity <- t.rejected_at_capacity + 1;
+        false
+      end
+      else begin
+        insert t ~g ~now payload;
+        true
+      end
 
 let touch t g ~now =
   match Hashtbl.find_opt t.index g with

@@ -18,6 +18,8 @@ type stats = {
   peak_live : int;  (** high-water mark of [live] *)
   evicted : int;  (** sessions dropped to make room *)
   gced : int;  (** quiescent sessions collected *)
+  rejected_at_capacity : int;
+      (** non-evicting inserts refused because the table was full *)
 }
 
 type 'a t
@@ -38,6 +40,16 @@ val anchor : 'a t -> Types.general -> float option
 (** Insert a fresh [(g, None)] session. Replaces any existing session for
     [g]; evicts the least-recently-active session when full. *)
 val insert : 'a t -> g:Types.general -> now:float -> 'a -> unit
+
+(** Like {!insert}, but reports the General whose live session was evicted to
+    make room (if any) so the caller can attribute the sacrifice. *)
+val insert_reporting :
+  'a t -> g:Types.general -> now:float -> 'a -> Types.general option
+
+(** Like {!insert}, but never evicts: when the table is full and [g] holds no
+    slot to replace, the insert is refused ([false]) and counted in
+    [rejected_at_capacity]. The admission-controlled entry point. *)
+val try_insert : 'a t -> g:Types.general -> now:float -> 'a -> bool
 
 (** Refresh the session's activity time (monotone). *)
 val touch : 'a t -> Types.general -> now:float -> unit

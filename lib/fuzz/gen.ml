@@ -14,6 +14,7 @@ module S = Ssba_harness.Scenario
 module C = Ssba_adversary.Catalog
 module Ch = Ssba_harness.Chaos
 module T = Ssba_transport.Transport
+module W = Ssba_service.Workload
 
 type config = {
   min_n : int;
@@ -31,6 +32,11 @@ type config = {
       (* boundary sampling: admit the Edge delay model and the Gate_edge
          catalog entry into the draw menus. Off reproduces the historical
          RNG draw sequence bit-for-bit (the legacy corpus digests). *)
+  service : bool;
+      (* overload tier: stamp every spec with a generated service workload
+         (open-loop arrivals + bursts, watermarks, bounded retry queue).
+         The extra draws happen only when set, so the other tiers' RNG
+         streams — and their pinned corpus digests — are untouched. *)
 }
 
 let default_config =
@@ -47,6 +53,7 @@ let default_config =
     chaos = false;
     r_slack = P.default_r_slack;
     edge_delays = true;
+    service = false;
   }
 
 (* The lossy campaign: every spec runs the transport over links with
@@ -70,6 +77,30 @@ let lossy_config =
    the clusters small. *)
 let chaos_config = { default_config with max_n = 7; max_cast = 2; chaos = true }
 
+(* The overload tier: every spec runs the recurrent-agreement service under
+   open-loop load with arrival bursts, over a transport with persistent link
+   faults (masked, so the agreement guarantees stay checkable), plus at most
+   one transient churn group. No scheduled proposals — all agreement traffic
+   comes from the service driver, judged by the value-based service oracle
+   plus the queue/shed/drain trace checks. *)
+let overload_config =
+  let delta = (P.default 4).P.delta in
+  {
+    default_config with
+    max_n = 7;
+    max_cast = 2;
+    max_proposals = 0;
+    max_disruptions = 1;
+    (* The service runs tens of concurrent sessions; a burst floods a link
+       with far more than the default 64 unacked frames before any ack
+       clears a slot, and a ring overrun silently abandons the overwritten
+       frame's reliability — one lost transmission then stalls that node's
+       IA forever. Provision the pending/dedup rings for that concurrency. *)
+    transport = Some (T.config ~rto:(3.0 *. delta) ~window:1024 ~dedup:2048 ());
+    max_link_faults = 2;
+    service = true;
+  }
+
 let last_activity spec =
   let times =
     List.map Spec.event_time spec.Spec.events
@@ -88,7 +119,17 @@ let min_horizon spec =
       params.P.delta_stb
     else 0.0
   in
-  last_activity spec +. tail +. params.P.delta_agr +. (10.0 *. params.P.d)
+  let service_tail =
+    (* A service spec must drain after arrivals stop: the worst retry chain
+       (generated budgets cap at 4 attempts over ~[Delta_0]-scaled backoff)
+       plus session GC fits comfortably inside 1.5 [Delta_stb] — the slack
+       that makes the oracle's eventual-drain check provable. *)
+    match spec.Spec.service with
+    | None -> 0.0
+    | Some w -> w.W.stop_at +. (1.5 *. params.P.delta_stb)
+  in
+  Float.max (last_activity spec +. tail) service_tail
+  +. params.P.delta_agr +. (10.0 *. params.P.d)
 
 let spec rng cfg =
   let n = Rng.int_in_range rng ~lo:(max 4 cfg.min_n) ~hi:(max 4 cfg.max_n) in
@@ -169,6 +210,7 @@ let spec rng cfg =
         session_capacity = None;
         blackout = true;
         r_slack = cfg.r_slack;
+        service = None;
       }
     in
     { draft with Spec.horizon = Float.max sched.Ch.horizon (min_horizon draft) }
@@ -296,7 +338,65 @@ let spec rng cfg =
       session_capacity = None;
       blackout = true;
       r_slack = cfg.r_slack;
+      service = None;
     }
+  in
+  (* Overload tier: stamp a service workload. Times are drawn in units of
+     the spec's *effective* constants (the transport inflates d), so arrival
+     pressure and drain slack scale with the drawn link faults. *)
+  let draft =
+    if not cfg.service then draft
+    else begin
+      let p = Spec.params draft in
+      let channels = Rng.int_in_range rng ~lo:4 ~hi:8 in
+      let capacity = max 8 (n * channels) in
+      (* Sessions linger ~40d (decision + GC grace), so [live ~= rate * 40d];
+         drawing the rate as a fraction of capacity/40d sweeps the service
+         from comfortable to well past the high watermark. *)
+      let lifetime = 40.0 *. p.P.d in
+      let rate =
+        Rng.float_in_range rng ~lo:0.5 ~hi:1.5 *. float_of_int capacity /. lifetime
+      in
+      let arrivals =
+        if Rng.bool rng then W.Poisson { rate }
+        else
+          W.Bursty
+            {
+              rate;
+              burst = Rng.int_in_range rng ~lo:(capacity / 2) ~hi:capacity;
+              every =
+                Rng.float_in_range rng ~lo:(1.5 *. p.P.delta_agr)
+                  ~hi:(3.0 *. p.P.delta_agr);
+            }
+      in
+      let start_at = 0.01 in
+      let stop_at =
+        start_at
+        +. Rng.float_in_range rng ~lo:(4.0 *. p.P.delta_agr)
+             ~hi:(8.0 *. p.P.delta_agr)
+      in
+      let high = Rng.float_in_range rng ~lo:0.6 ~hi:0.9 in
+      let w =
+        {
+          W.arrivals;
+          start_at;
+          stop_at;
+          channels;
+          queue_cap = Rng.int_in_range rng ~lo:4 ~hi:32;
+          high_watermark = high;
+          low_watermark = Rng.float_in_range rng ~lo:0.3 ~hi:(Float.min 0.5 high);
+          retry_max = Rng.int_in_range rng ~lo:2 ~hi:4;
+          retry_base =
+            Rng.float_in_range rng ~lo:p.P.delta_0 ~hi:(1.5 *. p.P.delta_0);
+          pulse_cycles = 0;
+        }
+      in
+      {
+        draft with
+        Spec.name = Printf.sprintf "overload-n%d-%d" n (draft.Spec.seed land 0xFFFFFF);
+        service = Some w;
+      }
+    end
   in
   { draft with Spec.horizon = min_horizon draft }
   end

@@ -34,6 +34,11 @@ type config = {
           {!Ssba_adversary.Catalog.Gate_edge} entry into the draw menus.
           [false] reproduces the historical RNG draw sequence bit-for-bit —
           the legacy corpus digests. *)
+  service : bool;
+      (** overload tier: stamp every spec with a generated
+          {!Ssba_service.Workload} (open-loop arrivals with bursts,
+          watermarks, bounded retry queue). Off adds no draws, so the other
+          tiers' corpus digests are untouched. *)
 }
 
 val default_config : config
@@ -47,6 +52,12 @@ val lossy_config : config
 (** The churn tier: [chaos] on, clusters capped at n = 7 so the repeated
     [Delta_stb]-long episodes stay cheap. *)
 val chaos_config : config
+
+(** The overload tier: [service] on — open-loop arrival bursts against the
+    admission-controlled service — over a transport with persistent link
+    faults, plus at most one transient churn group; no scheduled
+    proposals. *)
+val overload_config : config
 
 (** Draw one spec. *)
 val spec : Ssba_sim.Rng.t -> config -> Spec.t

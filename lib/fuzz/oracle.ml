@@ -21,6 +21,10 @@
 module H = Ssba_harness
 module P = Ssba_core.Params
 module S = H.Scenario
+module Svc = Ssba_service.Service
+module W = Ssba_service.Workload
+module Tr = Ssba_sim.Trace
+module Ty = Ssba_core.Types
 
 type failure = { oracle : string; detail : string }
 type report = { digest : string; failures : failure list }
@@ -78,7 +82,19 @@ let run ?(config = default_config) spec =
   let params = Spec.params spec in
   let d = params.P.d in
   let sc = Spec.to_scenario spec in
-  let res = H.Runner.run sc in
+  (* Service specs run with the driver attached: the workload generates the
+     proposals at runtime (they land in [proposal_results] like scheduled
+     ones) and the service report feeds the overload checks below. *)
+  let svc = ref None in
+  let res =
+    match spec.Spec.service with
+    | None -> H.Runner.run sc
+    | Some w ->
+        H.Runner.run
+          ~on_driver:(fun drv ->
+            svc := Some (Svc.attach ~seed:spec.Spec.seed w drv))
+          sc
+  in
   let failures = ref [] in
   let add oracle fmt =
     Printf.ksprintf (fun detail -> failures := { oracle; detail } :: !failures) fmt
@@ -155,10 +171,100 @@ let run ?(config = default_config) spec =
     List.iter (fun v -> add "invariants" "%s" v) (H.Invariants.check res);
   if config.check_timeliness then begin
     let episodes = H.Metrics.episodes res in
+    (* Service jobs carry unique per-attempt values, so their checks match
+       returns by value. The episode machinery must NOT be used for them:
+       episodes cluster returns per General with gap [Delta_agr], but the
+       service re-initiates the same General as fast as [Delta_0]
+       (< Delta_agr), so back-to-back jobs merge into one episode and the
+       per-episode validity check would cry wolf over the (intentionally)
+       divergent job values. *)
+    let svc_decisions : (string * int, float) Hashtbl.t = Hashtbl.create 256 in
+    List.iter
+      (fun (r : Ty.return_info) ->
+        match r.Ty.outcome with
+        | Ty.Decided v when Svc.is_service_value v ->
+            (* returns are in rt order; keep the first per (value, node) *)
+            if not (Hashtbl.mem svc_decisions (v, r.Ty.node)) then
+              Hashtbl.add svc_decisions (v, r.Ty.node) r.Ty.rt_ret
+        | _ -> ())
+      res.H.Runner.returns;
+    (* Bounded memory's sacrifice: when a full table evicts G's live session
+       at some node, that node loses the job — by design, not by bug. The
+       termination check excuses exactly those (node, G) pairs, per eviction
+       time; agreement and the service-mode invariants still apply. *)
+    let svc_evictions : (int * int, float list) Hashtbl.t = Hashtbl.create 64 in
+    if spec.Spec.service <> None then
+      List.iter
+        (fun (e : Tr.entry) ->
+          match e.Tr.event with
+          | Tr.Session_evict { g } ->
+              let key = (e.Tr.node, g) in
+              let ts =
+                Option.value ~default:[] (Hashtbl.find_opt svc_evictions key)
+              in
+              Hashtbl.replace svc_evictions key (e.Tr.time :: ts)
+          | _ -> ())
+        (Tr.to_list res.H.Runner.trace);
+    let evicted_in_window ~g ~at node =
+      match Hashtbl.find_opt svc_evictions (node, g) with
+      | None -> false
+      | Some ts ->
+          List.exists (fun t -> t >= at -. d && t <= at +. window) ts
+    in
     List.iter
       (fun ((p : S.proposal), outcome) ->
         match outcome with
         | H.Runner.Refused _ | H.Runner.No_general -> ()
+        | H.Runner.Accepted when Svc.is_service_value p.S.v -> (
+            match entitlement p with
+            | None -> ()
+            | Some correct ->
+                let times =
+                  List.map
+                    (fun node ->
+                      (node, Hashtbl.find_opt svc_decisions (p.S.v, node)))
+                    correct
+                in
+                let missing, decided =
+                  List.partition (fun (_, t) -> t = None) times
+                in
+                let excused node = evicted_in_window ~g:p.S.g ~at:p.S.at node in
+                let missing =
+                  List.filter (fun (node, _) -> not (excused node)) missing
+                in
+                let late =
+                  List.filter
+                    (fun (node, t) ->
+                      match t with
+                      | Some rt ->
+                          (rt < p.S.at -. d || rt > p.S.at +. window)
+                          && not (excused node)
+                      | None -> false)
+                    decided
+                in
+                if missing <> [] || late <> [] then
+                  add "service-termination"
+                    "G=%d job %S at %g: %d node(s) missing, %d late" p.S.g
+                    p.S.v p.S.at (List.length missing) (List.length late)
+                else begin
+                  (* skew over on-time decisions only: an excused node that
+                     decided late (evicted, then recreated by a retransmit)
+                     is not held to the deadline either *)
+                  let ts =
+                    List.filter
+                      (fun rt -> rt >= p.S.at -. d && rt <= p.S.at +. window)
+                      (List.filter_map snd decided)
+                  in
+                  let lo = List.fold_left Float.min infinity ts in
+                  let hi = List.fold_left Float.max neg_infinity ts in
+                  let bound = 3.0 *. d *. config.skew_deadline_scale in
+                  if hi -. lo > bound +. 1e-12 then
+                    add "timeliness-1a"
+                      "G=%d service decision skew %.3fd exceeds deadline %.3fd"
+                      p.S.g
+                      ((hi -. lo) /. d)
+                      (bound /. d)
+                end)
         | H.Runner.Accepted -> (
             match entitlement p with
             | None -> ()
@@ -181,4 +287,49 @@ let run ?(config = default_config) spec =
                         (skew /. d) (bound /. d))))
       res.H.Runner.proposal_results
   end;
+  (* Service-mode checks, over the typed trace: the queue bound is a hard
+     invariant, shedding is legal only under admission pressure, and every
+     degraded episode must drain back to normal before the horizon (the
+     generator leaves 1.5 Delta_stb of slack after arrivals stop to make
+     that provable). *)
+  (match spec.Spec.service with
+  | None -> ()
+  | Some w ->
+      let degraded = ref false in
+      let depth = ref 0 in
+      List.iter
+        (fun (e : Tr.entry) ->
+          match e.Tr.event with
+          | Tr.Service_mode { degraded = dg; _ } -> degraded := dg
+          | Tr.Service_queue { depth = q; _ } ->
+              depth := q;
+              if q > w.W.queue_cap then
+                add "service-queue"
+                  "retry queue depth %d exceeds cap %d at %g" q w.W.queue_cap
+                  e.Tr.time
+          | Tr.Service_shed { reason; g } -> (
+              match reason with
+              | "degraded" | "watermark" ->
+                  if not !degraded then
+                    add "service-shed"
+                      "shed(%s) of G=%d at %g outside degraded mode" reason g
+                      e.Tr.time
+              | _ ->
+                  if !depth < w.W.queue_cap then
+                    add "service-shed"
+                      "shed(queue-full) of G=%d at %g with queue at %d/%d" g
+                      e.Tr.time !depth w.W.queue_cap)
+          | _ -> ())
+        (Tr.to_list res.H.Runner.trace);
+      if !degraded then
+        add "service-drain"
+          "degraded mode still engaged at the horizon (no drain)";
+      (* cross-check the trace walk against the driver's own bookkeeping *)
+      match !svc with
+      | Some s ->
+          let r = Svc.report s in
+          if r.Svc.unresolved_degraded > 0 then
+            add "service-drain" "%d degraded episode(s) never closed"
+              r.Svc.unresolved_degraded
+      | None -> ());
   (res, { digest = H.Checks.result_digest res; failures = List.rev !failures })

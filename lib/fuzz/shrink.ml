@@ -9,6 +9,7 @@
 module S = Ssba_harness.Scenario
 module C = Ssba_adversary.Catalog
 module P = Ssba_core.Params
+module W = Ssba_service.Workload
 
 type stats = { attempts : int; accepted : int }
 
@@ -105,6 +106,12 @@ let candidates spec =
   let transport =
     match spec.transport with
     | None -> []
+    (* Service workload times are drawn at the transport-inflated d: dropping
+       the transport alone deflates d by orders of magnitude under the same
+       multi-thousand-d workload windows, and the candidate run (per-d ticks
+       over the old horizon) explodes. Drop the service first; the transport
+       becomes strippable on the next fixpoint round. *)
+    | Some _ when spec.service <> None -> []
     | Some _ -> [ { spec with transport = None } ]
   in
   (* Reset a non-default gate variant: survives exactly when the failure
@@ -114,12 +121,39 @@ let candidates spec =
     if spec.r_slack = P.default_r_slack then []
     else [ { spec with r_slack = P.default_r_slack } ]
   in
+  (* Service-spec reductions, cheapest-win first: drop the whole workload
+     (survives exactly when the failure isn't about the service machinery),
+     flatten bursty arrivals to the plain Poisson base, strip the pulse
+     layer, and halve the arrival window. *)
+  let service =
+    match spec.service with
+    | None -> []
+    | Some w ->
+        [ { spec with service = None } ]
+        @ (match w.W.arrivals with
+          | W.Bursty { rate; _ } ->
+              [
+                {
+                  spec with
+                  service = Some { w with W.arrivals = W.Poisson { rate } };
+                };
+              ]
+          | W.Poisson _ -> [])
+        @ (if w.W.pulse_cycles > 0 then
+             [ { spec with service = Some { w with W.pulse_cycles = 0 } } ]
+           else [])
+        @
+        let half = w.W.start_at +. (0.5 *. (w.W.stop_at -. w.W.start_at)) in
+        if half < w.W.stop_at *. 0.99 then
+          [ { spec with service = Some { w with W.stop_at = half } } ]
+        else []
+  in
   let horizon =
     let h = Gen.min_horizon spec in
     if h < spec.horizon *. 0.99 then [ { spec with horizon = h } ] else []
   in
   events @ proposals @ cast_drops @ cast_simpler @ retargets @ nodes @ delay
-  @ clocks @ transport @ r_slack @ horizon
+  @ clocks @ transport @ r_slack @ service @ horizon
 
 let minimize ?config ?(max_attempts = 400) spec (report : Oracle.report) =
   let original_oracles =

@@ -11,6 +11,7 @@ module S = Ssba_harness.Scenario
 module C = Ssba_adversary.Catalog
 module P = Ssba_core.Params
 module T = Ssba_transport.Transport
+module W = Ssba_service.Workload
 
 type delay =
   | Fixed of float
@@ -48,6 +49,10 @@ type t = {
       (* override Node's session-table capacity (None = the Node default) *)
   blackout : bool;  (* the re-initiation blackout knob (default true) *)
   r_slack : P.r_slack;  (* block R gate variant (default [P.default_r_slack]) *)
+  service : W.t option;
+      (* run the recurrent-agreement service loop (overload tier): the
+         compiled scenario gets the workload's channels, admission control
+         and a trace, and the oracle adds the service checks *)
 }
 
 let max_loss t =
@@ -102,8 +107,16 @@ let compile_delay = function
 let to_scenario t =
   let params = params t in
   let d = params.P.d in
+  (* Service specs need the workload's channel fan-out, admission-controlled
+     proposals (the At_capacity backstop behind watermark shedding) and a
+     trace for the oracle's queue/shed/drain checks. The trace and the
+     service metrics are outside the result digest, so a service spec's
+     digest is as pin-stable as any other. *)
+  let channels = match t.service with None -> 1 | Some w -> w.W.channels in
   S.default ~name:t.name ~seed:t.seed ~horizon:t.horizon
-    ~record_observations:true ~delay:(compile_delay t.delay) ~clocks:t.clocks
+    ~record_observations:true ~record_trace:(t.service <> None)
+    ~admission:(t.service <> None) ~channels ~delay:(compile_delay t.delay)
+    ~clocks:t.clocks
     ~roles:
       (List.map (fun (id, c) -> (id, S.Byzantine (C.to_behavior ~d c))) t.cast)
     ~proposals:t.proposals ~events:t.events ?transport:t.transport
@@ -197,7 +210,17 @@ let validate t =
       | Some c when c.T.rto <= 0.0 || c.T.retries < 0 || c.T.window <= 0 || c.T.dedup <= 0
         ->
           err "nonsensical transport config"
-      | Some _ | None -> Ok ()
+      | Some _ | None -> (
+          match t.service with
+          | None -> Ok ()
+          | Some w -> (
+              match W.validate w with
+              | Error e -> err "service: %s" e
+              | Ok () ->
+                  if w.W.stop_at > t.horizon then
+                    err "service stop_at %g beyond horizon %g" w.W.stop_at
+                      t.horizon
+                  else Ok ()))
 
 (* ---------- JSON codec ---------- *)
 
@@ -606,10 +629,13 @@ let to_json t =
       | None -> []
       | Some c -> [ ("session_capacity", int c) ])
     @ (match t.blackout with true -> [] | false -> [ ("blackout", J.Bool false) ])
+    @ (match t.r_slack = P.default_r_slack with
+      | true -> []
+      | false -> [ ("r_slack", str (P.r_slack_to_string t.r_slack)) ])
     @
-    match t.r_slack = P.default_r_slack with
-    | true -> []
-    | false -> [ ("r_slack", str (P.r_slack_to_string t.r_slack)) ])
+    match t.service with
+    | None -> []
+    | Some w -> [ ("service", W.to_json w) ])
 
 let of_json j =
   try
@@ -648,6 +674,13 @@ let of_json j =
               match Option.bind (J.to_string_opt s) P.r_slack_of_string with
               | Some r -> r
               | None -> fail "field \"r_slack\": expected legacy|widen|general"));
+        service =
+          (match J.member "service" j with
+          | None -> None
+          | Some sj -> (
+              match W.of_json sj with
+              | Ok w -> Some w
+              | Error e -> fail "field \"service\": %s" e));
       }
   with Decode msg -> Error msg
 
@@ -673,10 +706,13 @@ let load path =
 
 let pp ppf t =
   Fmt.pf ppf
-    "@[<v>%s: n=%d f=%d seed=%d horizon=%g%s@ cast: %a@ %d proposals, %d events@]"
+    "@[<v>%s: n=%d f=%d seed=%d horizon=%g%s%s@ cast: %a@ %d proposals, %d events@]"
     t.name t.n t.f t.seed t.horizon
     (match t.transport with
     | None -> ""
     | Some c -> Printf.sprintf " transport(rto=%g,retries=%d)" c.T.rto c.T.retries)
+    (match t.service with
+    | None -> ""
+    | Some w -> Fmt.str " service[%a]" W.pp w)
     Fmt.(list ~sep:comma (pair ~sep:(any ":") int C.pp))
     t.cast (List.length t.proposals) (List.length t.events)

@@ -55,6 +55,12 @@ type t = {
   r_slack : Ssba_core.Params.r_slack;
       (** block R gate variant threaded into {!params}; serialized only when
           it differs from {!Ssba_core.Params.default_r_slack} *)
+  service : Ssba_service.Workload.t option;
+      (** the overload tier: run the recurrent-agreement service loop. The
+          compiled scenario gets the workload's channel fan-out,
+          admission-controlled proposals and a trace, and {!Oracle} adds the
+          service checks (bounded queue, shed-only-under-pressure, eventual
+          drain). Serialized only when set *)
 }
 
 (** The protocol constants the compiled scenario runs under:

@@ -941,6 +941,7 @@ let e13_sessions ?(n = 7) ?(sessions = [ 35; 105; 210 ]) ?(seed = 131) () =
         "peak<=cap";
         "evicted";
         "gced";
+        "rejected";
         "live(end)";
       ]
   in
@@ -991,6 +992,8 @@ let e13_sessions ?(n = 7) ?(sessions = [ 35; 105; 210 ]) ?(seed = 131) () =
           Table.yn (peak <= capacity);
           string_of_int (sum (fun s -> s.Ssba_core.Session_table.evicted));
           string_of_int (sum (fun s -> s.Ssba_core.Session_table.gced));
+          string_of_int
+            (sum (fun s -> s.Ssba_core.Session_table.rejected_at_capacity));
           string_of_int (top (fun s -> s.Ssba_core.Session_table.live));
         ])
     sessions;

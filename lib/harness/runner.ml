@@ -53,8 +53,24 @@ type result = {
   transport_retransmits : int;  (* 0 when the scenario runs without transport *)
   transport_dup_suppressed : int;
   transport_expired : int;
+  transport_retries_exhausted : int;
+      (* frames abandoned at the retry cap — previously silent *)
   metrics : Metrics.t;  (* the engine's registry: net.*, engine.*, node<i>.* *)
   trace : Trace.t;
+}
+
+(* Hook handed to a scenario driver (the service loop): enough of the
+   interpreter's innards to generate proposals at runtime and observe every
+   return — including returns of nodes reformed mid-run — without
+   re-implementing the setup. Driver-made proposals land in
+   [proposal_results] like scheduled ones, with [at] = the engine time of
+   the call. *)
+type driver = {
+  drv_engine : Engine.t;
+  drv_params : Params.t;
+  drv_propose : g:int -> v:value -> proposal_outcome;
+  drv_live : unit -> (node_id * Node.t) list;
+  drv_on_return : (return_info -> unit) -> unit;
 }
 
 let build_clock rng = function
@@ -93,6 +109,7 @@ type net_counts = {
   nc_retransmits : int;
   nc_dup_suppressed : int;
   nc_expired : int;
+  nc_retries_exhausted : int;
 }
 
 (* The scenario interpreter is agnostic to whether protocol traffic rides the
@@ -154,6 +171,7 @@ let plain_iface ~engine ~params ~delay ~rng n =
           nc_retransmits = 0;
           nc_dup_suppressed = 0;
           nc_expired = 0;
+          nc_retries_exhausted = 0;
         });
   }
 
@@ -213,10 +231,11 @@ let transport_iface ~engine ~params ~delay ~rng ~config n =
           nc_retransmits = Transport.retransmits tr;
           nc_dup_suppressed = Transport.dup_suppressed tr;
           nc_expired = Transport.expired tr;
+          nc_retries_exhausted = Transport.retries_exhausted tr;
         });
   }
 
-let run_with ~execute (sc : Scenario.t) =
+let run_with ?on_driver ~execute (sc : Scenario.t) =
   let params = sc.Scenario.params in
   let n = params.Params.n in
   let root = Rng.create sc.Scenario.seed in
@@ -239,16 +258,23 @@ let run_with ~execute (sc : Scenario.t) =
   let nodes = ref [] in
   let returns = ref [] in
   let observations = ref [] in
+  (* Driver callbacks see every return, from initial and reformed nodes
+     alike, so all node subscriptions funnel through one push function. *)
+  let return_hooks = ref [] in
+  let push_return r =
+    returns := r :: !returns;
+    List.iter (fun f -> f r) !return_hooks
+  in
   for id = 0 to n - 1 do
     match Scenario.role_of sc id with
     | Scenario.Correct ->
         let node =
           Node.create_on ~channels:sc.Scenario.channels
             ?session_capacity:sc.Scenario.session_capacity
-            ~blackout:sc.Scenario.blackout ~id ~params ~clock:clocks.(id)
-            ~engine ~link:iface.link ()
+            ~blackout:sc.Scenario.blackout ~admission:sc.Scenario.admission
+            ~id ~params ~clock:clocks.(id) ~engine ~link:iface.link ()
         in
-        Node.subscribe node (fun r -> returns := r :: !returns);
+        Node.subscribe node push_return;
         if sc.Scenario.record_observations then
           Node.subscribe_observations node (fun g obs ->
               observations :=
@@ -376,10 +402,11 @@ let run_with ~execute (sc : Scenario.t) =
                 let nd =
                   Node.reform ~channels:sc.Scenario.channels
                     ?session_capacity:sc.Scenario.session_capacity
-                    ~rng:scramble_rng ~values:reform_values ~id:node ~params
+                    ~admission:sc.Scenario.admission ~rng:scramble_rng
+                    ~values:reform_values ~id:node ~params
                     ~clock:clocks.(node) ~engine ~link:iface.link ()
                 in
-                Node.subscribe nd (fun r -> returns := r :: !returns);
+                Node.subscribe nd push_return;
                 if sc.Scenario.record_observations then
                   Node.subscribe_observations nd (fun g obs ->
                       observations :=
@@ -410,6 +437,32 @@ let run_with ~execute (sc : Scenario.t) =
           in
           proposal_results := (p, outcome) :: !proposal_results))
     sc.Scenario.proposals;
+  (* Hand the driver (if any) its hook before the engine runs: it schedules
+     its own arrivals/retries against the same engine, and its proposals are
+     recorded exactly like scheduled ones. *)
+  (match on_driver with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          drv_engine = engine;
+          drv_params = params;
+          drv_propose =
+            (fun ~g ~v ->
+              let outcome =
+                match List.assoc_opt (g mod n) !live_nodes with
+                | None -> No_general
+                | Some node -> (
+                    match Node.propose ~channel:(g / n) node v with
+                    | Ok () -> Accepted
+                    | Error e -> Refused e)
+              in
+              let p = { Scenario.g; v; at = Engine.now engine } in
+              proposal_results := (p, outcome) :: !proposal_results;
+              outcome);
+          drv_live = (fun () -> !live_nodes);
+          drv_on_return = (fun cb -> return_hooks := !return_hooks @ [ cb ]);
+        });
   let engine_stats = execute ~until:sc.Scenario.horizon engine in
   let c = iface.counts () in
   {
@@ -434,11 +487,15 @@ let run_with ~execute (sc : Scenario.t) =
     transport_retransmits = c.nc_retransmits;
     transport_dup_suppressed = c.nc_dup_suppressed;
     transport_expired = c.nc_expired;
+    transport_retries_exhausted = c.nc_retries_exhausted;
     metrics = Engine.metrics engine;
     trace;
   }
 
-let run sc = run_with ~execute:(fun ~until engine -> Engine.run ~until engine) sc
+let run ?on_driver sc =
+  run_with ?on_driver
+    ~execute:(fun ~until engine -> Engine.run ~until engine)
+    sc
 
 (* Same run, paced against the wall clock (live-demo mode). *)
 let run_paced ?(speed = 1.0) sc =

@@ -43,13 +43,30 @@ type result = {
   transport_retransmits : int;  (** 0 when no transport runs *)
   transport_dup_suppressed : int;
   transport_expired : int;
+  transport_retries_exhausted : int;
+      (** frames the transport abandoned at the retry cap — previously a
+          silent give-up *)
   metrics : Ssba_sim.Metrics.t;
       (** the engine's registry: [net.*], [engine.*], [node<i>.*] *)
   trace : Ssba_sim.Trace.t;
 }
 
-(** Run a scenario to its horizon. *)
-val run : Scenario.t -> result
+(** Hook handed to a scenario driver (e.g. the {!Ssba_service} loop) before
+    the engine runs: generate proposals at runtime (recorded in
+    [proposal_results] like scheduled ones, [at] = engine time of the call)
+    and observe every correct-node return, reformed rejoiners included. *)
+type driver = {
+  drv_engine : Ssba_sim.Engine.t;
+  drv_params : Ssba_core.Params.t;
+  drv_propose : g:int -> v:value -> proposal_outcome;
+      (** [g] is a logical General id: node [g mod n], channel [g / n] *)
+  drv_live : unit -> (node_id * Ssba_core.Node.t) list;
+  drv_on_return : (return_info -> unit) -> unit;
+}
+
+(** Run a scenario to its horizon. [on_driver], if given, receives the
+    {!driver} hook after setup and before the engine runs. *)
+val run : ?on_driver:(driver -> unit) -> Scenario.t -> result
 
 (** Same run, paced against the wall clock at [speed] virtual seconds per
     wall second (live-demo mode); results are identical to {!run}. *)

@@ -76,6 +76,10 @@ type t = {
   blackout : bool;
       (* the Initiator-Accept re-initiation blackout knob (default true);
          false only in weakened-checker sensitivity runs *)
+  admission : bool;
+      (* admission-controlled proposals (default false): a full session
+         table refuses a General's own proposal instead of evicting — the
+         service-mode backstop behind the watermark-based shedding *)
 }
 
 let role_of t id =
@@ -133,7 +137,7 @@ let default ?(name = "scenario") ?(seed = 1) ?(horizon = 5.0) ?(record_trace = f
     ?(record_observations = false) ?delay
     ?(clocks = Drifting { rho = 1e-4; max_offset = 0.1 }) ?(roles = [])
     ?(proposals = []) ?(events = []) ?transport ?(channels = 1)
-    ?session_capacity ?(blackout = true) params =
+    ?session_capacity ?(blackout = true) ?(admission = false) params =
   let delay =
     match delay with
     | Some d -> d
@@ -157,4 +161,5 @@ let default ?(name = "scenario") ?(seed = 1) ?(horizon = 5.0) ?(record_trace = f
     transport;
     session_capacity;
     blackout;
+    admission;
   }

@@ -84,6 +84,10 @@ type t = {
       (** the {!Ssba_core.Initiator_accept} re-initiation blackout knob
           (default [true]); [false] only in weakened-checker sensitivity
           runs *)
+  admission : bool;
+      (** admission-controlled proposals (default [false]): a full session
+          table refuses a General's own proposal ([At_capacity]) instead of
+          evicting the least-recently-active session *)
 }
 
 val role_of : t -> node_id -> role
@@ -128,5 +132,6 @@ val default :
   ?channels:int ->
   ?session_capacity:int ->
   ?blackout:bool ->
+  ?admission:bool ->
   Ssba_core.Params.t ->
   t

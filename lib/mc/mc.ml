@@ -294,6 +294,7 @@ let execute (cfg : Config.t) ~por ~visited ~judge prefix =
           transport = None;
           session_capacity = cfg.Config.session_capacity;
           blackout = cfg.Config.blackout;
+          admission = false;
         }
       in
       let result =
@@ -316,6 +317,7 @@ let execute (cfg : Config.t) ~por ~visited ~judge prefix =
           transport_retransmits = 0;
           transport_dup_suppressed = 0;
           transport_expired = 0;
+          transport_retries_exhausted = 0;
           metrics = Engine.metrics engine;
           trace = Engine.trace engine;
         }
@@ -591,6 +593,7 @@ let spec_of_run (cfg : Config.t) (r : run) ~name =
     session_capacity = cfg.Config.session_capacity;
     blackout = cfg.Config.blackout;
     r_slack = cfg.Config.params.Params.r_slack;
+    service = None;
   }
 
 (* ----- E14: states explored, POR reduction, verdicts -------------------- *)

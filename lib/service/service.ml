@@ -1,0 +1,416 @@
+(* Recurrent-agreement service loop.
+
+   The driver turns one Runner execution into a long-lived service: an
+   open-loop generator submits jobs against rotating logical Generals, an
+   admission controller in front of the session tables sheds load near
+   capacity, refused or timed-out jobs retry with capped exponential backoff
+   from a bounded queue, and an overload detector flips the whole service
+   into a degraded (admit-nothing-new) mode until the cluster drains below
+   the low watermark.
+
+   Everything here is client-side policy: the protocol core underneath is
+   untouched, and the hard backstop remains Node's admission mode (a full
+   session table refuses the General's own proposal with [At_capacity]
+   instead of evicting). Observability goes through [service.*] metrics and
+   the typed [Service_*] trace events; neither is part of the result digest,
+   so attaching the service to a scenario changes no pinned digests. *)
+
+module E = Ssba_sim.Engine
+module Rng = Ssba_sim.Rng
+module Tr = Ssba_sim.Trace
+module M = Ssba_sim.Metrics
+module P = Ssba_core.Params
+module Node = Ssba_core.Node
+module St = Ssba_core.Session_table
+module R = Ssba_harness.Runner
+module Ps = Ssba_pulse.Pulse_sync
+module W = Workload
+open Ssba_core.Types
+
+type report = {
+  arrivals : int;
+  admitted : int;
+  decided : int;
+  timed_out : int;
+  shed : int;
+  shed_degraded : int;
+  shed_watermark : int;
+  shed_queue_full : int;
+  retries : int;
+  gave_up : int;
+  no_general : int;
+  p50_latency : float;
+  p99_latency : float;
+  max_latency : float;
+  throughput : float;  (* decided jobs per second of arrival window *)
+  peak_queue : int;
+  peak_live_frac : float;
+  degraded_episodes : (float * float option) list;  (* chronological *)
+  max_degraded_span : float;  (* longest closed enter->exit span *)
+  unresolved_degraded : int;  (* episodes still open at the horizon *)
+  pulses : int;  (* cycles fired by every pulse layer *)
+  pulse_skew : float;  (* worst same-cycle real-time spread *)
+}
+
+(* One client job. [g] rotates to the next logical General on every retry so
+   a Byzantine or crashed General cannot blackhole a job forever. *)
+type job = {
+  id : int;
+  mutable g : int;
+  mutable attempts : int;  (* proposals actually submitted *)
+  mutable submitted : float;  (* engine time of the latest accepted attempt *)
+}
+
+type t = {
+  drv : R.driver;
+  w : W.t;
+  eng : E.t;
+  params : P.t;
+  rng : Rng.t;
+  g_lo : int;  (* service rotation floor: past channel 0 when pulses run *)
+  n_logical : int;
+  window : float;  (* per-attempt decision timeout *)
+  outstanding : (string, job) Hashtbl.t;  (* accepted value -> job *)
+  pulse_layers : (node_id * Ps.t) list;
+  mutable next_job : int;
+  mutable next_g : int;
+  mutable queue_depth : int;
+  mutable degraded : bool;
+  mutable episodes : (float * float option) list;  (* newest first *)
+  mutable latencies : float list;  (* newest first *)
+  mutable peak_queue : int;
+  mutable peak_live_frac : float;
+  mutable arrivals : int;
+  mutable admitted : int;
+  mutable decided : int;
+  mutable timed_out : int;
+  mutable shed_degraded : int;
+  mutable shed_watermark : int;
+  mutable shed_queue_full : int;
+  mutable retries : int;
+  mutable gave_up : int;
+  mutable no_general : int;
+  c_admitted : M.counter;
+  c_shed : M.counter;
+  c_queued : M.counter;
+}
+
+let value_of_attempt job = Printf.sprintf "svc-%d-a%d" job.id job.attempts
+
+let is_service_value v =
+  String.length v >= 4 && String.sub v 0 4 = "svc-"
+
+(* Worst per-node live/capacity fraction, and the matching live count — the
+   overload signal. The max (not the mean) is what matters: one saturated
+   table refuses its Generals' proposals no matter how idle the rest are. *)
+let load t =
+  List.fold_left
+    (fun (frac, live) (_, node) ->
+      let s = Node.session_stats node in
+      let f = float_of_int s.St.live /. float_of_int s.St.capacity in
+      (Float.max frac f, max live s.St.live))
+    (0.0, 0) (t.drv.R.drv_live ())
+
+let record t ev = E.record t.eng ~node:(-1) ev
+
+let note_load t =
+  let frac, live = load t in
+  if frac > t.peak_live_frac then t.peak_live_frac <- frac;
+  (frac, live)
+
+let enter_degraded t live =
+  t.degraded <- true;
+  t.episodes <- (E.now t.eng, None) :: t.episodes;
+  record t (Tr.Service_mode { degraded = true; live })
+
+let exit_degraded t live =
+  t.degraded <- false;
+  (match t.episodes with
+  | (at, None) :: rest -> t.episodes <- (at, Some (E.now t.eng)) :: rest
+  | _ -> ());
+  record t (Tr.Service_mode { degraded = false; live })
+
+let shed t ~g ~reason =
+  (match reason with
+  | "degraded" -> t.shed_degraded <- t.shed_degraded + 1
+  | "watermark" -> t.shed_watermark <- t.shed_watermark + 1
+  | _ -> t.shed_queue_full <- t.shed_queue_full + 1);
+  M.incr t.c_shed;
+  record t (Tr.Service_shed { g; reason })
+
+(* Capped exponential backoff with deterministic jitter, floored above
+   [Delta_0] so a retry against the same logical General is never refused on
+   IG1 spacing alone. *)
+let backoff t job =
+  let base = t.w.W.retry_base *. (2.0 ** float_of_int (min 6 (job.attempts - 1))) in
+  let jittered = base +. Rng.float t.rng (0.5 *. base) in
+  Float.max jittered (1.05 *. t.params.P.delta_0)
+
+let rec submit t job =
+  job.attempts <- job.attempts + 1;
+  if job.attempts > 1 then begin
+    t.retries <- t.retries + 1;
+    (* rotate away from the General that just failed us *)
+    job.g <- t.g_lo + ((job.g - t.g_lo + 1) mod (t.n_logical - t.g_lo))
+  end;
+  let v = value_of_attempt job in
+  match t.drv.R.drv_propose ~g:job.g ~v with
+  | R.Accepted ->
+      t.admitted <- t.admitted + 1;
+      M.incr t.c_admitted;
+      job.submitted <- E.now t.eng;
+      let _, live = note_load t in
+      record t (Tr.Service_admit { g = job.g; live });
+      Hashtbl.replace t.outstanding v job;
+      E.schedule_after t.eng ~delay:t.window (fun () ->
+          if Hashtbl.mem t.outstanding v then begin
+            Hashtbl.remove t.outstanding v;
+            t.timed_out <- t.timed_out + 1;
+            attempt_failed t job
+          end)
+  | R.No_general ->
+      t.no_general <- t.no_general + 1;
+      attempt_failed t job
+  | R.Refused _ -> attempt_failed t job
+
+(* A failed attempt parks in the bounded retry queue (or is dropped when the
+   budget or the queue is exhausted). Parked jobs hold their queue slot for
+   the whole backoff; a retry firing in degraded mode stays parked and polls
+   again — degraded mode admits nothing new, including retries. *)
+and attempt_failed t job =
+  if job.attempts >= t.w.W.retry_max then t.gave_up <- t.gave_up + 1
+  else if t.queue_depth >= t.w.W.queue_cap then shed t ~g:job.g ~reason:"queue-full"
+  else begin
+    t.queue_depth <- t.queue_depth + 1;
+    if t.queue_depth > t.peak_queue then t.peak_queue <- t.queue_depth;
+    M.incr t.c_queued;
+    record t (Tr.Service_queue { g = job.g; depth = t.queue_depth });
+    arm_retry t job (backoff t job)
+  end
+
+and arm_retry t job delay =
+  E.schedule_after t.eng ~delay (fun () ->
+      if t.degraded then arm_retry t job (Float.max t.w.W.retry_base t.params.P.d)
+      else begin
+        t.queue_depth <- t.queue_depth - 1;
+        record t (Tr.Service_queue { g = job.g; depth = t.queue_depth });
+        submit t job
+      end)
+
+let arrival t =
+  t.arrivals <- t.arrivals + 1;
+  let g = t.next_g in
+  t.next_g <- t.g_lo + ((t.next_g - t.g_lo + 1) mod (t.n_logical - t.g_lo));
+  if t.degraded then shed t ~g ~reason:"degraded"
+  else
+    let frac, live = note_load t in
+    if frac >= t.w.W.high_watermark then begin
+      enter_degraded t live;
+      shed t ~g ~reason:"watermark"
+    end
+    else begin
+      let job = { id = t.next_job; g; attempts = 0; submitted = 0.0 } in
+      t.next_job <- t.next_job + 1;
+      submit t job
+    end
+
+let exp_gap t rate = -.log (1.0 -. Rng.float t.rng 1.0) /. rate
+
+let rec arm_arrival t at =
+  if at <= t.w.W.stop_at then
+    E.schedule t.eng ~at (fun () ->
+        arrival t;
+        arm_arrival t (E.now t.eng +. exp_gap t (W.rate t.w.W.arrivals)))
+
+let arm_bursts t =
+  match t.w.W.arrivals with
+  | W.Poisson _ -> ()
+  | W.Bursty { burst; every; _ } ->
+      let rec arm at =
+        if at <= t.w.W.stop_at then
+          E.schedule t.eng ~at (fun () ->
+              for _ = 1 to burst do
+                arrival t
+              done;
+              arm (E.now t.eng +. every))
+      in
+      arm (t.w.W.start_at +. every)
+
+(* The overload detector's recovery edge: poll every [d] (the same cadence
+   as the nodes' cleanup ticks, which are what actually free table slots). *)
+let rec arm_tick t =
+  E.schedule_after t.eng ~delay:t.params.P.d (fun () ->
+      let frac, live = note_load t in
+      if t.degraded && frac <= t.w.W.low_watermark then exit_degraded t live;
+      arm_tick t)
+
+let on_return t (r : return_info) =
+  match r.outcome with
+  | Decided v when is_service_value v -> (
+      match Hashtbl.find_opt t.outstanding v with
+      | None -> ()
+      | Some job ->
+          Hashtbl.remove t.outstanding v;
+          t.decided <- t.decided + 1;
+          t.latencies <- (r.rt_ret -. job.submitted) :: t.latencies)
+  | Decided _ | Aborted -> ()
+
+let attach ~seed (w : W.t) (drv : R.driver) =
+  (match W.validate w with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Service.attach: " ^ e));
+  let params = drv.R.drv_params in
+  let eng = drv.R.drv_engine in
+  let n_logical = params.P.n * w.W.channels in
+  let g_lo =
+    (* with a pulse layer running, keep service traffic off channel 0 so
+       job retries never collide with pulse proposals on IG1 spacing *)
+    if w.W.pulse_cycles > 0 && w.W.channels > 1 then params.P.n else 0
+  in
+  let metrics = E.metrics eng in
+  let pulse_layers =
+    if w.W.pulse_cycles > 0 then
+      List.map
+        (fun (id, node) ->
+          let cycle_len = 1.25 *. Ps.min_cycle params in
+          let p = Ps.create ~node ~cycle_len () in
+          Ps.start p;
+          (id, p))
+        (drv.R.drv_live ())
+    else []
+  in
+  let t =
+    {
+      drv;
+      w;
+      eng;
+      params;
+      rng = Rng.create (seed lxor 0x53525643);
+      g_lo;
+      n_logical;
+      window = params.P.delta_agr +. (10.0 *. params.P.d);
+      outstanding = Hashtbl.create 64;
+      pulse_layers;
+      next_job = 0;
+      next_g = g_lo;
+      queue_depth = 0;
+      degraded = false;
+      episodes = [];
+      latencies = [];
+      peak_queue = 0;
+      peak_live_frac = 0.0;
+      arrivals = 0;
+      admitted = 0;
+      decided = 0;
+      timed_out = 0;
+      shed_degraded = 0;
+      shed_watermark = 0;
+      shed_queue_full = 0;
+      retries = 0;
+      gave_up = 0;
+      no_general = 0;
+      c_admitted = M.counter metrics "service.admitted";
+      c_shed = M.counter metrics "service.shed";
+      c_queued = M.counter metrics "service.queued";
+    }
+  in
+  drv.R.drv_on_return (on_return t);
+  arm_arrival t w.W.start_at;
+  arm_bursts t;
+  arm_tick t;
+  t
+
+let percentile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | len -> sorted.(int_of_float (Float.ceil (q *. float_of_int (len - 1))))
+
+let report (t : t) : report =
+  let lats = Array.of_list t.latencies in
+  Array.sort compare lats;
+  let episodes = List.rev t.episodes in
+  let max_span =
+    List.fold_left
+      (fun acc -> function
+        | at, Some until -> Float.max acc (until -. at)
+        | _, None -> acc)
+      0.0 episodes
+  in
+  let pulses, pulse_skew =
+    match t.pulse_layers with
+    | [] -> (0, 0.0)
+    | layers ->
+        let per_cycle : (int, float * float * int) Hashtbl.t = Hashtbl.create 256 in
+        List.iter
+          (fun (_, p) ->
+            List.iter
+              (fun (pl : Ps.pulse) ->
+                let lo, hi, k =
+                  Option.value
+                    (Hashtbl.find_opt per_cycle pl.Ps.cycle)
+                    ~default:(pl.Ps.rt, pl.Ps.rt, 0)
+                in
+                Hashtbl.replace per_cycle pl.Ps.cycle
+                  (Float.min lo pl.Ps.rt, Float.max hi pl.Ps.rt, k + 1))
+              (Ps.pulses p))
+          layers;
+        let fired =
+          List.fold_left
+            (fun acc (_, p) -> min acc (List.length (Ps.pulses p)))
+            max_int layers
+        in
+        let skew =
+          Hashtbl.fold
+            (fun _ (lo, hi, k) acc ->
+              if k >= 2 then Float.max acc (hi -. lo) else acc)
+            per_cycle 0.0
+        in
+        (fired, skew)
+  in
+  {
+    arrivals = t.arrivals;
+    admitted = t.admitted;
+    decided = t.decided;
+    timed_out = t.timed_out;
+    shed = t.shed_degraded + t.shed_watermark + t.shed_queue_full;
+    shed_degraded = t.shed_degraded;
+    shed_watermark = t.shed_watermark;
+    shed_queue_full = t.shed_queue_full;
+    retries = t.retries;
+    gave_up = t.gave_up;
+    no_general = t.no_general;
+    p50_latency = percentile lats 0.5;
+    p99_latency = percentile lats 0.99;
+    max_latency = percentile lats 1.0;
+    throughput = float_of_int t.decided /. (t.w.W.stop_at -. t.w.W.start_at);
+    peak_queue = t.peak_queue;
+    peak_live_frac = t.peak_live_frac;
+    degraded_episodes = episodes;
+    max_degraded_span = max_span;
+    unresolved_degraded =
+      List.length (List.filter (fun (_, e) -> e = None) episodes);
+    pulses;
+    pulse_skew;
+  }
+
+let run ?seed (w : W.t) (sc : Ssba_harness.Scenario.t) =
+  let seed = match seed with Some s -> s | None -> sc.Ssba_harness.Scenario.seed in
+  let svc = ref None in
+  let res = R.run ~on_driver:(fun drv -> svc := Some (attach ~seed w drv)) sc in
+  match !svc with
+  | Some t -> (res, report t)
+  | None -> invalid_arg "Service.run: runner never invoked the driver"
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf
+    "@[<v>arrivals %d  admitted %d  decided %d  timed-out %d@ shed %d \
+     (degraded %d, watermark %d, queue-full %d)  retries %d  gave-up %d  \
+     no-general %d@ latency p50 %.4fs  p99 %.4fs  max %.4fs  throughput \
+     %.1f/s@ peak queue %d  peak live %.0f%%  degraded episodes %d \
+     (unresolved %d, max span %.3fs)@ pulses %d  pulse skew %.5fs@]"
+    r.arrivals r.admitted r.decided r.timed_out r.shed r.shed_degraded
+    r.shed_watermark r.shed_queue_full r.retries r.gave_up r.no_general
+    r.p50_latency r.p99_latency r.max_latency r.throughput r.peak_queue
+    (100.0 *. r.peak_live_frac)
+    (List.length r.degraded_episodes)
+    r.unresolved_degraded r.max_degraded_span r.pulses r.pulse_skew

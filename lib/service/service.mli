@@ -1,0 +1,69 @@
+(** Recurrent-agreement service mode: a long-lived client loop atop the
+    session-keyed core.
+
+    {!attach} installs, inside one {!Ssba_harness.Runner} execution, an
+    open-loop proposal generator over rotating logical Generals, an
+    admission controller (watermark shedding in front of {!Ssba_core.Node}'s
+    [At_capacity] backstop), a retry layer with capped exponential backoff
+    and deterministic jitter, and an overload detector that flips the
+    service into a degraded (admit-nothing-new) mode until the cluster
+    drains below the low watermark. Optionally a {!Ssba_pulse.Pulse_sync}
+    layer cycles on the same cluster.
+
+    All service observability lands in [service.*] metrics and the typed
+    [Service_*] trace events — neither participates in
+    {!Ssba_harness.Checks.result_digest}, so service runs change no pinned
+    digests. *)
+
+type t
+
+type report = {
+  arrivals : int;
+  admitted : int;  (** proposals the protocol accepted *)
+  decided : int;  (** jobs some correct node decided *)
+  timed_out : int;  (** accepted attempts with no decision in the window *)
+  shed : int;  (** sum of the three shed classes *)
+  shed_degraded : int;  (** arrivals refused while in degraded mode *)
+  shed_watermark : int;  (** arrivals that themselves tripped the watermark *)
+  shed_queue_full : int;  (** retry candidates dropped at the queue bound *)
+  retries : int;
+  gave_up : int;  (** jobs that exhausted their retry budget *)
+  no_general : int;  (** attempts that landed on a Byzantine/absent General *)
+  p50_latency : float;  (** decision latency percentiles over decided jobs *)
+  p99_latency : float;
+  max_latency : float;
+  throughput : float;  (** decided jobs per second of the arrival window *)
+  peak_queue : int;
+  peak_live_frac : float;  (** worst observed live/capacity fraction *)
+  degraded_episodes : (float * float option) list;
+      (** chronological (entered, exited); [None] = still open at horizon *)
+  max_degraded_span : float;  (** longest closed episode — the recovery time *)
+  unresolved_degraded : int;
+  pulses : int;  (** cycles fired by {e every} pulse layer *)
+  pulse_skew : float;  (** worst same-cycle real-time spread *)
+}
+
+(** Install the service loop on a runner driver hook (call from
+    {!Ssba_harness.Runner.run}'s [on_driver]). The scenario must have been
+    built with [channels = workload.channels] and [admission = true] —
+    {!Ssba_fuzz.Spec.to_scenario} does this for service-carrying specs.
+    Raises [Invalid_argument] on an invalid workload. *)
+val attach : seed:int -> Workload.t -> Ssba_harness.Runner.driver -> t
+
+(** Collect the report after the run finished (latencies, shed counts,
+    degraded episodes, pulse skew). *)
+val report : t -> report
+
+(** Convenience: run [scenario] with the service attached ([seed] defaults
+    to the scenario's). *)
+val run :
+  ?seed:int ->
+  Workload.t ->
+  Ssba_harness.Scenario.t ->
+  Ssba_harness.Runner.result * report
+
+(** The ["svc-<job>-a<attempt>"] value-namespace test the oracle uses to
+    tell driver proposals from scheduled ones. *)
+val is_service_value : string -> bool
+
+val pp_report : Format.formatter -> report -> unit

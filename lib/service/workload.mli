@@ -1,0 +1,53 @@
+(** Service-mode workload descriptions — the fully-data recipe for one
+    recurrent-agreement service run.
+
+    A workload describes the open-loop arrival process, the admission-control
+    knobs (retry-queue bound, load watermarks), the client retry policy and
+    the optional pulse layer. {!Service.attach} interprets it inside a
+    {!Ssba_harness.Runner} run; the JSON codec is lossless (every float
+    through [Json.Num]), so a service-carrying fuzz spec replays
+    byte-for-byte. *)
+
+type arrivals =
+  | Poisson of { rate : float }  (** open-loop, exponential gaps *)
+  | Bursty of { rate : float; burst : int; every : float }
+      (** Poisson base load plus [burst] simultaneous arrivals every [every]
+          seconds — the overload trigger *)
+
+type t = {
+  arrivals : arrivals;
+  start_at : float;  (** first arrival no earlier than this *)
+  stop_at : float;
+      (** arrivals cease here; the run then drains to the horizon — leave
+          the oracle enough slack to prove the drain *)
+  channels : int;
+      (** concurrent-invocation channels (paper footnote 9): jobs rotate
+          over [n * channels] logical Generals *)
+  queue_cap : int;  (** bounded retry queue; 0 disables parking entirely *)
+  high_watermark : float;
+      (** worst per-node live/capacity session fraction at which the
+          overload detector flips to degraded (admit-nothing-new) mode *)
+  low_watermark : float;  (** fraction at which degraded mode exits *)
+  retry_max : int;  (** attempts per job, first try included *)
+  retry_base : float;
+      (** exponential-backoff base in seconds; the effective delay is
+          jittered deterministically and floored at [Delta_0] so retries
+          respect the General-side initiation spacing *)
+  pulse_cycles : int;
+      (** [> 0] additionally runs a {!Ssba_pulse.Pulse_sync} layer on every
+          initially-correct node (the value documents the intended cycle
+          count; cycling continues to the horizon) *)
+}
+
+val default : t
+
+(** The base arrival rate of either model. *)
+val rate : arrivals -> float
+
+(** Structural sanity: positive rates, [start_at < stop_at], watermarks in
+    (0, 1] with [low <= high], at least one attempt per job. *)
+val validate : t -> (unit, string) result
+
+val to_json : t -> Ssba_sim.Json.t
+val of_json : Ssba_sim.Json.t -> (t, string) result
+val pp : Format.formatter -> t -> unit

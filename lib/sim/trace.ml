@@ -35,6 +35,18 @@ type event =
       (* transport resending an unacked frame; [attempt] is 1-based *)
   | Dup_suppress of { src : int; dst : int; seq : int }
       (* transport receive-side dedup dropped an already-seen frame *)
+  | Retries_exhausted of { src : int; dst : int; msg : string; seq : int }
+      (* transport gave up on an unacked frame after the retry cap *)
+  | Service_admit of { g : int; live : int }
+      (* service admission controller let a proposal through *)
+  | Service_shed of { g : int; reason : string }
+      (* service admission controller turned a proposal away *)
+  | Service_queue of { g : int; depth : int }
+      (* proposal parked in the bounded pending queue; [depth] after *)
+  | Service_mode of { degraded : bool; live : int }
+      (* overload detector flipped the service mode *)
+  | Session_evict of { g : int }
+      (* a full session table dropped G's live session to make room *)
   | Ext of { kind : string; render : unit -> string }
       (* generic extension: layers without a dedicated constructor (baselines,
          adversaries) tag an event and defer its rendering *)
@@ -59,6 +71,12 @@ let kind_of_event = function
   | Duplicate _ -> "duplicate"
   | Retransmit _ -> "retransmit"
   | Dup_suppress _ -> "dup-suppress"
+  | Retries_exhausted _ -> "retries-exhausted"
+  | Service_admit _ -> "service-admit"
+  | Service_shed _ -> "service-shed"
+  | Service_queue _ -> "service-queue"
+  | Service_mode _ -> "service-mode"
+  | Session_evict _ -> "session-evict"
   | Ext { kind; _ } -> kind
 
 (* The only place event data is turned into text. *)
@@ -90,6 +108,14 @@ let detail_of_event = function
       Printf.sprintf "%s %d->%d (attempt %d)" msg src dst attempt
   | Dup_suppress { src; dst; seq } ->
       Printf.sprintf "%d->%d seq=%d" src dst seq
+  | Retries_exhausted { src; dst; msg; seq } ->
+      Printf.sprintf "%s %d->%d seq=%d (gave up)" msg src dst seq
+  | Service_admit { g; live } -> Printf.sprintf "G=%d live=%d" g live
+  | Service_shed { g; reason } -> Printf.sprintf "G=%d (%s)" g reason
+  | Service_queue { g; depth } -> Printf.sprintf "G=%d depth=%d" g depth
+  | Service_mode { degraded; live } ->
+      Printf.sprintf "%s live=%d" (if degraded then "degraded" else "normal") live
+  | Session_evict { g } -> Printf.sprintf "G=%d" g
   | Ext { render; _ } -> render ()
 
 (* Structural equality; [Ext] compares by kind and rendered detail (its
@@ -181,6 +207,14 @@ let fields_of_event = function
       [ ("src", i src); ("dst", i dst); ("msg", Json.Str msg); ("attempt", i attempt) ]
   | Dup_suppress { src; dst; seq } ->
       [ ("src", i src); ("dst", i dst); ("seq", i seq) ]
+  | Retries_exhausted { src; dst; msg; seq } ->
+      [ ("src", i src); ("dst", i dst); ("msg", Json.Str msg); ("seq", i seq) ]
+  | Service_admit { g; live } -> [ ("g", i g); ("live", i live) ]
+  | Service_shed { g; reason } -> [ ("g", i g); ("reason", Json.Str reason) ]
+  | Service_queue { g; depth } -> [ ("g", i g); ("depth", i depth) ]
+  | Service_mode { degraded; live } ->
+      [ ("degraded", Json.Bool degraded); ("live", i live) ]
+  | Session_evict { g } -> [ ("g", i g) ]
   | Ext { render; _ } -> [ ("detail", Json.Str (render ())) ]
 
 let json_of_entry e =
@@ -237,6 +271,22 @@ let event_of_json ~kind j =
         { src = gi "src"; dst = gi "dst"; msg = gs "msg"; attempt = gi "attempt" }
   | "dup-suppress" ->
       Dup_suppress { src = gi "src"; dst = gi "dst"; seq = gi "seq" }
+  | "retries-exhausted" ->
+      Retries_exhausted
+        { src = gi "src"; dst = gi "dst"; msg = gs "msg"; seq = gi "seq" }
+  | "service-admit" -> Service_admit { g = gi "g"; live = gi "live" }
+  | "service-shed" -> Service_shed { g = gi "g"; reason = gs "reason" }
+  | "service-queue" -> Service_queue { g = gi "g"; depth = gi "depth" }
+  | "service-mode" ->
+      Service_mode
+        {
+          degraded =
+            (match Json.member "degraded" j with
+            | Some (Json.Bool b) -> b
+            | _ -> raise (Import_error "bad degraded field"));
+          live = gi "live";
+        }
+  | "session-evict" -> Session_evict { g = gi "g" }
   | kind ->
       let detail =
         match Option.bind (get "detail") Json.to_string_opt with

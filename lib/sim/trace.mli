@@ -32,6 +32,17 @@ type event =
       (** transport resending an unacked frame; [attempt] is 1-based *)
   | Dup_suppress of { src : int; dst : int; seq : int }
       (** transport receive-side dedup dropped an already-seen frame *)
+  | Retries_exhausted of { src : int; dst : int; msg : string; seq : int }
+      (** transport gave up on an unacked frame after the retry cap *)
+  | Service_admit of { g : int; live : int }
+      (** service admission controller let a proposal through *)
+  | Service_shed of { g : int; reason : string }
+      (** service admission controller turned a proposal away *)
+  | Service_queue of { g : int; depth : int }
+      (** proposal parked in the bounded pending queue; [depth] after *)
+  | Service_mode of { degraded : bool; live : int }
+  | Session_evict of { g : int }
+      (** overload detector flipped the service mode *)
   | Ext of { kind : string; render : unit -> string }
       (** generic extension: [render] runs only when the event is printed or
           exported *)

@@ -75,6 +75,7 @@ type 'a t = {
   c_expired : Metrics.counter;
   c_evicted : Metrics.counter;
   c_acks : Metrics.counter;
+  c_retries_exhausted : Metrics.counter;
 }
 
 let retransmits t = Metrics.value t.c_retransmits
@@ -82,6 +83,7 @@ let dup_suppressed t = Metrics.value t.c_dup_suppressed
 let expired t = Metrics.value t.c_expired
 let evicted t = Metrics.value t.c_evicted
 let acks t = Metrics.value t.c_acks
+let retries_exhausted t = Metrics.value t.c_retries_exhausted
 let config_of t = t.cfg
 
 let payload_trace_msg t payload =
@@ -102,7 +104,22 @@ let rec arm_timer t ~src ~dst (e : 'a entry) ~delay =
       | Some e' when e' == e ->
           if e.attempt >= t.cfg.retries then begin
             t.pending.(src).(dst).(slot) <- None;
-            Metrics.incr t.c_expired
+            Metrics.incr t.c_expired;
+            (* retry-cap exhaustion was previously silent: the frame's
+               reliability is abandoned here, so say so. [c_expired] keeps
+               its digest-visible meaning; this counter and the trace event
+               are observability-only. *)
+            Metrics.incr t.c_retries_exhausted;
+            let tr = Engine.trace t.engine in
+            if Trace.is_enabled tr then
+              Engine.record t.engine ~node:src
+                (Trace.Retries_exhausted
+                   {
+                     src;
+                     dst;
+                     msg = payload_trace_msg t e.payload;
+                     seq = e.seq;
+                   })
           end
           else begin
             e.attempt <- e.attempt + 1;
@@ -193,6 +210,7 @@ let create ?kind_of:payload_kind ~engine ~net ~config:cfg () =
       c_expired = Metrics.counter metrics "transport.expired";
       c_evicted = Metrics.counter metrics "transport.evicted";
       c_acks = Metrics.counter metrics "transport.acks";
+      c_retries_exhausted = Metrics.counter metrics "transport.retries_exhausted";
     }
   in
   for node = 0 to n - 1 do

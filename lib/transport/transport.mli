@@ -75,3 +75,9 @@ val evicted : 'a t -> int
 
 (** Acks sent (one per data frame received, duplicates included). *)
 val acks : 'a t -> int
+
+(** Frames abandoned because the retry cap ran out unacked. Tracks
+    {!expired} but is observability-only (never part of a result digest),
+    and each exhaustion also emits a typed [Retries_exhausted] trace event —
+    previously the transport gave up silently. *)
+val retries_exhausted : 'a t -> int

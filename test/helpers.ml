@@ -222,6 +222,7 @@ module Q = struct
             session_capacity = None;
             blackout = true;
             r_slack = Ssba_core.Params.default_r_slack;
+            service = None;
           }))
       (gen_event ~n ~horizon)
 

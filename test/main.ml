@@ -37,6 +37,7 @@ let () =
       ("separation", Test_separation.suite);
       ("replicated-log", Test_replicated_log.suite);
       ("transport", Test_transport.suite);
+      ("service", Test_service.suite);
       ("fuzz", Test_fuzz.suite);
       ("mc", Test_mc.suite);
       ("parallel", Test_parallel.suite);

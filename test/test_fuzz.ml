@@ -63,6 +63,7 @@ let prop_event_roundtrip =
           session_capacity = None;
           blackout = true;
           r_slack = Ssba_core.Params.default_r_slack;
+          service = None;
         }
       in
       match F.Spec.of_json (F.Spec.to_json spec) with
@@ -364,6 +365,140 @@ let test_shrink_offers_r_slack_reduction () =
          c.F.Spec.r_slack = Ssba_core.Params.default_r_slack)
        (F.Shrink.candidates spec))
 
+(* The overload tier: 50 recurrent-service scenarios under open-loop arrival
+   pressure over a lossy transport. Beyond "no failures", the corpus must
+   actually have exercised the admission machinery — a tier whose scenarios
+   all idle below the watermark would pass the shed/drain oracles
+   vacuously. *)
+let test_overload_campaign () =
+  let s =
+    F.Campaign.run { smoke_config with F.Campaign.gen = F.Gen.overload_config }
+  in
+  check_int "all 50 overload scenarios executed" 50 s.F.Campaign.executed;
+  List.iter
+    (fun (fc : F.Campaign.failure_case) ->
+      List.iter
+        (fun f ->
+          Fmt.epr "iteration %d: %a@." fc.F.Campaign.index F.Oracle.pp_failure f)
+        fc.F.Campaign.report.F.Oracle.failures)
+    s.F.Campaign.failed;
+  check_int "no oracle failures over the overload corpus" 0
+    (List.length s.F.Campaign.failed);
+  check_str "overload corpus digest pinned" "053d3772010522e3c6d76414574f9698"
+    s.F.Campaign.corpus_digest;
+  (* re-judge a sample: every spec admits traffic, and across the sample the
+     controller demonstrably shed under pressure at least once *)
+  let shed_total = ref 0 in
+  List.iter
+    (fun i ->
+      let spec =
+        F.Campaign.spec_of_iteration ~seed:42 ~gen:F.Gen.overload_config i
+      in
+      let res, report = F.Oracle.run spec in
+      check_bool "sampled overload spec passes" true (not (F.Oracle.failed report));
+      let counter name =
+        Option.value ~default:0
+          (Ssba_sim.Metrics.find_counter res.Ssba_harness.Runner.metrics name)
+      in
+      check_bool "sampled overload spec admitted sessions" true
+        (counter "service.admitted" > 0);
+      shed_total := !shed_total + counter "service.shed")
+    [ 0; 1; 2; 3; 4 ];
+  check_bool "the sample exercised load shedding" true (!shed_total > 0)
+
+(* The shrinker's service reductions, pinned in both directions: a service
+   spec offers dropping the workload outright and flattening bursty arrivals
+   to Poisson; a service-free spec offers no service candidate at all. *)
+let test_shrink_offers_service_reductions () =
+  let module W = Ssba_service.Workload in
+  let svc_spec =
+    (* overload iterations are all service specs by construction *)
+    F.Campaign.spec_of_iteration ~seed:42 ~gen:F.Gen.overload_config 5
+  in
+  (match svc_spec.F.Spec.service with
+  | None -> Alcotest.fail "overload iteration 5 lost its workload"
+  | Some w ->
+      check_bool "service spec offers the drop-service reduction" true
+        (List.exists
+           (fun (c : F.Spec.t) -> c.F.Spec.service = None)
+           (F.Shrink.candidates svc_spec));
+      (match w.W.arrivals with
+      | W.Bursty _ ->
+          check_bool "bursty workload offers the flatten-to-Poisson reduction"
+            true
+            (List.exists
+               (fun (c : F.Spec.t) ->
+                 match c.F.Spec.service with
+                 | Some w' -> (
+                     match w'.W.arrivals with W.Poisson _ -> true | _ -> false)
+                 | None -> false)
+               (F.Shrink.candidates svc_spec))
+      | W.Poisson _ -> ());
+      (* a service spec must not offer the bare transport strip: workload
+         times are drawn at the transport-inflated d, and the candidate's
+         per-d bookkeeping under the old horizon explodes *)
+      check_bool "service spec keeps its transport" true
+        (List.for_all
+           (fun (c : F.Spec.t) ->
+             c.F.Spec.service = None || c.F.Spec.transport <> None)
+           (F.Shrink.candidates svc_spec)));
+  let plain =
+    F.Campaign.spec_of_iteration ~seed:42 ~gen:F.Gen.default_config 0
+  in
+  check_bool "service-free spec offers no service candidate" true
+    (List.for_all
+       (fun (c : F.Spec.t) -> c.F.Spec.service = None)
+       (F.Shrink.candidates plain))
+
+(* Drain-monitor sensitivity: the no-drain oracle must actually be able to
+   fire. Starve the watermarks (degrade on the second concurrent session,
+   recover only at zero), run once to observe a real degrade-entry edge,
+   then truncate a second run one [d] past that edge: exits need a >= 4d
+   session-GC drain, so the episode is provably still open at the new
+   horizon and the oracle must flag it — on both the trace walk and the
+   driver's own episode bookkeeping. *)
+let test_service_drain_sensitivity () =
+  let module W = Ssba_service.Workload in
+  let module Tr = Ssba_sim.Trace in
+  let spec =
+    F.Campaign.spec_of_iteration ~seed:42 ~gen:F.Gen.overload_config 0
+  in
+  match spec.F.Spec.service with
+  | None -> Alcotest.fail "overload iteration 0 lost its workload"
+  | Some w ->
+      let starve w = { w with W.high_watermark = 0.02; low_watermark = 0.01 } in
+      let starved0 = { spec with F.Spec.service = Some (starve w) } in
+      let res0, _ = F.Oracle.run starved0 in
+      let t_edge =
+        List.fold_left
+          (fun acc (e : Tr.entry) ->
+            match e.Tr.event with
+            | Tr.Service_mode { degraded = true; _ } -> Float.max acc e.Tr.time
+            | _ -> acc)
+          0.0
+          (Tr.to_list res0.Ssba_harness.Runner.trace)
+      in
+      check_bool "starved watermarks do trigger degraded mode" true
+        (t_edge > 0.0);
+      let cut = t_edge +. (F.Spec.params spec).Ssba_core.Params.d in
+      let starved =
+        {
+          starved0 with
+          F.Spec.horizon = cut;
+          service = Some { (starve w) with W.stop_at = Float.min w.W.stop_at cut };
+        }
+      in
+      (match F.Spec.validate starved with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "starved spec invalid: %s" e);
+      let _, report = F.Oracle.run starved in
+      check_bool "starved service spec fails" true (F.Oracle.failed report);
+      check_bool "and the drain oracle is what fires" true
+        (List.exists
+           (fun (f : F.Oracle.failure) ->
+             String.equal f.F.Oracle.oracle "service-drain")
+           report.F.Oracle.failures)
+
 let test_campaign_deterministic () =
   let s1 = F.Campaign.run { smoke_config with F.Campaign.runs = 15 } in
   let s2 = F.Campaign.run { smoke_config with F.Campaign.runs = 15 } in
@@ -445,4 +580,10 @@ let suite =
       test_shrink_offers_r_slack_reduction;
     slow_case "injected deadline violation is caught and shrunk"
       test_injected_violation_caught_and_shrunk;
+    slow_case "overload campaign: 50 service scenarios, shed/drain proven"
+      test_overload_campaign;
+    case "shrinker offers the service reductions"
+      test_shrink_offers_service_reductions;
+    slow_case "drain oracle fires on a starved service spec"
+      test_service_drain_sensitivity;
   ]

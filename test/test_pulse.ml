@@ -162,3 +162,134 @@ let test_pulses_resume_after_scramble () =
     cycles
 
 let suite = suite @ [ case "pulses resume after scramble" test_pulses_resume_after_scramble ]
+
+(* --- takeover-ladder boundary tests (DESIGN.md §12) --- *)
+
+let test_takeover_at_patience_boundary () =
+  (* The ladder must wait the FULL patience before covering a silent
+     General — never less. With node 1 silent and perfect clocks, cycle 1
+     may fire no earlier than cycle_len + patience after the first
+     candidate armed its ladder, and no later than one agreement past that
+     slot. A correct General's cycle keeps the plain cadence. *)
+  let n = 7 in
+  let c = Cluster.make ~n ~seed:11 ~skip:[ 1 ] ~clock:`Perfect () in
+  let params = c.Cluster.params in
+  let cycle_len = 1.2 *. Pulse.min_cycle params in
+  let layers =
+    List.init n (fun id -> id)
+    |> List.filter_map (fun id ->
+           if id = 1 then None
+           else Some (Pulse.create ~node:(Cluster.node c id) ~cycle_len ()))
+  in
+  List.iter Pulse.start layers;
+  Cluster.run ~until:1.0 c;
+  let patience = params.Params.delta_agr +. (20.0 *. params.Params.d) in
+  let lo l = List.fold_left Float.min infinity l
+  and hi l = List.fold_left Float.max neg_infinity l in
+  let rt0 = pulse_rts layers 0
+  and rt1 = pulse_rts layers 1
+  and rt2 = pulse_rts layers 2 in
+  check_int "cycle 1 fired at all 6 live nodes" 6 (List.length rt1);
+  (* lower edge: nobody covers the silent General before its ladder slot *)
+  check_bool "takeover no earlier than cycle_len + patience" true
+    (lo rt1 >= lo rt0 +. cycle_len +. patience);
+  (* upper edge: the first candidate's slot plus one agreement suffices *)
+  check_bool "takeover within Delta_agr of the patience slot" true
+    (hi rt1 <= hi rt0 +. cycle_len +. patience +. params.Params.delta_agr);
+  (* a correct General needs no patience at all *)
+  check_bool "correct cycle keeps the plain cadence" true
+    (hi rt2 <= hi rt1 +. cycle_len +. params.Params.delta_agr)
+
+let test_laggard_layer_resyncs () =
+  (* Re-sync after a transient fault: node 6 is scrambled mid-cycling and
+     its pulse layer restarts from scratch (next_cycle = 0). The first
+     decided cycle it hears must fast-forward it to the cluster's current
+     cycle — no replay of the missed pulses — and once the protocol state
+     has stabilized its pulses keep the skew bound. *)
+  let n = 7 in
+  let c = Cluster.make ~n ~seed:19 () in
+  let params = c.Cluster.params in
+  let cycle_len = 1.2 *. Pulse.min_cycle params in
+  let layers =
+    List.init (n - 1) (fun id ->
+        Pulse.create ~node:(Cluster.node c id) ~cycle_len ())
+  in
+  List.iter Pulse.start layers;
+  let t_fault = 0.8 in
+  let late = ref None in
+  Ssba_sim.Engine.schedule c.Cluster.engine ~at:t_fault (fun () ->
+      let rng = Ssba_sim.Rng.create 7 in
+      Node.scramble rng ~values:[ "x"; "y" ] (Cluster.node c 6);
+      late := Some (Pulse.create ~node:(Cluster.node c 6) ~cycle_len ()));
+  Cluster.run ~until:(t_fault +. 1.2) c;
+  let late =
+    match !late with Some l -> l | None -> Alcotest.fail "fault never injected"
+  in
+  (match Pulse.pulses late with
+  | [] -> Alcotest.fail "restarted layer never fired"
+  | first :: _ ->
+      check_bool "fast-forwarded past the missed cycles" true
+        (first.Pulse.cycle > 3));
+  let cluster_next =
+    List.fold_left (fun acc l -> max acc (Pulse.next_cycle l)) 0 layers
+  in
+  check_bool "caught up with the cluster" true
+    (Pulse.next_cycle late >= cluster_next - 1);
+  let d = params.Params.d in
+  let stable_from = t_fault +. params.Params.delta_stb in
+  List.iter
+    (fun (p : Pulse.pulse) ->
+      if p.Pulse.rt >= stable_from then
+        match pulse_rts layers p.Pulse.cycle with
+        | [] -> ()
+        | first :: _ as rts ->
+            let span =
+              List.fold_left Float.max (Float.max first p.Pulse.rt) rts
+              -. List.fold_left Float.min (Float.min first p.Pulse.rt) rts
+            in
+            check_bool
+              (Printf.sprintf "rejoined cycle %d skew <= 3d" p.Pulse.cycle)
+              true
+              (span <= (3.0 *. d) +. 1e-9))
+    (Pulse.pulses late)
+
+let test_skew_bound_long_chaos () =
+  (* 100+ cycles with drifting clocks, random delays and a Byzantine
+     General in the rotation: the 3d skew bound must hold on every single
+     complete cycle, including the taken-over ones. *)
+  let c, layers = mk ~seed:23 ~byz:[ 1 ] () in
+  List.iter Pulse.start layers;
+  let params = c.Cluster.params in
+  let cycle_len = 1.2 *. Pulse.min_cycle params in
+  let patience = params.Params.delta_agr +. (20.0 *. params.Params.d) in
+  (* every 7th cycle pays one patience for the silent General's slot *)
+  let horizon = (110.0 *. cycle_len) +. (17.0 *. patience) +. 0.5 in
+  Cluster.run ~until:horizon c;
+  let complete =
+    List.fold_left (fun acc l -> min acc (Pulse.next_cycle l - 1)) max_int layers
+  in
+  check_bool "at least 100 complete cycles" true (complete >= 100);
+  let d = params.Params.d in
+  for cyc = 0 to complete - 1 do
+    let rts = pulse_rts layers cyc in
+    check_int (Printf.sprintf "cycle %d fired at all 6 live nodes" cyc) 6
+      (List.length rts);
+    match rts with
+    | [] -> ()
+    | first :: _ ->
+        let span =
+          List.fold_left Float.max first rts -. List.fold_left Float.min first rts
+        in
+        check_bool
+          (Printf.sprintf "cycle %d skew <= 3d" cyc)
+          true
+          (span <= (3.0 *. d) +. 1e-9)
+  done
+
+let suite =
+  suite
+  @ [
+      case "takeover waits the full patience" test_takeover_at_patience_boundary;
+      case "restarted laggard layer re-syncs" test_laggard_layer_resyncs;
+      slow_case "skew bound over 100 chaotic cycles" test_skew_bound_long_chaos;
+    ]

@@ -1,0 +1,173 @@
+(* Tests for the recurrent-agreement service mode (DESIGN.md §12):
+   workload validation and codec, admission/shedding behavior, the degraded
+   -mode drain, and an SSBA_SOAK=1-gated long soak. The fuzz --overload
+   tier exercises the same machinery over random specs; these pin the
+   deterministic, unit-level contracts. *)
+
+open Helpers
+module P = Ssba_core.Params
+module Sc = Ssba_harness.Scenario
+module H = Ssba_harness
+module W = Ssba_service.Workload
+module Svc = Ssba_service.Service
+
+let test_workload_validate () =
+  check_bool "default workload is valid" true (W.validate W.default = Ok ());
+  let bad name w =
+    check_bool name true
+      (match W.validate w with Ok () -> false | Error _ -> true)
+  in
+  bad "zero rate" { W.default with W.arrivals = W.Poisson { rate = 0.0 } };
+  bad "negative burst"
+    { W.default with W.arrivals = W.Bursty { rate = 1.0; burst = -1; every = 0.5 } };
+  bad "start after stop" { W.default with W.start_at = 2.0; stop_at = 1.0 };
+  bad "zero channels" { W.default with W.channels = 0 };
+  bad "watermark above 1" { W.default with W.high_watermark = 1.5 };
+  bad "low above high" { W.default with W.low_watermark = 0.9; high_watermark = 0.5 };
+  bad "no attempts" { W.default with W.retry_max = 0 };
+  bad "negative queue" { W.default with W.queue_cap = -1 }
+
+let test_workload_json_roundtrip () =
+  let roundtrip name w =
+    match W.of_json (W.to_json w) with
+    | Ok w' -> check_bool name true (w = w')
+    | Error e -> Alcotest.failf "%s: %s" name e
+  in
+  roundtrip "default" W.default;
+  roundtrip "poisson"
+    { W.default with W.arrivals = W.Poisson { rate = 12.5 }; channels = 4 };
+  roundtrip "bursty"
+    {
+      W.default with
+      W.arrivals = W.Bursty { rate = 3.0; burst = 17; every = 0.25 };
+      queue_cap = 5;
+      high_watermark = 0.75;
+      low_watermark = 0.25;
+      retry_max = 7;
+      retry_base = 0.004;
+      pulse_cycles = 12;
+    };
+  check_bool "garbage refused" true
+    (match W.of_json (Ssba_sim.Json.Str "nope") with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_service_values () =
+  check_bool "service value recognized" true (Svc.is_service_value "svc-3-a1");
+  check_bool "plain value not service" false (Svc.is_service_value "epoch-3");
+  check_bool "pulse value not service" false (Svc.is_service_value "pulse-7")
+
+let scenario ~name ~seed ~params (w : W.t) =
+  Sc.default ~name ~seed
+    ~horizon:(w.W.stop_at +. (1.5 *. params.P.delta_stb))
+    ~channels:w.W.channels ~admission:true params
+
+let test_calm_service_sheds_nothing () =
+  (* Under-watermark load: every arrival admitted, every job decided, no
+     shedding, no degraded mode, latencies inside the agreement bound. *)
+  let n = 4 in
+  let params = P.default n in
+  let w =
+    {
+      W.default with
+      W.arrivals = W.Poisson { rate = 20.0 };
+      start_at = 0.05;
+      stop_at = 3.0;
+      channels = 4;
+      retry_base = 4.0 *. params.P.d;
+    }
+  in
+  let _res, r = Svc.run ~seed:31 w (scenario ~name:"svc-calm" ~seed:31 ~params w) in
+  check_bool "jobs arrived" true (r.Svc.arrivals > 20);
+  check_int "all admitted" r.Svc.arrivals r.Svc.admitted;
+  check_int "all decided" r.Svc.admitted r.Svc.decided;
+  check_int "nothing shed below the watermark" 0 r.Svc.shed;
+  check_int "no timeouts" 0 r.Svc.timed_out;
+  check_int "no degraded episodes" 0 (List.length r.Svc.degraded_episodes);
+  check_bool "p99 within Delta_agr" true (r.Svc.p99_latency <= params.P.delta_agr)
+
+let test_overloaded_service_sheds_and_drains () =
+  (* Starved watermarks under bursts: shedding and degraded episodes must
+     occur, every class of shed is accounted, the retry queue respects its
+     bound, and every degraded episode closes before the horizon. *)
+  let n = 4 in
+  let params = P.default n in
+  let w =
+    {
+      W.default with
+      W.arrivals = W.Bursty { rate = 30.0; burst = 30; every = 0.4 };
+      start_at = 0.05;
+      stop_at = 4.0;
+      channels = 4;
+      queue_cap = 6;
+      high_watermark = 0.3;
+      low_watermark = 0.15;
+      retry_base = 4.0 *. params.P.d;
+    }
+  in
+  let _res, r = Svc.run ~seed:37 w (scenario ~name:"svc-over" ~seed:37 ~params w) in
+  check_bool "shedding occurred" true (r.Svc.shed > 0);
+  check_int "shed classes sum" r.Svc.shed
+    (r.Svc.shed_degraded + r.Svc.shed_watermark + r.Svc.shed_queue_full);
+  check_bool "degraded mode engaged" true (r.Svc.degraded_episodes <> []);
+  check_int "every degraded episode closed" 0 r.Svc.unresolved_degraded;
+  check_bool "recovery within Delta_stb" true
+    (r.Svc.max_degraded_span <= params.P.delta_stb);
+  check_bool "retry queue bounded" true (r.Svc.peak_queue <= w.W.queue_cap);
+  check_bool "admitted jobs still decide under pressure" true
+    (r.Svc.decided > 0)
+
+(* Long-haul service soak, env-scaled like the other soaks: gated behind
+   SSBA_SOAK=1 so tier-1 stays fast; SSBA_SOAK_SERVICE_SECS stretches the
+   arrival window (default 30 s — roughly 2,200 sessions and 450 pulses). *)
+let test_service_soak () =
+  match Sys.getenv_opt "SSBA_SOAK" with
+  | Some "1" ->
+      let secs =
+        match Sys.getenv_opt "SSBA_SOAK_SERVICE_SECS" with
+        | Some s -> (
+            match float_of_string_opt s with
+            | Some x when x > 0.0 -> x
+            | _ -> 30.0)
+        | _ -> 30.0
+      in
+      let n = 4 in
+      let params = P.default n in
+      let w =
+        {
+          W.default with
+          W.arrivals = W.Poisson { rate = 75.0 };
+          start_at = 0.05;
+          stop_at = 0.05 +. secs;
+          channels = 8;
+          retry_base = 4.0 *. params.P.d;
+          pulse_cycles = max 1 (int_of_float (secs /. 0.07));
+        }
+      in
+      let _res, r =
+        Svc.run ~seed:41 w (scenario ~name:"svc-soak" ~seed:41 ~params w)
+      in
+      Fmt.epr
+        "service soak: %g s — admitted %d decided %d shed %d pulses %d skew \
+         %.2fd@."
+        secs r.Svc.admitted r.Svc.decided r.Svc.shed r.Svc.pulses
+        (r.Svc.pulse_skew /. params.P.d);
+      check_bool "soak admitted plenty" true
+        (float_of_int r.Svc.admitted >= 60.0 *. secs);
+      check_int "soak decided everything admitted" r.Svc.admitted r.Svc.decided;
+      check_int "soak: no timeouts" 0 r.Svc.timed_out;
+      check_int "soak: no exhausted retries" 0 r.Svc.gave_up;
+      check_bool "soak: pulse layer cycled" true (r.Svc.pulses > 0);
+      check_bool "soak: pulse skew within 3d" true
+        (r.Svc.pulse_skew <= 3.0 *. params.P.d)
+  | _ -> Fmt.epr "service soak skipped (set SSBA_SOAK=1 to enable)@."
+
+let suite =
+  [
+    case "workload validation" test_workload_validate;
+    case "workload JSON round-trip" test_workload_json_roundtrip;
+    case "service value namespace" test_service_values;
+    slow_case "calm service sheds nothing" test_calm_service_sheds_nothing;
+    slow_case "overloaded service sheds and drains" test_overloaded_service_sheds_and_drains;
+    slow_case "service soak (SSBA_SOAK=1)" test_service_soak;
+  ]

@@ -71,6 +71,33 @@ let test_expiry_on_dead_link () =
     (2 * (T.config_of tr).T.retries)
     (T.retransmits tr)
 
+(* A frame abandoned at the retry cap is a silent reliability give-up no
+   more: the [transport.retries_exhausted] counter and the typed
+   [Retries_exhausted] trace event both account for every one. *)
+let test_retries_exhausted_accounted () =
+  let trace = Ssba_sim.Trace.create ~enabled:true () in
+  let engine = Engine.create ~trace () in
+  let net =
+    Net.create ~drop_prob:1.0 ~engine ~n:2 ~delay:(Delay.fixed 0.01)
+      ~rng:(Rng.create 7) ()
+  in
+  let tr = T.create ~engine ~net ~config:(T.config ~rto:0.05 ()) () in
+  let link = T.link tr in
+  Link.send link ~src:0 ~dst:1 "a";
+  Link.send link ~src:0 ~dst:1 "b";
+  ignore (Engine.run engine);
+  check_int "counter matches the two abandoned frames" 2
+    (T.retries_exhausted tr);
+  let events =
+    List.filter
+      (fun (e : Ssba_sim.Trace.entry) ->
+        match e.Ssba_sim.Trace.event with
+        | Ssba_sim.Trace.Retries_exhausted { src = 0; dst = 1; _ } -> true
+        | _ -> false)
+      (Ssba_sim.Trace.to_list trace)
+  in
+  check_int "one typed trace event per abandoned frame" 2 (List.length events)
+
 (* Transient-fault model: scramble every piece of transport state, then keep
    sending. Capacities are code, not state, so traffic still flows; a
    corrupted dedup slot may wrongly suppress at most a frame or two (the
@@ -286,6 +313,8 @@ let suite =
     case "reliable delivery under 30% loss" test_reliable_under_loss;
     case "exactly-once under duplication" test_dedup_exactly_once;
     case "retry cap on a dead link" test_expiry_on_dead_link;
+    case "retries-exhausted counter and trace event"
+      test_retries_exhausted_accounted;
     case "scramble washes out" test_scramble_washout;
     case "transport survives Scramble event" test_transport_survives_scramble;
     case "Heal split (targeted heals)" test_heal_split;
